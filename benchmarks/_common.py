@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts (a
+Table-1 row or a numbered theorem's quantitative claim), prints the
+paper-style comparison table, attaches the measured *model* times to
+``benchmark.extra_info`` (the wall-clock number pytest-benchmark reports is
+the simulator's own speed, which is not the quantity the paper bounds), and
+asserts the reproduction's *shape*: who wins, by roughly what factor, where
+the crossovers fall.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Sequence
+
+from repro.util.reporting import Table
+
+__all__ = ["emit", "ratio_row", "geometric_sizes"]
+
+
+def emit(title: str, columns: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render and print one paper-style table; returns the rendered text."""
+    t = Table(columns, title=title)
+    for row in rows:
+        t.add_row(row)
+    text = t.render()
+    print("\n" + text)
+    return text
+
+
+def ratio_row(name: str, strong: float, weak: float, expected: float) -> list:
+    """A standard (problem, global, local, measured ratio, paper ratio) row."""
+    measured = weak / strong if strong else float("inf")
+    return [name, strong, weak, measured, expected]
+
+
+def geometric_sizes(start: int, factor: int, count: int) -> list:
+    """``count`` sizes growing geometrically from ``start``."""
+    return [start * factor**i for i in range(count)]

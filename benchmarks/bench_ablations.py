@@ -1,0 +1,192 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+A1 — penalty family: linear vs polynomial vs exponential overload charges
+     (the lower-bound/upper-bound asymmetry of Section 2).
+A2 — epsilon: window slack vs overload probability vs completion ratio.
+A3 — known n vs computed n: the tau term's share of completion time.
+A4 — sending template: consecutive vs spread within the window.
+A5 — granularity: the granular sender's window constant c.
+"""
+
+import numpy as np
+import pytest
+
+from repro import EXPONENTIAL, LINEAR, MachineParams, PolynomialPenalty
+from repro.core.costs import PenaltyFunction
+from repro.scheduling import (
+    evaluate_schedule,
+    naive_schedule,
+    tau_bound,
+    unbalanced_granular_send,
+    unbalanced_send,
+)
+from repro.workloads import uniform_random_relation
+
+from _common import emit
+
+P, N, M = 512, 50_000, 64
+
+
+def test_ablation_penalty_family(benchmark):
+    def run():
+        rel = uniform_random_relation(P, N, seed=0)
+        sched = naive_schedule(rel)  # heavily overloaded on purpose
+        rows = []
+        for pen in (LINEAR, PolynomialPenalty(2.0), PolynomialPenalty(4.0), EXPONENTIAL):
+            rep = evaluate_schedule(sched, m=M, penalty=pen)
+            rows.append((pen.name, getattr(pen, "degree", ""), rep.comm_time, rep.ratio))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "A1 penalty family on a naive (overloaded) schedule",
+        ["penalty", "degree", "comm time", "T/OPT"],
+        rows,
+    )
+    comms = {name: c for name, _deg, c, _r in rows}
+    # the polynomial family is ordered by degree, and both dominate linear;
+    # the exponential only overtakes polynomials at large overload ratios,
+    # so it is compared against linear only
+    degs = [r[2] for r in rows if r[0] in ("linear", "polynomial")]
+    assert degs == sorted(degs)
+    assert comms["exponential"] >= comms["linear"]
+
+
+def test_ablation_epsilon(benchmark):
+    def run():
+        rel = uniform_random_relation(P, N, seed=1)
+        rows = []
+        for eps in (0.02, 0.05, 0.1, 0.25, 0.5):
+            overloads, ratios = 0, []
+            for seed in range(15):
+                rep = evaluate_schedule(unbalanced_send(rel, M, eps, seed=seed), m=M)
+                overloads += rep.overloaded
+                ratios.append(rep.ratio)
+            rows.append((eps, overloads / 15, float(np.mean(ratios))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "A2 epsilon: overload probability vs completion ratio",
+        ["epsilon", "overload rate", "mean T/OPT"],
+        rows,
+    )
+    # bigger eps -> fewer overloads but larger deterministic slack
+    assert rows[0][1] >= rows[-1][1]
+    assert rows[-1][2] >= rows[1][2] * 0.99
+
+
+def test_ablation_tau_share(benchmark):
+    def run():
+        rel = uniform_random_relation(P, N, seed=2)
+        params = MachineParams(p=P, m=M, L=8)
+        tau = tau_bound(params)
+        rows = []
+        for n_known in (True, False):
+            rep = evaluate_schedule(
+                unbalanced_send(rel, M, 0.1, seed=3),
+                m=M,
+                tau=0.0 if n_known else tau,
+            )
+            rows.append(
+                ("known" if n_known else "computed", rep.completion_time,
+                 rep.tau, rep.tau / rep.completion_time)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "A3 known n vs computed n (tau term share)",
+        ["n", "completion", "tau", "tau share"],
+        rows,
+    )
+    # for n >> p the tau term is negligible — the paper's "important case"
+    assert rows[1][3] < 0.1
+
+
+def test_ablation_template(benchmark):
+    def run():
+        # concentration regime: eps^2 m >> 1 so both templates stay clean
+        m, eps = 256, 0.25
+        rel = uniform_random_relation(P, N, seed=4)
+        rows = []
+        for template in ("consecutive", "spread"):
+            overloads = 0
+            for seed in range(15):
+                rep = evaluate_schedule(
+                    unbalanced_send(rel, m, eps, seed=seed, template=template), m=m
+                )
+                overloads += rep.overloaded
+            rows.append((template, overloads / 15))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("A4 sending template", ["template", "overload rate"], rows)
+    # both templates respect the Chernoff analysis
+    for template, rate in rows:
+        assert rate <= 0.3
+
+
+def test_ablation_granularity_constant(benchmark):
+    def run():
+        rel = uniform_random_relation(P, 200_000, seed=5)
+        rows = []
+        for c in (2.0, 3.0, 4.0, 8.0):
+            overloads, spans = 0, []
+            for seed in range(10):
+                sched = unbalanced_granular_send(rel, M, c=c, seed=seed)
+                rep = evaluate_schedule(sched, m=M)
+                overloads += rep.overloaded
+                spans.append(rep.span)
+            rows.append((c, overloads / 10, float(np.mean(spans)), c * rel.n / M))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "A5 granular window constant c",
+        ["c", "overload rate", "mean span", "c·n/m"],
+        rows,
+    )
+    # larger c buys lower overload probability at the cost of span
+    assert rows[-1][1] <= rows[0][1]
+    assert rows[-1][2] >= rows[0][2]
+
+
+def test_ablation_sorting_algorithm(benchmark):
+    """A6 — deterministic columnsort vs randomized sample sort on the
+    BSP(m): same Θ(n/m) communication shape, different constants and
+    guarantee types."""
+    import numpy as np
+
+    from repro import BSPm
+    from repro.algorithms import columnsort, sample_sort
+
+    def run():
+        rng = np.random.default_rng(0)
+        rows = []
+        for n in (1024, 4096):
+            keys = rng.random(n)
+            mach_c = BSPm(MachineParams(p=64, m=8, L=2))
+            res_c, out_c = columnsort(mach_c, keys)
+            mach_s = BSPm(MachineParams(p=64, m=8, L=2))
+            res_s, out_s = sample_sort(mach_s, keys, seed=1)
+            assert np.array_equal(out_c, np.sort(keys))
+            assert np.array_equal(out_s, np.sort(keys))
+            rows.append(
+                (n, res_c.time, res_s.time, res_c.total_flits, res_s.total_flits)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "A6 sorting algorithm: columnsort (deterministic) vs sample sort (randomized)",
+        ["n", "columnsort time", "sample sort time", "flits (col)", "flits (smp)"],
+        rows,
+    )
+    for n, t_c, t_s, f_c, f_s in rows:
+        # both land in the same ballpark; columnsort ships each key through
+        # 6 permutations, sample sort through 3 routing phases
+        assert 0.1 <= t_c / t_s <= 10
+    # both scale ~linearly in n at fixed m
+    assert rows[1][1] / rows[0][1] == pytest.approx(4.0, rel=0.5)
+    assert rows[1][2] / rows[0][2] == pytest.approx(4.0, rel=0.6)

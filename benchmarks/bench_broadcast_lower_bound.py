@@ -1,0 +1,57 @@
+"""E4.1 — Theorem 4.1: the BSP(g) broadcast lower bound
+``L lg p / (2 lg(2L/g + 1))`` vs the two algorithms of Section 4.2.
+
+We sweep ``L/g`` and check that (a) both the tree broadcast and the
+non-receipt single-bit broadcast respect the bound, and (b) the non-receipt
+algorithm achieves ``g ceil(log3 p)`` when ``L <= g`` — beating any
+receipt-only reading of the problem.
+"""
+
+import pytest
+
+from repro import BSPg, MachineParams
+from repro.algorithms import broadcast, broadcast_bit_nonreceipt
+from repro.theory.bounds import (
+    broadcast_bsp_g,
+    broadcast_bsp_g_lower,
+    broadcast_nonreceipt_upper,
+)
+
+from _common import emit
+
+P = 729
+SWEEP = [(1.0, 1.0), (8.0, 1.0), (8.0, 8.0), (32.0, 4.0), (64.0, 2.0)]  # (L, g)
+
+
+def run_sweep():
+    rows = []
+    for L, g in SWEEP:
+        params = MachineParams(p=P, g=g, L=L)
+        t_tree = broadcast(BSPg(params), 1).time
+        t_bit = broadcast_bit_nonreceipt(BSPg(params), 1).time
+        lower = broadcast_bsp_g_lower(P, g, L)
+        rows.append((L, g, lower, t_tree, t_bit))
+    return rows
+
+
+def test_theorem_4_1(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        "E4.1 Theorem 4.1: BSP(g) broadcast lower bound vs algorithms (p=729)",
+        ["L", "g", "Thm 4.1 lower", "tree bcast", "non-receipt bcast"],
+        rows,
+    )
+    for L, g, lower, t_tree, t_bit in rows:
+        # both algorithms live above the lower bound
+        assert t_tree >= lower * 0.999
+        assert t_bit >= lower * 0.999
+        if L <= g:
+            # the Section 4.2 algorithm meets its stated upper bound
+            assert t_bit == pytest.approx(broadcast_nonreceipt_upper(P, g))
+    # non-receipt wins when L <= g (information from silence)
+    L, g = 8.0, 8.0
+    params = MachineParams(p=P, g=g, L=L)
+    assert (
+        broadcast_bit_nonreceipt(BSPg(params), 0).time
+        <= broadcast(BSPg(params), 0).time
+    )

@@ -1,0 +1,65 @@
+"""E6.2 — Theorem 6.3: Unbalanced-Consecutive-Send completes in
+``max((2+eps)n/m, x̄, ȳ) + tau`` w.h.p. with every message's flits in
+consecutive slots.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scheduling import (
+    evaluate_schedule,
+    offline_lower_bound,
+    unbalanced_consecutive_send,
+)
+from repro.workloads import uniform_random_relation, variable_length_relation
+
+from _common import emit
+
+P, M, EPS, TRIALS = 512, 128, 0.4, 20
+
+
+def run_all():
+    out = {}
+    cases = {
+        "unit msgs": uniform_random_relation(P, 40_000, seed=0),
+        "geometric lens": variable_length_relation(P, 6000, mean_length=7, seed=1),
+        "pareto lens": variable_length_relation(P, 4000, mean_length=10, dist="pareto", seed=2),
+    }
+    for name, rel in cases.items():
+        lb = offline_lower_bound(rel, M)
+        ratios, overloads, max_span = [], 0, 0
+        for seed in range(TRIALS):
+            sched = unbalanced_consecutive_send(rel, M, EPS, seed=seed)
+            sched.check_valid(require_consecutive=True)
+            rep = evaluate_schedule(sched, m=M)
+            ratios.append(rep.completion_time / max(lb, 1))
+            overloads += rep.overloaded
+            max_span = max(max_span, rep.span)
+        out[name] = {
+            "n": rel.n,
+            "x_bar": rel.x_bar,
+            "lower": lb,
+            "mean_ratio": float(np.mean(ratios)),
+            "max_ratio": float(np.max(ratios)),
+            "overload_rate": overloads / TRIALS,
+            "max_span": max_span,
+        }
+    return out
+
+
+def test_consecutive_send(benchmark):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        f"E6.2 Unbalanced-Consecutive-Send (p={P}, m={M}, eps={EPS}, {TRIALS} seeds)",
+        ["workload", "n", "x̄", "OPT span", "mean T/OPT", "max T/OPT", "overload rate", "max span"],
+        [
+            [k, v["n"], v["x_bar"], v["lower"], v["mean_ratio"], v["max_ratio"],
+             v["overload_rate"], v["max_span"]]
+            for k, v in data.items()
+        ],
+    )
+    benchmark.extra_info.update(data)
+    for name, v in data.items():
+        # Theorem 6.3 shape: within (2+eps)·OPT (window + block overhang)
+        assert v["max_ratio"] <= 2 + EPS + 0.1, name
+        assert v["overload_rate"] <= 0.2, name

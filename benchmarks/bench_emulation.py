@@ -1,0 +1,66 @@
+"""E4.3 — the §4 generic PRAM→QSM(m) mapping, measured end-to-end.
+
+Run real EREW PRAM algorithms on the PRAM engine, extract their measured
+``(t, w)`` traces, map them onto the QSM(m) via the naive simulation, and
+compare with (a) the paper's ``O(n/m + t + w/m)`` formula and (b) the
+direct Table-1 algorithms — quantifying how much the generic mapping
+leaves on the table for work-suboptimal algorithms (Wyllie) versus
+work-optimal ones (balanced-tree prefix).
+"""
+
+import pytest
+
+from repro import MachineParams, QSMm
+from repro.algorithms import (
+    pram_prefix_sums,
+    pram_wyllie_ranks,
+    random_list,
+    simulate_trace_on_qsm_m,
+    summation,
+    trace_from_run,
+)
+
+from _common import emit
+
+P = 1024
+MS = (16, 64, 256)
+
+
+def run_pipeline():
+    rows = []
+    prefix_run, _ = pram_prefix_sums([1.0] * P)
+    wyllie_run, _ = pram_wyllie_ranks(random_list(P, seed=0))
+    traces = {
+        "prefix (w=O(n))": trace_from_run(prefix_run),
+        "wyllie (w=O(n lg n))": trace_from_run(wyllie_run),
+    }
+    for name, tr in traces.items():
+        for m in MS:
+            measured, bound = simulate_trace_on_qsm_m(tr, m)
+            _, global_ = MachineParams.matched_pair(p=P, m=m, L=2)
+            direct = summation(QSMm(global_), [1.0] * P)[0].time
+            rows.append((name, m, tr.t, tr.w, measured, bound, direct))
+    return rows
+
+
+def test_generic_mapping_pipeline(benchmark):
+    rows = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+    emit(
+        f"E4.3 PRAM-on-QSM(m) generic mapping (p = n = {P}; 'direct' = Table-1 summation)",
+        ["algorithm", "m", "t", "w", "mapped time", "n/m + t + w/m", "direct QSM(m)"],
+        rows,
+    )
+    for name, m, t, w, measured, bound, direct in rows:
+        # the mapping meets the paper's formula
+        assert measured <= 2 * bound + 2, (name, m)
+    # work-optimality matters: at every m the mapped prefix algorithm beats
+    # the mapped Wyllie by roughly the lg n work gap
+    for m in MS:
+        mp = next(r[4] for r in rows if r[0].startswith("prefix") and r[1] == m)
+        mw = next(r[4] for r in rows if r[0].startswith("wyllie") and r[1] == m)
+        assert mw > 1.5 * mp, m
+    # and the mapped work-optimal algorithm is within a constant of the
+    # hand-built Table-1 QSM(m) implementation
+    for name, m, t, w, measured, bound, direct in rows:
+        if name.startswith("prefix"):
+            assert measured <= 12 * direct, m

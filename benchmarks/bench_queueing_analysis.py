@@ -1,0 +1,83 @@
+"""E6.6 — Claim 6.8: the dominating M/G/1 system is stable with expected
+time in system O(w^2/u).
+
+We regenerate the analytic series (service moments, stability frontier,
+expected sojourn) and cross-check the O(w^2/u) shape against the measured
+sojourn of Algorithm B batches in a matching simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MachineParams
+from repro.dynamic import (
+    ZETA4,
+    AlgorithmBProtocol,
+    SingleTargetAdversary,
+    expected_time_in_system,
+    mg1_stable,
+    required_u,
+    run_dynamic,
+    s0_service_moments,
+)
+
+from _common import emit
+
+
+def run_analytics():
+    rows = []
+    for w in (64, 128, 256, 512):
+        for r in (0.01, 0.05):
+            u = required_u(w, r)
+            m1, m2 = s0_service_moments(w, u)
+            rows.append(
+                (w, r, u, m1, mg1_stable(r, m1), expected_time_in_system(w, u, r))
+            )
+    return rows
+
+
+def test_claim_6_8_analytics(benchmark):
+    rows = benchmark.pedantic(run_analytics, rounds=1, iterations=1)
+    emit(
+        "E6.6 Claim 6.8: dominating M/G/1 queue (u = floor(1.21 r w)+1)",
+        ["w", "r", "u", "E[S'']", "stable", "E[time in system] bound"],
+        rows,
+    )
+    for w, r, u, m1, stable, ets in rows:
+        assert stable, (w, r)
+        assert m1 == pytest.approx(ZETA4 * w / u, rel=1e-6)
+        assert np.isfinite(ets)
+    # O(w^2/u) shape: quadruple w at fixed r -> u grows ~4x, bound ~4x
+    small = [row for row in rows if row[1] == 0.01]
+    assert small[-1][5] / small[0][5] == pytest.approx(
+        (small[-1][0] / small[0][0]) ** 2 * small[0][2] / small[-1][2], rel=0.25
+    )
+
+
+def run_measured_sojourn():
+    """Measured batch sojourn of Algorithm B grows ~linearly in w when the
+    system is comfortably stable (the w^2/u bound at u ~ w is ~w)."""
+    P, M = 256, 32
+    rows = []
+    for w in (64, 128, 256):
+        _, global_ = MachineParams.matched_pair(p=P, m=M, L=4.0)
+        beta = 0.5
+        trace = SingleTargetAdversary(P, w, beta=beta).generate(80 * w, seed=5)
+        res = run_dynamic(
+            AlgorithmBProtocol(global_, w, alpha=beta, epsilon=0.25, seed=6), trace
+        )
+        rows.append((w, res.mean_sojourn, res.max_backlog, res.is_stable()))
+    return rows
+
+
+def test_measured_sojourn_scales_with_w(benchmark):
+    rows = benchmark.pedantic(run_measured_sojourn, rounds=1, iterations=1)
+    emit(
+        "E6.6b measured Algorithm B batch sojourn vs interval w",
+        ["w", "mean sojourn", "max backlog", "stable"],
+        rows,
+    )
+    for w, sojourn, _, stable in rows:
+        assert stable
+        assert sojourn <= 2.0 * w  # the batch drains within ~one interval
+    assert rows[-1][1] > rows[0][1]  # sojourn grows with w

@@ -1,0 +1,55 @@
+"""E2.1 — Section 2's simplified cost metric: any program priced under the
+self-scheduling BSP(m) metric ``max(w, h, n/m, L)`` is realizable on the
+true BSP(m) within ``(1+eps)`` w.h.p. (via Unbalanced-Send).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import self_scheduling_transfer
+from repro.workloads import (
+    balanced_h_relation,
+    one_to_all_relation,
+    uniform_random_relation,
+    zipf_h_relation,
+)
+
+from _common import emit
+
+M, EPS, TRIALS = 128, 0.15, 15
+
+
+def run_all():
+    p = 1024
+    cases = {
+        "balanced": balanced_h_relation(p, 32, seed=0),
+        "uniform": uniform_random_relation(p, 50_000, seed=1),
+        "zipf": zipf_h_relation(p, 50_000, alpha=1.2, seed=2),
+        "one-to-all": one_to_all_relation(p),
+    }
+    rows = []
+    for name, rel in cases.items():
+        ratios = []
+        for seed in range(TRIALS):
+            self_c, real_c, ratio = self_scheduling_transfer(
+                rel, M, epsilon=EPS, seed=seed
+            )
+        # keep last pair for display, ratios across trials for the bound
+            ratios.append(ratio)
+        rows.append(
+            (name, self_c, real_c, float(np.mean(ratios)), float(np.max(ratios)))
+        )
+    return rows
+
+
+def test_self_scheduling_transfer(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        f"E2.1 self-scheduling metric vs realized BSP(m) cost (m={M}, eps={EPS}, {TRIALS} seeds)",
+        ["workload", "self-sched cost", "realized cost", "mean ratio", "max ratio"],
+        rows,
+    )
+    for name, self_c, real_c, mean_r, max_r in rows:
+        # the Section 2 claim: within (1 + eps) with very high probability
+        assert max_r <= 1 + EPS + 0.05, name
+        assert mean_r >= 0.999, name  # realization can't beat the metric

@@ -1,0 +1,59 @@
+"""T1.2 — Table 1, row 2: broadcasting.
+
+Paper claim: QSM(m) Θ(lg m + p/m) vs QSM(g) Θ(g lg p / lg g); BSP(m)
+O(L lg m / lg L + p/m + L) vs BSP(g) Θ(L lg p / lg(L/g)); separation
+Θ(lg p / lg g) on the QSM side.
+"""
+
+import pytest
+
+from repro import BSPg, BSPm, MachineParams, QSMg, QSMm
+from repro.algorithms import broadcast
+from repro.theory import bounds as B
+from repro.theory.separations import separation_broadcast_qsm
+
+from _common import emit
+
+SWEEP = [(256, 16, 16.0), (1024, 32, 16.0), (4096, 64, 16.0)]
+
+
+def run_sweep():
+    rows = []
+    for p, m, L in SWEEP:
+        local, global_ = MachineParams.matched_pair(p=p, m=m, L=L)
+        t = {
+            "bsp_g": broadcast(BSPg(local), 1).time,
+            "bsp_m": broadcast(BSPm(global_), 1).time,
+            "qsm_g": broadcast(QSMg(local), 1).time,
+            "qsm_m": broadcast(QSMm(global_), 1).time,
+        }
+        rows.append((p, m, L, local.g, t))
+    return rows
+
+
+def test_broadcast_separation(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = []
+    for p, m, L, g, t in rows:
+        table.append(
+            [p, m, g,
+             t["qsm_m"], B.broadcast_qsm_m(p, m),
+             t["qsm_g"], B.broadcast_qsm_g(p, g),
+             t["qsm_g"] / t["qsm_m"], separation_broadcast_qsm(p, g),
+             t["bsp_m"], t["bsp_g"]]
+        )
+        benchmark.extra_info[f"p{p}"] = t
+    emit(
+        "T1.2 broadcasting (model times vs Θ-bounds)",
+        ["p", "m", "g", "QSM(m)", "bound", "QSM(g)", "bound", "QSM ratio",
+         "paper sep", "BSP(m)", "BSP(g)"],
+        table,
+    )
+    for p, m, L, g, t in rows:
+        # measured times track the Θ-bounds within small constants
+        assert t["qsm_m"] <= 6 * B.broadcast_qsm_m(p, m)
+        assert t["qsm_g"] <= 6 * B.broadcast_qsm_g(p, g)
+        assert t["bsp_m"] <= 6 * B.broadcast_bsp_m(p, m, L)
+        # the global model wins on both families
+        assert t["qsm_m"] < t["qsm_g"]
+        assert t["bsp_m"] < t["bsp_g"]

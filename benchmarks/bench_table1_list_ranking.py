@@ -1,0 +1,79 @@
+"""T1.4 — Table 1, row 4: list ranking (n = p).
+
+Paper claim: QSM(m)/BSP(m) reach O(lg m + n/m) / O(L lg m + n/m) via a
+work-efficient algorithm, against Ω(g lg n / lg lg n) for the g-models.
+
+We measure Wyllie (the balanced-communication baseline — near-optimal on
+the g-models but Θ(n lg n) message volume) against the randomized
+contraction ranker (Θ(n) volume), and check that contraction's *bandwidth*
+component scales like n/m while the g-model cost carries the g factor.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BSPg, BSPm, MachineParams
+from repro.algorithms import (
+    list_ranking_contraction,
+    list_ranking_wyllie,
+    random_list,
+    sequential_ranks,
+)
+from repro.theory import bounds as B
+
+from _common import emit
+
+SWEEP = [(128, 16, 2.0), (256, 32, 2.0), (512, 64, 2.0)]
+
+
+def run_sweep():
+    rows = []
+    for p, m, L in SWEEP:
+        local, global_ = MachineParams.matched_pair(p=p, m=m, L=L)
+        succ = random_list(p, seed=p)
+        oracle = sequential_ranks(succ)
+        res_wg, r1 = list_ranking_wyllie(BSPg(local), succ)
+        res_wm, r2 = list_ranking_wyllie(BSPm(global_), succ)
+        res_cg, r3 = list_ranking_contraction(BSPg(local), succ, seed=1)
+        res_cm, r4 = list_ranking_contraction(BSPm(global_), succ, seed=1)
+        for r in (r1, r2, r3, r4):
+            assert np.array_equal(r, oracle)
+        rows.append(
+            (p, m, local.g, {
+                "wyllie_g": res_wg.time,
+                "wyllie_m": res_wm.time,
+                "contraction_g": res_cg.time,
+                "contraction_m": res_cm.time,
+                "flits_wyllie": res_wm.total_flits,
+                "flits_contraction": res_cm.total_flits,
+            })
+        )
+    return rows
+
+
+def test_list_ranking_separation(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = []
+    for p, m, g, t in rows:
+        table.append(
+            [p, m, g,
+             t["contraction_m"], B.list_ranking_bsp_m(p, m, 2.0),
+             t["contraction_g"], B.list_ranking_bsp_g_lower(p, g, 2.0),
+             t["flits_contraction"], t["flits_wyllie"]]
+        )
+        benchmark.extra_info[f"p{p}"] = t
+    emit(
+        "T1.4 list ranking (n = p, model times; message volumes)",
+        ["n", "m", "g", "BSP(m) contr", "O bound", "BSP(g) contr",
+         "Ω lower", "flits contr", "flits Wyllie"],
+        table,
+    )
+    for p, m, g, t in rows:
+        # work-efficiency: contraction moves O(n) flits, Wyllie Θ(n lg n)
+        assert t["flits_contraction"] < t["flits_wyllie"]
+        assert t["flits_contraction"] <= 8 * p
+        # the globally-limited machine beats the locally-limited one on the
+        # work-efficient algorithm
+        assert t["contraction_m"] <= t["contraction_g"]
+        # the g-model respects the converted CRCW lower bound
+        assert t["contraction_g"] >= B.list_ranking_bsp_g_lower(p, g, 2.0)

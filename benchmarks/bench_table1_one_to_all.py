@@ -1,0 +1,52 @@
+"""T1.1 — Table 1, row 1: one-to-all personalized communication.
+
+Paper claim: QSM(m) Θ(p) vs QSM(g) Θ(gp); BSP(m) Θ(p+L) vs BSP(g) Θ(gp+L);
+separation Θ(g).
+"""
+
+import pytest
+
+from repro import BSPg, BSPm, MachineParams, QSMg, QSMm
+from repro.algorithms import one_to_all
+from repro.theory.separations import separation_one_to_all
+
+from _common import emit
+
+SWEEP = [(64, 8, 4.0), (256, 16, 8.0), (1024, 32, 8.0)]
+
+
+def run_sweep():
+    rows = []
+    for p, m, L in SWEEP:
+        local, global_ = MachineParams.matched_pair(p=p, m=m, L=L)
+        g = local.g
+        t = {
+            "bsp_g": one_to_all(BSPg(local)).time,
+            "bsp_m": one_to_all(BSPm(global_)).time,
+            "qsm_g": one_to_all(QSMg(local)).time,
+            "qsm_m": one_to_all(QSMm(global_)).time,
+        }
+        rows.append((p, m, g, t))
+    return rows
+
+
+def test_one_to_all_separation(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = []
+    for p, m, g, t in rows:
+        table.append(
+            [p, m, g, t["qsm_m"], t["qsm_g"], t["qsm_g"] / t["qsm_m"],
+             t["bsp_m"], t["bsp_g"], t["bsp_g"] / t["bsp_m"],
+             separation_one_to_all(g)]
+        )
+        benchmark.extra_info[f"p{p}"] = t
+    emit(
+        "T1.1 one-to-all personalized communication (model times)",
+        ["p", "m", "g", "QSM(m)", "QSM(g)", "QSM ratio", "BSP(m)", "BSP(g)", "BSP ratio", "paper Θ(g)"],
+        table,
+    )
+    # Shape: the measured ratio is Θ(g) — within [0.5g, 2g] at every size.
+    for p, m, g, t in rows:
+        for fam in ("qsm", "bsp"):
+            ratio = t[f"{fam}_g"] / t[f"{fam}_m"]
+            assert 0.5 * g <= ratio <= 2.0 * g, (p, fam, ratio)

@@ -1,0 +1,63 @@
+"""T1.3 — Table 1, row 3: parity and summation (n = p).
+
+Paper claim: QSM(m) Θ(lg m + n/m) vs QSM(g) Ω(g lg n / lg lg n); BSP(m)
+O(L lg m / lg L + n/m + L) vs BSP(g) Θ(L lg n / lg(L/g)).
+"""
+
+import pytest
+
+from repro import BSPg, BSPm, MachineParams, QSMg, QSMm
+from repro.algorithms import parity, summation
+from repro.theory import bounds as B
+
+from _common import emit
+
+SWEEP = [(256, 16, 8.0), (1024, 32, 8.0), (4096, 64, 8.0)]
+
+
+def run_sweep():
+    rows = []
+    for p, m, L in SWEEP:
+        local, global_ = MachineParams.matched_pair(p=p, m=m, L=L)
+        values = [1.0] * p
+        bits = [i % 2 for i in range(p)]
+        t = {
+            "sum_bsp_g": summation(BSPg(local), values)[0].time,
+            "sum_bsp_m": summation(BSPm(global_), values)[0].time,
+            "sum_qsm_g": summation(QSMg(local), values)[0].time,
+            "sum_qsm_m": summation(QSMm(global_), values)[0].time,
+            "par_qsm_m": parity(QSMm(global_), bits)[0].time,
+        }
+        rows.append((p, m, L, local.g, t))
+    return rows
+
+
+def test_parity_summation_separation(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = []
+    for p, m, L, g, t in rows:
+        table.append(
+            [p, m, g,
+             t["sum_qsm_m"], B.parity_qsm_m(p, m),
+             t["sum_qsm_g"], B.parity_qsm_g_lower(p, g),
+             t["sum_qsm_g"] / t["sum_qsm_m"],
+             t["sum_bsp_m"], t["sum_bsp_g"]]
+        )
+        benchmark.extra_info[f"p{p}"] = t
+    emit(
+        "T1.3 parity / summation (n = p, model times)",
+        ["n", "m", "g", "QSM(m)", "Θ bound", "QSM(g)", "Ω lower",
+         "QSM ratio", "BSP(m)", "BSP(g)"],
+        table,
+    )
+    for p, m, L, g, t in rows:
+        # m-models beat g-models
+        assert t["sum_qsm_m"] < t["sum_qsm_g"]
+        assert t["sum_bsp_m"] < t["sum_bsp_g"]
+        # upper bounds tracked within constants
+        assert t["sum_qsm_m"] <= 8 * B.parity_qsm_m(p, m)
+        assert t["sum_bsp_m"] <= 8 * B.parity_bsp_m(p, m, L)
+        # the g-model respects its Beame–Håstad-derived lower bound
+        assert t["sum_qsm_g"] >= B.parity_qsm_g_lower(p, g)
+        # parity == summation structurally: same machine time
+        assert t["par_qsm_m"] == t["sum_qsm_m"]

@@ -1,0 +1,40 @@
+"""E4.2 — regenerate Table 1 as printed (analytic bounds, all 10 rows).
+
+This harness prints the paper's table populated numerically at a concrete
+parameter point and asserts the separation column ordering.
+"""
+
+import pytest
+
+from repro.theory import render_table1, table1_rows
+
+
+def test_table1_regeneration(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table1_rows(p=4096, L=4.0, m=256), rounds=1, iterations=1
+    )
+    print("\n" + render_table1(p=4096, L=4.0, m=256))
+    assert len(rows) == 10
+    for row in rows:
+        # every globally-limited bound beats its locally-limited partner
+        assert row.strong_bound < row.weak_bound, row.problem
+        assert row.separation > 1.0
+
+
+def test_table1_separation_scales_with_p(benchmark):
+    def sweep():
+        out = {}
+        for p in (2**10, 2**14, 2**18):
+            rows = table1_rows(p=p, L=4.0, m=max(4, p // 16))
+            out[p] = {(r.problem, r.family): r.bound_ratio for r in rows}
+        return out
+
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # the one-to-all ratio is exactly g = 16 at every size
+    for p, ratios in data.items():
+        assert ratios[("One-to-all", "QSM")] == pytest.approx(16.0)
+    # the parity/list-ranking/sorting ratios grow with p (lg n / lg lg n)
+    ps = sorted(data)
+    for key in [("Parity/Summation", "QSM"), ("Sorting", "QSM")]:
+        vals = [data[p][key] for p in ps]
+        assert vals[0] < vals[-1]

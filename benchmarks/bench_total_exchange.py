@@ -1,0 +1,76 @@
+"""E3.1 — total exchange and the "chatting" comparison (Section 3).
+
+Series regenerated:
+* balanced total exchange: latin-square schedule meets the bandwidth lower
+  bound exactly when ``m | p``;
+* unbalanced total exchange: Bhatt-et-al-style centralized scheduling pays
+  ``Θ(p^2)`` preprocessing to gather the descriptors, vs the paper's
+  distributed approach that communicates only ``n``
+  (``tau = O(p/m + L + L lg m / lg L)``) — a widening end-to-end win.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    chatting_schedule_centralized,
+    chatting_schedule_distributed,
+    latin_square_schedule,
+    total_exchange_lower_bound,
+)
+from repro.scheduling import evaluate_schedule
+from repro.workloads import total_exchange_relation
+
+from _common import emit
+
+
+def run_balanced():
+    rows = []
+    for p, m in [(16, 4), (32, 8), (64, 8), (64, 32)]:
+        sched = latin_square_schedule(p, m)
+        sched.check_valid(require_consecutive=True)
+        rep = evaluate_schedule(sched, m=m)
+        rows.append((p, m, rep.span, total_exchange_lower_bound(p, m), rep.overloaded_slots))
+    return rows
+
+
+def test_balanced_total_exchange(benchmark):
+    rows = benchmark.pedantic(run_balanced, rounds=1, iterations=1)
+    emit(
+        "E3.1 balanced total exchange: latin-square schedule vs lower bound",
+        ["p", "m", "span", "lower bound", "overloaded slots"],
+        rows,
+    )
+    for p, m, span, lb, over in rows:
+        assert over == 0
+        assert span == lb  # m | p in all sweep points: exactly optimal
+
+
+def run_chatting():
+    rows = []
+    for p in (16, 32, 48):
+        m = 8
+        rel = total_exchange_relation(p, seed=p, max_length=5)
+        c_sched, c_pre = chatting_schedule_centralized(rel, m=m)
+        d_sched, d_pre = chatting_schedule_distributed(rel, m=m, seed=p + 1)
+        c_total = c_pre + evaluate_schedule(c_sched, m=m).completion_time
+        d_total = d_pre + evaluate_schedule(d_sched, m=m).completion_time
+        rows.append((p, rel.n, c_pre, c_total, d_pre, d_total, c_total / d_total))
+    return rows
+
+
+def test_chatting_centralized_vs_distributed(benchmark):
+    rows = benchmark.pedantic(run_chatting, rounds=1, iterations=1)
+    emit(
+        "E3.1b unbalanced total exchange ('chatting'): centralized vs distributed scheduling (m=8)",
+        ["p", "n", "central preproc Θ(p²)", "central total",
+         "distrib preproc (tau)", "distrib total", "central/distrib"],
+        rows,
+    )
+    for p, n, c_pre, c_total, d_pre, d_total, adv in rows:
+        assert d_total < c_total  # the paper's approach wins end-to-end
+        assert adv >= 3.0
+        assert c_pre >= p * p  # descriptor gather is the bottleneck
+    # the preprocessing gap widens with p: tau is O(p/m + L lg m / lg L)
+    # while the centralized gather is Θ(p^2)
+    pre_ratios = [r[4] / r[2] for r in rows]
+    assert pre_ratios == sorted(pre_ratios, reverse=True)

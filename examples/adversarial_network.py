@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Dynamic routing under an adversarial traffic source (Section 6.2).
+
+A malicious client floods one processor with requests at rate beta.  On
+the locally-limited BSP(g), any beta > 1/g sinks the system (Theorem 6.5):
+the backlog grows linearly at rate beta - 1/g.  Algorithm B on the matched
+BSP(m) — interval batching plus Unbalanced-Send — absorbs the same flood
+with bounded queues (Theorem 6.7).
+
+Run:  python examples/adversarial_network.py
+"""
+
+from repro import MachineParams
+from repro.dynamic import (
+    AlgorithmBProtocol,
+    BSPgIntervalProtocol,
+    SingleTargetAdversary,
+    check_compliance,
+    expected_time_in_system,
+    required_u,
+    run_dynamic,
+)
+from repro.util.reporting import Table
+
+P, M, L = 256, 16, 8
+W = 128  # adversary window
+HORIZON = 30_000
+
+local, global_ = MachineParams.matched_pair(p=P, m=M, L=L)
+g = local.g
+print(f"machines: BSP(g={g:g}) vs BSP(m={M}); adversary window w={W}, horizon {HORIZON}\n")
+
+table = Table(
+    ["beta·g", "compliant", "BSP(g) backlog slope", "BSP(g) verdict",
+     "AlgB backlog slope", "AlgB verdict", "AlgB mean sojourn"],
+    title="single-source flood at rate beta (Theorem 6.5 vs Theorem 6.7)",
+)
+
+for beta_g in (0.5, 1.5, 3.0, 6.0):
+    beta = beta_g / g
+    adversary = SingleTargetAdversary(P, W, beta=beta)
+    trace = adversary.generate(HORIZON, seed=42)
+    ok, _why = check_compliance(trace, W, alpha=beta, beta=beta)
+
+    res_local = run_dynamic(BSPgIntervalProtocol(local, W), trace)
+    res_global = run_dynamic(
+        AlgorithmBProtocol(global_, W, alpha=beta, epsilon=0.25, seed=7), trace
+    )
+    table.add_row(
+        [beta_g, "yes" if ok else "NO",
+         round(res_local.backlog_slope(), 4),
+         "stable" if res_local.is_stable() else "UNSTABLE",
+         round(res_global.backlog_slope(), 4),
+         "stable" if res_global.is_stable() else "UNSTABLE",
+         round(res_global.mean_sojourn, 1)]
+    )
+
+print(table.render())
+
+# Backlog timeline for the beta*g = 3 case — watch one queue melt.
+beta = 3.0 / g
+trace = SingleTargetAdversary(P, W, beta=beta).generate(HORIZON, seed=42)
+res_local = run_dynamic(BSPgIntervalProtocol(local, W), trace)
+res_global = run_dynamic(
+    AlgorithmBProtocol(global_, W, alpha=beta, epsilon=0.25, seed=7), trace
+)
+print("\nbacklog over time (beta·g = 3):")
+print(f"{'time':>8} | {'BSP(g) backlog':>14} | {'AlgB backlog':>12}")
+step = max(1, len(res_local.backlog) // 12)
+for i in range(0, len(res_local.backlog), step):
+    t = int(res_local.backlog_times[i])
+    bg = int(res_local.backlog[i])
+    j = min(i, len(res_global.backlog) - 1)
+    bm = int(res_global.backlog[j])
+    bar = "#" * min(60, bg // 20)
+    print(f"{t:>8} | {bg:>14} | {bm:>12}  {bar}")
+
+# Claim 6.8's analytic sanity check for the stable protocol:
+u = required_u(W, r=0.05)
+print(
+    f"\nClaim 6.8: with slack u = {u} the dominating M/G/1 queue predicts an "
+    f"expected time in system of {expected_time_in_system(W, u, 0.05):.0f} "
+    f"steps = O(w²/u); the measured mean sojourn above stays near one interval."
+)

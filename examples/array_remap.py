@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Regular vs. irregular traffic: when does the bandwidth model matter?
+
+Section 3 lists the classical regular consumers of all-to-all routing
+(matrix transposition, HPF array remapping); Section 6 argues the
+interesting case is *irregular* traffic.  This demo prices all three on the
+matched machine pair and visualizes each schedule's load profile — flat for
+the regular patterns, spiky-but-contained for the scheduled irregular one.
+
+Also shows the workload I/O round-trip used to pin experiment inputs.
+
+Run:  python examples/array_remap.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import MachineParams
+from repro.scheduling import bsp_g_routing_time, evaluate_schedule, unbalanced_send
+from repro.util.reporting import Table
+from repro.workloads import (
+    block_remap_relation,
+    load_relation,
+    matrix_transpose_relation,
+    save_relation,
+    task_spawn_relation,
+)
+
+P, M, L = 64, 8, 4
+local, global_ = MachineParams.matched_pair(p=P, m=M, L=L)
+G = local.g
+
+workloads = {
+    "matrix transpose 512x512": matrix_transpose_relation(P, 512, 512),
+    "HPF remap block 4 -> 64": block_remap_relation(P, 40_000, 4, 64),
+    "nested-parallel task spawn": task_spawn_relation(P, tasks_per_proc=60, spawn_prob=0.03, burst=500, seed=2),
+}
+
+table = Table(
+    ["workload", "n (flits)", "imbalance h/(n/p)", "BSP(g)", "BSP(m)", "speedup"],
+    title=f"regular vs irregular traffic (p={P}, m={M}, g={G:g})",
+)
+schedules = {}
+for name, rel in workloads.items():
+    t_local = bsp_g_routing_time(rel, g=G, L=L)
+    sched = unbalanced_send(rel, m=M, epsilon=0.5, seed=1)
+    rep = evaluate_schedule(sched, global_)
+    schedules[name] = sched
+    table.add_row(
+        [name, rel.n, round(rel.h / (rel.n / P), 2), t_local,
+         rep.completion_time, round(t_local / rep.completion_time, 2)]
+    )
+print(table.render())
+
+print(
+    "\nReading: regular patterns (transpose, remap) are balanced — both "
+    "models tie up to constants.  The task-spawn skew is where the "
+    "aggregate-bandwidth machine pulls ahead."
+)
+
+name = "nested-parallel task spawn"
+print(f"\nload profile of the scheduled '{name}' traffic (m = {M}):")
+print(schedules[name].load_profile(m=M, width=48, bins=10))
+
+# Pin the workload to disk and prove the round-trip.
+with tempfile.TemporaryDirectory() as tmp:
+    path = Path(tmp) / "spawn_workload.npz"
+    save_relation(path, workloads[name])
+    back = load_relation(path)
+    print(
+        f"\nworkload saved to {path.name} and reloaded: "
+        f"{back.n_messages} messages, {back.n} flits — "
+        f"{'identical' if back.n == workloads[name].n else 'MISMATCH'}"
+    )

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Irregular application scenario: a distributed hash join with skew.
+
+Section 6 motivates unbalanced h-relations with exactly this workload:
+"skew in the amount of new values produced by the processors (e.g., an
+intermediate result of a join operation)".  We build a synthetic
+hash-partitioned join whose probe side follows a Zipf key distribution —
+a handful of processors own hot keys and must ship large intermediate
+results — and route the repartitioning traffic on both machines.
+
+The demo shows the crossover the paper predicts: the globally-limited
+machine's advantage appears exactly when the send imbalance ``x̄``
+exceeds ``g · n/p``, and grows to Θ(g).
+
+Run:  python examples/irregular_join.py
+"""
+
+import numpy as np
+
+from repro import MachineParams
+from repro.scheduling import bsp_g_routing_time, evaluate_schedule, unbalanced_send
+from repro.util.reporting import Table
+from repro.workloads import HRelation
+
+P, M, L = 512, 64, 8
+G = P / M
+RNG = np.random.default_rng(7)
+
+
+def join_repartition_traffic(zipf_alpha: float) -> HRelation:
+    """Traffic of the join's repartition phase.
+
+    Each processor holds 2000 probe tuples whose keys follow a Zipf law;
+    a tuple joining key ``k`` must be shipped to processor ``hash(k) % P``.
+    Skew in the key distribution concentrates *destinations*; the build
+    side's matching factor (hot keys match more rows) concentrates
+    *sources* too — both kinds of imbalance the paper discusses.
+    """
+    tuples_per_proc = 2000
+    keys = RNG.zipf(zipf_alpha, size=(P, tuples_per_proc)) % 4096
+    # match factor: hot keys produce more output rows (join fan-out)
+    fanout = np.maximum(1, (4096 // (1 + keys)) // 256)
+    src = np.repeat(np.arange(P), tuples_per_proc)
+    dest = (keys * 2654435761 % P).reshape(-1)
+    length = fanout.reshape(-1)
+    mask = src != dest  # local tuples need no network hop
+    return HRelation(p=P, src=src[mask], dest=dest[mask], length=length[mask].astype(np.int64))
+
+
+local, global_ = MachineParams.matched_pair(p=P, m=M, L=L)
+table = Table(
+    ["zipf α", "n (flits)", "x̄", "ȳ", "h/(n/p)", "crossover h≥g·n/p?",
+     "BSP(g)", "BSP(m)", "speedup"],
+    title=f"join repartitioning on p={P}, m={M} (g={G:g})",
+)
+
+for alpha in (1.5, 2.0, 3.0, 4.0):
+    rel = join_repartition_traffic(alpha)
+    t_local = bsp_g_routing_time(rel, g=G, L=L)
+    sched = unbalanced_send(rel, m=M, epsilon=0.2, seed=int(alpha * 10))
+    rep = evaluate_schedule(sched, global_)
+    crossed = rel.h >= G * rel.n / P
+    table.add_row(
+        [alpha, rel.n, rel.x_bar, rel.y_bar, round(rel.h / (rel.n / P), 1),
+         "yes" if crossed else "no", t_local, rep.completion_time,
+         round(t_local / rep.completion_time, 2)]
+    )
+
+print(table.render())
+print(
+    "\nReading: higher α concentrates the join's hot keys; once the "
+    "imbalance crosses g, the speedup of the aggregate-bandwidth machine "
+    f"climbs toward g = {G:g}, exactly the paper's Section 1 prediction."
+)

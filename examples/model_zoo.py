@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Run every Table-1 problem on all four machine models — the measured
+reproduction of the paper's Table 1.
+
+Each algorithm is a real SPMD program on the engine; the printed time is
+the model time (the quantity the paper bounds), not wall-clock.
+
+Run:  python examples/model_zoo.py
+"""
+
+import numpy as np
+
+from repro import BSPg, BSPm, MachineParams, QSMg, QSMm
+from repro.algorithms import (
+    broadcast,
+    columnsort,
+    list_ranking_contraction,
+    list_ranking_wyllie,
+    one_to_all,
+    random_list,
+    sequential_ranks,
+    summation,
+)
+from repro.theory import render_table1
+from repro.util.reporting import Table
+
+P, M, L = 256, 16, 8
+local, global_ = MachineParams.matched_pair(p=P, m=M, L=L)
+G = local.g
+
+
+def machines():
+    return {
+        "QSM(m)": QSMm(global_),
+        "QSM(g)": QSMg(local),
+        "BSP(m)": BSPm(global_),
+        "BSP(g)": BSPg(local),
+    }
+
+
+rows = []
+
+# --- one-to-all personalized communication -------------------------------
+times = {}
+for name, mach in machines().items():
+    res = one_to_all(mach)
+    assert res.results == list(range(P))
+    times[name] = res.time
+rows.append(["One-to-all", times["QSM(m)"], times["QSM(g)"], times["BSP(m)"], times["BSP(g)"]])
+
+# --- broadcasting ----------------------------------------------------------
+times = {}
+for name, mach in machines().items():
+    res = broadcast(mach, value=42)
+    assert all(v == 42 for v in res.results)
+    times[name] = res.time
+rows.append(["Broadcast", times["QSM(m)"], times["QSM(g)"], times["BSP(m)"], times["BSP(g)"]])
+
+# --- parity / summation ------------------------------------------------------
+values = [float(i) for i in range(P)]
+times = {}
+for name, mach in machines().items():
+    res, total = summation(mach, values)
+    assert total == sum(values)
+    times[name] = res.time
+rows.append(["Summation", times["QSM(m)"], times["QSM(g)"], times["BSP(m)"], times["BSP(g)"]])
+
+# --- list ranking ------------------------------------------------------------
+succ = random_list(P, seed=3)
+oracle = sequential_ranks(succ)
+times = {}
+for name, mach in machines().items():
+    if mach.uses_shared_memory:
+        res, ranks = list_ranking_wyllie(mach, succ)
+    else:
+        res, ranks = list_ranking_contraction(mach, succ, seed=5)
+    assert np.array_equal(ranks, oracle)
+    times[name] = res.time
+rows.append(["List ranking", times["QSM(m)"], times["QSM(g)"], times["BSP(m)"], times["BSP(g)"]])
+
+# --- sorting (BSP machines; the paper's QSM/BSP bounds differ only in L) -----
+keys = np.random.default_rng(0).random(2048)
+times = {}
+for name in ("BSP(m)", "BSP(g)"):
+    mach = machines()[name]
+    res, out = columnsort(mach, keys)
+    assert np.array_equal(out, np.sort(keys))
+    times[name] = res.time
+rows.append(["Sorting (n=2048)", "-", "-", times["BSP(m)"], times["BSP(g)"]])
+
+table = Table(
+    ["problem", "QSM(m)", "QSM(g)", "BSP(m)", "BSP(g)"],
+    title=f"measured model times (p = n = {P}, m = {M}, g = {G:g}, L = {L})",
+)
+for row in rows:
+    table.add_row(row)
+print(table.render())
+
+print("\nFor comparison, the analytic Table 1 at the same parameter point:")
+print(render_table1(p=P, L=float(L), m=M))

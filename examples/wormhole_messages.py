@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Long messages, wormhole constraints and start-up overheads (§6.1).
+
+Real networks often require a long message's flits to travel back-to-back
+(wormhole routing) and charge a start-up cost per message (the LOGP ``o``).
+This example compares the three senders the paper provides for that world:
+
+* Unbalanced-Consecutive-Send — whole per-processor block contiguous
+  (additive term ``x̄'``);
+* the long-message variant — per-*message* contiguity only (additive term
+  ``l̂``, the longest message);
+* the overhead variant — each message prepended with ``o`` dummy slots.
+
+Run:  python examples/wormhole_messages.py
+"""
+
+from repro import MachineParams
+from repro.scheduling import (
+    evaluate_schedule,
+    offline_lower_bound,
+    send_window,
+    unbalanced_consecutive_send,
+    unbalanced_send_long,
+    unbalanced_send_with_overhead,
+)
+from repro.util.reporting import Table
+from repro.workloads import variable_length_relation
+
+P, M, EPS = 256, 32, 0.25
+params = MachineParams(p=P, m=M, L=4)
+
+# A bursty RPC-like workload: many short messages, a heavy tail of big ones.
+rel = variable_length_relation(P, n_messages=5000, mean_length=6, dist="pareto", seed=0)
+window = send_window(rel.n, M, EPS)
+print(
+    f"workload: {rel.n_messages} messages, {rel.n} flits, "
+    f"longest message l̂ = {rel.max_length}, heaviest sender x̄ = {rel.x_bar}"
+)
+print(f"window W = (1+ε)n/m = {window}; offline optimum span = {offline_lower_bound(rel, M)}\n")
+
+table = Table(
+    ["sender", "span", "additive term", "completion", "T/OPT", "overloaded"],
+    title=f"wormhole-constrained senders on BSP(m={M})",
+)
+
+s1 = unbalanced_consecutive_send(rel, M, EPS, seed=1)
+s1.check_valid(require_consecutive=True)
+r1 = evaluate_schedule(s1, params)
+table.add_row(["consecutive-block", r1.span, f"x̄' = {int(s1.meta['x_bar_prime'])}",
+               r1.completion_time, round(r1.ratio, 3), r1.overloaded_slots])
+
+s2 = unbalanced_send_long(rel, M, EPS, seed=1)
+s2.check_valid(require_consecutive=True)
+r2 = evaluate_schedule(s2, params)
+table.add_row(["per-message (long)", r2.span, f"l̂ = {rel.max_length}",
+               r2.completion_time, round(r2.ratio, 3), r2.overloaded_slots])
+
+for o in (2, 8):
+    s3, inflated = unbalanced_send_with_overhead(rel, M, o=o, epsilon=EPS, seed=1)
+    s3.check_valid(require_consecutive=True)
+    r3 = evaluate_schedule(s3, params)
+    table.add_row([f"overhead o={o}", r3.span, f"l̂+o = {rel.max_length + o}",
+                   r3.completion_time, round(r3.completion_time / r1.optimal_time, 3),
+                   r3.overloaded_slots])
+
+print(table.render())
+print(
+    "\nReading: per-message contiguity (additive l̂) beats whole-block "
+    "contiguity (additive x̄') whenever processors hold many short messages; "
+    "start-up overheads inflate n to (1 + o/l̄)n and the bound follows suit — "
+    "both exactly the Section 6.1 closing remarks."
+)

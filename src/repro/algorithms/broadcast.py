@@ -1,0 +1,254 @@
+"""Broadcasting — Table 1, row 2, plus the non-receipt algorithm of §4.2.
+
+One processor holds a value; at the end every processor holds it.  The four
+models get four structurally different optimal algorithms:
+
+===========  ===============================================================
+BSP(g)       ``b``-ary send-tree with ``b ≈ L/g`` — per round one superstep
+             of cost ``max(g(b-1), L) = L``; time ``Θ(L lg p / lg(L/g))``.
+BSP(m)       send-tree over ``min(p, m)`` processors with ``b ≈ L``, then a
+             full-bandwidth fan-out; time ``O(L lg m / lg L + p/m + L)``.
+QSM(g)       *read*-tree with ``b ≈ g`` — children concurrently read the
+             parent's cell, balancing the ``g·h`` and ``κ`` terms; time
+             ``Θ(g lg p / lg g)``.
+QSM(m)       binary read-tree over ``min(p, m)`` processors, then one
+             concurrent-read fan-out phase; time ``Θ(lg m + p/m)``.
+===========  ===============================================================
+
+:func:`broadcast` dispatches on the machine type.  :func:`broadcast_bit_nonreceipt`
+implements the §4.2 curiosity: on the BSP(g) with ``L <= g``, a *single bit*
+can be broadcast in ``g·ceil(log3 p)`` time because the *absence* of a
+message carries information — each informed processor signals 0/1 by which
+of two target processors it sends to, and both targets learn the bit (one
+from receipt, the other from non-receipt).  Theorem 4.1's lower bound
+``L lg p / (2 lg(2L/g + 1))`` accounts for exactly this effect.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Tuple
+
+from repro.core.engine import Machine, RunResult
+from repro.models.bsp_g import BSPg
+from repro.models.bsp_m import BSPm
+from repro.models.qsm_g import QSMg
+from repro.models.qsm_m import QSMm
+from repro.models.self_scheduling import SelfSchedulingBSPm
+from repro.util.intmath import ceil_div
+
+__all__ = [
+    "broadcast",
+    "broadcast_bsp_tree_program",
+    "broadcast_bsp_m_program",
+    "broadcast_qsm_tree_program",
+    "broadcast_qsm_m_program",
+    "broadcast_bit_nonreceipt",
+    "default_branching",
+]
+
+
+def default_branching(machine: Machine) -> int:
+    """The cost-balancing tree branching for each model (see module doc)."""
+    params = machine.params
+    if isinstance(machine, (BSPm, SelfSchedulingBSPm)):
+        return max(2, int(params.L))
+    if isinstance(machine, QSMm):
+        return 2
+    if isinstance(machine, QSMg):
+        return max(2, int(params.g) + 1)
+    # BSP(g): balance g*(b-1) against L.
+    return max(2, int(params.L / params.g) + 1)
+
+
+# ----------------------------------------------------------------------
+# BSP programs
+# ----------------------------------------------------------------------
+
+
+def broadcast_bsp_tree_program(ctx, value: Any, b: int, length: int = 1):
+    """Plain ``b``-ary send-tree over all processors (BSP(g) optimal).
+
+    ``length`` is the broadcast value's size in flits — the word-versus-bit
+    distinction of Section 5's ``w`` parameter, priced honestly.
+    """
+    p, pid = ctx.nprocs, ctx.pid
+    have = pid == 0
+    val = value if have else None
+    span = 1
+    while span < p:
+        if have and pid < span:
+            for j in range(1, b):
+                target = pid + j * span
+                if target < p:
+                    ctx.send(target, val, size=length, slot=(j - 1) * length)
+        yield
+        if not have:
+            msgs = ctx.receive()
+            if msgs:
+                val = msgs[0].payload
+                have = True
+        span *= b
+    return val
+
+
+def broadcast_bsp_m_program(ctx, value: Any, a: int, b: int, length: int = 1):
+    """Tree over ``a = min(p, m)`` processors, then full-bandwidth fan-out
+    (BSP(m) optimal); ``length`` = value size in flits."""
+    p, pid = ctx.nprocs, ctx.pid
+    have = pid == 0
+    val = value if have else None
+    span = 1
+    while span < a:
+        if have and pid < span:
+            for j in range(1, b):
+                target = pid + j * span
+                if target < a:
+                    ctx.send(target, val, size=length, slot=(j - 1) * length)
+        yield
+        if not have and pid < a:
+            msgs = ctx.receive()
+            if msgs:
+                val = msgs[0].payload
+                have = True
+        span *= b
+    # Fan-out: aggregator j serves pids j+a, j+2a, ...; the k-th member is
+    # sent at slot k, so each slot carries at most a <= m flits.
+    if pid < a:
+        k = 0
+        for member in range(pid + a, p, a):
+            ctx.send(member, val, size=length, slot=k * length)
+            k += 1
+    yield
+    if pid >= a:
+        msgs = ctx.receive()
+        if msgs:
+            val = msgs[0].payload
+    return val
+
+
+# ----------------------------------------------------------------------
+# QSM programs
+# ----------------------------------------------------------------------
+
+
+def broadcast_qsm_tree_program(ctx, value: Any, b: int):
+    """Read-tree: informed processors publish to their own cell; the next
+    tier concurrently reads it (``b-1`` readers per cell)."""
+    p, pid = ctx.nprocs, ctx.pid
+    val = value if pid == 0 else None
+    if pid == 0:
+        ctx.write(("bc", 0), val)
+    yield
+    span = 1
+    while span < p:
+        handle = None
+        if span <= pid < span * b:
+            handle = ctx.read(("bc", pid % span))
+        yield
+        if handle is not None:
+            val = handle.value
+            if pid < p:  # publish for the next tier
+                ctx.write(("bc", pid), val)
+        yield
+        span *= b
+    return val
+
+
+def broadcast_qsm_m_program(ctx, value: Any, a: int, b: int):
+    """Binary read-tree over ``a`` processors, then one concurrent-read
+    fan-out phase where everyone else reads an aggregator's cell."""
+    p, pid = ctx.nprocs, ctx.pid
+    val = value if pid == 0 else None
+    if pid == 0:
+        ctx.write(("bc", 0), val, slot=ctx.stagger_slot())
+    yield
+    span = 1
+    while span < a:
+        handle = None
+        if span <= pid < min(span * b, a):
+            handle = ctx.read(("bc", pid % span), slot=ctx.stagger_slot())
+        yield
+        if handle is not None:
+            val = handle.value
+            ctx.write(("bc", pid), val, slot=ctx.stagger_slot())
+        yield
+        span *= b
+    handle = None
+    if pid >= a:
+        handle = ctx.read(("bc", pid % a), slot=ctx.stagger_slot())
+    yield
+    if handle is not None:
+        val = handle.value
+    return val
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+
+def broadcast(
+    machine: Machine, value: Any, branching: Optional[int] = None, length: int = 1
+) -> RunResult:
+    """Broadcast ``value`` from processor 0 on any of the four models.
+
+    ``result.results`` holds each processor's received value and
+    ``result.time`` the model time.  ``length`` prices the value at that
+    many flits per hop (message-passing machines only; QSM models a cell
+    as one word).
+    """
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    b = branching if branching is not None else default_branching(machine)
+    params = machine.params
+    if isinstance(machine, QSMm):
+        a = min(params.p, params.require_m())
+        return machine.run(broadcast_qsm_m_program, args=(value, a, b))
+    if isinstance(machine, QSMg):
+        return machine.run(broadcast_qsm_tree_program, args=(value, b))
+    if isinstance(machine, (BSPm, SelfSchedulingBSPm)):
+        a = min(params.p, params.require_m())
+        return machine.run(broadcast_bsp_m_program, args=(value, a, b, length))
+    return machine.run(broadcast_bsp_tree_program, args=(value, b, length))
+
+
+# ----------------------------------------------------------------------
+# Non-receipt single-bit broadcast (Section 4.2)
+# ----------------------------------------------------------------------
+
+
+def _nonreceipt_program(ctx, bit: int):
+    p, pid = ctx.nprocs, ctx.pid
+    know = pid == 0
+    val = bit if know else None
+    span = 1  # processors [0, span) know the bit
+    while span < p:
+        if know and pid < span:
+            target = pid + span if val == 0 else pid + 2 * span
+            if target < p:
+                ctx.send(target, None, slot=0)
+        yield
+        if not know:
+            got = bool(ctx.receive())
+            if span <= pid < 2 * span:
+                val = 0 if got else 1
+                know = True
+            elif 2 * span <= pid < 3 * span:
+                val = 1 if got else 0
+                know = True
+        span *= 3
+    return val
+
+
+def broadcast_bit_nonreceipt(machine: Machine, bit: int) -> RunResult:
+    """The §4.2 algorithm: broadcast one bit in ``ceil(log3 p)`` supersteps
+    (time ``g·ceil(log3 p)`` on the BSP(g) when ``L <= g``) by encoding the
+    bit in *which* processor receives a message.  Non-receivers learn the
+    bit from silence — only sound on a bulk-synchronous machine.
+    """
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit}")
+    if machine.uses_shared_memory:
+        raise ValueError("the non-receipt broadcast is a message-passing algorithm")
+    return machine.run(_nonreceipt_program, args=(bit,))

@@ -1,0 +1,78 @@
+"""One-to-all personalized communication — Table 1, row 1.
+
+The root sends a *distinct* message to every other processor (Section 1's
+motivating example).  All the communication leaves one processor, so the
+pattern is maximally send-unbalanced: ``x̄ = n = p-1``.
+
+* Locally limited: bandwidth forces ``g(p-1)`` — the root pays the gap for
+  every message, and no other processor can help (the messages are
+  distinct and start at the root).  Time ``Θ(gp)`` on QSM(g), ``Θ(gp+L)``
+  on BSP(g).
+* Globally limited: the root injects one message per slot and never exceeds
+  any aggregate limit ``m >= 1``; time ``Θ(p)`` on QSM(m), ``Θ(p+L)`` on
+  BSP(m) — a full ``Θ(g)`` separation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.core.engine import Machine, RunResult
+
+__all__ = ["one_to_all", "one_to_all_bsp_program", "one_to_all_qsm_program"]
+
+
+def one_to_all_bsp_program(ctx, payloads: Sequence[Any], root: int):
+    """Root sends ``payloads[i]`` to processor ``i``, one injection per slot."""
+    if ctx.pid == root:
+        k = 0
+        for dest in range(ctx.nprocs):
+            if dest == root:
+                continue
+            ctx.send(dest, payloads[dest], slot=k)
+            k += 1
+    yield
+    if ctx.pid == root:
+        return payloads[root]
+    msgs = ctx.receive()
+    return msgs[0].payload if msgs else None
+
+
+def one_to_all_qsm_program(ctx, payloads: Sequence[Any], root: int):
+    """Root writes ``payloads[i]`` to cell ``("o2a", i)``; everyone reads
+    their own cell (exclusive reads, contention 1)."""
+    if ctx.pid == root:
+        k = 0
+        for dest in range(ctx.nprocs):
+            if dest == root:
+                continue
+            ctx.write(("o2a", dest), payloads[dest], slot=k)
+            k += 1
+    yield
+    handle = None
+    if ctx.pid != root:
+        handle = ctx.read(("o2a", ctx.pid), slot=ctx.stagger_slot())
+    yield
+    if ctx.pid == root:
+        return payloads[root]
+    return handle.value if handle is not None else None
+
+
+def one_to_all(
+    machine: Machine, payloads: Optional[Sequence[Any]] = None, root: int = 0
+) -> RunResult:
+    """Run one-to-all personalized communication on any model.
+
+    ``payloads`` defaults to ``[0, 1, ..., p-1]`` (processor ``i`` receives
+    ``i``); ``result.results[i]`` is what processor ``i`` ended up with.
+    """
+    p = machine.params.p
+    if payloads is None:
+        payloads = list(range(p))
+    if len(payloads) != p:
+        raise ValueError(f"{len(payloads)} payloads for {p} processors")
+    if not (0 <= root < p):
+        raise ValueError(f"root {root} out of range")
+    if machine.uses_shared_memory:
+        return machine.run(one_to_all_qsm_program, args=(payloads, root))
+    return machine.run(one_to_all_bsp_program, args=(payloads, root))

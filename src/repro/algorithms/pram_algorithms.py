@@ -1,0 +1,146 @@
+"""Reference PRAM algorithms and trace extraction.
+
+Section 4's generic mapping turns *any* EREW/QRQW PRAM algorithm with time
+``t(n)`` and work ``w(n)`` into a QSM(m) algorithm of time
+``O(n/m + t + w/m)``.  To exercise that mapping on real algorithms (not
+hand-written trace shapes), this module provides:
+
+* classical PRAM programs on the :class:`~repro.models.pram.PRAM` engine —
+  balanced-tree prefix sums and Wyllie list ranking, both EREW;
+* :func:`trace_from_run` — extract the per-step operation counts of an
+  actual PRAM run into a :class:`~repro.algorithms.emulation.PRAMTrace`,
+  ready for :func:`~repro.algorithms.emulation.simulate_trace_on_qsm_m`.
+
+So the full §4 pipeline is executable: run the PRAM algorithm, measure its
+``(t, w)``, map it onto the QSM(m), and compare against the Table-1 direct
+implementations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.emulation import PRAMTrace
+from repro.core.engine import RunResult
+from repro.core.params import MachineParams
+from repro.models.pram import PRAM, ConcurrencyRule
+from repro.util.intmath import ilog2
+
+__all__ = [
+    "pram_prefix_sums",
+    "pram_wyllie_ranks",
+    "trace_from_run",
+]
+
+
+def trace_from_run(res: RunResult) -> PRAMTrace:
+    """Per-step shared-memory operation counts of a PRAM run.
+
+    The trace's ``input_size`` is taken as the machine width ``p`` (one
+    input item per processor, the Table-1 setting).
+    """
+    ops = np.asarray(
+        [r.stats.get("reads", 0.0) + r.stats.get("writes", 0.0) for r in res.records],
+        dtype=np.int64,
+    )
+    return PRAMTrace(ops=ops, input_size=res.params.p)
+
+
+def _prefix_program(ctx, rounds: int, value):
+    """EREW balanced-tree inclusive prefix sums (one value per processor).
+
+    Upsweep then downsweep over cells ``("t", level, index)``; every memory
+    cell is touched by exactly one reader and one writer per step (EREW).
+    """
+    pid, p = ctx.pid, ctx.nprocs
+    subtotal = value
+    ctx.work(1)
+    left_totals: List = []
+    stride = 1
+    for lvl in range(rounds):
+        if pid % (2 * stride) == stride:
+            ctx.write(("up", lvl, pid), subtotal)
+        yield
+        handle = None
+        if pid % (2 * stride) == 0:
+            handle = ctx.read(("up", lvl, pid + stride)) if pid + stride < p else None
+        yield
+        if pid % (2 * stride) == 0:
+            left_totals.append(subtotal)
+            if handle is not None and handle.value is not None:
+                subtotal = subtotal + handle.value
+                ctx.work(1)
+        stride *= 2
+    carry = None
+    stride = 2 ** max(rounds - 1, 0)
+    for lvl in range(rounds):
+        if pid % (2 * stride) == 0 and left_totals:
+            my_left = left_totals.pop()
+            right = pid + stride
+            if right < p:
+                ctx.write(("dn", lvl, right), my_left if carry is None else carry + my_left)
+                ctx.work(1)
+        yield
+        handle = None
+        if pid % (2 * stride) == stride:
+            handle = ctx.read(("dn", lvl, pid))
+        yield
+        if handle is not None and handle.value is not None:
+            carry = handle.value
+        stride = max(1, stride // 2)
+    ctx.work(1)
+    return value if carry is None else carry + value
+
+
+def pram_prefix_sums(values: Sequence[float]) -> Tuple[RunResult, List[float]]:
+    """Inclusive prefix sums on an EREW PRAM, ``t = O(lg n)``, ``w = O(n)``.
+
+    Returns ``(run_result, prefixes)``.
+    """
+    p = len(values)
+    if p == 0:
+        raise ValueError("need at least one value")
+    rounds = max(1, ilog2(max(1, p - 1)) + 1) if p > 1 else 0
+    pram = PRAM(MachineParams(p=p), rule=ConcurrencyRule.EREW)
+    res = pram.run(
+        _prefix_program, args=(rounds,), per_proc_args=[(v,) for v in values]
+    )
+    return res, list(res.results)
+
+
+def _wyllie_program(ctx, rounds: int, succ0: int):
+    """EREW Wyllie pointer jumping: each node publishes ``(succ, rank)``
+    and reads its successor's cell (in-degree 1 keeps it exclusive)."""
+    pid = ctx.pid
+    succ = succ0
+    rank = 0 if succ < 0 else 1
+    for r in range(rounds):
+        ctx.write(("wy", r, pid), (succ, rank))
+        yield
+        handle = None
+        if succ >= 0:
+            handle = ctx.read(("wy", r, succ))
+        yield
+        if handle is not None and handle.value is not None:
+            nxt, nxt_rank = handle.value
+            rank += nxt_rank
+            succ = nxt
+    return rank
+
+
+def pram_wyllie_ranks(succ: Sequence[int]) -> Tuple[RunResult, np.ndarray]:
+    """Wyllie list ranking on an EREW PRAM: ``t = O(lg n)``,
+    ``w = O(n lg n)`` — the work-suboptimal baseline whose mapped QSM(m)
+    cost the Table-1 algorithms beat."""
+    succ = np.asarray(succ, dtype=np.int64)
+    p = succ.size
+    if p == 0:
+        raise ValueError("need at least one node")
+    rounds = max(1, ilog2(max(1, p - 1)) + 1)
+    pram = PRAM(MachineParams(p=p), rule=ConcurrencyRule.EREW)
+    res = pram.run(
+        _wyllie_program, args=(rounds,), per_proc_args=[(int(s),) for s in succ]
+    )
+    return res, np.asarray(res.results, dtype=np.int64)

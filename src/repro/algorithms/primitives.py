@@ -1,0 +1,112 @@
+"""Model-generic communication primitives.
+
+The Table-1 algorithms run on both message-passing (BSP) and shared-memory
+(QSM) machines.  The :class:`Comm` adapters hide the difference behind one
+*keyed exchange* primitive so each algorithm is written once:
+
+* on BSP machines, ``exchange`` sends ``(key, value)`` pairs point-to-point
+  (staggered injection slots on globally-limited machines) and collects the
+  next superstep's inbox;
+* on QSM machines, ``exchange`` writes values to shared locations named by
+  their keys, then has receivers read the keys they expect (two phases —
+  the QSM read rule).
+
+Keys must be hashable and globally unique per exchange round (by convention
+``(tag, round, index...)`` tuples).  On QSM machines several receivers may
+expect the *same* key — that is a concurrent read and is priced via the
+contention term, which is exactly how the QSM broadcast exploits it.
+
+All primitives are generators meant to be driven with ``yield from`` inside
+an SPMD program.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.engine import Machine, Proc
+
+__all__ = ["Comm", "BSPComm", "QSMComm", "comm_for", "tree_parent", "tree_children"]
+
+
+Key = Any
+OutTriple = Tuple[int, Key, Any]  # (dest_pid, key, value)
+
+
+class Comm:
+    """Abstract keyed-exchange adapter."""
+
+    #: Supersteps consumed per exchange (1 for BSP, 2 for QSM).
+    phases: int = 1
+
+    def exchange(self, ctx: Proc, out: Iterable[OutTriple], expect: Sequence[Key] = ()):
+        """Deliver ``(dest, key, value)`` triples; return ``{key: value}``
+        for this processor.
+
+        On BSP the result contains whatever arrived (``expect`` is advisory);
+        on QSM it contains exactly the ``expect`` keys (missing keys map to
+        ``None``, matching unwritten shared memory).
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def barrier(self, ctx: Proc):
+        """A bare synchronization (one superstep)."""
+        yield
+
+
+class BSPComm(Comm):
+    """Keyed exchange over point-to-point messages."""
+
+    phases = 1
+
+    def exchange(self, ctx: Proc, out: Iterable[OutTriple], expect: Sequence[Key] = ()):
+        for dest, key, value in out:
+            ctx.send(dest, (key, value), slot=ctx.stagger_slot())
+        yield
+        received: Dict[Key, Any] = {}
+        for msg in ctx.receive():
+            key, value = msg.payload
+            received[key] = value
+        return received
+
+
+class QSMComm(Comm):
+    """Keyed exchange over shared memory.
+
+    The destination pid in the out-triples is ignored (shared memory is
+    location-addressed); receivers name what they want via ``expect``.
+    """
+
+    phases = 2
+
+    def exchange(self, ctx: Proc, out: Iterable[OutTriple], expect: Sequence[Key] = ()):
+        for _dest, key, value in out:
+            ctx.write(key, value, slot=ctx.stagger_slot())
+        yield
+        handles = [(key, ctx.read(key, slot=ctx.stagger_slot())) for key in expect]
+        yield
+        return {key: h.value for key, h in handles}
+
+
+def comm_for(machine: Machine) -> Comm:
+    """The right adapter for a machine."""
+    return QSMComm() if machine.uses_shared_memory else BSPComm()
+
+
+# ----------------------------------------------------------------------
+# b-ary tree shape helpers (used by reductions and broadcasts)
+# ----------------------------------------------------------------------
+
+
+def tree_parent(pid: int, stride: int, branching: int) -> int:
+    """Parent of ``pid`` at a reduce round operating on multiples of
+    ``stride`` grouped ``branching`` at a time."""
+    block = stride * branching
+    return pid - pid % block
+
+
+def tree_children(pid: int, stride: int, branching: int, limit: int) -> List[int]:
+    """Children of ``pid`` at the corresponding broadcast round."""
+    block = stride * branching
+    return [c for c in range(pid + stride, min(pid + block, limit), stride)]

@@ -1,0 +1,179 @@
+"""Emulating shared memory on a message-passing machine.
+
+The QSM is positioned (in the companion paper the text cites as [24, 25])
+as a bridging model precisely because it maps efficiently onto the BSP;
+this module makes the mapping executable in our engine: run a *QSM
+program* on a *BSP machine* by hashing each shared-memory cell to an owner
+processor and turning reads/writes into request/reply messages.
+
+One QSM phase becomes three BSP supersteps:
+
+1. **requests** — every processor sends its phase's read/write requests to
+   the owners (staggered injection on globally-limited machines);
+2. **serve** — owners apply the QSM semantics locally: reads are answered
+   from the pre-phase cell values, then writes are applied
+   (Arbitrary-resolved); replies to readers are sent;
+3. **resolve** — readers install reply values into their
+   :class:`~repro.core.engine.ReadHandle`-equivalents.
+
+Contention behaves exactly like the QSM's κ — all requests for one cell
+land on one owner — except it is *priced* by the BSP's h term, which is
+the known Θ(κ) relationship.  The emulation validates the library's model
+stack end-to-end: the same generator program produces the same answers on
+a QSM machine and through this adapter on a BSP machine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import Machine, ProgramError, RunResult
+
+__all__ = ["run_qsm_program_on_bsp", "SharedMemoryProxy"]
+
+
+class _ProxyHandle:
+    """Read-handle equivalent for the emulated shared memory."""
+
+    __slots__ = ("addr", "_value", "_set")
+
+    def __init__(self, addr: Any) -> None:
+        self.addr = addr
+        self._value = None
+        self._set = False
+
+    @property
+    def value(self) -> Any:
+        if not self._set:
+            raise ProgramError(
+                f"emulated read of {self.addr!r} not yet resolved — values "
+                "arrive after the phase's yield"
+            )
+        return self._value
+
+
+class SharedMemoryProxy:
+    """The ``ctx``-like object handed to the QSM program under emulation.
+
+    Supports the QSM subset: ``read``/``write``/``work``/``stagger_slot``
+    plus ``pid``/``nprocs``.  ``send``/``receive`` are unavailable (they
+    would bypass the emulation).
+    """
+
+    def __init__(self, ctx) -> None:
+        self._ctx = ctx
+        self.pid = ctx.pid
+        self.nprocs = ctx.nprocs
+        self._reads: List[_ProxyHandle] = []
+        self._writes: List[Tuple[Any, Any]] = []
+        self._k = 0
+
+    # -- QSM program API --------------------------------------------------
+    def read(self, addr: Any, slot: Optional[int] = None) -> _ProxyHandle:
+        handle = _ProxyHandle(addr)
+        self._reads.append(handle)
+        return handle
+
+    def write(self, addr: Any, value: Any, slot: Optional[int] = None) -> None:
+        self._writes.append((addr, value))
+
+    def work(self, amount: float = 1.0) -> None:
+        self._ctx.work(amount)
+
+    def stagger_slot(self, k: Optional[int] = None) -> Optional[int]:
+        # slots are managed by the emulation's own staggering
+        return None
+
+    def send(self, *args, **kwargs):  # pragma: no cover - defensive
+        raise ProgramError("emulated QSM programs cannot send point-to-point")
+
+    def receive(self):  # pragma: no cover - defensive
+        raise ProgramError("emulated QSM programs cannot receive directly")
+
+
+def _owner(addr: Any, p: int) -> int:
+    return hash(addr) % p
+
+
+def _emulation_program(ctx, qsm_program: Callable, extra_args: tuple, proc_extra: tuple = ()):
+    proxy = SharedMemoryProxy(ctx)
+    gen = qsm_program(proxy, *extra_args, *proc_extra)
+    if not hasattr(gen, "__next__"):
+        return gen  # plain function: no shared memory used after all
+    result = None
+    cells: Dict[Any, Any] = {}  # cells this processor owns
+
+    while True:
+        try:
+            next(gen)
+            finished = False
+        except StopIteration as stop:
+            result = stop.value
+            finished = True
+
+        reads, proxy._reads = proxy._reads, []
+        writes, proxy._writes = proxy._writes, []
+
+        # --- superstep A: ship requests to owners ---
+        for i, handle in enumerate(reads):
+            ctx.send(
+                _owner(handle.addr, ctx.nprocs),
+                ("r", ctx.pid, i, handle.addr),
+                slot=ctx.stagger_slot(),
+            )
+        for addr, value in writes:
+            ctx.send(
+                _owner(addr, ctx.nprocs),
+                ("w", ctx.pid, addr, value),
+                slot=ctx.stagger_slot(),
+            )
+        yield
+
+        # --- superstep B: owners serve reads (pre-write values), apply
+        # writes, and reply ---
+        msgs = ctx.receive()
+        read_reqs = [m.payload for m in msgs if m.payload[0] == "r"]
+        write_reqs = [m.payload for m in msgs if m.payload[0] == "w"]
+        for _tag, requester, idx, addr in read_reqs:
+            ctx.send(requester, ("v", idx, cells.get(addr)), slot=ctx.stagger_slot())
+        for _tag, _writer, addr, value in write_reqs:
+            cells[addr] = value  # Arbitrary: last in arrival order wins
+        yield
+
+        # --- resolve replies into handles ---
+        for msg in ctx.receive():
+            _tag, idx, value = msg.payload
+            reads[idx]._value = value
+            reads[idx]._set = True
+
+        if finished:
+            return result
+
+
+def run_qsm_program_on_bsp(
+    machine: Machine,
+    qsm_program: Callable,
+    *,
+    args: tuple = (),
+    per_proc_args: Optional[Sequence[tuple]] = None,
+) -> RunResult:
+    """Run a QSM-style program (reads/writes through shared memory) on a
+    message-passing machine via the owner-hashing emulation.
+
+    The program must follow the QSM discipline (values used only after the
+    phase's ``yield``) and every processor must execute the same number of
+    phases (owners must stay alive to serve requests); each QSM phase costs
+    three supersteps here.
+    """
+    if machine.uses_shared_memory:
+        raise ValueError("the emulation targets message-passing machines")
+    wrapped = (
+        [(tuple(pp) if isinstance(pp, tuple) else (pp,),) for pp in per_proc_args]
+        if per_proc_args is not None
+        else None
+    )
+    return machine.run(
+        _emulation_program,
+        args=(qsm_program, args),
+        per_proc_args=wrapped,
+    )

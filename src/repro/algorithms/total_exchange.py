@@ -1,0 +1,127 @@
+"""Total exchange and the unbalanced total-exchange ("chatting") problem.
+
+Section 3 situates the paper in a long line of total-exchange work: every
+ordered pair of processors exchanges a message (matrix transposition, 2-D
+FFT, HPF array remapping, h-relation routing all reduce to it).  This
+module provides:
+
+* :func:`latin_square_schedule` — the classical optimal schedule for the
+  *balanced* total exchange on a globally-limited machine: in round ``r``
+  processor ``i`` sends its message for processor ``(i + r) mod p``.  Every
+  round is a permutation, so with full-bandwidth staggering the span is
+  exactly the lower bound ``(p-1)·ceil(p/m)·len``.
+
+* :func:`chatting_schedule_centralized` — the Bhatt et al. approach the
+  paper contrasts with in Section 3: gather all ``p^2`` (source,
+  destination, length) triples at one processor, compute an (optimal
+  offline) schedule, broadcast it.  Collecting the triples alone costs
+  ``Θ(p^2/m + L)`` on the BSP(m).
+
+* :func:`chatting_schedule_distributed` — the paper's alternative: compute
+  and broadcast only ``n`` (cost ``tau = O(p/m + L + L lg m / lg L)``) and
+  run Unbalanced-Send-Long.  The benchmark shows the crossover: for
+  ``n << p^2`` the centralized preprocessing dominates everything.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.params import MachineParams
+from repro.scheduling.long_messages import unbalanced_send_long
+from repro.scheduling.offline import offline_consecutive_schedule
+from repro.scheduling.prefix_broadcast import tau_bound
+from repro.scheduling.schedule import Schedule, expand_per_flit
+from repro.util.intmath import ceil_div
+from repro.util.rng import SeedLike
+from repro.util.validation import check_positive
+from repro.workloads.relations import HRelation, total_exchange_relation
+
+__all__ = [
+    "latin_square_schedule",
+    "chatting_schedule_centralized",
+    "chatting_schedule_distributed",
+    "total_exchange_lower_bound",
+]
+
+
+def total_exchange_lower_bound(p: int, m: int, length: int = 1) -> int:
+    """Minimum span of a balanced total exchange on bandwidth ``m``:
+    ``max(ceil(n/m), x̄)`` with ``n = p(p-1)·length`` and
+    ``x̄ = (p-1)·length``."""
+    check_positive("p", p)
+    check_positive("m", m)
+    n = p * (p - 1) * length
+    return max(ceil_div(n, m), (p - 1) * length)
+
+
+def latin_square_schedule(p: int, m: int, length: int = 1) -> Schedule:
+    """The classical round-robin (latin square) total-exchange schedule.
+
+    Round ``r`` (``1 <= r < p``) is the permutation ``i -> (i + r) mod p``;
+    within a round the ``p`` senders are staggered ``ceil(p/m)``-wide and a
+    message's ``length`` flits run consecutively.  Span =
+    ``(p-1) · ceil(p/m) · length`` — equal to the bandwidth lower bound
+    whenever ``m | p``, and within one stagger-granule of it otherwise.
+    """
+    check_positive("p", p)
+    check_positive("m", m)
+    check_positive("length", length)
+    rel = total_exchange_relation(p, length=length)
+    groups = ceil_div(p, m)
+    # message (i -> j) belongs to round r = (j - i) mod p, r in [1, p)
+    rounds = (rel.dest - rel.src) % p
+    group_of = rel.src // m
+    starts = (rounds - 1) * groups * length + group_of * length
+    sched = Schedule.from_message_starts(
+        rel, starts.astype(np.int64), algorithm="latin-square", meta={"rounds": float(p - 1)}
+    )
+    return sched
+
+
+def chatting_schedule_centralized(
+    rel: HRelation, m: int, L: float = 1.0
+) -> Tuple[Schedule, float]:
+    """Bhatt-et-al-style centralized scheduling of an unbalanced total
+    exchange.
+
+    All message descriptors are collected at processor 0 (``p^2`` triples
+    through bandwidth ``m``: ``p^2/m`` time, and processor 0 receives
+    ``p^2`` of them — ``Θ(p^2 + L)`` on the BSP(m) as the paper states),
+    an offline consecutive schedule is computed centrally, and descriptor
+    broadcasting costs another gather's worth.  Returns
+    ``(schedule, preprocessing_time)``; the schedule itself is near-optimal
+    — the point is the preprocessing bill.
+    """
+    check_positive("m", m)
+    sched = offline_consecutive_schedule(rel, m)
+    p = rel.p
+    n_desc = p * p  # one (source, dest, length) triple per ordered pair
+    gather = max(n_desc / m, float(n_desc)) + L  # recv side dominates: p^2
+    scatter = max(n_desc / m, float(n_desc)) + L
+    preprocessing = gather + scatter
+    sched.algorithm = "chatting-centralized"
+    sched.meta["preprocessing"] = preprocessing
+    return sched, preprocessing
+
+
+def chatting_schedule_distributed(
+    rel: HRelation,
+    m: int,
+    L: float = 1.0,
+    epsilon: float = 0.2,
+    seed: SeedLike = None,
+) -> Tuple[Schedule, float]:
+    """The paper's approach: compute and broadcast only ``n`` (cost
+    ``tau``), then run the long-message Unbalanced-Send.  Returns
+    ``(schedule, preprocessing_time)`` with
+    ``preprocessing = tau = O(p/m + L + L lg m / lg L)``."""
+    check_positive("m", m)
+    params = MachineParams(p=rel.p, m=m, L=L)
+    tau = tau_bound(params)
+    sched = unbalanced_send_long(rel, m, epsilon, seed=seed)
+    sched.algorithm = "chatting-distributed"
+    sched.meta["preprocessing"] = tau
+    return sched, tau

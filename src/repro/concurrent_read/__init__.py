@@ -1,0 +1,25 @@
+"""Section 5: the power of concurrent read under limited bandwidth."""
+
+from repro.concurrent_read.leader import (
+    leader_recognition_pramm,
+    leader_recognition_qsm_m,
+    make_leader_input,
+    pramm_summation,
+)
+from repro.concurrent_read.simulation import (
+    simulate_concurrent_read_step,
+    concurrent_read_program,
+    simulate_concurrent_write_step,
+    concurrent_write_program,
+)
+
+__all__ = [
+    "leader_recognition_pramm",
+    "leader_recognition_qsm_m",
+    "make_leader_input",
+    "pramm_summation",
+    "simulate_concurrent_read_step",
+    "concurrent_read_program",
+    "simulate_concurrent_write_step",
+    "concurrent_write_program",
+]

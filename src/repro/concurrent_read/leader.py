@@ -1,0 +1,200 @@
+"""Leader Recognition (Definition 5.1) — the problem separating CR from
+ER/QR under global bandwidth limits.
+
+Input: ``p`` memory locations, exactly one holding 1; output: every
+processor learns the address of the 1.
+
+* On the CRCW PRAM(m), the input sits in the free concurrently-readable
+  ROM, so every processor reads a distinct cell in one step, the finder
+  publishes its address in ``ceil(lg p / w)`` shared cells (one write per
+  step for ``w``-bit cells), and everyone reads them back concurrently:
+  time ``O(max(lg p / w, 1))``.
+
+* On the QSM(m) the same information must squeeze through the aggregate
+  bandwidth: Lemma 5.3 proves ``Ω(p lg m / (2 m w))`` *even if every
+  processor knows the entire input in advance*.  Our upper bound
+  (:func:`leader_recognition_qsm_m`) reads the input at full bandwidth
+  (``p/m``), doubles the answer through ``lg m`` exclusive-read rounds and
+  fans out with one concurrent read — ``O(p/m + lg m)``, matching the lower
+  bound up to the ``lg m / w`` factor.
+
+The measured gap between the two machines reproduces the
+``Ω(p lg m / (m lg p))`` ER-vs-CR separation highlighted in the abstract.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.engine import RunResult
+from repro.core.params import MachineParams
+from repro.models.pram_m import PRAMm
+from repro.models.qsm_m import QSMm
+from repro.util.intmath import ceil_div, ilog2
+
+__all__ = [
+    "leader_recognition_pramm",
+    "leader_recognition_qsm_m",
+    "make_leader_input",
+    "pramm_summation",
+]
+
+
+def make_leader_input(p: int, leader: int) -> List[int]:
+    """The Definition 5.1 input: ``p`` cells, one 1 at ``leader``."""
+    if not (0 <= leader < p):
+        raise ValueError(f"leader {leader} out of range for {p} cells")
+    rom = [0] * p
+    rom[leader] = 1
+    return rom
+
+
+def _pramm_program(ctx, rom, chunks: int, w: int):
+    """CRCW PRAM(m) program; every processor returns the leader address."""
+    pid, p = ctx.pid, ctx.nprocs
+    found = rom[pid] == 1
+    # The finder publishes its address in w-bit chunks, one shared cell per
+    # step (a processor writes at most one cell per PRAM step).
+    for c in range(chunks):
+        if found:
+            ctx.write(c, (pid >> (c * w)) & ((1 << w) - 1))
+        yield
+    handles = []
+    for c in range(chunks):
+        handles.append(ctx.read(c))
+        yield
+    addr = 0
+    for c, h in enumerate(handles):
+        addr |= (h.value or 0) << (c * w)
+    return addr
+
+
+def leader_recognition_pramm(
+    p: int, leader: int, m: Optional[int] = None, w: int = 64
+) -> Tuple[RunResult, List[int]]:
+    """Solve Leader Recognition on a CRCW PRAM(m).
+
+    Returns ``(run_result, answers)``; ``run_result.time`` is
+    ``O(max(lg p / w, 1))`` PRAM steps.
+    """
+    chunks = max(1, ceil_div(max(1, ilog2(max(p, 2)) + 1), w))
+    m_eff = m if m is not None else max(1, chunks)
+    if m_eff < chunks:
+        raise ValueError(f"need m >= {chunks} shared cells for the address chunks")
+    machine = PRAMm(MachineParams(p=p, m=m_eff, word_bits=w))
+    rom = make_leader_input(p, leader)
+    res = machine.run(_pramm_program, rom=rom, args=(chunks, w))
+    return res, list(res.results)
+
+
+def _qsm_m_program(ctx, a: int):
+    """QSM(m) program; the input occupies shared cells ``("in", i)``."""
+    pid, p = ctx.pid, ctx.nprocs
+    # Phase 1: full-bandwidth scan — processor i reads its own input cell.
+    h_in = ctx.read(("in", pid), slot=ctx.stagger_slot())
+    yield
+    addr = None
+    if h_in.value == 1:
+        ctx.write(("ldr", 0), pid, slot=ctx.stagger_slot())
+        addr = pid
+    yield
+    # Phase 2: exclusive-read doubling over the first a processors.
+    span = 1
+    while span < a:
+        handle = None
+        if pid < min(2 * span, a) and addr is None:
+            handle = ctx.read(("ldr", pid % span), slot=ctx.stagger_slot())
+        yield
+        if handle is not None and handle.value is not None:
+            addr = handle.value
+        if pid < min(2 * span, a) and addr is not None:
+            ctx.write(("ldr", pid), addr, slot=ctx.stagger_slot())
+        yield
+        span *= 2
+    # Phase 3: concurrent-read fan-out (contention ceil(p/a)).
+    handle = None
+    if pid >= a:
+        handle = ctx.read(("ldr", pid % a), slot=ctx.stagger_slot())
+    yield
+    if handle is not None:
+        addr = handle.value
+    return addr
+
+
+def leader_recognition_qsm_m(
+    p: int, leader: int, m: int, L: float = 1.0
+) -> Tuple[RunResult, List[int]]:
+    """Solve Leader Recognition on the QSM(m) in ``O(p/m + lg m)``.
+
+    The finder's write lands in a well-known cell; phase 2 may read it
+    before it is written for processors far from the finder, which is why
+    the doubling re-reads until a value appears — processors that read
+    ``None`` keep their ``addr`` unset and pick it up in a later round (the
+    doubling invariant guarantees cells ``("ldr", 0..span)`` are written
+    after round ``lg span``).
+    """
+    machine = QSMm(MachineParams(p=p, m=m, L=L))
+    for i, bit in enumerate(make_leader_input(p, leader)):
+        machine.shared_memory[("in", i)] = bit
+    a = min(p, m)
+    res = machine.run(_qsm_m_program, args=(a,))
+    return res, list(res.results)
+
+
+def _pramm_summation_program(ctx, rom, m: int, group_size: int):
+    """Sum the ROM on a CRCW PRAM(m) with only ``m`` shared cells.
+
+    The paper notes that "algorithm design for the PRAM(m) is complicated
+    by the fact that there are only m shared memory locations."  This
+    program shows the standard shape: group ``j``'s members take turns
+    folding their (free) ROM reads into cell ``j`` — ``p/m`` sequential
+    steps — then a binary tree combines the ``m`` partial sums in ``lg m``
+    steps, landing the total in cell 0.  Time ``O(p/m + lg m)``.
+    """
+    pid, p = ctx.pid, ctx.nprocs
+    group = pid % m
+    rank = pid // m  # my turn within the group
+
+    my_value = rom[pid] if pid < len(rom) else 0
+
+    # --- phase 1: sequential accumulation into cell `group` ---
+    for turn in range(group_size):
+        handle = ctx.read(group) if rank == turn else None
+        yield
+        if handle is not None:
+            current = handle.value or 0
+            ctx.write(group, current + my_value)
+        yield
+
+    # --- phase 2: binary tree over the m cells ---
+    stride = 1
+    while stride < m:
+        handle = None
+        if pid < m and pid % (2 * stride) == 0 and pid + stride < m:
+            handle = ctx.read(pid + stride)
+        yield
+        mine = None
+        if handle is not None:
+            mine = handle.value or 0
+        handle2 = ctx.read(pid) if mine is not None else None
+        yield
+        if handle2 is not None:
+            ctx.write(pid, (handle2.value or 0) + mine)
+        yield
+        stride *= 2
+
+    out = ctx.read(0)
+    yield
+    return out.value
+
+
+def pramm_summation(rom: Sequence[float], p: int, m: int) -> Tuple[RunResult, float]:
+    """Sum ``rom`` on a CRCW PRAM(m) (``p`` processors, ``m`` cells) in
+    ``O(p/m + lg m)`` steps.  Returns ``(run_result, total)``; every
+    processor knows the answer."""
+    if m < 1:
+        raise ValueError("need at least one shared cell")
+    machine = PRAMm(MachineParams(p=p, m=m))
+    group_size = ceil_div(p, m)
+    res = machine.run(_pramm_summation_program, rom=list(rom), args=(m, group_size))
+    return res, res.results[0]

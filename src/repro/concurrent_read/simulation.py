@@ -1,0 +1,244 @@
+"""Theorem 5.1 — simulating a CRCW PRAM(m) read step on the QSM(m).
+
+The standard EREW simulation of concurrent reads is not optimal under
+aggregate bandwidth; the paper's algorithm distributes the values of hot
+locations through a *sorted* array and ``p/m`` "central read steps":
+
+1. every processor ``i`` publishes the pair ``(addr_i, i)``;
+2. the pairs are sorted by address — the paper uses the Adler–Byers–Karp
+   columnsort, we use a bitonic network (**substitution**, documented in
+   DESIGN.md: identical ``Θ(p/m)`` traffic per round, ``lg^2 p`` rounds
+   instead of O(1) columnsort passes; the central-read machinery, which is
+   the theorem's novel part, is reproduced exactly);
+3. ``m`` designated processors (one per block of ``p/m`` sorted ranks) read
+   their block-leading address directly and publish ``(addr, value)`` in a
+   cache array ``C``;
+4. ``p/m`` *central read steps*: in step ``j``, the processor holding
+   sorted rank ``i ≡ j (mod p/m)`` reads its block's cache entry; on an
+   address match it is done, otherwise it reads memory directly — and the
+   sortedness argument of the paper guarantees at most one direct reader
+   per memory cell per step (reproduced in
+   ``tests/test_concurrent_read.py`` as a property);
+5. values are routed back to the requesting processors.
+
+:func:`simulate_concurrent_read_step` runs the whole thing on the QSM(m)
+engine and returns the fetched values plus the run record, so the benchmark
+can verify the ``O(p/m)`` slowdown (modulo the sorting substitution, whose
+cost is reported separately).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.core.engine import RunResult
+from repro.core.params import MachineParams
+from repro.models.qsm_m import QSMm
+from repro.util.intmath import ceil_div, ilog2, next_pow2
+
+__all__ = [
+    "simulate_concurrent_read_step",
+    "concurrent_read_program",
+    "simulate_concurrent_write_step",
+    "concurrent_write_program",
+]
+
+_INF = float("inf")
+
+
+def concurrent_read_program(ctx, q: int, addr: int):
+    """QSM(m) SPMD program fetching ``memory[addr]`` for every processor.
+
+    ``q = ceil(p/m)`` is the block size / number of central read steps.
+    ``p`` must be a power of two (bitonic network); memory cells live at
+    ``("M", x)`` in shared memory.
+    """
+    pid, p = ctx.pid, ctx.nprocs
+
+    # ---- step 1+2: bitonic sort of (addr, pid) pairs by address ----
+    pair = (addr, pid)
+    k = 2
+    while k <= p:
+        j = k // 2
+        while j >= 1:
+            ctx.write(("bt", k, j, pid), pair, slot=ctx.stagger_slot())
+            yield
+            partner = pid ^ j
+            h = ctx.read(("bt", k, j, partner), slot=ctx.stagger_slot())
+            yield
+            other = h.value
+            ascending = (pid & k) == 0
+            if (pid & j) == 0:
+                keep_small = ascending
+            else:
+                keep_small = not ascending
+            if other is not None:
+                lo, hi = (pair, other) if pair <= other else (other, pair)
+                pair = lo if keep_small else hi
+            j //= 2
+        k *= 2
+
+    a_sorted, orig = pair
+
+    # ---- step 3: designated processors fill the cache array C ----
+    # Only m designated readers (one per block) are active, so they all
+    # share slot 0 — staggering by pid//m here would stretch one phase to
+    # p/m idle slots.
+    handle = None
+    if pid % q == 0:
+        handle = ctx.read(("M", a_sorted), slot=0)
+    yield
+    if handle is not None:
+        ctx.write(("C", pid // q), (a_sorted, handle.value), slot=0)
+    yield
+
+    # ---- step 4: central read steps ----
+    value = None
+    have = pid % q == 0 and handle is not None
+    if have:
+        value = handle.value
+    for j in range(q):
+        # In step j exactly one processor per block is active (at most m in
+        # total), so slot 0 suffices for both the cache read and the
+        # fall-back direct read.
+        ch = None
+        if pid % q == j and not have:
+            ch = ctx.read(("C", pid // q), slot=0)
+        yield
+        direct = None
+        if ch is not None:
+            cached_addr, cached_val = ch.value
+            if cached_addr == a_sorted:
+                value = cached_val
+                have = True
+            else:
+                direct = ctx.read(("M", a_sorted), slot=0)
+        yield
+        if direct is not None:
+            value = direct.value
+            have = True
+
+    # ---- step 5: route values back to the requesting processors ----
+    ctx.write(("ans", orig), value, slot=ctx.stagger_slot())
+    yield
+    back = ctx.read(("ans", pid), slot=ctx.stagger_slot())
+    yield
+    return back.value
+
+
+def simulate_concurrent_read_step(
+    p: int,
+    m: int,
+    addresses: Sequence[int],
+    memory: Dict[int, Any],
+    L: float = 1.0,
+) -> Tuple[RunResult, List[Any]]:
+    """Fetch ``memory[addresses[i]]`` for each processor ``i`` on a QSM(m).
+
+    ``p`` must be a power of two.  Returns ``(run_result, values)``;
+    correctness is ``values[i] == memory[addresses[i]]``.
+    """
+    if p != next_pow2(p):
+        raise ValueError(f"p must be a power of two for the bitonic stage, got {p}")
+    if len(addresses) != p:
+        raise ValueError(f"{len(addresses)} addresses for {p} processors")
+    machine = QSMm(MachineParams(p=p, m=m, L=L))
+    for x, v in memory.items():
+        machine.shared_memory[("M", x)] = v
+    q = ceil_div(p, min(p, m))
+    res = machine.run(
+        concurrent_read_program,
+        args=(q,),
+        per_proc_args=[(int(a),) for a in addresses],
+    )
+    return res, list(res.results)
+
+
+def concurrent_write_program(ctx, addr: int, value):
+    """QSM(m) SPMD program performing a concurrent-write step: every
+    processor wants ``memory[addr] = value``; duplicates are removed by
+    sorting (the paper: "sorting the keys allows us to remove duplicates of
+    locations that are accessed in the case of writes") and one
+    representative per address performs the actual write (Arbitrary:
+    the representative is the sorted run's leader, i.e. the *minimum*
+    requester id for each address).
+    """
+    pid, p = ctx.pid, ctx.nprocs
+
+    # bitonic sort of (addr, pid) pairs — identical to the read simulation
+    pair = (addr, pid)
+    k = 2
+    while k <= p:
+        j = k // 2
+        while j >= 1:
+            ctx.write(("bw", k, j, pid), pair, slot=ctx.stagger_slot())
+            yield
+            partner = pid ^ j
+            h = ctx.read(("bw", k, j, partner), slot=ctx.stagger_slot())
+            yield
+            other = h.value
+            ascending = (pid & k) == 0
+            keep_small = ascending if (pid & j) == 0 else not ascending
+            if other is not None:
+                lo, hi = (pair, other) if pair <= other else (other, pair)
+                pair = lo if keep_small else hi
+            j //= 2
+        k *= 2
+
+    a_sorted, orig = pair
+
+    # publish my sorted pair so my right neighbour can compare addresses
+    ctx.write(("srt", pid), pair, slot=ctx.stagger_slot())
+    yield
+    left = None
+    if pid > 0:
+        left = ctx.read(("srt", pid - 1), slot=ctx.stagger_slot())
+    yield
+    is_leader = pid == 0 or (left is not None and left.value[0] != a_sorted)
+
+    # the leader of each run needs the *value* of the original requester it
+    # represents; fetch it from the requester's value cell
+    vh = None
+    if is_leader:
+        vh = ctx.read(("wval", orig), slot=ctx.stagger_slot())
+    yield
+    if is_leader and vh is not None:
+        ctx.write(("M", a_sorted), vh.value, slot=ctx.stagger_slot())
+    yield
+    return is_leader
+
+
+def simulate_concurrent_write_step(
+    p: int,
+    m: int,
+    addresses: Sequence[int],
+    values: Sequence[Any],
+    memory: Dict[int, Any],
+    L: float = 1.0,
+) -> Tuple[RunResult, Dict[int, Any]]:
+    """Perform ``memory[addresses[i]] = values[i]`` for every processor on a
+    QSM(m) — the concurrent-*write* half of Theorem 5.1.
+
+    Exactly one write reaches each distinct address (the minimum requester
+    id in the sorted order — an admissible Arbitrary resolution), so the
+    QSM's no-mixed-access and bandwidth disciplines are both respected.
+    Returns ``(run_result, final_memory)``.
+    """
+    if p != next_pow2(p):
+        raise ValueError(f"p must be a power of two for the bitonic stage, got {p}")
+    if len(addresses) != p or len(values) != p:
+        raise ValueError(f"need exactly {p} addresses and values")
+    machine = QSMm(MachineParams(p=p, m=m, L=L))
+    for x, v in memory.items():
+        machine.shared_memory[("M", x)] = v
+    for i, v in enumerate(values):
+        machine.shared_memory[("wval", i)] = v
+    res = machine.run(
+        concurrent_write_program,
+        per_proc_args=[(int(a), values[i]) for i, a in enumerate(addresses)],
+    )
+    final = {}
+    for key, v in machine.shared_memory.items():
+        if isinstance(key, tuple) and len(key) == 2 and key[0] == "M":
+            final[key[1]] = v
+    return res, final

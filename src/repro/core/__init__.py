@@ -1,0 +1,53 @@
+"""Core machinery: parameters, penalty/cost functions, and the engine."""
+
+from repro.core.params import MachineParams
+from repro.core.costs import (
+    PenaltyFunction,
+    LinearPenalty,
+    ExponentialPenalty,
+    PolynomialPenalty,
+    CapacityPenalty,
+    LINEAR,
+    EXPONENTIAL,
+    superstep_charge,
+    slot_charges,
+)
+from repro.core.engine import (
+    Machine,
+    Proc,
+    ReadHandle,
+    RunResult,
+    ModelViolation,
+    ProgramError,
+)
+from repro.core.events import (
+    Message,
+    ReadRequest,
+    WriteRequest,
+    SuperstepRecord,
+    CostBreakdown,
+)
+
+__all__ = [
+    "MachineParams",
+    "PenaltyFunction",
+    "LinearPenalty",
+    "ExponentialPenalty",
+    "PolynomialPenalty",
+    "CapacityPenalty",
+    "LINEAR",
+    "EXPONENTIAL",
+    "superstep_charge",
+    "slot_charges",
+    "Machine",
+    "Proc",
+    "ReadHandle",
+    "RunResult",
+    "ModelViolation",
+    "ProgramError",
+    "Message",
+    "ReadRequest",
+    "WriteRequest",
+    "SuperstepRecord",
+    "CostBreakdown",
+]

@@ -1,0 +1,546 @@
+"""Bulk-synchronous SPMD execution engine.
+
+Programs are written in an mpi4py-like SPMD style: a *program* is a Python
+generator function ``program(ctx, ...)`` executed once per processor.  Each
+``yield`` is a barrier — the end of a BSP superstep / QSM phase.  Between
+yields the program calls methods on its :class:`Proc` context:
+
+* ``ctx.send(dest, payload, size=1, slot=None)`` — point-to-point message
+  (BSP machines).  ``slot`` is the injection time-slot within the superstep;
+  globally-limited machines price slot congestion, locally-limited machines
+  ignore slots.
+* ``ctx.read(addr)`` / ``ctx.write(addr, value)`` — shared memory (QSM
+  machines).  A read returns a :class:`ReadHandle` whose ``.value`` becomes
+  available only after the next ``yield`` (the QSM rule).
+* ``ctx.work(amount)`` — charge local computation.
+* ``ctx.inbox`` — messages delivered at the last barrier.
+
+At every barrier the engine freezes the superstep into a
+:class:`~repro.core.events.SuperstepRecord`, asks the concrete machine to
+price it, delivers messages, resolves read handles and applies writes.  The
+run's total time is the sum of superstep costs.
+
+Timing note (globally-limited machines)
+---------------------------------------
+The paper defines the superstep charge ``c_m = sum_t f_m(m_t)``; since
+``f_m(0) = 0``, a literal reading would make idle time-slots free, letting a
+schedule stretch over an arbitrarily long span at no cost — contradicting the
+analysis of Section 6, which counts the *span* of the injection schedule as
+elapsed time ("the total number of sending steps required ... is at most
+``max((1+eps)n/m, x_bar)``").  The engine therefore prices communication as
+
+.. math:: T_{comm} = \\sum_{t=0}^{span-1} \\max(f_m(m_t), 1)
+
+i.e. every time step elapses at least one unit, and overloaded steps cost
+``f_m``.  For gap-free schedules this equals the paper's ``c_m`` exactly; the
+literal ``c_m`` is also recorded in ``record.stats['c_m_paper']``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.events import (
+    CostBreakdown,
+    Message,
+    ReadRequest,
+    SuperstepRecord,
+    WriteRequest,
+)
+from repro.core.params import MachineParams
+
+__all__ = [
+    "ModelViolation",
+    "ProgramError",
+    "ReadHandle",
+    "Proc",
+    "Machine",
+    "RunResult",
+]
+
+
+class ModelViolation(Exception):
+    """The program broke a rule of the machine model (e.g. two injections by
+    one processor in the same time slot of a globally-limited machine, or
+    concurrent reads *and* writes to one QSM location in a single phase)."""
+
+
+class ProgramError(Exception):
+    """The SPMD program misused the engine API (e.g. reading a
+    :class:`ReadHandle` before the barrier that resolves it)."""
+
+
+_UNRESOLVED = object()
+
+
+class ReadHandle:
+    """Deferred result of a QSM shared-memory read.
+
+    The value is installed by the engine at the barrier; touching ``.value``
+    earlier raises :class:`ProgramError`, which is exactly the QSM rule that
+    "the value returned by a shared-memory read can only be used in a
+    subsequent phase".
+    """
+
+    __slots__ = ("_value", "addr")
+
+    def __init__(self, addr: Any) -> None:
+        self.addr = addr
+        self._value = _UNRESOLVED
+
+    @property
+    def value(self) -> Any:
+        if self._value is _UNRESOLVED:
+            raise ProgramError(
+                f"read of {self.addr!r} not yet resolved: QSM read values are "
+                "available only after the next phase barrier (yield)"
+            )
+        return self._value
+
+    @property
+    def resolved(self) -> bool:
+        return self._value is not _UNRESOLVED
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = repr(self._value) if self.resolved else "<pending>"
+        return f"ReadHandle(addr={self.addr!r}, value={state})"
+
+
+class Proc:
+    """Per-processor execution context handed to SPMD programs."""
+
+    def __init__(self, pid: int, nprocs: int, machine: "Machine") -> None:
+        self.pid = pid
+        self.nprocs = nprocs
+        self._machine = machine
+        self.inbox: List[Message] = []
+        self._reset_superstep()
+
+    # -- engine bookkeeping ---------------------------------------------------
+    def _reset_superstep(self) -> None:
+        self._work = 0.0
+        self._sends: List[Message] = []
+        self._reads: List[ReadRequest] = []
+        self._writes: List[WriteRequest] = []
+        self._next_slot = 0
+        self._stagger_k = 0
+
+    def _auto_slot(self, size: int) -> int:
+        slot = self._next_slot
+        self._next_slot += size
+        return slot
+
+    def _bump_slot(self, slot: int, size: int) -> None:
+        self._next_slot = max(self._next_slot, slot + size)
+
+    def stagger_slot(self, k: Optional[int] = None) -> Optional[int]:
+        """Injection slot for this processor's ``k``-th *staggered* request.
+
+        This is the grouping emulation that opens Section 4 of the paper:
+        the ``p`` processors are partitioned into ``ceil(p/m)`` groups of at
+        most ``m``, each communication round is subdivided into one sub-slot
+        per group, and a processor's ``k``-th request goes to sub-slot
+        ``k * ceil(p/m) + (pid // m)``.  As long as every processor issues at
+        most one request per round, no slot ever exceeds ``m`` injections,
+        so a QSM(g)/BSP(g) program transliterates onto the globally-limited
+        machine without overload penalty.
+
+        ``k`` defaults to an internal per-superstep counter.  On machines
+        without an aggregate bandwidth parameter the result is ``None``
+        (slots are ignored there anyway).
+        """
+        if k is None:
+            k = self._stagger_k
+            self._stagger_k += 1
+        m = self._machine.params.m
+        if m is None:
+            return None
+        groups = -(-self.nprocs // m)  # ceil(p/m)
+        return k * groups + self.pid // m
+
+    # -- program API ------------------------------------------------------------
+    def work(self, amount: float = 1.0) -> None:
+        """Charge ``amount`` units of local computation this superstep."""
+        if amount < 0:
+            raise ProgramError(f"work amount must be >= 0, got {amount}")
+        self._work += amount
+
+    def send(
+        self,
+        dest: int,
+        payload: Any = None,
+        *,
+        size: int = 1,
+        slot: Optional[int] = None,
+        consecutive: bool = True,
+    ) -> None:
+        """Send a message of ``size`` flits to processor ``dest``.
+
+        ``slot`` pins the injection time-slot of the first flit within this
+        superstep; by default flits are injected in the processor's next free
+        slots.  Locally-limited machines ignore slots entirely.
+        """
+        if self._machine.uses_shared_memory:
+            raise ProgramError(
+                f"{type(self._machine).__name__} is a shared-memory machine; "
+                "use read()/write(), not send()"
+            )
+        if not (0 <= dest < self.nprocs):
+            raise ProgramError(
+                f"destination {dest} out of range for {self.nprocs} processors"
+            )
+        if slot is None:
+            slot = self._auto_slot(size)
+        else:
+            self._bump_slot(slot, size)
+        self._sends.append(
+            Message(
+                src=self.pid,
+                dest=dest,
+                payload=payload,
+                size=size,
+                slot=slot,
+                consecutive=consecutive,
+            )
+        )
+
+    def read(self, addr: Any, *, slot: Optional[int] = None) -> ReadHandle:
+        """Issue a QSM shared-memory read; value available after the barrier."""
+        if not self._machine.uses_shared_memory:
+            raise ProgramError(
+                f"{type(self._machine).__name__} is a message-passing machine; "
+                "use send()/inbox, not read()/write()"
+            )
+        if slot is None:
+            slot = self._auto_slot(1)
+        else:
+            self._bump_slot(slot, 1)
+        handle = ReadHandle(addr)
+        self._reads.append(ReadRequest(pid=self.pid, addr=addr, slot=slot, handle=handle))
+        return handle
+
+    def write(self, addr: Any, value: Any, *, slot: Optional[int] = None) -> None:
+        """Issue a QSM shared-memory write, visible from the next phase."""
+        if not self._machine.uses_shared_memory:
+            raise ProgramError(
+                f"{type(self._machine).__name__} is a message-passing machine; "
+                "use send()/inbox, not read()/write()"
+            )
+        if slot is None:
+            slot = self._auto_slot(1)
+        else:
+            self._bump_slot(slot, 1)
+        self._writes.append(WriteRequest(pid=self.pid, addr=addr, value=value, slot=slot))
+
+    def receive(self) -> List[Message]:
+        """Return and clear the messages delivered at the last barrier."""
+        msgs, self.inbox = self.inbox, []
+        return msgs
+
+
+@dataclass
+class RunResult:
+    """Outcome of running one SPMD program on a machine."""
+
+    params: MachineParams
+    records: List[SuperstepRecord]
+    results: List[Any]
+
+    @property
+    def time(self) -> float:
+        """Total model time: sum of superstep costs."""
+        return sum(r.cost for r in self.records)
+
+    @property
+    def supersteps(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(r.n_messages for r in self.records)
+
+    @property
+    def total_flits(self) -> int:
+        return sum(r.total_flits for r in self.records)
+
+    def stat_sum(self, key: str) -> float:
+        """Sum of a per-superstep stat across the run (missing = 0)."""
+        return sum(r.stats.get(key, 0.0) for r in self.records)
+
+    def stat_max(self, key: str) -> float:
+        """Max of a per-superstep stat across the run (missing = 0)."""
+        return max((r.stats.get(key, 0.0) for r in self.records), default=0.0)
+
+    def dominant_components(self) -> Dict[str, float]:
+        """Total time attributed to each cost component (by superstep
+        dominance), useful for the benchmark harness's decompositions."""
+        out: Dict[str, float] = {}
+        for r in self.records:
+            out[r.breakdown.dominant()] = out.get(r.breakdown.dominant(), 0.0) + r.cost
+        return out
+
+
+class Machine:
+    """Abstract bulk-synchronous machine.
+
+    Concrete machines (BSP(g), BSP(m), QSM(g), QSM(m), self-scheduling
+    BSP(m)) implement :meth:`_price` and declare whether they expose shared
+    memory.  The engine loop lives here.
+    """
+
+    #: True for QSM machines, False for BSP machines.
+    uses_shared_memory: bool = False
+    #: True when the machine enforces one injection per processor per slot.
+    slot_limited: bool = False
+
+    def __init__(self, params: MachineParams) -> None:
+        self.params = params
+        self.shared_memory: Dict[Any, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Hooks for concrete machines
+    # ------------------------------------------------------------------
+    def _price(self, record: SuperstepRecord) -> Tuple[float, CostBreakdown, Dict[str, float]]:
+        """Return ``(cost, breakdown, stats)`` for a frozen superstep."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared pricing helpers
+    # ------------------------------------------------------------------
+    def _flit_slots(self, record: SuperstepRecord) -> np.ndarray:
+        """Expand every message into per-flit injection slots.
+
+        Also enforces, for slot-limited machines, that no processor injects
+        two flits in the same slot ("each processor may initiate at most one
+        message send" per step).
+
+        Profile-guided shape (see docs/performance.md): unit-size messages
+        — the overwhelmingly common case — take a list-append fast path
+        instead of one ``np.arange`` per message.
+        """
+        if not record.messages:
+            return np.zeros(0, dtype=np.int64)
+        slots: List[int] = []
+        check = self.slot_limited
+        per_proc: Dict[int, set] = {}
+        for msg in record.messages:
+            start = msg.slot if msg.slot is not None else 0
+            if msg.size == 1:
+                flit_iter = (start,)
+            elif msg.consecutive:
+                flit_iter = range(start, start + msg.size)
+            else:
+                flit_iter = (start,) * msg.size
+            slots.extend(flit_iter)
+            if check:
+                seen = per_proc.setdefault(msg.src, set())
+                for s in flit_iter:
+                    if s in seen:
+                        raise ModelViolation(
+                            f"processor {msg.src} injects two flits at slot {s} "
+                            f"in superstep {record.index}"
+                        )
+                    seen.add(s)
+        return np.asarray(slots, dtype=np.int64)
+
+    def _request_slots(self, record: SuperstepRecord) -> np.ndarray:
+        """Injection slots of all shared-memory requests (QSM machines)."""
+        slots = [r.slot or 0 for r in record.reads] + [w.slot or 0 for w in record.writes]
+        if self.slot_limited:
+            per_proc: Dict[int, set] = {}
+            reqs: Iterable = list(record.reads) + list(record.writes)
+            for req in reqs:
+                seen = per_proc.setdefault(req.pid, set())
+                s = req.slot or 0
+                if s in seen:
+                    raise ModelViolation(
+                        f"processor {req.pid} issues two shared-memory requests "
+                        f"at slot {s} in phase {record.index}"
+                    )
+                seen.add(s)
+        return np.asarray(slots, dtype=np.int64)
+
+    @staticmethod
+    def _max_per_proc_sends_recvs(record: SuperstepRecord, p: int) -> Tuple[int, int]:
+        """(max flits sent by one proc, max flits received by one proc)."""
+        s = record.sends_by_proc(p)
+        r = record.recvs_by_proc(p)
+        return (max(s) if s else 0, max(r) if r else 0)
+
+    def _qsm_h(self, record: SuperstepRecord) -> int:
+        """QSM ``h = max(1, max_i(r_i, w_i))``."""
+        r_counts: Dict[int, int] = {}
+        w_counts: Dict[int, int] = {}
+        for req in record.reads:
+            r_counts[req.pid] = r_counts.get(req.pid, 0) + 1
+        for req in record.writes:
+            w_counts[req.pid] = w_counts.get(req.pid, 0) + 1
+        most = 0
+        if r_counts:
+            most = max(most, max(r_counts.values()))
+        if w_counts:
+            most = max(most, max(w_counts.values()))
+        return max(1, most)
+
+    def _qsm_contention(self, record: SuperstepRecord) -> int:
+        """QSM maximum contention ``kappa``: max over locations of
+        (#readers of x, #writers of x).  Also enforces the QSM rule that a
+        location may see concurrent reads or concurrent writes in a phase,
+        but not both."""
+        readers: Dict[Any, int] = {}
+        writers: Dict[Any, int] = {}
+        for req in record.reads:
+            readers[req.addr] = readers.get(req.addr, 0) + 1
+        for req in record.writes:
+            writers[req.addr] = writers.get(req.addr, 0) + 1
+        both = set(readers) & set(writers)
+        if both:
+            addr = next(iter(both))
+            raise ModelViolation(
+                f"location {addr!r} is both read and written in phase "
+                f"{record.index} (QSM forbids mixed concurrent access)"
+            )
+        kappa = 0
+        if readers:
+            kappa = max(kappa, max(readers.values()))
+        if writers:
+            kappa = max(kappa, max(writers.values()))
+        return kappa
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: Callable[..., Any],
+        *,
+        args: Tuple = (),
+        per_proc_args: Optional[Sequence[Tuple]] = None,
+        nprocs: Optional[int] = None,
+        max_supersteps: int = 1_000_000,
+    ) -> RunResult:
+        """Execute ``program`` SPMD-style on all processors.
+
+        Parameters
+        ----------
+        program:
+            A generator function ``program(ctx, *args)``; each ``yield`` is a
+            barrier.  A plain function is treated as a one-superstep program
+            whose return value is the processor's result.
+        args:
+            Extra positional arguments passed to every processor.
+        per_proc_args:
+            Optional per-processor argument tuples (length ``p``), appended
+            after ``args``.
+        nprocs:
+            Run on a prefix of processors (defaults to ``params.p``); the
+            machine is still priced as a ``p``-processor machine.
+        max_supersteps:
+            Safety valve against non-terminating programs.
+
+        Returns
+        -------
+        RunResult
+            Total time, per-superstep records, and per-processor results.
+        """
+        p = self.params.p if nprocs is None else nprocs
+        if not (1 <= p <= self.params.p):
+            raise ValueError(f"nprocs must be in [1, {self.params.p}], got {p}")
+        if per_proc_args is not None and len(per_proc_args) != p:
+            raise ValueError(
+                f"per_proc_args has {len(per_proc_args)} entries for {p} processors"
+            )
+
+        procs = [Proc(pid, p, self) for pid in range(p)]
+        gens: List[Optional[Generator]] = []
+        results: List[Any] = [None] * p
+        immediate_done = [False] * p
+        for pid, proc in enumerate(procs):
+            extra = tuple(per_proc_args[pid]) if per_proc_args is not None else ()
+            out = program(proc, *args, *extra)
+            if hasattr(out, "__next__"):
+                gens.append(out)
+            else:
+                gens.append(None)
+                results[pid] = out
+                immediate_done[pid] = True
+
+        records: List[SuperstepRecord] = []
+        alive = [g is not None for g in gens]
+        index = 0
+        first = True
+        while True:
+            any_advanced = False
+            for pid, gen in enumerate(gens):
+                if gen is None or not alive[pid]:
+                    continue
+                any_advanced = True
+                try:
+                    next(gen)
+                except StopIteration as stop:
+                    results[pid] = stop.value
+                    alive[pid] = False
+            if not any_advanced and not first:
+                break
+            record = SuperstepRecord(
+                index=index,
+                work=[proc._work for proc in procs],
+                messages=[msg for proc in procs for msg in proc._sends],
+                reads=[r for proc in procs for r in proc._reads],
+                writes=[w for proc in procs for w in proc._writes],
+            )
+            empty = (
+                not record.messages
+                and not record.reads
+                and not record.writes
+                and all(w == 0 for w in record.work)
+            )
+            still_running = any(alive)
+            if not empty or still_running or first:
+                cost, breakdown, stats = self._price(record)
+                record.cost = cost
+                record.breakdown = breakdown
+                record.stats = stats
+                records.append(record)
+                self._deliver(record, procs)
+            index += 1
+            first = False
+            for proc in procs:
+                proc._reset_superstep()
+            if not still_running:
+                break
+            if index >= max_supersteps:
+                raise ProgramError(
+                    f"program exceeded {max_supersteps} supersteps without finishing"
+                )
+        return RunResult(params=self.params, records=records, results=results)
+
+    def _deliver(self, record: SuperstepRecord, procs: List[Proc]) -> None:
+        """Deliver messages, resolve reads against pre-phase memory, then
+        apply writes (Arbitrary rule: the last write request in record order
+        wins — a legitimate instance of the model's arbitrary resolution)."""
+        for proc in procs:
+            proc.inbox = []
+        for msg in record.messages:
+            if msg.dest < len(procs):
+                procs[msg.dest].inbox.append(msg)
+        if record.reads:
+            for req in record.reads:
+                req.handle._resolve(self.shared_memory.get(req.addr))
+        for wreq in record.writes:
+            self.shared_memory[wreq.addr] = wreq.value
+
+    # ------------------------------------------------------------------
+    def time(self, program: Callable[..., Any], **kwargs) -> float:
+        """Convenience: run and return only the total model time."""
+        return self.run(program, **kwargs).time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.params})"

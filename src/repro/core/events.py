@@ -1,0 +1,164 @@
+"""Event records produced by the bulk-synchronous engine.
+
+The engine executes an SPMD program one superstep at a time.  During a
+superstep each processor registers *operations* (message sends, shared-memory
+reads/writes, local work); at the barrier the engine freezes them into a
+:class:`SuperstepRecord`, prices it under the machine's cost metric, and
+delivers the communication.  Records are retained on the
+:class:`~repro.core.engine.RunResult` so benchmarks can decompose where time
+went (work vs. bandwidth vs. latency vs. contention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Message",
+    "ReadRequest",
+    "WriteRequest",
+    "SuperstepRecord",
+    "CostBreakdown",
+]
+
+
+@dataclass
+class Message:
+    """A point-to-point message.
+
+    ``size`` is the length in flits (1 for a fixed-size message).  ``slot``
+    is the injection time-slot of the *first* flit within the superstep; the
+    remaining flits occupy consecutive slots when ``consecutive`` is true
+    (wormhole-style), and the engine treats each flit as one injection.
+    """
+
+    src: int
+    dest: int
+    payload: Any = None
+    size: int = 1
+    slot: Optional[int] = None
+    consecutive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"message size must be >= 1, got {self.size}")
+        if self.slot is not None and self.slot < 0:
+            raise ValueError(f"slot must be >= 0, got {self.slot}")
+
+
+@dataclass
+class ReadRequest:
+    """A QSM shared-memory read issued in the current phase.
+
+    ``handle`` is filled in by the engine at the barrier; programs access it
+    via :class:`~repro.core.engine.ReadHandle` in the *next* phase, matching
+    the QSM rule that a read's value is usable only in a subsequent phase.
+    """
+
+    pid: int
+    addr: Any
+    slot: Optional[int] = None
+    handle: Any = None
+
+
+@dataclass
+class WriteRequest:
+    """A QSM shared-memory write issued in the current phase."""
+
+    pid: int
+    addr: Any
+    value: Any
+    slot: Optional[int] = None
+
+
+@dataclass
+class CostBreakdown:
+    """Components that fed a superstep's cost, all in model time units."""
+
+    work: float = 0.0
+    local_band: float = 0.0  # g*h (locally-limited) or h (globally-limited)
+    global_band: float = 0.0  # c_m, or n/m for the self-scheduling metric
+    latency: float = 0.0  # L (BSP only)
+    contention: float = 0.0  # kappa (QSM only)
+
+    def total(self) -> float:
+        return max(
+            self.work,
+            self.local_band,
+            self.global_band,
+            self.latency,
+            self.contention,
+        )
+
+    def dominant(self) -> str:
+        """Name of the component that determined the cost (ties broken in
+        declaration order)."""
+        items = [
+            ("work", self.work),
+            ("local_band", self.local_band),
+            ("global_band", self.global_band),
+            ("latency", self.latency),
+            ("contention", self.contention),
+        ]
+        best_name, best_val = items[0]
+        for name, val in items[1:]:
+            if val > best_val:
+                best_name, best_val = name, val
+        return best_name
+
+
+@dataclass
+class SuperstepRecord:
+    """Everything a superstep did, plus its price.
+
+    Attributes
+    ----------
+    index:
+        0-based superstep number.
+    work:
+        Per-processor local work amounts.
+    messages:
+        All messages sent this superstep (BSP machines).
+    reads / writes:
+        All shared-memory requests (QSM machines).
+    cost:
+        The model time charged.
+    breakdown:
+        The components behind ``cost``.
+    stats:
+        Free-form metrics the cost model wants to expose (``h``, ``kappa``,
+        ``c_m``, ``n``, max slot, overload count, ...).
+    """
+
+    index: int
+    work: List[float]
+    messages: List[Message] = field(default_factory=list)
+    reads: List[ReadRequest] = field(default_factory=list)
+    writes: List[WriteRequest] = field(default_factory=list)
+    cost: float = 0.0
+    breakdown: CostBreakdown = field(default_factory=CostBreakdown)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    # -- convenience accessors -------------------------------------------------
+    @property
+    def n_messages(self) -> int:
+        return len(self.messages)
+
+    @property
+    def total_flits(self) -> int:
+        return sum(msg.size for msg in self.messages)
+
+    def sends_by_proc(self, p: int) -> List[int]:
+        """Number of flits sent by each processor."""
+        out = [0] * p
+        for msg in self.messages:
+            out[msg.src] += msg.size
+        return out
+
+    def recvs_by_proc(self, p: int) -> List[int]:
+        """Number of flits received by each processor."""
+        out = [0] * p
+        for msg in self.messages:
+            out[msg.dest] += msg.size
+        return out

@@ -1,0 +1,119 @@
+"""Machine parameter records for the four bandwidth models.
+
+The paper compares models that share a *machine* (p processors, latency L)
+but differ in how network bandwidth is charged:
+
+* **locally-limited** — a per-processor gap ``g``: a processor that sends or
+  receives ``h`` messages in a superstep pays ``g * h``;
+* **globally-limited** — an aggregate parameter ``m``: the network absorbs up
+  to ``m`` message injections per time slot; slot ``t`` with ``m_t`` messages
+  costs ``f_m(m_t)`` where ``f_m`` is a pluggable penalty function.
+
+For apples-to-apples comparisons the paper fixes the *aggregate* bandwidth of
+both kinds of machine: ``p * (1/g) = m``, i.e. ``g = p / m``.
+:func:`MachineParams.matched_pair` constructs such a pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.util.validation import check_positive, check_nonnegative
+
+__all__ = ["MachineParams"]
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Immutable record of model parameters shared by all machines.
+
+    Parameters
+    ----------
+    p:
+        Number of processors (``p >= 1``).
+    g:
+        Per-processor bandwidth gap for locally-limited models
+        (``g >= 1``; 1 means bandwidth-unlimited).  Globally-limited
+        machines ignore it.
+    m:
+        Aggregate bandwidth for globally-limited models (``1 <= m``).
+        Locally-limited machines ignore it.  ``None`` means "not a
+        globally-limited machine" and any attempt to read :attr:`m`
+        through :meth:`require_m` raises.
+    L:
+        BSP periodicity: worst-case message latency plus barrier cost.
+        Every BSP superstep costs at least ``L``.  QSM has no ``L`` term.
+    o:
+        Per-message start-up overhead (LOGP-style).  0 by default; used by
+        the long-message scheduling extension of Section 6.1.
+    word_bits:
+        ``w`` of Section 5 — the number of bits in a memory cell, used by
+        the leader-recognition bounds.
+    """
+
+    p: int
+    g: float = 1.0
+    m: Optional[int] = None
+    L: float = 1.0
+    o: float = 0.0
+    word_bits: int = 64
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.p, int):
+            raise TypeError(f"p must be an int, got {type(self.p).__name__}")
+        check_positive("p", self.p)
+        if self.g < 1.0:
+            raise ValueError(f"gap g must be >= 1, got {self.g}")
+        if self.m is not None:
+            if not isinstance(self.m, int):
+                raise TypeError(f"m must be an int or None, got {type(self.m).__name__}")
+            check_positive("m", self.m)
+        check_positive("L", self.L)
+        check_nonnegative("o", self.o)
+        check_positive("word_bits", self.word_bits)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def require_m(self) -> int:
+        """Return ``m`` or raise when the machine is not globally limited."""
+        if self.m is None:
+            raise ValueError("this machine has no aggregate bandwidth parameter m")
+        return self.m
+
+    @property
+    def aggregate_bandwidth_local(self) -> float:
+        """Aggregate bandwidth of the locally-limited machine: ``p / g``."""
+        return self.p / self.g
+
+    @property
+    def implied_gap(self) -> float:
+        """The gap ``g = p / m`` a locally-limited machine would need to
+        match this machine's aggregate bandwidth."""
+        return self.p / self.require_m()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def matched_pair(
+        p: int, m: int, L: float = 1.0, o: float = 0.0, word_bits: int = 64
+    ) -> Tuple["MachineParams", "MachineParams"]:
+        """Build a (locally-limited, globally-limited) parameter pair with
+        equal aggregate bandwidth ``p/g == m`` — the paper's comparison
+        setting.
+
+        Returns ``(local, global)`` where ``local.g == p/m`` and
+        ``global.m == m``.
+        """
+        if m > p:
+            raise ValueError(f"matched pair needs m <= p, got m={m} > p={p}")
+        g = p / m
+        local = MachineParams(p=p, g=g, m=None, L=L, o=o, word_bits=word_bits)
+        global_ = MachineParams(p=p, g=1.0, m=m, L=L, o=o, word_bits=word_bits)
+        return local, global_
+
+    def with_(self, **changes) -> "MachineParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

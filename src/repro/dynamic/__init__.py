@@ -1,0 +1,51 @@
+"""Section 6.2: dynamic unbalanced routing under adversarial arrivals."""
+
+from repro.dynamic.adversary import (
+    ArrivalTrace,
+    Adversary,
+    SingleTargetAdversary,
+    UniformAdversary,
+    BurstyAdversary,
+    RotatingTargetAdversary,
+    VariableLengthAdversary,
+    check_compliance,
+)
+from repro.dynamic.protocols import (
+    Protocol,
+    BSPgIntervalProtocol,
+    AlgorithmBProtocol,
+    ImmediateProtocol,
+)
+from repro.dynamic.simulation import BatchRecord, DynamicResult, run_dynamic
+from repro.dynamic.queueing import (
+    s0_service_moments,
+    mg1_mean_queue_at_departure,
+    mg1_stable,
+    required_u,
+    expected_time_in_system,
+    ZETA4,
+)
+
+__all__ = [
+    "ArrivalTrace",
+    "Adversary",
+    "SingleTargetAdversary",
+    "UniformAdversary",
+    "BurstyAdversary",
+    "RotatingTargetAdversary",
+    "VariableLengthAdversary",
+    "check_compliance",
+    "Protocol",
+    "BSPgIntervalProtocol",
+    "AlgorithmBProtocol",
+    "ImmediateProtocol",
+    "BatchRecord",
+    "DynamicResult",
+    "run_dynamic",
+    "s0_service_moments",
+    "mg1_mean_queue_at_departure",
+    "mg1_stable",
+    "required_u",
+    "expected_time_in_system",
+    "ZETA4",
+]

@@ -1,0 +1,329 @@
+"""Adversarial Queuing Theory adversaries (Section 6.2).
+
+An adversary injects point-to-point messages over an infinite time line,
+subject to the paper's restrictions: for every window of ``L >= w``
+consecutive steps it may inject at most ``ceil(alpha * L)`` messages in
+total (*global arrival rate* ``alpha``), at most ``ceil(beta * L)`` from
+any one source, and at most ``ceil(beta * L)`` to any one destination
+(*local arrival rate* ``beta``).  The adversary is non-adaptive: it may
+know the algorithm but not its coin flips.
+
+Implemented adversaries:
+
+* :class:`SingleTargetAdversary` — the Theorem 6.5 witness: it hammers one
+  source at rate ``beta``; any locally-limited machine with ``beta > 1/g``
+  drowns, while a globally-limited machine shrugs (``beta <= 1`` is enough
+  there as long as ``alpha`` respects the aggregate bound ``m/a``).
+* :class:`UniformAdversary` — memoryless background traffic at rate
+  ``alpha`` with random endpoints (caps enforced by construction).
+* :class:`BurstyAdversary` — the worst bulk pattern: the whole window
+  budget ``ceil(alpha w)`` lands in the first step of each window, spread
+  over sources/destinations up to the ``beta`` caps.
+
+:func:`check_compliance` verifies a trace against the restrictions (over
+all windows of size ``w``, ``2w``, ``4w``, ... — sufficient for the
+step-function budgets these adversaries use).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive, check_nonnegative
+
+__all__ = [
+    "ArrivalTrace",
+    "Adversary",
+    "SingleTargetAdversary",
+    "UniformAdversary",
+    "BurstyAdversary",
+    "RotatingTargetAdversary",
+    "VariableLengthAdversary",
+    "check_compliance",
+]
+
+
+@dataclass
+class ArrivalTrace:
+    """Messages injected over ``[0, horizon)``: parallel arrays of
+    injection step, source and destination; ``length`` defaults to all-ones
+    (the paper's unit-message setting) but supports the variable-length
+    extension (flits per message)."""
+
+    p: int
+    horizon: int
+    t: np.ndarray
+    src: np.ndarray
+    dest: np.ndarray
+    length: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.t = np.asarray(self.t, dtype=np.int64)
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dest = np.asarray(self.dest, dtype=np.int64)
+        if self.length is None:
+            self.length = np.ones(self.t.size, dtype=np.int64)
+        else:
+            self.length = np.asarray(self.length, dtype=np.int64)
+        if not (self.t.shape == self.src.shape == self.dest.shape == self.length.shape):
+            raise ValueError("t, src, dest, length must have identical shapes")
+        if self.t.size:
+            if self.t.min() < 0 or self.t.max() >= self.horizon:
+                raise ValueError("arrival times out of range")
+            if self.length.min() < 1:
+                raise ValueError("message lengths must be >= 1")
+            order = np.argsort(self.t, kind="stable")
+            self.t, self.src, self.dest, self.length = (
+                self.t[order], self.src[order], self.dest[order], self.length[order]
+            )
+
+    @property
+    def n(self) -> int:
+        return int(self.t.size)
+
+    @property
+    def flits(self) -> int:
+        """Total volume in flits."""
+        return int(self.length.sum()) if self.length is not None else 0
+
+    def window(self, start: int, end: int) -> "ArrivalTrace":
+        """Messages with ``start <= t < end``."""
+        mask = (self.t >= start) & (self.t < end)
+        return ArrivalTrace(
+            p=self.p,
+            horizon=self.horizon,
+            t=self.t[mask],
+            src=self.src[mask],
+            dest=self.dest[mask],
+            length=self.length[mask] if self.length is not None else None,
+        )
+
+
+class Adversary:
+    """Base class: configured with rates, produces an :class:`ArrivalTrace`."""
+
+    def __init__(self, p: int, w: int, alpha: float, beta: float) -> None:
+        check_positive("p", p)
+        check_positive("w", w)
+        check_nonnegative("alpha", alpha)
+        check_nonnegative("beta", beta)
+        if beta > alpha:
+            raise ValueError(f"local rate beta={beta} cannot exceed global alpha={alpha}")
+        self.p, self.w, self.alpha, self.beta = p, w, alpha, beta
+
+    def generate(self, horizon: int, seed: SeedLike = None) -> ArrivalTrace:
+        raise NotImplementedError
+
+
+class SingleTargetAdversary(Adversary):
+    """All traffic leaves one source at rate ``beta`` (Theorem 6.5)."""
+
+    def __init__(self, p: int, w: int, beta: float, source: int = 0) -> None:
+        super().__init__(p, w, alpha=beta, beta=beta)
+        if not (0 <= source < p):
+            raise ValueError(f"source {source} out of range")
+        self.source = source
+
+    def generate(self, horizon: int, seed: SeedLike = None) -> ArrivalTrace:
+        rng = as_generator(seed)
+        # One message every 1/beta steps (beta <= 1): arrival times are the
+        # integer parts of k / beta, destinations round-robin over the other
+        # processors (respecting the per-destination cap since p >= 2).
+        if self.beta <= 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return ArrivalTrace(self.p, horizon, empty, empty.copy(), empty.copy())
+        count = int(math.floor(self.beta * horizon))
+        t = np.minimum((np.arange(count) / self.beta).astype(np.int64), horizon - 1)
+        # At most ceil(beta * 1) = 1 per step needs beta <= 1.
+        if self.beta > 1.0:
+            raise ValueError("SingleTargetAdversary supports beta <= 1")
+        src = np.full(count, self.source, dtype=np.int64)
+        others = np.array([i for i in range(self.p) if i != self.source] or [self.source])
+        dest = others[np.arange(count) % others.size]
+        return ArrivalTrace(self.p, horizon, t, src, dest)
+
+
+class UniformAdversary(Adversary):
+    """``ceil(alpha * w)`` messages per window, spread one per step at the
+    window's start, endpoints uniform (independent per message)."""
+
+    def generate(self, horizon: int, seed: SeedLike = None) -> ArrivalTrace:
+        rng = as_generator(seed)
+        ts, srcs, dests = [], [], []
+        # Cumulative targeting: exactly floor(alpha * t) injections by time
+        # t, uniformly spread — then any window [a, b) receives
+        # floor(alpha b) - floor(alpha a) <= ceil(alpha (b-a)) messages, so
+        # *every* sliding window of every length is within budget.
+        total = int(math.floor(self.alpha * horizon))
+        all_steps = (
+            (np.arange(total, dtype=np.float64) / self.alpha).astype(np.int64)
+            if self.alpha > 0
+            else np.zeros(0, dtype=np.int64)
+        )
+        all_steps = np.minimum(all_steps, horizon - 1)
+        for w_start in range(0, horizon, self.w):
+            in_window = (all_steps >= w_start) & (all_steps < w_start + self.w)
+            steps = all_steps[in_window]
+            k = steps.size
+            src = rng.integers(0, self.p, size=k)
+            dest = rng.integers(0, self.p - 1, size=k) if self.p > 1 else np.zeros(k, dtype=np.int64)
+            if self.p > 1:
+                dest = np.where(dest >= src, dest + 1, dest)
+            cap = int(math.ceil(self.beta * self.w))
+            src = self._enforce_cap(src, cap, rng)
+            dest = self._enforce_cap(dest, cap, rng)
+            ts.append(steps)
+            srcs.append(src)
+            dests.append(dest)
+        t = np.concatenate(ts) if ts else np.zeros(0, dtype=np.int64)
+        return ArrivalTrace(
+            self.p,
+            horizon,
+            t,
+            np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64),
+            np.concatenate(dests) if dests else np.zeros(0, dtype=np.int64),
+        )
+
+    def _enforce_cap(self, ids: np.ndarray, cap: int, rng) -> np.ndarray:
+        """Reassign surplus endpoints so no id exceeds ``cap`` per window."""
+        ids = ids.copy()
+        counts = np.bincount(ids, minlength=self.p)
+        while np.any(counts > cap):
+            hot = int(np.argmax(counts))
+            surplus_idx = np.nonzero(ids == hot)[0][cap:]
+            cold = int(np.argmin(counts))
+            ids[surplus_idx] = cold
+            counts = np.bincount(ids, minlength=self.p)
+        return ids
+
+
+class BurstyAdversary(Adversary):
+    """The whole window budget arrives in the first steps of each window,
+    packed onto as few sources as the ``beta`` cap allows — the maximally
+    unbalanced compliant pattern."""
+
+    def generate(self, horizon: int, seed: SeedLike = None) -> ArrivalTrace:
+        rng = as_generator(seed)
+        per_window = int(math.ceil(self.alpha * self.w))
+        per_src = max(1, int(math.ceil(self.beta * self.w)))
+        ts, srcs, dests = [], [], []
+        for w_start in range(0, horizon, self.w):
+            k = min(per_window, (horizon - w_start))
+            # sources: fill source 0 up to its cap, then source 1, ...
+            src = (np.arange(k) // per_src) % self.p
+            # one message per step from each source, bursting from step 0
+            step_in_src = np.arange(k) % per_src
+            steps = w_start + np.minimum(step_in_src, self.w - 1)
+            dest = (src + 1 + (np.arange(k) % (self.p - 1))) % self.p if self.p > 1 else src
+            cap = per_src
+            counts = np.bincount(dest, minlength=self.p)
+            ts.append(steps)
+            srcs.append(src)
+            dests.append(dest)
+        t = np.concatenate(ts) if ts else np.zeros(0, dtype=np.int64)
+        return ArrivalTrace(
+            self.p,
+            horizon,
+            t,
+            np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64),
+            np.concatenate(dests) if dests else np.zeros(0, dtype=np.int64),
+        )
+
+
+class RotatingTargetAdversary(Adversary):
+    """Floods one source at rate ``beta`` like
+    :class:`SingleTargetAdversary`, but rotates the flooded *source* every
+    ``rotation`` windows — defeating any protocol that tries to learn and
+    special-case the hot processor, while remaining AQT-compliant (each
+    window still has a single rate-``beta`` source)."""
+
+    def __init__(
+        self, p: int, w: int, beta: float, rotation: int = 4
+    ) -> None:
+        super().__init__(p, w, alpha=beta, beta=beta)
+        check_positive("rotation", rotation)
+        if beta > 1.0:
+            raise ValueError("RotatingTargetAdversary supports beta <= 1")
+        self.rotation = rotation
+
+    def generate(self, horizon: int, seed: SeedLike = None) -> ArrivalTrace:
+        rng = as_generator(seed)
+        if self.beta <= 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return ArrivalTrace(self.p, horizon, empty, empty.copy(), empty.copy())
+        count = int(math.floor(self.beta * horizon))
+        t = np.minimum((np.arange(count) / self.beta).astype(np.int64), horizon - 1)
+        period = self.rotation * self.w
+        epoch = t // max(1, period)
+        sources = rng.permutation(self.p)
+        src = sources[epoch % self.p]
+        dest = (src + 1 + (np.arange(count) % max(1, self.p - 1))) % self.p
+        return ArrivalTrace(self.p, horizon, t, src.astype(np.int64), dest.astype(np.int64))
+
+
+class VariableLengthAdversary(Adversary):
+    """Wrap any adversary with iid geometric message lengths (mean
+    ``mean_length``) — the variable-length extension of §6.1 taken to the
+    dynamic setting.  Rates stay message-denominated (the AQT restrictions
+    of the paper count messages); the flit volume is what the long-message
+    sender must absorb."""
+
+    def __init__(self, inner: Adversary, mean_length: float = 4.0) -> None:
+        super().__init__(inner.p, inner.w, inner.alpha, inner.beta)
+        check_positive("mean_length", mean_length)
+        self.inner = inner
+        self.mean_length = mean_length
+
+    def generate(self, horizon: int, seed: SeedLike = None) -> ArrivalTrace:
+        rng = as_generator(seed)
+        base = self.inner.generate(horizon, seed=rng)
+        lengths = np.maximum(
+            1, rng.geometric(min(1.0, 1.0 / self.mean_length), size=base.n)
+        ).astype(np.int64)
+        return ArrivalTrace(
+            p=base.p, horizon=base.horizon, t=base.t, src=base.src,
+            dest=base.dest, length=lengths,
+        )
+
+
+def check_compliance(
+    trace: ArrivalTrace, w: int, alpha: float, beta: float
+) -> Tuple[bool, str]:
+    """Check the AQT restrictions over sliding windows of size ``w, 2w, 4w,
+    ...`` up to the horizon.  Returns ``(ok, reason)``."""
+    sizes = []
+    size = w
+    while size <= max(trace.horizon, w):
+        sizes.append(size)
+        size *= 2
+    for L in sizes:
+        budget = math.ceil(alpha * L)
+        local = math.ceil(beta * L)
+        # counts per step via cumulative sums
+        per_step = np.bincount(trace.t, minlength=trace.horizon + 1)
+        csum = np.concatenate([[0], np.cumsum(per_step)])
+        for start in range(0, max(1, trace.horizon - L + 1), max(1, w // 2)):
+            end = min(start + L, trace.horizon)
+            total = csum[end] - csum[start]
+            if total > budget:
+                return False, f"{total} messages in window [{start},{end}) > {budget}"
+            mask = (trace.t >= start) & (trace.t < end)
+            if mask.any():
+                sc = np.bincount(trace.src[mask], minlength=trace.p)
+                dc = np.bincount(trace.dest[mask], minlength=trace.p)
+                if sc.max() > local:
+                    return False, (
+                        f"source {int(np.argmax(sc))} injects {int(sc.max())} "
+                        f"in window [{start},{end}) > {local}"
+                    )
+                if dc.max() > local:
+                    return False, (
+                        f"dest {int(np.argmax(dc))} receives {int(dc.max())} "
+                        f"in window [{start},{end}) > {local}"
+                    )
+    return True, "ok"

@@ -1,0 +1,186 @@
+"""Dynamic routing protocols (Theorems 6.5 and 6.7).
+
+Both protocols batch the timeline into fixed intervals and serve each
+interval's arrivals as one static routing problem, FIFO:
+
+* :class:`BSPgIntervalProtocol` — Theorem 6.5's upper-bound half: intervals
+  of ``max(g ceil(w/g), L)``; a batch is an h-relation served in
+  ``max(g·max(x̄, ȳ), L)``.  Stable iff ``beta <= 1/g`` — the matching
+  adversary (:class:`~repro.dynamic.adversary.SingleTargetAdversary` with
+  ``beta > 1/g``) sinks it.
+
+* :class:`AlgorithmBProtocol` — Theorem 6.7's Algorithm B on the BSP(m):
+  intervals of ``w``; the batch from interval ``i`` is scheduled by a
+  static sender (Unbalanced-Send by default) with ``n = ceil(alpha w)``
+  *assumed known* (the adversary's budget), starting at
+  ``max(t1, t2)`` = max(interval end, previous batch finished); the
+  realized service time is the schedule's BSP(m) cost under the exponential
+  penalty — including the rare overloaded runs, which is exactly what the
+  M/G/1 analysis of Claim 6.8 absorbs.  Stable up to ``alpha ≈ m/a`` and
+  ``beta ≈ 1/b`` in the theorem's notation (``a = 1+eps``, ``b = 1`` for
+  Unbalanced-Send).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.costs import EXPONENTIAL, PenaltyFunction
+from repro.core.params import MachineParams
+from repro.dynamic.adversary import ArrivalTrace
+from repro.scheduling.analysis import evaluate_schedule
+from repro.scheduling.static_send import unbalanced_send
+from repro.util.rng import SeedLike, as_generator
+from repro.workloads.relations import HRelation
+
+__all__ = [
+    "Protocol",
+    "BSPgIntervalProtocol",
+    "AlgorithmBProtocol",
+    "ImmediateProtocol",
+]
+
+
+def _batch_relation(p: int, batch: ArrivalTrace) -> HRelation:
+    length = (
+        batch.length
+        if batch.length is not None
+        else np.ones(batch.n, dtype=np.int64)
+    )
+    return HRelation(p=p, src=batch.src, dest=batch.dest, length=length)
+
+
+class Protocol:
+    """A batching protocol: fixed interval length + a service-time model."""
+
+    def __init__(self, params: MachineParams, w: int) -> None:
+        self.params = params
+        self.w = w
+
+    @property
+    def interval(self) -> int:
+        """Batch interval length in steps."""
+        raise NotImplementedError
+
+    def service_time(self, batch: ArrivalTrace) -> float:
+        """Time to route one batch once it starts."""
+        raise NotImplementedError
+
+
+class BSPgIntervalProtocol(Protocol):
+    """Theorem 6.5's BSP(g) protocol: route each interval's batch as a
+    single h-relation costing ``max(g·max(x̄, ȳ), L)``."""
+
+    @property
+    def interval(self) -> int:
+        g, L = self.params.g, self.params.L
+        return int(max(g * math.ceil(self.w / g), L))
+
+    def service_time(self, batch: ArrivalTrace) -> float:
+        if batch.n == 0:
+            return 0.0
+        rel = _batch_relation(self.params.p, batch)
+        return max(self.params.g * max(rel.x_bar, rel.y_bar), self.params.L)
+
+
+class AlgorithmBProtocol(Protocol):
+    """Theorem 6.7's Algorithm B on the BSP(m)."""
+
+    def __init__(
+        self,
+        params: MachineParams,
+        w: int,
+        alpha: float,
+        epsilon: float = 0.25,
+        penalty: PenaltyFunction = EXPONENTIAL,
+        seed: SeedLike = None,
+        sender: Callable = unbalanced_send,
+    ) -> None:
+        super().__init__(params, w)
+        params.require_m()
+        self.alpha = alpha
+        self.epsilon = epsilon
+        self.penalty = penalty
+        self.sender = sender
+        self._rng = as_generator(seed)
+
+    @property
+    def interval(self) -> int:
+        return int(max(self.w, self.params.L))
+
+    def stability_frontier(self, r: float = 0.01) -> Tuple[float, float]:
+        """Theorem 6.7's admissible rates ``(alpha_max, beta_max)`` for this
+        protocol instance.
+
+        With a sender completing in ``max(a·n/m, b·x̄, b·ȳ)`` w.h.p.
+        (Unbalanced-Send: ``a = 1 + eps``, ``b = 1``) and slack
+        ``u = floor(1.21 r w) + 1``, the theorem admits
+        ``alpha <= m/a − m·u/(w·a)`` and ``beta <= 1/b − u/(w·b)``.
+        """
+        from repro.dynamic.queueing import required_u
+
+        m = self.params.require_m()
+        a = 1.0 + self.epsilon
+        b = 1.0
+        u = required_u(self.w, r)
+        alpha_max = m / a - m * u / (self.w * a)
+        beta_max = 1.0 / b - u / (self.w * b)
+        return max(0.0, alpha_max), max(0.0, beta_max)
+
+    def service_time(self, batch: ArrivalTrace) -> float:
+        if batch.n == 0:
+            return 0.0
+        m = self.params.require_m()
+        rel = _batch_relation(self.params.p, batch)
+        # n is the adversary's interval budget — known a priori, so tau = 0.
+        n_known = max(rel.n, int(math.ceil(self.alpha * self.w)))
+        sched = self.sender(rel, m, self.epsilon, seed=self._rng, n=n_known)
+        report = evaluate_schedule(
+            sched, m=m, L=self.params.L, penalty=self.penalty
+        )
+        return report.superstep_cost
+
+
+class ImmediateProtocol(Protocol):
+    """The §3 "send immediately" strawman on the BSP(m).
+
+    The paper contrasts the multiple-channel model with its own: "consider
+    the algorithm where every processor attempts to send a message at every
+    time step until it is successful.  In the multiple channel model, if
+    more than m processors have messages to send, this algorithm never
+    terminates.  In our model, the algorithm is successful after one
+    (possibly very slow) step."  This protocol is that algorithm: every
+    arrival is injected the moment it appears, with no staggering.  Each
+    wall-clock step ``t`` with ``m_t`` injections elapses ``f_m(m_t)``
+    model time — so the system always drains (our model's guarantee), but
+    bursts cost the exponential penalty that Algorithm B's batching is
+    designed to avoid.
+
+    The protocol is expressed in the batching framework with interval 1:
+    a "batch" is one step's arrivals and its service time is that single
+    injection burst's penalty charge.
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        penalty: PenaltyFunction = EXPONENTIAL,
+    ) -> None:
+        super().__init__(params, w=1)
+        params.require_m()
+        self.penalty = penalty
+
+    @property
+    def interval(self) -> int:
+        return 1
+
+    def service_time(self, batch: ArrivalTrace) -> float:
+        if batch.n == 0:
+            return 0.0
+        m = self.params.require_m()
+        flits = batch.flits
+        return float(max(self.penalty.scalar(flits, m), 1.0))

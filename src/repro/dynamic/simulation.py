@@ -1,0 +1,163 @@
+"""Infinite-time-line simulation of a batching protocol under an adversary.
+
+The simulator plays an :class:`~repro.dynamic.adversary.ArrivalTrace`
+against a :class:`~repro.dynamic.protocols.Protocol`: arrivals accumulate,
+the protocol serves interval batches FIFO, and we record per-batch waiting
+times plus the backlog (undelivered messages) sampled at every interval
+boundary.  Stability is judged the way the paper defines it — bounded
+expected backlog — operationalized as the slope of the backlog over the
+second half of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.dynamic.adversary import ArrivalTrace
+from repro.dynamic.protocols import Protocol
+
+__all__ = ["BatchRecord", "DynamicResult", "run_dynamic"]
+
+
+@dataclass
+class BatchRecord:
+    """One served interval batch."""
+
+    index: int
+    n: int
+    ready_at: float  # end of the arrival interval (t1 in the paper)
+    start: float  # max(t1, previous finish) (t2 handling)
+    finish: float
+
+    @property
+    def service(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def sojourn(self) -> float:
+        """Time from interval end to completion — the paper's service time
+        of an arrival in the equivalent FIFO system."""
+        return self.finish - self.ready_at
+
+
+@dataclass
+class DynamicResult:
+    """Outcome of a dynamic run."""
+
+    horizon: int
+    interval: int
+    batches: List[BatchRecord]
+    backlog_times: np.ndarray
+    backlog: np.ndarray
+
+    @property
+    def max_backlog(self) -> int:
+        return int(self.backlog.max()) if self.backlog.size else 0
+
+    @property
+    def final_backlog(self) -> int:
+        return int(self.backlog[-1]) if self.backlog.size else 0
+
+    @property
+    def mean_sojourn(self) -> float:
+        done = [b.sojourn for b in self.batches if b.n > 0]
+        return float(np.mean(done)) if done else 0.0
+
+    def backlog_slope(self) -> float:
+        """Least-squares slope of backlog vs. time over the run's second
+        half — ~0 for stable systems, ~(arrival - service) rate for
+        unstable ones."""
+        if self.backlog.size < 4:
+            return 0.0
+        half = self.backlog.size // 2
+        t = self.backlog_times[half:].astype(np.float64)
+        b = self.backlog[half:].astype(np.float64)
+        t = t - t.mean()
+        denom = float(np.dot(t, t))
+        if denom == 0:
+            return 0.0
+        return float(np.dot(t, b - b.mean()) / denom)
+
+    def is_stable(self, slope_tol: float = 1e-3) -> bool:
+        """Backlog not growing (slope below ``slope_tol`` messages/step)."""
+        return self.backlog_slope() <= slope_tol
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (series included as plain lists)."""
+        return {
+            "horizon": self.horizon,
+            "interval": self.interval,
+            "n_batches": len(self.batches),
+            "max_backlog": self.max_backlog,
+            "final_backlog": self.final_backlog,
+            "mean_sojourn": self.mean_sojourn,
+            "backlog_slope": self.backlog_slope(),
+            "stable": self.is_stable(),
+            "backlog_times": [float(t) for t in self.backlog_times],
+            "backlog": [int(b) for b in self.backlog],
+        }
+
+    def render_timeline(self, width: int = 50, rows: int = 12) -> str:
+        """ASCII backlog-over-time sketch."""
+        if not self.backlog.size:
+            return "(no samples)"
+        step = max(1, self.backlog.size // rows)
+        peak = max(1, int(self.backlog.max()))
+        lines = [
+            f"backlog over time (interval={self.interval}, "
+            f"slope={self.backlog_slope():+.4f}/step, "
+            f"{'stable' if self.is_stable() else 'UNSTABLE'})"
+        ]
+        for i in range(0, self.backlog.size, step):
+            t = int(self.backlog_times[i])
+            b = int(self.backlog[i])
+            bar = "#" * int(round(width * b / peak))
+            lines.append(f"t={t:>9} | {b:>8} {bar}")
+        return "\n".join(lines)
+
+
+def run_dynamic(protocol: Protocol, trace: ArrivalTrace) -> DynamicResult:
+    """Serve ``trace`` with ``protocol`` and measure backlog over time.
+
+    Interval ``i`` covers steps ``[i*I, (i+1)*I)``; its batch becomes ready
+    at ``(i+1)*I`` and starts at ``max(ready, previous finish)`` — the
+    paper's Algorithm B schedule.  Backlog at time ``t`` counts messages
+    that have arrived by ``t`` but belong to batches not yet finished.
+    """
+    interval = protocol.interval
+    horizon = trace.horizon
+    n_intervals = max(1, -(-horizon // interval))
+
+    batches: List[BatchRecord] = []
+    finish_prev = 0.0
+    for i in range(n_intervals):
+        start_t, end_t = i * interval, min((i + 1) * interval, horizon)
+        batch = trace.window(start_t, end_t)
+        ready = float(end_t)
+        start = max(ready, finish_prev)
+        service = protocol.service_time(batch) if batch.n else 0.0
+        finish = start + service
+        batches.append(
+            BatchRecord(index=i, n=batch.n, ready_at=ready, start=start, finish=finish)
+        )
+        finish_prev = finish
+
+    # Backlog sampled at interval boundaries strictly within the horizon —
+    # sampling after the last batch drains would mask instability (an
+    # unstable system also empties eventually once arrivals stop).
+    sample_times = [float(k * interval) for k in range(1, n_intervals + 1)]
+    arrivals_csum = np.searchsorted(trace.t, np.asarray(sample_times), side="right")
+    backlog = np.zeros(len(sample_times), dtype=np.int64)
+    for idx, t_s in enumerate(sample_times):
+        served = sum(b.n for b in batches if b.finish <= t_s)
+        backlog[idx] = int(arrivals_csum[idx]) - served
+    return DynamicResult(
+        horizon=horizon,
+        interval=interval,
+        batches=batches,
+        backlog_times=np.asarray(sample_times),
+        backlog=backlog,
+    )

@@ -1,0 +1,190 @@
+"""Programmatic experiment registry.
+
+The pytest benchmarks regenerate the paper's artifacts with assertions; this
+module exposes the same experiments as plain functions returning JSON-ready
+dicts, for scripting and for the CLI (``python -m repro experiment <name>
+[--json out.json]``).  Every experiment takes explicit parameters with the
+benchmark defaults and is deterministic under its ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+import numpy as np
+
+from repro.core.params import MachineParams
+
+__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]
+
+
+def table1_measured(p: int = 256, m: int = 16, L: float = 8.0, seed: int = 0) -> Dict[str, Any]:
+    """Measured model times for the Table-1 problems on all four models."""
+    from repro import BSPg, BSPm, QSMg, QSMm
+    from repro.algorithms import broadcast, one_to_all, summation
+
+    local, global_ = MachineParams.matched_pair(p=p, m=m, L=L)
+    machines = {
+        "qsm_m": QSMm(global_),
+        "qsm_g": QSMg(local),
+        "bsp_m": BSPm(global_),
+        "bsp_g": BSPg(local),
+    }
+    out: Dict[str, Any] = {"p": p, "m": m, "L": L, "g": local.g, "times": {}}
+    for prob, runner in {
+        "one_to_all": lambda mach: one_to_all(mach).time,
+        "broadcast": lambda mach: broadcast(mach, 1).time,
+        "summation": lambda mach: summation(mach, [1.0] * p)[0].time,
+    }.items():
+        out["times"][prob] = {}
+        for name, mach in machines.items():
+            mach.shared_memory.clear()
+            out["times"][prob][name] = runner(mach)
+    return out
+
+
+def unbalanced_send_vs_optimal(
+    p: int = 1024, m: int = 128, n: int = 60_000, epsilon: float = 0.2,
+    trials: int = 25, seed: int = 0,
+) -> Dict[str, Any]:
+    """Theorem 6.2: Unbalanced-Send ratio to the offline optimum across the
+    benchmark's four workload shapes."""
+    from repro.scheduling import (
+        bsp_g_routing_time,
+        evaluate_schedule,
+        offline_optimal_schedule,
+        unbalanced_send,
+    )
+    from repro.workloads import (
+        balanced_h_relation,
+        one_to_all_relation,
+        uniform_random_relation,
+        zipf_h_relation,
+    )
+
+    g = p / m
+    cases = {
+        "balanced": balanced_h_relation(p, max(1, n // p), seed=seed),
+        "uniform": uniform_random_relation(p, n, seed=seed + 1),
+        "zipf": zipf_h_relation(p, n, alpha=1.2, seed=seed + 2),
+        "one_to_all": one_to_all_relation(p),
+    }
+    out: Dict[str, Any] = {"p": p, "m": m, "epsilon": epsilon, "workloads": {}}
+    for name, rel in cases.items():
+        opt = evaluate_schedule(offline_optimal_schedule(rel, m), m=m)
+        ratios = []
+        overloads = 0
+        for t in range(trials):
+            rep = evaluate_schedule(unbalanced_send(rel, m, epsilon, seed=seed + t), m=m)
+            ratios.append(rep.completion_time / opt.completion_time)
+            overloads += rep.overloaded
+        out["workloads"][name] = {
+            "optimal": opt.completion_time,
+            "mean_ratio": float(np.mean(ratios)),
+            "max_ratio": float(np.max(ratios)),
+            "overload_rate": overloads / trials,
+            "bsp_g_ratio": bsp_g_routing_time(rel, g) / opt.completion_time,
+        }
+    return out
+
+
+def dynamic_stability(
+    p: int = 256, m: int = 16, L: float = 8.0, w: int = 128,
+    horizon: int = 20_000, seed: int = 0,
+) -> Dict[str, Any]:
+    """Theorems 6.5/6.7: the single-source flood sweep."""
+    from repro.dynamic import (
+        AlgorithmBProtocol,
+        BSPgIntervalProtocol,
+        SingleTargetAdversary,
+        run_dynamic,
+    )
+
+    local, global_ = MachineParams.matched_pair(p=p, m=m, L=L)
+    g = local.g
+    out: Dict[str, Any] = {"p": p, "m": m, "g": g, "w": w, "sweep": []}
+    for beta_g in (0.5, 1.1, 2.0, 4.0):
+        beta = beta_g / g
+        trace = SingleTargetAdversary(p, w, beta=beta).generate(horizon, seed=seed)
+        res_g = run_dynamic(BSPgIntervalProtocol(local, w), trace)
+        res_m = run_dynamic(
+            AlgorithmBProtocol(global_, w, alpha=beta, epsilon=0.25, seed=seed + 1),
+            trace,
+        )
+        out["sweep"].append(
+            {
+                "beta_times_g": beta_g,
+                "theory_slope": beta - 1 / g,
+                "bsp_g": {"slope": res_g.backlog_slope(), "stable": res_g.is_stable()},
+                "algorithm_b": {"slope": res_m.backlog_slope(), "stable": res_m.is_stable()},
+            }
+        )
+    return out
+
+
+def leader_recognition_gap(m: int = 8, seed: int = 0) -> Dict[str, Any]:
+    """Theorem 5.2: the ER-vs-CR Leader Recognition gap across p."""
+    from repro.concurrent_read import leader_recognition_pramm, leader_recognition_qsm_m
+    from repro.theory.bounds import er_cr_pramm_separation
+
+    out: Dict[str, Any] = {"m": m, "sweep": []}
+    for p in (128, 256, 512, 1024):
+        leader = p // 3
+        t_pram = leader_recognition_pramm(p, leader)[0].time
+        t_qsm = leader_recognition_qsm_m(p, leader, m=m)[0].time
+        out["sweep"].append(
+            {
+                "p": p,
+                "pramm_time": t_pram,
+                "qsm_m_time": t_qsm,
+                "measured_gap": t_qsm / t_pram,
+                "paper_separation": er_cr_pramm_separation(p, m),
+            }
+        )
+    return out
+
+
+def self_scheduling_transfer_experiment(
+    p: int = 1024, m: int = 128, epsilon: float = 0.15, trials: int = 15, seed: int = 0
+) -> Dict[str, Any]:
+    """Section 2: the self-scheduling metric realized within (1+eps)."""
+    from repro.algorithms import self_scheduling_transfer
+    from repro.workloads import uniform_random_relation, zipf_h_relation
+
+    out: Dict[str, Any] = {"p": p, "m": m, "epsilon": epsilon, "workloads": {}}
+    for name, rel in {
+        "uniform": uniform_random_relation(p, 50_000, seed=seed),
+        "zipf": zipf_h_relation(p, 50_000, alpha=1.2, seed=seed + 1),
+    }.items():
+        ratios = [
+            self_scheduling_transfer(rel, m, epsilon=epsilon, seed=seed + t)[2]
+            for t in range(trials)
+        ]
+        out["workloads"][name] = {
+            "mean_ratio": float(np.mean(ratios)),
+            "max_ratio": float(np.max(ratios)),
+        }
+    return out
+
+
+#: name -> callable returning a JSON-ready dict
+EXPERIMENTS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "table1_measured": table1_measured,
+    "unbalanced_send": unbalanced_send_vs_optimal,
+    "dynamic_stability": dynamic_stability,
+    "leader_gap": leader_recognition_gap,
+    "self_scheduling": self_scheduling_transfer_experiment,
+}
+
+
+def list_experiments() -> List[str]:
+    """Registered experiment names."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(name: str, **kwargs) -> Dict[str, Any]:
+    """Run a registered experiment; unknown names raise :class:`KeyError`
+    with the available choices."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; choose from {list_experiments()}")
+    return EXPERIMENTS[name](**kwargs)

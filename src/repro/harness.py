@@ -1,0 +1,224 @@
+"""Command-line experiment harness: ``python -m repro <command>``.
+
+Gives downstream users the paper's experiments without writing code:
+
+``table1``
+    Print the analytic Table 1 at a chosen parameter point.
+``measure``
+    Run the Table-1 algorithms on all four machine models and print the
+    measured model times (the executable Table 1).
+``schedule``
+    Schedule a chosen workload with every sender and print the Section-6
+    comparison (optimal / randomized / grouped / naive / BSP(g)).
+``dynamic``
+    Run the Theorem 6.5 vs Theorem 6.7 stability experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict
+
+from repro.core.params import MachineParams
+from repro.util.reporting import Table
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.theory import render_table1
+
+    print(render_table1(p=args.p, L=args.L, m=args.m))
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    from repro import BSPg, BSPm, QSMg, QSMm
+    from repro.algorithms import broadcast, one_to_all, summation
+
+    local, global_ = MachineParams.matched_pair(p=args.p, m=args.m, L=args.L)
+    machines = {
+        "QSM(m)": QSMm(global_),
+        "QSM(g)": QSMg(local),
+        "BSP(m)": BSPm(global_),
+        "BSP(g)": BSPg(local),
+    }
+    problems: Dict[str, Callable] = {
+        "one-to-all": lambda mach: one_to_all(mach).time,
+        "broadcast": lambda mach: broadcast(mach, 1).time,
+        "summation": lambda mach: summation(mach, [1.0] * args.p)[0].time,
+    }
+    table = Table(
+        ["problem"] + list(machines),
+        title=f"measured model times (p = n = {args.p}, m = {args.m}, "
+        f"g = {local.g:g}, L = {args.L:g})",
+    )
+    for name, run in problems.items():
+        row = [name]
+        for mach_name, mach in machines.items():
+            mach.shared_memory.clear()
+            row.append(run(mach))
+        table.add_row(row)
+    print(table.render())
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.scheduling import (
+        bsp_g_routing_time,
+        evaluate_schedule,
+        grouped_schedule,
+        naive_schedule,
+        offline_optimal_schedule,
+        unbalanced_consecutive_send,
+        unbalanced_granular_send,
+        unbalanced_send,
+    )
+    from repro.workloads import (
+        balanced_h_relation,
+        one_to_all_relation,
+        uniform_random_relation,
+        zipf_h_relation,
+    )
+
+    makers = {
+        "balanced": lambda: balanced_h_relation(args.p, max(1, args.n // args.p), seed=args.seed),
+        "uniform": lambda: uniform_random_relation(args.p, args.n, seed=args.seed),
+        "zipf": lambda: zipf_h_relation(args.p, args.n, alpha=args.alpha, seed=args.seed),
+        "one-to-all": lambda: one_to_all_relation(args.p),
+    }
+    rel = makers[args.workload]()
+    g = args.p / args.m
+    schedulers = {
+        "offline optimal": lambda: offline_optimal_schedule(rel, args.m),
+        "unbalanced-send": lambda: unbalanced_send(rel, args.m, args.epsilon, seed=args.seed),
+        "consecutive": lambda: unbalanced_consecutive_send(rel, args.m, args.epsilon, seed=args.seed),
+        "granular": lambda: unbalanced_granular_send(rel, args.m, seed=args.seed),
+        "grouped (g-emulation)": lambda: grouped_schedule(rel, args.m),
+        "naive": lambda: naive_schedule(rel),
+    }
+    table = Table(
+        ["scheduler", "span", "completion", "T/OPT", "overloaded slots"],
+        title=(
+            f"workload={args.workload} p={args.p} n={rel.n} m={args.m} "
+            f"(x̄={rel.x_bar}, ȳ={rel.y_bar}, imbalance={rel.imbalance():.1f})"
+        ),
+    )
+    for name, make in schedulers.items():
+        rep = evaluate_schedule(make(), m=args.m)
+        table.add_row([name, rep.span, rep.completion_time, round(rep.ratio, 3), rep.overloaded_slots])
+    print(table.render())
+    print(f"\nBSP(g) comparison (Proposition 6.1): {bsp_g_routing_time(rel, g):g}")
+    return 0
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    from repro.dynamic import (
+        AlgorithmBProtocol,
+        BSPgIntervalProtocol,
+        SingleTargetAdversary,
+        run_dynamic,
+    )
+
+    local, global_ = MachineParams.matched_pair(p=args.p, m=args.m, L=args.L)
+    g = local.g
+    table = Table(
+        ["beta·g", "BSP(g) slope", "BSP(g)", "AlgB slope", "AlgB"],
+        title=f"single-source flood stability (p={args.p}, m={args.m}, g={g:g}, w={args.window})",
+    )
+    for beta_g in (0.5, 1.5, 3.0):
+        beta = beta_g / g
+        trace = SingleTargetAdversary(args.p, args.window, beta=beta).generate(
+            args.horizon, seed=args.seed
+        )
+        res_g = run_dynamic(BSPgIntervalProtocol(local, args.window), trace)
+        res_m = run_dynamic(
+            AlgorithmBProtocol(global_, args.window, alpha=beta, seed=args.seed), trace
+        )
+        table.add_row(
+            [beta_g, round(res_g.backlog_slope(), 5),
+             "stable" if res_g.is_stable() else "UNSTABLE",
+             round(res_m.backlog_slope(), 5),
+             "stable" if res_m.is_stable() else "UNSTABLE"]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments import list_experiments, run_experiment
+
+    if args.name == "list":
+        for name in list_experiments():
+            print(name)
+        return 0
+    result = run_experiment(args.name, seed=args.seed)
+    text = json.dumps(result, indent=2, default=float)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.json}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (subcommands: table1, measure,
+    schedule, dynamic)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Experiment harness for the SPAA'97 bandwidth-models reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="print the analytic Table 1")
+    t1.add_argument("--p", type=int, default=4096)
+    t1.add_argument("--m", type=int, default=256)
+    t1.add_argument("--L", type=float, default=4.0)
+    t1.set_defaults(func=_cmd_table1)
+
+    me = sub.add_parser("measure", help="measured Table 1 on all four models")
+    me.add_argument("--p", type=int, default=256)
+    me.add_argument("--m", type=int, default=16)
+    me.add_argument("--L", type=float, default=8.0)
+    me.set_defaults(func=_cmd_measure)
+
+    sc = sub.add_parser("schedule", help="compare the Section 6 senders on a workload")
+    sc.add_argument("--workload", choices=["balanced", "uniform", "zipf", "one-to-all"], default="zipf")
+    sc.add_argument("--p", type=int, default=1024)
+    sc.add_argument("--n", type=int, default=100_000)
+    sc.add_argument("--m", type=int, default=64)
+    sc.add_argument("--alpha", type=float, default=1.2)
+    sc.add_argument("--epsilon", type=float, default=0.15)
+    sc.add_argument("--seed", type=int, default=0)
+    sc.set_defaults(func=_cmd_schedule)
+
+    dy = sub.add_parser("dynamic", help="Theorem 6.5 vs 6.7 stability experiment")
+    dy.add_argument("--p", type=int, default=256)
+    dy.add_argument("--m", type=int, default=16)
+    dy.add_argument("--L", type=float, default=8.0)
+    dy.add_argument("--window", type=int, default=128)
+    dy.add_argument("--horizon", type=int, default=20_000)
+    dy.add_argument("--seed", type=int, default=0)
+    dy.set_defaults(func=_cmd_dynamic)
+
+    ex = sub.add_parser(
+        "experiment",
+        help="run a registered experiment and print/save its JSON record",
+    )
+    ex.add_argument("name", help='"list" to enumerate, or an experiment name')
+    ex.add_argument("--seed", type=int, default=0)
+    ex.add_argument("--json", default=None, help="write the record to this file")
+    ex.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

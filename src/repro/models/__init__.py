@@ -1,0 +1,45 @@
+"""Concrete machine models.
+
+Message passing:
+
+* :class:`BSPg` — Valiant's BSP with per-processor gap ``g`` (locally limited).
+* :class:`BSPm` — the paper's globally-limited BSP with aggregate bandwidth
+  ``m`` and a pluggable overload penalty ``f_m``.
+* :class:`SelfSchedulingBSPm` — the simplified metric ``max(w, h, n/m, L)``.
+
+Shared memory:
+
+* :class:`QSMg` — the Queuing Shared Memory model with gap ``g``.
+* :class:`QSMm` — its globally-limited counterpart.
+
+PRAM substrate:
+
+* :class:`PRAM` — synchronous EREW / QRQW / Arbitrary-CRCW PRAM.
+* :class:`PRAMm` — the CRCW PRAM(m) of Mansour–Nisan–Vishkin: ``m`` shared
+  cells plus a free concurrently-readable ROM holding the input.
+"""
+
+from repro.models.bsp_g import BSPg
+from repro.models.bsp_m import BSPm
+from repro.models.self_scheduling import SelfSchedulingBSPm
+from repro.models.qsm_g import QSMg
+from repro.models.qsm_m import QSMm
+from repro.models.pram import PRAM, ConcurrencyRule
+from repro.models.pram_m import PRAMm
+from repro.models.logp import LogP
+from repro.models.two_level import TwoLevelBSP
+from repro.models.base import Machine
+
+__all__ = [
+    "Machine",
+    "BSPg",
+    "BSPm",
+    "SelfSchedulingBSPm",
+    "QSMg",
+    "QSMm",
+    "PRAM",
+    "PRAMm",
+    "ConcurrencyRule",
+    "LogP",
+    "TwoLevelBSP",
+]

@@ -1,0 +1,11 @@
+"""Re-export of the abstract :class:`~repro.core.engine.Machine`.
+
+The execution loop lives in :mod:`repro.core.engine`; concrete machines in
+this package only implement pricing.  This module exists so that user code
+can import the abstract base from the models package it conceptually belongs
+to.
+"""
+
+from repro.core.engine import Machine, ModelViolation, ProgramError
+
+__all__ = ["Machine", "ModelViolation", "ProgramError"]

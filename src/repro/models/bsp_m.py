@@ -1,0 +1,94 @@
+"""The globally-limited BSP(m) model (paper Section 2).
+
+At each time slot of a superstep every processor may inject at most one flit;
+the network absorbs up to ``m`` injections per slot, and slot ``t`` with
+``m_t`` injections is charged ``f_m(m_t)`` by a pluggable penalty function
+(linear for lower bounds, exponential for upper bounds).  A superstep costs
+
+.. math:: T = \\max(w, \\; h, \\; c_m, \\; L)
+
+where ``c_m`` prices the injection schedule.  See the timing note in
+:mod:`repro.core.engine` for why the engine's ``c_m`` counts idle slots
+inside the schedule span as elapsed time (exactly the paper's Section 6
+accounting); the literal ``sum_t f_m(m_t)`` is reported as
+``stats['c_m_paper']``.
+
+Unlike BSP(g), *when* a processor injects matters: programs control injection
+slots via ``ctx.send(..., slot=...)``, and the scheduling algorithms of
+Section 6 exist precisely to pick good slots when the communication pattern
+is unknown.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.costs import EXPONENTIAL, PenaltyFunction
+from repro.core.engine import Machine
+from repro.core.events import CostBreakdown, SuperstepRecord
+from repro.core.params import MachineParams
+
+__all__ = ["BSPm"]
+
+
+class BSPm(Machine):
+    """Bulk-Synchronous Parallel machine with aggregate bandwidth ``m``.
+
+    Parameters
+    ----------
+    params:
+        Machine parameters; ``params.m`` must be set.
+    penalty:
+        The overload charge ``f_m`` (default: the paper's upper-bound
+        exponential ``e^{m_t/m - 1}``).
+    """
+
+    uses_shared_memory = False
+    slot_limited = True
+
+    def __init__(
+        self, params: MachineParams, penalty: PenaltyFunction = EXPONENTIAL
+    ) -> None:
+        params.require_m()
+        super().__init__(params)
+        self.penalty = penalty
+
+    def _price(
+        self, record: SuperstepRecord
+    ) -> Tuple[float, CostBreakdown, Dict[str, float]]:
+        p = self.params.p
+        m = self.params.require_m()
+        w = max(record.work) if record.work else 0.0
+        s_max, r_max = self._max_per_proc_sends_recvs(record, p)
+        h = max(s_max, r_max)
+        flit_slots = self._flit_slots(record)
+        if flit_slots.size:
+            counts = np.bincount(flit_slots)
+            charges = self.penalty(counts, m)
+            comm = float(np.sum(np.maximum(charges, 1.0)))
+            c_m_paper = float(np.sum(charges))
+            span = float(counts.size)
+            overloaded = int(np.sum(counts > m))
+            max_slot_load = int(counts.max())
+        else:
+            comm = c_m_paper = span = 0.0
+            overloaded = 0
+            max_slot_load = 0
+        L = self.params.L
+        breakdown = CostBreakdown(
+            work=w, local_band=float(h), global_band=comm, latency=L
+        )
+        cost = breakdown.total()
+        stats = {
+            "h": float(h),
+            "w": w,
+            "n": float(record.total_flits),
+            "c_m": comm,
+            "c_m_paper": c_m_paper,
+            "span": span,
+            "overloaded_slots": float(overloaded),
+            "max_slot_load": float(max_slot_load),
+        }
+        return cost, breakdown, stats

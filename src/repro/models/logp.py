@@ -1,0 +1,105 @@
+"""The LOGP model (Culler et al.), bulk-synchronous rendition.
+
+The paper's introduction groups LOGP with the locally-limited models: each
+processor pays an *overhead* ``o`` per message sent or received and can
+inject at most one message per gap ``g``; the network imposes a *capacity
+constraint* — at most ``ceil(L/g)`` messages simultaneously in transit to
+or from any one processor — which the paper contrasts with the BSP(m)'s
+graded penalty ("unlike, e.g., the capacity constraints of the PRAM(m) and
+the LOGP, the BSP(m) ... impose[s] a penalty for overloading the network
+that grows with the amount of overload").
+
+To keep LOGP comparable to the other machines in this library we price a
+bulk-synchronous superstep the standard way LOGP costs are summarized:
+
+.. math::
+
+    T = \\max\\bigl(w, \\; \\max_i (s_i + r_i - 1) \\cdot \\max(g, o) + 2o + L\\bigr)
+
+(per processor: successive message submissions are ``max(g, o)`` apart,
+plus the first send's overhead, the last receive's overhead, and one
+network latency; see Culler et al.'s h-relation analysis).  The capacity
+constraint is enforced as a hard :class:`~repro.core.engine.ModelViolation`
+when any processor is the destination of more than ``ceil(L/g)`` messages
+injected in one time slot — the executable form of "no graded penalty:
+overloading is simply forbidden".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.engine import Machine, ModelViolation
+from repro.core.events import CostBreakdown, SuperstepRecord
+from repro.core.params import MachineParams
+
+__all__ = ["LogP"]
+
+
+class LogP(Machine):
+    """LOGP machine: latency ``L``, overhead ``o``, gap ``g``, ``P = p``.
+
+    ``params.o`` must be positive to be meaningfully LOGP; ``params.g`` is
+    the per-processor gap and ``params.L`` the latency.  The capacity
+    constraint ``ceil(L/g)`` per destination per slot can be disabled with
+    ``enforce_capacity=False``.
+    """
+
+    uses_shared_memory = False
+    slot_limited = False
+
+    def __init__(self, params: MachineParams, enforce_capacity: bool = True) -> None:
+        super().__init__(params)
+        self.enforce_capacity = enforce_capacity
+
+    @property
+    def capacity(self) -> int:
+        """The LOGP capacity constraint ``ceil(L/g)``."""
+        return max(1, math.ceil(self.params.L / self.params.g))
+
+    def _check_capacity(self, record: SuperstepRecord) -> None:
+        """At most ceil(L/g) messages may be in transit to one processor;
+        we check it per injection slot (messages injected together arrive
+        together in a bulk-synchronous step)."""
+        cap = self.capacity
+        in_flight: Dict[Tuple[int, int], int] = {}
+        for msg in record.messages:
+            slot = msg.slot if msg.slot is not None else 0
+            key = (msg.dest, slot)
+            in_flight[key] = in_flight.get(key, 0) + msg.size
+            if in_flight[key] > cap:
+                raise ModelViolation(
+                    f"LOGP capacity exceeded: {in_flight[key]} messages in "
+                    f"transit to processor {msg.dest} at slot {slot} "
+                    f"(capacity ceil(L/g) = {cap})"
+                )
+
+    def _price(
+        self, record: SuperstepRecord
+    ) -> Tuple[float, CostBreakdown, Dict[str, float]]:
+        if self.enforce_capacity:
+            self._check_capacity(record)
+        p = self.params.p
+        g, o, L = self.params.g, self.params.o, self.params.L
+        w = max(record.work) if record.work else 0.0
+        sends = record.sends_by_proc(p)
+        recvs = record.recvs_by_proc(p)
+        per_proc_msgs = max(
+            (s + r for s, r in zip(sends, recvs)), default=0
+        )
+        if per_proc_msgs > 0:
+            comm = (per_proc_msgs - 1) * max(g, o) + 2 * o + L
+        else:
+            comm = 0.0
+        breakdown = CostBreakdown(work=w, local_band=comm, latency=L if per_proc_msgs else 0.0)
+        cost = max(w, comm)
+        stats = {
+            "h": float(max(max(sends, default=0), max(recvs, default=0))),
+            "w": w,
+            "n": float(record.total_flits),
+            "per_proc_msgs": float(per_proc_msgs),
+        }
+        return cost, breakdown, stats

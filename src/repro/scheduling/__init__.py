@@ -1,0 +1,74 @@
+"""Section 6 scheduling: routing unbalanced h-relations through aggregate
+bandwidth.
+
+The static senders (:func:`unbalanced_send`,
+:func:`unbalanced_consecutive_send`, :func:`unbalanced_granular_send`, and
+the long-message/overhead variants) pick randomized injection slots so that
+w.h.p. no time slot exceeds the aggregate bandwidth ``m``, beating the best
+possible locally-limited time by ``Theta(g)`` under send skew.  Baselines
+(:func:`offline_optimal_schedule`, :func:`naive_schedule`,
+:func:`grouped_schedule`) bracket them from below and above, and
+:func:`evaluate_schedule` prices everything under a pluggable overload
+penalty.
+"""
+
+from repro.scheduling.schedule import Schedule, flit_offsets, expand_per_flit
+from repro.scheduling.static_send import (
+    unbalanced_send,
+    unbalanced_consecutive_send,
+    send_window,
+    per_proc_flit_ranks,
+)
+from repro.scheduling.granular import unbalanced_granular_send
+from repro.scheduling.long_messages import (
+    unbalanced_send_long,
+    unbalanced_send_with_overhead,
+)
+from repro.scheduling.offline import (
+    offline_optimal_schedule,
+    offline_consecutive_schedule,
+    offline_lower_bound,
+)
+from repro.scheduling.naive import naive_schedule, grouped_schedule
+from repro.scheduling.analysis import (
+    ScheduleReport,
+    evaluate_schedule,
+    bsp_g_routing_time,
+)
+from repro.scheduling.execute import route, execute_schedule, delivery_counts
+from repro.scheduling.rounds import BatchedRoute, split_by_receive_buffer, route_in_batches
+from repro.scheduling.prefix_broadcast import (
+    sum_and_broadcast,
+    sum_and_broadcast_program,
+    tau_bound,
+)
+
+__all__ = [
+    "Schedule",
+    "flit_offsets",
+    "expand_per_flit",
+    "unbalanced_send",
+    "unbalanced_consecutive_send",
+    "send_window",
+    "per_proc_flit_ranks",
+    "unbalanced_granular_send",
+    "unbalanced_send_long",
+    "unbalanced_send_with_overhead",
+    "offline_optimal_schedule",
+    "offline_consecutive_schedule",
+    "offline_lower_bound",
+    "naive_schedule",
+    "grouped_schedule",
+    "ScheduleReport",
+    "evaluate_schedule",
+    "bsp_g_routing_time",
+    "sum_and_broadcast",
+    "sum_and_broadcast_program",
+    "tau_bound",
+    "route",
+    "execute_schedule",
+    "delivery_counts",
+    "BatchedRoute",
+    "split_by_receive_buffer",
+    "route_in_batches",
+]

@@ -1,0 +1,178 @@
+"""Vectorized schedule evaluation under the BSP(m) cost metric.
+
+This is the fast path of the library: given a :class:`Schedule` it computes
+the per-slot injection histogram with one ``bincount`` and prices it under
+any penalty family, producing a :class:`ScheduleReport` with the quantities
+Theorems 6.2–6.4 bound:
+
+* ``comm_time`` — elapsed communication time: every slot in the schedule's
+  span takes at least one time unit, overloaded slots take ``f_m(m_t)``
+  (see the timing note in :mod:`repro.core.engine`);
+* ``superstep_cost`` — ``max(h, comm_time, L)``, the BSP(m) superstep charge;
+* ``completion_time`` — ``superstep_cost + tau`` where ``tau`` is the cost
+  of computing/broadcasting ``n`` (0 when ``n`` is known a priori);
+* ``optimal_time`` — the offline bound ``max(n/m, x̄, ȳ, L)``;
+* ``ratio`` — completion over optimal: the empirical ``(1 + eps)`` factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.costs import EXPONENTIAL, PenaltyFunction
+from repro.core.params import MachineParams
+from repro.scheduling.schedule import Schedule
+from repro.util.validation import check_nonnegative, check_positive
+from repro.workloads.relations import HRelation
+
+__all__ = ["ScheduleReport", "evaluate_schedule", "bsp_g_routing_time"]
+
+
+@dataclass
+class ScheduleReport:
+    """Priced outcome of one schedule on a BSP(m)."""
+
+    algorithm: str
+    n: int
+    m: int
+    x_bar: int
+    y_bar: int
+    span: int
+    comm_time: float
+    c_m_paper: float
+    overloaded_slots: int
+    max_slot_load: int
+    superstep_cost: float
+    tau: float
+    completion_time: float
+    optimal_time: float
+
+    @property
+    def ratio(self) -> float:
+        """Completion time over the offline optimum (>= 1 up to ties)."""
+        if self.optimal_time == 0:
+            return 1.0
+        return self.completion_time / self.optimal_time
+
+    @property
+    def overloaded(self) -> bool:
+        """True when any slot exceeded the aggregate bandwidth."""
+        return self.overloaded_slots > 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready record (for experiment logs / CI tracking)."""
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "m": self.m,
+            "x_bar": self.x_bar,
+            "y_bar": self.y_bar,
+            "span": self.span,
+            "comm_time": self.comm_time,
+            "c_m_paper": self.c_m_paper,
+            "overloaded_slots": self.overloaded_slots,
+            "max_slot_load": self.max_slot_load,
+            "superstep_cost": self.superstep_cost,
+            "tau": self.tau,
+            "completion_time": self.completion_time,
+            "optimal_time": self.optimal_time,
+            "ratio": self.ratio,
+        }
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        over = (
+            f"{self.overloaded_slots} overloaded slots (max load "
+            f"{self.max_slot_load} > m={self.m})"
+            if self.overloaded
+            else "no overloaded slots"
+        )
+        return (
+            f"{self.algorithm}: {self.n} flits through m={self.m} in "
+            f"{self.completion_time:g} time "
+            f"({self.ratio:.3f}x the offline optimum {self.optimal_time:g}); "
+            f"span {self.span}, x̄={self.x_bar}, ȳ={self.y_bar}, {over}"
+            + (f", tau={self.tau:g}" if self.tau else "")
+        )
+
+
+def evaluate_schedule(
+    sched: Schedule,
+    rel_or_params: "HRelation | MachineParams | None" = None,
+    *,
+    m: Optional[int] = None,
+    L: float = 0.0,
+    penalty: PenaltyFunction = EXPONENTIAL,
+    tau: float = 0.0,
+) -> ScheduleReport:
+    """Price ``sched`` on a BSP(m).
+
+    ``m`` and ``L`` come from an explicit :class:`MachineParams` (second
+    positional argument, for symmetry with the quickstart) or the keyword
+    arguments.  ``tau`` adds the prefix-sum/broadcast cost when the
+    scheduler had to compute ``n`` (use
+    :func:`repro.scheduling.prefix_broadcast.tau_bound` or a measured
+    value).
+    """
+    params: Optional[MachineParams] = None
+    if isinstance(rel_or_params, MachineParams):
+        params = rel_or_params
+    elif isinstance(rel_or_params, HRelation):
+        # Accepted for quickstart symmetry; the schedule already carries it.
+        if rel_or_params is not sched.rel and rel_or_params.n != sched.rel.n:
+            raise ValueError("relation does not match the schedule's relation")
+    if params is not None:
+        m = params.require_m() if m is None else m
+        L = params.L if L == 0.0 else L
+    if m is None:
+        raise ValueError("aggregate bandwidth m must be given (or via params)")
+    check_positive("m", m)
+    check_nonnegative("tau", tau)
+
+    rel = sched.rel
+    counts = sched.slot_counts()
+    span = sched.span
+    if counts.size:
+        charges = penalty(counts, m)
+        overload_mask = counts > m
+        comm = float(span) + float(np.sum(charges[overload_mask] - 1.0))
+        c_m_paper = float(np.sum(charges))
+        overloaded = int(np.sum(overload_mask))
+        max_load = int(counts.max())
+    else:
+        comm = c_m_paper = 0.0
+        overloaded = 0
+        max_load = 0
+
+    h = max(rel.x_bar, rel.y_bar)
+    superstep_cost = max(float(h), comm, float(L))
+    completion = superstep_cost + tau
+    optimal = max(rel.n / m, float(rel.x_bar), float(rel.y_bar), float(L))
+    return ScheduleReport(
+        algorithm=sched.algorithm,
+        n=rel.n,
+        m=int(m),
+        x_bar=rel.x_bar,
+        y_bar=rel.y_bar,
+        span=span,
+        comm_time=comm,
+        c_m_paper=c_m_paper,
+        overloaded_slots=overloaded,
+        max_slot_load=max_load,
+        superstep_cost=superstep_cost,
+        tau=float(tau),
+        completion_time=completion,
+        optimal_time=optimal,
+    )
+
+
+def bsp_g_routing_time(rel: HRelation, g: float, L: float = 0.0) -> float:
+    """Proposition 6.1: routing an h-relation on the BSP(g) takes
+    ``Theta(g(x̄+ȳ) + L)``; we return ``max(g*max(x̄, ȳ), L)`` — the exact
+    one-superstep BSP(g) charge — as the locally-limited comparison point."""
+    if g < 1:
+        raise ValueError(f"gap g must be >= 1, got {g}")
+    return max(g * max(rel.x_bar, rel.y_bar), L)

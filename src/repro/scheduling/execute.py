@@ -1,0 +1,112 @@
+"""Executing schedules on the engine — the scheduler↔machine bridge.
+
+The Section 6 senders produce :class:`~repro.scheduling.schedule.Schedule`
+objects that the vectorized evaluator prices directly.  This module closes
+the loop: :func:`route` turns a schedule into a real SPMD program, runs it
+on any message-passing machine, verifies that every flit arrived, and
+returns the engine's :class:`~repro.core.engine.RunResult` — whose cost
+must agree with the evaluator (a property pinned by the test suite).
+
+This is also the general *h-relation router* for the library: given a
+machine and a relation, pick the right discipline automatically —
+locally-limited machines need no scheduling (Proposition 6.1), globally-
+limited ones get Unbalanced-Send.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import Machine, RunResult
+from repro.scheduling.schedule import Schedule, expand_per_flit
+from repro.scheduling.static_send import unbalanced_send
+from repro.util.rng import SeedLike
+from repro.workloads.relations import HRelation
+
+__all__ = ["route", "execute_schedule", "delivery_counts"]
+
+
+def _flit_plan(sched: Schedule) -> List[List[Tuple[int, int, int]]]:
+    """Per-processor list of (slot, dest, flit_id) triples."""
+    rel = sched.rel
+    flit_src = sched.flit_src
+    flit_dest = expand_per_flit(rel.dest, rel.length)
+    plan: List[List[Tuple[int, int, int]]] = [[] for _ in range(rel.p)]
+    for k in range(rel.n):
+        plan[int(flit_src[k])].append(
+            (int(sched.flit_slots[k]), int(flit_dest[k]), k)
+        )
+    return plan
+
+
+def _routing_program(ctx, plan_entry):
+    for slot, dest, flit_id in plan_entry:
+        ctx.send(dest, flit_id, slot=slot)
+    yield
+    return [msg.payload for msg in ctx.receive()]
+
+
+def execute_schedule(machine: Machine, sched: Schedule) -> RunResult:
+    """Run a schedule on ``machine`` as one superstep and verify delivery.
+
+    Raises :class:`AssertionError`-free :class:`ValueError` if any flit is
+    lost or duplicated (this would be an engine bug — the check is the
+    library guarding its own invariants, not user error).
+    """
+    if machine.uses_shared_memory:
+        raise ValueError("schedules route point-to-point messages; use a BSP machine")
+    rel = sched.rel
+    if machine.params.p < rel.p:
+        raise ValueError(
+            f"machine has {machine.params.p} processors, relation needs {rel.p}"
+        )
+    plan = _flit_plan(sched)
+    res = machine.run(
+        _routing_program,
+        per_proc_args=[(plan[i],) for i in range(rel.p)],
+        nprocs=rel.p,
+    )
+    got = sorted(fid for received in res.results for fid in received)
+    if got != list(range(rel.n)):
+        raise ValueError(
+            f"delivery mismatch: {len(got)} of {rel.n} flits arrived"
+        )
+    return res
+
+
+def delivery_counts(res: RunResult, p: int) -> np.ndarray:
+    """Flits received per processor in an :func:`execute_schedule` run."""
+    out = np.zeros(p, dtype=np.int64)
+    for pid, received in enumerate(res.results):
+        if received:
+            out[pid] = len(received)
+    return out
+
+
+def route(
+    machine: Machine,
+    rel: HRelation,
+    *,
+    epsilon: float = 0.15,
+    seed: SeedLike = None,
+    scheduler: Optional[Callable[..., Schedule]] = None,
+) -> Tuple[RunResult, Schedule]:
+    """Route an h-relation on any message-passing machine.
+
+    On a globally-limited machine the flits are scheduled with
+    ``scheduler`` (default Unbalanced-Send, Theorem 6.2); on a
+    locally-limited machine no scheduling is needed (Proposition 6.1) and
+    everything is injected back-to-back.  Returns the engine result and
+    the schedule used.
+    """
+    if machine.params.m is not None:
+        sch = (scheduler or unbalanced_send)(
+            rel, machine.params.m, epsilon, seed=seed
+        )
+    else:
+        from repro.scheduling.naive import naive_schedule
+
+        sch = naive_schedule(rel)
+    return execute_schedule(machine, sch), sch

@@ -1,0 +1,126 @@
+"""Long-message and message-overhead senders (Section 6.1, closing remarks).
+
+Two refinements of Unbalanced-Send for messages whose flits must be injected
+in consecutive slots:
+
+* :func:`unbalanced_send_long` — run the cyclic Unbalanced-Send allocation
+  at flit granularity, then *unwrap* any message whose allocated chunk
+  crosses the window boundary: instead of wrapping to the window start, it
+  keeps going past the window end.  The additive cost over Unbalanced-Send
+  is at most ``l_hat``, the longest message — better than the ``x̄'``
+  additive term of Unbalanced-Consecutive-Send when messages are much
+  shorter than a processor's whole block.
+
+* :func:`unbalanced_send_with_overhead` — the LOGP-style scenario where a
+  processor pays a start-up gap ``o`` before each message.  Per the paper,
+  each message is prepended with a dummy chunk of ``o`` slots and the
+  long-message sender runs on the inflated relation, replacing ``n`` by
+  ``n' = (1 + o/l_bar) n``; the resulting bound is
+  ``(1+eps)(1+o/l_bar) n/m + l_hat + o``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.scheduling.schedule import Schedule, expand_per_flit, flit_offsets
+from repro.scheduling.static_send import per_proc_flit_ranks, send_window
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_nonnegative, check_positive
+from repro.workloads.relations import HRelation
+
+__all__ = ["unbalanced_send_long", "unbalanced_send_with_overhead"]
+
+
+def unbalanced_send_long(
+    rel: HRelation,
+    m: int,
+    epsilon: float = 0.1,
+    seed: SeedLike = None,
+    *,
+    n: Optional[int] = None,
+) -> Schedule:
+    """Wrap-avoiding Unbalanced-Send for variable-length messages.
+
+    Every message's flits occupy consecutive slots; span is at most
+    ``W + l_hat`` where ``W = (1+eps)n/m`` and ``l_hat`` is the longest
+    message.  Validity argument (per-processor slot uniqueness): a
+    processor's cyclic block is a set of distinct slots mod ``W``; unwrapping
+    a boundary-crossing message moves its tail from ``[0, tail)`` to
+    ``[W, W + tail)``, which no other of the processor's messages occupies.
+    """
+    check_positive("m", m)
+    rng = as_generator(seed)
+    total = rel.n if n is None else n
+    window = send_window(total, m, epsilon)
+
+    x = rel.sizes
+    flit_src = expand_per_flit(rel.src, rel.length)
+    flit_ranks = per_proc_flit_ranks(flit_src, rel.p)
+
+    starts_per_proc = rng.integers(0, window, size=rel.p)
+
+    # Per-message start = processor draw + within-processor flit prefix,
+    # taken modulo the window for in-window processors.
+    lengths = rel.length
+    msg_first_flit = np.cumsum(lengths) - lengths
+    msg_src = rel.src
+    msg_prefix = flit_ranks[msg_first_flit]  # flits before this message at its proc
+    in_window = x[msg_src] <= window
+    msg_start = np.where(
+        in_window,
+        (starts_per_proc[msg_src] + msg_prefix) % window,
+        msg_prefix,
+    )
+    # Unwrapped consecutive occupation: start + 0..len-1 (never wraps).
+    slots = expand_per_flit(msg_start, lengths) + flit_offsets(lengths)
+
+    overflow = in_window & (msg_start + lengths > window)
+    return Schedule(
+        rel=rel,
+        flit_slots=slots,
+        algorithm="unbalanced-send-long",
+        window=window,
+        meta={
+            "epsilon": float(epsilon),
+            "n_used": float(total),
+            "l_hat": float(rel.max_length),
+            "overflow_messages": float(int(np.sum(overflow))),
+            "oversized_procs": float(int(np.sum(x > window))),
+        },
+    )
+
+
+def unbalanced_send_with_overhead(
+    rel: HRelation,
+    m: int,
+    o: int,
+    epsilon: float = 0.1,
+    seed: SeedLike = None,
+) -> Tuple[Schedule, HRelation]:
+    """Long-message sending with per-message start-up overhead ``o``.
+
+    Returns ``(schedule, inflated_relation)``: the schedule is over the
+    inflated relation in which every message is prepended with ``o`` dummy
+    flits (the paper's conservative accounting charges the dummies against
+    the network too).  The real flits of message ``k`` are the *last*
+    ``rel.length[k]`` flits of inflated message ``k``.
+    """
+    check_nonnegative("o", o)
+    if o == 0:
+        sched = unbalanced_send_long(rel, m, epsilon, seed)
+        return sched, rel
+    inflated = HRelation(
+        p=rel.p,
+        src=rel.src.copy(),
+        dest=rel.dest.copy(),
+        length=rel.length + int(o),
+    )
+    sched = unbalanced_send_long(inflated, m, epsilon, seed)
+    sched.algorithm = "unbalanced-send-overhead"
+    sched.meta["overhead"] = float(o)
+    sched.meta["l_bar"] = float(rel.mean_length)
+    sched.meta["n_real"] = float(rel.n)
+    return sched, inflated

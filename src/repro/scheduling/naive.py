@@ -1,0 +1,64 @@
+"""Naive and deterministic baseline schedules.
+
+Two foils for the randomized senders:
+
+* :func:`naive_schedule` — every processor starts blasting at slot 0.  On a
+  globally-limited machine with an exponential overload penalty this is the
+  catastrophe the scheduling algorithms exist to avoid: slot 0 carries up to
+  ``min(p, #senders)`` flits, costing ``e^{p/m - 1}`` (the paper's "a single
+  bad step can require time e^{p/m-1}").
+
+* :func:`grouped_schedule` — the deterministic group-staggered schedule that
+  realizes the Section 4 emulation of a locally-limited machine on a
+  globally-limited one: processors are partitioned into ``ceil(p/m)`` groups
+  of ``m`` and a processor's ``k``-th flit goes to slot
+  ``k * ceil(p/m) + group``.  Never overloads, but ignores imbalance — its
+  span is ``ceil(p/m) * x̄ ≈ g * x̄``, exactly the locally-limited cost the
+  paper's senders beat by ``Theta(g)`` under skew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scheduling.schedule import Schedule, expand_per_flit
+from repro.scheduling.static_send import per_proc_flit_ranks
+from repro.util.intmath import ceil_div
+from repro.util.validation import check_positive
+from repro.workloads.relations import HRelation
+
+__all__ = ["naive_schedule", "grouped_schedule"]
+
+
+def naive_schedule(rel: HRelation) -> Schedule:
+    """Everyone sends consecutively from slot 0 — maximally overloaded."""
+    flit_src = expand_per_flit(rel.src, rel.length)
+    ranks = per_proc_flit_ranks(flit_src, rel.p)
+    return Schedule(
+        rel=rel,
+        flit_slots=ranks,
+        algorithm="naive",
+        meta={},
+    )
+
+
+def grouped_schedule(rel: HRelation, m: int) -> Schedule:
+    """Deterministic ``ceil(p/m)``-way staggering (the g-model emulation).
+
+    Guaranteed overload-free (each slot is owned by one group of at most
+    ``m`` processors, each injecting at most one flit), with span exactly
+    ``ceil(p/m) * x̄`` when the heaviest processor is in the last-used
+    sub-slot — i.e. the locally-limited cost ``g * x̄``.
+    """
+    check_positive("m", m)
+    groups = ceil_div(rel.p, m)
+    flit_src = expand_per_flit(rel.src, rel.length)
+    ranks = per_proc_flit_ranks(flit_src, rel.p)
+    group_of = flit_src // m
+    slots = ranks * groups + group_of
+    return Schedule(
+        rel=rel,
+        flit_slots=slots,
+        algorithm="grouped",
+        meta={"groups": float(groups)},
+    )

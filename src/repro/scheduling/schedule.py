@@ -1,0 +1,215 @@
+"""Schedule representation for unbalanced h-relation routing.
+
+A :class:`Schedule` fixes, for every flit of every message of an
+:class:`~repro.workloads.relations.HRelation`, the time slot in which it is
+injected into the network.  Globally-limited machines price a schedule by its
+per-slot injection histogram; schedulers therefore produce flit-level slot
+arrays and everything downstream stays vectorized.
+
+Flits are stored message-major: the flits of message 0 come first, then
+message 1, and so on — ``flit_message[k]`` maps flit ``k`` back to its
+message and ``flit_src[k]`` to its sender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.workloads.relations import HRelation
+
+__all__ = ["Schedule", "flit_offsets", "expand_per_flit"]
+
+
+def flit_offsets(lengths: np.ndarray) -> np.ndarray:
+    """Within-message flit indices ``0 .. length-1`` for each message,
+    concatenated message-major.
+
+    >>> flit_offsets(np.array([2, 1, 3])).tolist()
+    [0, 1, 0, 0, 1, 2]
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = np.cumsum(lengths) - lengths
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
+
+
+def expand_per_flit(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Repeat a per-message array into a per-flit array."""
+    return np.repeat(np.asarray(values), np.asarray(lengths, dtype=np.int64))
+
+
+@dataclass
+class Schedule:
+    """An injection schedule for an h-relation.
+
+    Attributes
+    ----------
+    rel:
+        The scheduled h-relation.
+    flit_slots:
+        Slot index per flit, message-major.
+    algorithm:
+        Name of the producing scheduler (for reports).
+    window:
+        The cyclic window ``(1+eps)n/m`` used by the randomized senders, or
+        ``None`` for schedulers without one.
+    meta:
+        Free-form scheduler metadata (epsilon, seeds, overflow counts...).
+    """
+
+    rel: HRelation
+    flit_slots: np.ndarray
+    algorithm: str = "unknown"
+    window: Optional[int] = None
+    meta: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.flit_slots = np.asarray(self.flit_slots, dtype=np.int64)
+        if self.flit_slots.size != self.rel.n:
+            raise ValueError(
+                f"schedule has {self.flit_slots.size} flit slots for a relation "
+                f"with {self.rel.n} flits"
+            )
+        if self.flit_slots.size and self.flit_slots.min() < 0:
+            raise ValueError("flit slots must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.rel.n
+
+    @property
+    def flit_src(self) -> np.ndarray:
+        """Sender of each flit (message-major expansion)."""
+        return expand_per_flit(self.rel.src, self.rel.length)
+
+    @property
+    def flit_message(self) -> np.ndarray:
+        """Message index of each flit."""
+        return expand_per_flit(
+            np.arange(self.rel.n_messages, dtype=np.int64), self.rel.length
+        )
+
+    @property
+    def span(self) -> int:
+        """Makespan in slots: 1 + the last used slot (0 when empty)."""
+        return int(self.flit_slots.max()) + 1 if self.flit_slots.size else 0
+
+    def slot_counts(self) -> np.ndarray:
+        """Per-slot injection histogram ``m_t`` over ``[0, span)``."""
+        if not self.flit_slots.size:
+            return np.zeros(0, dtype=np.int64)
+        return np.bincount(self.flit_slots)
+
+    def load_profile(self, m: Optional[int] = None, width: int = 60, bins: int = 24) -> str:
+        """ASCII sketch of the per-slot load over time — a quick visual
+        check of whether a schedule is flat (good) or bursty (penalized).
+        With ``m`` given, slots exceeding the bandwidth are marked ``!``.
+        """
+        counts = self.slot_counts()
+        if not counts.size:
+            return "(empty schedule)"
+        bins = min(bins, counts.size)
+        edges = np.linspace(0, counts.size, bins + 1).astype(int)
+        lines = []
+        peak = counts.max()
+        for b in range(bins):
+            seg = counts[edges[b] : edges[b + 1]]
+            if seg.size == 0:
+                continue
+            avg, mx = float(seg.mean()), int(seg.max())
+            bar = "#" * max(1, int(round(width * avg / peak)))
+            flag = " !" if m is not None and mx > m else ""
+            lines.append(
+                f"slots {edges[b]:>7}-{edges[b + 1] - 1:<7} "
+                f"avg {avg:8.1f} max {mx:7d} |{bar}{flag}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Validity
+    # ------------------------------------------------------------------
+    def check_valid(self, *, require_consecutive: bool = False) -> None:
+        """Raise :class:`ValueError` if the schedule breaks a model rule.
+
+        Checks
+        ------
+        * every processor injects at most one flit per slot ("each processor
+          may initiate at most one message send" per step);
+        * with ``require_consecutive``, every message's flits occupy
+          consecutive increasing slots (the wormhole constraint of
+          Unbalanced-Consecutive-Send and the long-message senders).
+        """
+        if not self.flit_slots.size:
+            return
+        src = self.flit_src
+        span = self.span
+        keys = src * span + self.flit_slots
+        unique = np.unique(keys)
+        if unique.size != keys.size:
+            # locate one offender for the error message
+            order = np.argsort(keys, kind="stable")
+            dup_pos = np.nonzero(np.diff(keys[order]) == 0)[0][0]
+            k = int(keys[order][dup_pos])
+            raise ValueError(
+                f"processor {k // span} injects two flits at slot {k % span}"
+            )
+        if require_consecutive:
+            lengths = self.rel.length
+            starts = np.cumsum(lengths) - lengths
+            offs = flit_offsets(lengths)
+            expected = self.flit_slots[np.repeat(starts, lengths)] + offs
+            if not np.array_equal(expected, self.flit_slots):
+                bad = int(self.flit_message[np.nonzero(expected != self.flit_slots)[0][0]])
+                raise ValueError(f"message {bad} flits are not in consecutive slots")
+
+    def is_valid(self, *, require_consecutive: bool = False) -> bool:
+        """Boolean form of :meth:`check_valid`."""
+        try:
+            self.check_valid(require_consecutive=require_consecutive)
+        except ValueError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_message_starts(
+        rel: HRelation,
+        starts: np.ndarray,
+        *,
+        algorithm: str = "unknown",
+        window: Optional[int] = None,
+        wrap_mask: Optional[np.ndarray] = None,
+        meta: Optional[Dict[str, float]] = None,
+    ) -> "Schedule":
+        """Build a schedule from per-message start slots.
+
+        Flits of message ``k`` occupy ``starts[k] + 0..length-1``.  Where
+        ``wrap_mask`` is true the flits wrap cyclically modulo ``window``
+        (the Unbalanced-Send allocation); elsewhere they run off the end of
+        the window unwrapped.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        if starts.size != rel.n_messages:
+            raise ValueError(
+                f"{starts.size} starts for {rel.n_messages} messages"
+            )
+        offs = flit_offsets(rel.length)
+        slots = expand_per_flit(starts, rel.length) + offs
+        if wrap_mask is not None:
+            if window is None:
+                raise ValueError("wrap_mask requires a window")
+            wrap_f = expand_per_flit(np.asarray(wrap_mask, dtype=bool), rel.length)
+            slots[wrap_f] %= window
+        return Schedule(
+            rel=rel,
+            flit_slots=slots,
+            algorithm=algorithm,
+            window=window,
+            meta=dict(meta or {}),
+        )

@@ -1,0 +1,33 @@
+"""Executable theory: Table-1 bounds, separations, and Chernoff machinery."""
+
+from repro.theory import bounds
+from repro.theory.bounds import TABLE1
+from repro.theory.separations import table1_rows, render_table1, Table1Row
+from repro.theory.sensitivity import (
+    SensitivityOptimum,
+    minimize_sensitivity_bound,
+    closed_form_Y,
+)
+from repro.theory.chernoff import (
+    chernoff_upper_tail,
+    slot_overload_probability,
+    window_overload_probability,
+    completion_tail_probability,
+    min_m_for_failure_probability,
+)
+
+__all__ = [
+    "bounds",
+    "TABLE1",
+    "table1_rows",
+    "render_table1",
+    "Table1Row",
+    "chernoff_upper_tail",
+    "slot_overload_probability",
+    "window_overload_probability",
+    "completion_tail_probability",
+    "min_m_for_failure_probability",
+    "SensitivityOptimum",
+    "minimize_sensitivity_bound",
+    "closed_form_Y",
+]

@@ -1,0 +1,272 @@
+"""Closed-form time bounds — every Table-1 cell and every numbered theorem
+as an executable formula.
+
+All formulas use the clamped ``lg`` of :mod:`repro.util.intmath` (asymptotic
+bounds never go negative) and take the concrete parameters ``p, n, g, m, L,
+w`` so benchmarks can overlay measured times on the predicted curves.
+
+Upper bounds are ``O(·)`` shapes with constant 1 unless the construction
+fixes a constant; lower bounds are the paper's ``Ω(·)`` shapes, with
+Theorem 4.1's explicit ``L lg p / (2 lg(2L/g + 1))`` kept exact.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.intmath import lg, safe_log_ratio
+
+__all__ = [
+    "one_to_all_qsm_m",
+    "one_to_all_qsm_g",
+    "one_to_all_bsp_m",
+    "one_to_all_bsp_g",
+    "broadcast_qsm_m",
+    "broadcast_qsm_g",
+    "broadcast_bsp_m",
+    "broadcast_bsp_g",
+    "broadcast_bsp_g_lower",
+    "broadcast_nonreceipt_upper",
+    "parity_qsm_m",
+    "parity_qsm_g_lower",
+    "parity_bsp_m",
+    "parity_bsp_g",
+    "list_ranking_qsm_m",
+    "list_ranking_qsm_g_lower",
+    "list_ranking_bsp_m",
+    "list_ranking_bsp_g_lower",
+    "sorting_qsm_m",
+    "sorting_qsm_g_lower",
+    "sorting_bsp_m",
+    "sorting_bsp_g_lower",
+    "unbalanced_routing_bsp_g",
+    "unbalanced_routing_bsp_m",
+    "tau_prefix_broadcast",
+    "crcw_pramm_on_qsm_m_upper",
+    "crcw_pramm_on_qsm_m_lower",
+    "leader_recognition_pramm",
+    "leader_recognition_qsm_m_lower",
+    "er_cr_pramm_separation",
+    "TABLE1",
+]
+
+
+# ----------------------------------------------------------------------
+# Row 1: one-to-all personalized communication
+# ----------------------------------------------------------------------
+
+
+def one_to_all_qsm_m(p: int, m: int) -> float:
+    """QSM(m): ``Θ(p)`` — bandwidth never binds for the single sender."""
+    return float(p)
+
+
+def one_to_all_qsm_g(p: int, g: float) -> float:
+    """QSM(g): ``Θ(g p)`` — the sender pays the gap per distinct message."""
+    return g * p
+
+
+def one_to_all_bsp_m(p: int, m: int, L: float) -> float:
+    """BSP(m): ``Θ(p + L)``."""
+    return p + L
+
+
+def one_to_all_bsp_g(p: int, g: float, L: float) -> float:
+    """BSP(g): ``Θ(g p + L)``."""
+    return g * p + L
+
+
+# ----------------------------------------------------------------------
+# Row 2: broadcasting
+# ----------------------------------------------------------------------
+
+
+def broadcast_qsm_m(p: int, m: int) -> float:
+    """QSM(m): ``Θ(lg m + p/m)``."""
+    return lg(m) + p / m
+
+
+def broadcast_qsm_g(p: int, g: float) -> float:
+    """QSM(g): ``Θ(g lg p / lg g)``."""
+    return g * safe_log_ratio(p, g)
+
+
+def broadcast_bsp_m(p: int, m: int, L: float) -> float:
+    """BSP(m): ``O(L lg m / lg L + p/m + L)``."""
+    return L * safe_log_ratio(m, L) + p / m + L
+
+
+def broadcast_bsp_g(p: int, g: float, L: float) -> float:
+    """BSP(g): ``Θ(L lg p / lg(L/g))``."""
+    return L * safe_log_ratio(p, L / g if L / g > 1 else 2.0)
+
+
+def broadcast_bsp_g_lower(p: int, g: float, L: float) -> float:
+    """Theorem 4.1 (exact constant): any deterministic BSP(g) broadcast
+    needs ``L lg p / (2 lg(2L/g + 1))`` time, non-receipt included."""
+    return L * lg(p) / (2.0 * math.log2(2.0 * L / g + 1.0))
+
+
+def broadcast_nonreceipt_upper(p: int, g: float) -> float:
+    """Section 4.2 single-bit algorithm: ``g ceil(log3 p)`` when L <= g."""
+    return g * math.ceil(math.log(max(p, 2), 3))
+
+
+# ----------------------------------------------------------------------
+# Row 3: parity / summation  (n = input size)
+# ----------------------------------------------------------------------
+
+
+def parity_qsm_m(n: int, m: int) -> float:
+    """QSM(m): ``Θ(lg m + n/m)``."""
+    return lg(m) + n / m
+
+
+def parity_qsm_g_lower(n: int, g: float) -> float:
+    """QSM(g): ``Ω(g lg n / lg lg n)`` (Beame–Håstad via Section 4.1)."""
+    return g * lg(n) / max(lg(lg(n)), 1.0)
+
+
+def parity_bsp_m(n: int, m: int, L: float) -> float:
+    """BSP(m): ``O(L lg m / lg L + n/m + L)``."""
+    return L * safe_log_ratio(m, L) + n / m + L
+
+
+def parity_bsp_g(n: int, g: float, L: float) -> float:
+    """BSP(g): ``Θ(L lg n / lg(L/g))``."""
+    return L * safe_log_ratio(n, L / g if L / g > 1 else 2.0)
+
+
+# ----------------------------------------------------------------------
+# Row 4: list ranking
+# ----------------------------------------------------------------------
+
+
+def list_ranking_qsm_m(n: int, m: int) -> float:
+    """QSM(m): ``O(lg m + n/m)``."""
+    return lg(m) + n / m
+
+
+def list_ranking_qsm_g_lower(n: int, g: float) -> float:
+    """QSM(g): ``Ω(g lg n / lg lg n)``."""
+    return g * lg(n) / max(lg(lg(n)), 1.0)
+
+
+def list_ranking_bsp_m(n: int, m: int, L: float) -> float:
+    """BSP(m): ``O(L lg m + n/m)``."""
+    return L * lg(m) + n / m
+
+
+def list_ranking_bsp_g_lower(n: int, g: float, L: float) -> float:
+    """BSP(g): ``Ω(g lg n / lg lg n + L)``."""
+    return g * lg(n) / max(lg(lg(n)), 1.0) + L
+
+
+# ----------------------------------------------------------------------
+# Row 5: sorting (m = O(n^{1-eps}))
+# ----------------------------------------------------------------------
+
+
+def sorting_qsm_m(n: int, m: int) -> float:
+    """QSM(m): ``Θ(n/m)`` for ``m = O(n^{1-eps})``."""
+    return n / m
+
+
+def sorting_qsm_g_lower(n: int, g: float) -> float:
+    """QSM(g): ``Ω(g lg n / lg lg n)``."""
+    return g * lg(n) / max(lg(lg(n)), 1.0)
+
+
+def sorting_bsp_m(n: int, m: int, L: float) -> float:
+    """BSP(m): ``Θ(n/m + L)``."""
+    return n / m + L
+
+
+def sorting_bsp_g_lower(n: int, g: float, L: float) -> float:
+    """BSP(g): ``Ω(g lg n / lg lg n + L)``."""
+    return g * lg(n) / max(lg(lg(n)), 1.0) + L
+
+
+# ----------------------------------------------------------------------
+# Section 6: unbalanced routing
+# ----------------------------------------------------------------------
+
+
+def unbalanced_routing_bsp_g(x_bar: float, y_bar: float, g: float, L: float) -> float:
+    """Proposition 6.1: ``Θ(g(x̄ + ȳ) + L)``."""
+    return g * (x_bar + y_bar) + L
+
+
+def unbalanced_routing_bsp_m(
+    n: float, x_bar: float, y_bar: float, m: int, L: float, epsilon: float = 0.0
+) -> float:
+    """Theorem 6.2 bound (without ``tau``):
+    ``max((1+eps) n/m, x̄, ȳ, L)``; ``epsilon = 0`` gives the lower bound."""
+    return max((1.0 + epsilon) * n / m, x_bar, y_bar, L)
+
+
+def tau_prefix_broadcast(p: int, m: int, L: float) -> float:
+    """The prefix-sum/broadcast overhead ``O(p/m + L + L lg m / lg L)``."""
+    return p / m + L + L * safe_log_ratio(m, L)
+
+
+# ----------------------------------------------------------------------
+# Section 5: concurrent reading
+# ----------------------------------------------------------------------
+
+
+def crcw_pramm_on_qsm_m_upper(p: int, m: int) -> float:
+    """Theorem 5.1: one CRCW PRAM(m) step simulates on the QSM(m) in
+    ``O(p/m)`` (for ``m = O(p^{1-eps})``)."""
+    return p / m
+
+
+def crcw_pramm_on_qsm_m_lower(p: int, m: int, w: int) -> float:
+    """Theorem 5.2: worst-case slowdown ``Ω((p lg m)/(m w) · min(w/lg p, 1))``."""
+    return (p * lg(m)) / (m * w) * min(w / max(lg(p), 1.0), 1.0)
+
+
+def leader_recognition_pramm(p: int, w: int) -> float:
+    """Leader recognition on the CRCW PRAM(m): ``O(max(lg p / w, 1))``."""
+    return max(lg(p) / w, 1.0)
+
+
+def leader_recognition_qsm_m_lower(p: int, m: int, w: int) -> float:
+    """Lemma 5.3 (explicit constant 1/2): ``p lg m / (2 m w)`` even when
+    every processor knows the whole input in advance."""
+    return p * lg(m) / (2.0 * m * w)
+
+
+def er_cr_pramm_separation(p: int, m: int) -> float:
+    """The ER-vs-CR PRAM(m) separation ``Ω(p lg m / (m lg p))`` — the
+    improvement over the previous ``2^Ω(sqrt(lg p))``."""
+    return p * lg(m) / (m * max(lg(p), 1.0))
+
+
+# ----------------------------------------------------------------------
+# Registry used by the Table-1 summary harness
+# ----------------------------------------------------------------------
+
+#: ``TABLE1[(problem, model)] -> callable(p, n, g, m, L) -> bound``
+TABLE1 = {
+    ("one_to_all", "qsm_m"): lambda p, n, g, m, L: one_to_all_qsm_m(p, m),
+    ("one_to_all", "qsm_g"): lambda p, n, g, m, L: one_to_all_qsm_g(p, g),
+    ("one_to_all", "bsp_m"): lambda p, n, g, m, L: one_to_all_bsp_m(p, m, L),
+    ("one_to_all", "bsp_g"): lambda p, n, g, m, L: one_to_all_bsp_g(p, g, L),
+    ("broadcast", "qsm_m"): lambda p, n, g, m, L: broadcast_qsm_m(p, m),
+    ("broadcast", "qsm_g"): lambda p, n, g, m, L: broadcast_qsm_g(p, g),
+    ("broadcast", "bsp_m"): lambda p, n, g, m, L: broadcast_bsp_m(p, m, L),
+    ("broadcast", "bsp_g"): lambda p, n, g, m, L: broadcast_bsp_g(p, g, L),
+    ("parity", "qsm_m"): lambda p, n, g, m, L: parity_qsm_m(n, m),
+    ("parity", "qsm_g"): lambda p, n, g, m, L: parity_qsm_g_lower(n, g),
+    ("parity", "bsp_m"): lambda p, n, g, m, L: parity_bsp_m(n, m, L),
+    ("parity", "bsp_g"): lambda p, n, g, m, L: parity_bsp_g(n, g, L),
+    ("list_ranking", "qsm_m"): lambda p, n, g, m, L: list_ranking_qsm_m(n, m),
+    ("list_ranking", "qsm_g"): lambda p, n, g, m, L: list_ranking_qsm_g_lower(n, g),
+    ("list_ranking", "bsp_m"): lambda p, n, g, m, L: list_ranking_bsp_m(n, m, L),
+    ("list_ranking", "bsp_g"): lambda p, n, g, m, L: list_ranking_bsp_g_lower(n, g, L),
+    ("sorting", "qsm_m"): lambda p, n, g, m, L: sorting_qsm_m(n, m),
+    ("sorting", "qsm_g"): lambda p, n, g, m, L: sorting_qsm_g_lower(n, g),
+    ("sorting", "bsp_m"): lambda p, n, g, m, L: sorting_bsp_m(n, m, L),
+    ("sorting", "bsp_g"): lambda p, n, g, m, L: sorting_bsp_g_lower(n, g, L),
+}

@@ -1,0 +1,92 @@
+"""Chernoff machinery behind Theorem 6.2's "with high probability".
+
+The Unbalanced-Send analysis bounds the load of one window slot (a sum of
+independent indicators with mean at most ``m/(1+eps)``) with the standard
+multiplicative Chernoff bound, union-bounds over the ``(1+eps)n/m`` slots,
+and bounds the *tail* of the completion time through the exponential
+penalty: a slot of load ``l·m`` costs at most ``e^{l-1}``, and
+``Pr[load > l·m] <= e^{-Omega(l eps^2 m)}``, giving
+``Pr[T > k sigma] <= k^{-4} e^{-Omega(eps^2 m)}``.
+
+These are the *predicted* probabilities; ``benchmarks/bench_unbalanced_send``
+measures the empirical counterparts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_positive, check_prob
+
+__all__ = [
+    "chernoff_upper_tail",
+    "slot_overload_probability",
+    "window_overload_probability",
+    "completion_tail_probability",
+    "min_m_for_failure_probability",
+]
+
+
+def chernoff_upper_tail(mu: float, threshold: float) -> float:
+    """``Pr[X >= threshold]`` for a sum ``X`` of independent [0,1] variables
+    with mean ``mu``, by the multiplicative Chernoff bound
+    ``(e^delta / (1+delta)^(1+delta))^mu`` with ``threshold = (1+delta)mu``.
+    Returns 1 when ``threshold <= mu``.
+    """
+    check_positive("mu", mu)
+    if threshold <= mu:
+        return 1.0
+    delta = threshold / mu - 1.0
+    exponent = mu * (delta - (1.0 + delta) * math.log1p(delta))
+    return min(1.0, math.exp(exponent))
+
+
+def slot_overload_probability(n: int, m: int, epsilon: float) -> float:
+    """Probability that *one* window slot of Unbalanced-Send exceeds ``m``.
+
+    The slot's expected load is at most ``m/(1+eps)``; the paper quotes the
+    simplified form ``exp(-eps^2 m / 3)``, which we return as the standard
+    shape (the exact Chernoff value is available via
+    :func:`chernoff_upper_tail`).
+    """
+    check_positive("m", m)
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    return min(1.0, math.exp(-(epsilon**2) * m / 3.0))
+
+
+def window_overload_probability(n: int, m: int, epsilon: float) -> float:
+    """Union bound over all ``(1+eps)n/m`` window slots — the failure
+    probability of Theorem 6.2's main event."""
+    slots = max(1.0, (1.0 + epsilon) * n / m)
+    return min(1.0, slots * slot_overload_probability(n, m, epsilon))
+
+
+def completion_tail_probability(k: float, n: int, m: int, epsilon: float) -> float:
+    """Theorem 6.2's tail: ``Pr[T > k sigma] <= k^{-4} e^{-Omega(eps^2 m)}``
+    for ``k >= 1`` (returned as the quoted shape with the union-bounded
+    window probability as the base)."""
+    if k < 1:
+        return 1.0
+    return min(1.0, window_overload_probability(n, m, epsilon) / k**4)
+
+
+def min_m_for_failure_probability(n: int, epsilon: float, target: float) -> int:
+    """Smallest ``m`` whose predicted window overload probability is at most
+    ``target`` — useful for sizing experiments."""
+    check_prob("target", target)
+    check_positive("n", n)
+    m = 1
+    while window_overload_probability(n, m, epsilon) > target:
+        m *= 2
+        if m > 2 * n:
+            break
+    # binary refine
+    lo, hi = m // 2, m
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if window_overload_probability(n, mid, epsilon) <= target:
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,162 @@
+"""Separation ratios — Table 1's last column as executable formulas, plus
+the harness that regenerates the printed table.
+
+The separations hold for ``n = p`` and "suitable values of L and g"; the
+functions take the concrete parameters so the benchmark can check measured
+ratios against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.theory import bounds as B
+from repro.util.intmath import lg, safe_log_ratio
+from repro.util.reporting import Table
+
+__all__ = [
+    "separation_one_to_all",
+    "separation_broadcast_qsm",
+    "separation_broadcast_bsp",
+    "separation_parity_qsm",
+    "separation_parity_bsp",
+    "separation_list_ranking",
+    "separation_sorting",
+    "Table1Row",
+    "table1_rows",
+    "render_table1",
+]
+
+
+def separation_one_to_all(g: float) -> float:
+    """``Θ(g)``."""
+    return g
+
+
+def separation_broadcast_qsm(p: int, g: float) -> float:
+    """``Θ(lg p / lg g)``."""
+    return safe_log_ratio(p, g)
+
+
+def separation_broadcast_bsp(p: int, g: float, m: int, L: float) -> float:
+    """``Θ(lg L · lg p / (lg(L/g) · lg m))``."""
+    num = max(lg(L), 1.0) * max(lg(p), 1.0)
+    den = max(lg(L / g), 1.0) * max(lg(m), 1.0)
+    return num / den
+
+
+def separation_parity_qsm(n: int) -> float:
+    """``Ω(lg n / lg lg n)``."""
+    return lg(n) / max(lg(lg(n)), 1.0)
+
+
+def separation_parity_bsp(n: int, g: float, m: int, L: float) -> float:
+    """``Θ(lg L · lg n / (lg(L/g) · lg m))``."""
+    num = max(lg(L), 1.0) * max(lg(n), 1.0)
+    den = max(lg(L / g), 1.0) * max(lg(m), 1.0)
+    return num / den
+
+
+def separation_list_ranking(n: int) -> float:
+    """``Ω(lg n / lg lg n)``."""
+    return lg(n) / max(lg(lg(n)), 1.0)
+
+
+def separation_sorting(n: int) -> float:
+    """``Θ(lg n / lg lg n)`` (for ``m = O(n^{1-eps})``)."""
+    return lg(n) / max(lg(lg(n)), 1.0)
+
+
+@dataclass
+class Table1Row:
+    """One (problem, model family) row of the regenerated Table 1."""
+
+    problem: str
+    family: str  # "QSM" or "BSP"
+    strong_bound: float  # globally-limited model
+    weak_bound: float  # locally-limited model
+    separation: float
+
+    @property
+    def bound_ratio(self) -> float:
+        return self.weak_bound / self.strong_bound if self.strong_bound else 0.0
+
+
+def table1_rows(p: int, L: float, m: int) -> List[Table1Row]:
+    """Regenerate Table 1 numerically for ``n = p`` and ``g = p/m``."""
+    g = p / m
+    n = p
+    rows = [
+        Table1Row(
+            "One-to-all", "QSM",
+            B.one_to_all_qsm_m(p, m), B.one_to_all_qsm_g(p, g),
+            separation_one_to_all(g),
+        ),
+        Table1Row(
+            "One-to-all", "BSP",
+            B.one_to_all_bsp_m(p, m, L), B.one_to_all_bsp_g(p, g, L),
+            separation_one_to_all(g),
+        ),
+        Table1Row(
+            "Broadcast", "QSM",
+            B.broadcast_qsm_m(p, m), B.broadcast_qsm_g(p, g),
+            separation_broadcast_qsm(p, g),
+        ),
+        Table1Row(
+            "Broadcast", "BSP",
+            B.broadcast_bsp_m(p, m, L), B.broadcast_bsp_g(p, g, L),
+            separation_broadcast_bsp(p, g, m, L),
+        ),
+        Table1Row(
+            "Parity/Summation", "QSM",
+            B.parity_qsm_m(n, m), B.parity_qsm_g_lower(n, g),
+            separation_parity_qsm(n),
+        ),
+        Table1Row(
+            "Parity/Summation", "BSP",
+            B.parity_bsp_m(n, m, L), B.parity_bsp_g(n, g, L),
+            separation_parity_bsp(n, g, m, L),
+        ),
+        Table1Row(
+            "List ranking", "QSM",
+            B.list_ranking_qsm_m(n, m), B.list_ranking_qsm_g_lower(n, g),
+            separation_list_ranking(n),
+        ),
+        Table1Row(
+            "List ranking", "BSP",
+            B.list_ranking_bsp_m(n, m, L), B.list_ranking_bsp_g_lower(n, g, L),
+            separation_list_ranking(n),
+        ),
+        Table1Row(
+            "Sorting", "QSM",
+            B.sorting_qsm_m(n, m), B.sorting_qsm_g_lower(n, g),
+            separation_sorting(n),
+        ),
+        Table1Row(
+            "Sorting", "BSP",
+            B.sorting_bsp_m(n, m, L), B.sorting_bsp_g_lower(n, g, L),
+            separation_sorting(n),
+        ),
+    ]
+    return rows
+
+
+def render_table1(p: int, L: float, m: int) -> str:
+    """The printed reproduction of Table 1 (bounds, not measurements)."""
+    t = Table(
+        ["problem", "family", "global model", "local model", "bound ratio", "paper separation"],
+        title=f"Table 1 (n = p = {p}, m = {m}, g = {p / m:g}, L = {L:g})",
+    )
+    for row in table1_rows(p, L, m):
+        t.add_row(
+            [
+                row.problem,
+                row.family,
+                row.strong_bound,
+                row.weak_bound,
+                row.bound_ratio,
+                row.separation,
+            ]
+        )
+    return t.render()

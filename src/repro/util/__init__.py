@@ -1,0 +1,31 @@
+"""Shared utilities: integer math, RNG plumbing, validation, reporting.
+
+These helpers are deliberately tiny and dependency-free so that every other
+subpackage can import them without cycles.
+"""
+
+from repro.util.intmath import ceil_div, ilog2, ilog, log_star, next_pow2
+from repro.util.rng import as_generator, spawn_children
+from repro.util.validation import (
+    check_positive,
+    check_nonnegative,
+    check_in_range,
+    check_prob,
+)
+from repro.util.reporting import Table, format_float
+
+__all__ = [
+    "ceil_div",
+    "ilog2",
+    "ilog",
+    "log_star",
+    "next_pow2",
+    "as_generator",
+    "spawn_children",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_prob",
+    "Table",
+    "format_float",
+]

@@ -1,0 +1,72 @@
+"""Plain-text tabular reporting used by the benchmark harness.
+
+Benchmarks print the same rows the paper's Table 1 reports (plus measured
+columns); this module renders them without any third-party dependency so the
+harness works in a bare environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+__all__ = ["Table", "format_float"]
+
+
+def format_float(x: Any, digits: int = 4) -> str:
+    """Render a number compactly: ints untouched, floats to ``digits``
+    significant digits, everything else via ``str``."""
+    if isinstance(x, bool):
+        return str(x)
+    if isinstance(x, int):
+        return str(x)
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 10**6 or abs(x) < 10**-4:
+            return f"{x:.{digits}g}"
+        return f"{x:.{digits}g}"
+    return str(x)
+
+
+@dataclass
+class Table:
+    """Accumulate rows and render an aligned ASCII table.
+
+    >>> t = Table(["p", "time"], title="demo")
+    >>> t.add_row([4, 1.5])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    demo
+    p | time
+    --+-----
+    4 | 1.5
+    """
+
+    columns: Sequence[str]
+    title: str = ""
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} entries, table has {len(self.columns)} columns"
+            )
+        self.rows.append([format_float(v) for v in values])
+
+    def render(self) -> str:
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

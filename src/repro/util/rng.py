@@ -1,0 +1,51 @@
+"""Deterministic randomness plumbing.
+
+Every randomized component in the library accepts a ``seed`` argument that may
+be ``None`` (fresh entropy), an integer, or an existing
+:class:`numpy.random.Generator`.  All randomness flows through NumPy
+generators so experiments are replayable bit-for-bit and independent parallel
+streams can be derived with :func:`spawn_children`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_children", "SeedLike"]
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce any seed-like value into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged (shared state), which
+    lets a caller thread one stream through several components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_children(seed: SeedLike, n: int) -> Sequence[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Used when an experiment fans out over trials/processors and each stream
+    must be independent yet reproducible from a single root seed.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} child generators")
+    if isinstance(seed, np.random.Generator):
+        # Spawn via the generator's own bit generator seed sequence when
+        # available; fall back to drawing child seeds from the stream.
+        seed_seq = getattr(seed.bit_generator, "seed_seq", None)
+        if seed_seq is not None:
+            return [np.random.default_rng(s) for s in seed_seq.spawn(n)]
+        child_seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in child_seeds]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(n)]

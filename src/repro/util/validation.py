@@ -1,0 +1,45 @@
+"""Argument-validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+from numbers import Real
+
+__all__ = ["check_positive", "check_nonnegative", "check_in_range", "check_prob"]
+
+
+def check_positive(name: str, value: Real) -> None:
+    """Raise :class:`ValueError` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value: Real) -> None:
+    """Raise :class:`ValueError` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(
+    name: str,
+    value: Real,
+    low: Real,
+    high: Real,
+    *,
+    low_open: bool = False,
+    high_open: bool = False,
+) -> None:
+    """Raise :class:`ValueError` unless ``value`` lies in the interval.
+
+    ``low_open``/``high_open`` select open endpoints.
+    """
+    lo_ok = value > low if low_open else value >= low
+    hi_ok = value < high if high_open else value <= high
+    if not (lo_ok and hi_ok):
+        lo_b = "(" if low_open else "["
+        hi_b = ")" if high_open else "]"
+        raise ValueError(f"{name} must be in {lo_b}{low}, {high}{hi_b}, got {value!r}")
+
+
+def check_prob(name: str, value: Real) -> None:
+    """Raise :class:`ValueError` unless ``0 <= value <= 1``."""
+    check_in_range(name, value, 0.0, 1.0)

@@ -1,0 +1,135 @@
+"""Application-shaped workloads.
+
+Section 3 lists the classical consumers of total-exchange-style routing —
+matrix transposition, 2-D FFT, HPF array remapping — and Section 6 the
+irregular producers of skew (joins, nested parallelism, nearly-sorted
+inputs).  This module generates the corresponding h-relations so examples
+and benchmarks can speak the application's language instead of raw message
+counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.intmath import ceil_div
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive
+from repro.workloads.relations import HRelation
+
+__all__ = [
+    "matrix_transpose_relation",
+    "block_remap_relation",
+    "task_spawn_relation",
+    "relation_to_trace",
+]
+
+
+def matrix_transpose_relation(p: int, rows: int, cols: int) -> HRelation:
+    """Transposing a ``rows x cols`` matrix block-row-distributed over ``p``
+    processors (processor ``i`` owns rows ``[i·rows/p, (i+1)·rows/p)``; the
+    transpose wants block-rows of the transposed matrix, i.e. block-columns
+    of the original).  Entry ``(r, c)`` moves from ``owner_row(r)`` to
+    ``owner_row(c)`` — aggregated into one message per (source, destination,
+    block) with length = the number of entries moving between that pair.
+
+    This is the balanced total exchange in disguise: every pair exchanges
+    ``~rows·cols/p²`` entries, so locally- and globally-limited machines
+    tie — the classic regular workload against which the paper's skewed
+    ones contrast.
+    """
+    check_positive("p", p)
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    row_block = ceil_div(rows, p)
+    col_block = ceil_div(cols, p)
+    srcs, dests, lens = [], [], []
+    for i in range(p):  # owner of original rows
+        r_lo, r_hi = i * row_block, min((i + 1) * row_block, rows)
+        if r_lo >= r_hi:
+            continue
+        for j in range(p):  # owner of transposed rows = original columns
+            c_lo, c_hi = j * col_block, min((j + 1) * col_block, cols)
+            if c_lo >= c_hi or i == j:
+                continue
+            count = (r_hi - r_lo) * (c_hi - c_lo)
+            if count > 0:
+                srcs.append(i)
+                dests.append(j)
+                lens.append(count)
+    return HRelation(
+        p=p,
+        src=np.asarray(srcs, dtype=np.int64),
+        dest=np.asarray(dests, dtype=np.int64),
+        length=np.asarray(lens, dtype=np.int64),
+    )
+
+
+def block_remap_relation(p: int, n_elements: int, from_block: int, to_block: int) -> HRelation:
+    """HPF-style array remapping: an ``n_elements`` array distributed
+    cyclically with block size ``from_block`` is redistributed to block
+    size ``to_block``.  Produces one message per (source, destination) pair
+    with the number of elements that change owners — regular but not
+    uniform, the remapping pattern the paper's Section 3 cites."""
+    check_positive("p", p)
+    check_positive("n_elements", n_elements)
+    check_positive("from_block", from_block)
+    check_positive("to_block", to_block)
+    idx = np.arange(n_elements, dtype=np.int64)
+    src = (idx // from_block) % p
+    dest = (idx // to_block) % p
+    move = src != dest
+    if not move.any():
+        z = np.zeros(0, dtype=np.int64)
+        return HRelation(p=p, src=z, dest=z.copy(), length=z.copy())
+    pair = src[move] * p + dest[move]
+    counts = np.bincount(pair, minlength=p * p)
+    nz = np.nonzero(counts)[0]
+    return HRelation(
+        p=p,
+        src=(nz // p).astype(np.int64),
+        dest=(nz % p).astype(np.int64),
+        length=counts[nz].astype(np.int64),
+    )
+
+
+def task_spawn_relation(
+    p: int,
+    tasks_per_proc: int = 100,
+    spawn_prob: float = 0.1,
+    burst: int = 50,
+    seed: SeedLike = None,
+) -> HRelation:
+    """Nested-parallelism skew (Section 6: "skew in the number of new tasks
+    spawned"): every processor runs ``tasks_per_proc`` tasks; each task
+    spawns a burst of ``burst`` child tasks with probability
+    ``spawn_prob``, shipped to random processors for load balancing.  A few
+    lucky processors spawn far more than the average — send skew with a
+    binomial tail."""
+    check_positive("p", p)
+    check_positive("tasks_per_proc", tasks_per_proc)
+    check_positive("burst", burst)
+    rng = as_generator(seed)
+    spawns = rng.binomial(tasks_per_proc, spawn_prob, size=p) * burst
+    return HRelation.from_counts(spawns, dest_rng=rng)
+
+
+def relation_to_trace(rel, horizon: int, seed: SeedLike = None):
+    """Spread a static h-relation's messages uniformly over ``[0, horizon)``
+    as a dynamic :class:`~repro.dynamic.adversary.ArrivalTrace` — glue for
+    replaying Section-4 workloads through the Section-6.2 protocols."""
+    from repro.dynamic.adversary import ArrivalTrace
+
+    check_positive("horizon", horizon)
+    rng = as_generator(seed)
+    nm = rel.n_messages
+    t = np.sort(rng.integers(0, horizon, size=nm)).astype(np.int64)
+    order = rng.permutation(nm)
+    return ArrivalTrace(
+        p=rel.p,
+        horizon=horizon,
+        t=t,
+        src=rel.src[order],
+        dest=rel.dest[order],
+        length=rel.length[order],
+    )

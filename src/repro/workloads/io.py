@@ -1,0 +1,57 @@
+"""Saving and loading workloads — reproducible experiment inputs.
+
+An :class:`~repro.workloads.relations.HRelation` round-trips through a
+single ``.npz`` file, so expensive generated workloads (or externally
+captured communication traces) can be pinned and shared between runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.workloads.relations import HRelation
+
+__all__ = ["save_relation", "load_relation"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_FORMAT_VERSION = 1
+
+
+def save_relation(path: PathLike, rel: HRelation) -> None:
+    """Write a relation to ``path`` (``.npz``; compressed)."""
+    np.savez_compressed(
+        path,
+        version=np.asarray([_FORMAT_VERSION]),
+        p=np.asarray([rel.p]),
+        src=rel.src,
+        dest=rel.dest,
+        length=rel.length,
+    )
+
+
+def load_relation(path: PathLike) -> HRelation:
+    """Read a relation written by :func:`save_relation`.
+
+    Validates the format version and re-runs the :class:`HRelation`
+    invariant checks, so a corrupted or hand-edited file fails loudly.
+    """
+    with np.load(path) as data:
+        missing = {"version", "p", "src", "dest", "length"} - set(data.files)
+        if missing:
+            raise ValueError(f"not a relation file (missing {sorted(missing)})")
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported relation file version {version} "
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
+        return HRelation(
+            p=int(data["p"][0]),
+            src=data["src"],
+            dest=data["dest"],
+            length=data["length"],
+        )

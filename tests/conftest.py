@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BSPg,
+    BSPm,
+    MachineParams,
+    QSMg,
+    QSMm,
+    SelfSchedulingBSPm,
+)
+
+
+@pytest.fixture
+def matched_small():
+    """A small matched (local, global) parameter pair: p=64, m=8, g=8, L=4."""
+    return MachineParams.matched_pair(p=64, m=8, L=4)
+
+
+@pytest.fixture
+def matched_medium():
+    """p=256, m=16, g=16, L=8."""
+    return MachineParams.matched_pair(p=256, m=16, L=8)
+
+
+@pytest.fixture
+def bsp_pair(matched_small):
+    local, global_ = matched_small
+    return BSPg(local), BSPm(global_)
+
+
+@pytest.fixture
+def qsm_pair(matched_small):
+    local, global_ = matched_small
+    return QSMg(local), QSMm(global_)
+
+
+@pytest.fixture
+def all_machines(matched_small):
+    local, global_ = matched_small
+    return {
+        "bsp_g": BSPg(local),
+        "bsp_m": BSPm(global_),
+        "qsm_g": QSMg(local),
+        "qsm_m": QSMm(global_),
+        "self_sched": SelfSchedulingBSPm(global_),
+    }
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,112 @@
+"""Tests for schedule evaluation (the BSP(m) pricing of Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro import LINEAR, MachineParams
+from repro.scheduling import (
+    bsp_g_routing_time,
+    evaluate_schedule,
+    naive_schedule,
+    offline_optimal_schedule,
+    unbalanced_send,
+)
+from repro.scheduling.schedule import Schedule
+from repro.workloads import HRelation, one_to_all_relation, uniform_random_relation
+
+
+def tiny_rel():
+    return HRelation(
+        p=2,
+        src=np.array([0, 0, 1]),
+        dest=np.array([1, 1, 0]),
+        length=np.array([1, 1, 1]),
+    )
+
+
+class TestEvaluateSchedule:
+    def test_basic_quantities(self):
+        rel = tiny_rel()
+        sched = Schedule(rel=rel, flit_slots=np.array([0, 1, 0]))
+        rep = evaluate_schedule(sched, m=2, L=0.5)
+        assert rep.n == 3 and rep.m == 2
+        assert rep.span == 2
+        assert rep.comm_time == 2.0  # both slots within bandwidth
+        assert rep.superstep_cost == 2.0  # h = max(2, 2) = 2
+        assert rep.optimal_time == max(3 / 2, 2)
+        assert rep.ratio == 1.0
+        assert not rep.overloaded
+
+    def test_idle_slot_counts_as_time(self):
+        rel = tiny_rel()
+        sched = Schedule(rel=rel, flit_slots=np.array([0, 9, 0]))
+        rep = evaluate_schedule(sched, m=2)
+        assert rep.span == 10
+        assert rep.comm_time == 10.0
+
+    def test_overload_penalty(self):
+        rel = uniform_random_relation(32, 64, seed=0)
+        rep = evaluate_schedule(naive_schedule(rel), m=2)
+        assert rep.overloaded
+        # slot 0 carries ~25+ flits at m=2: charge blows up exponentially
+        assert rep.comm_time > 1000
+
+    def test_linear_penalty_option(self):
+        rel = uniform_random_relation(16, 16, seed=0)
+        rep = evaluate_schedule(naive_schedule(rel), m=2, penalty=LINEAR)
+        assert rep.comm_time == pytest.approx(
+            rel.n / 2, rel=0.5
+        )  # linear absorbs at throughput m
+
+    def test_params_second_positional(self):
+        rel = tiny_rel()
+        params = MachineParams(p=2, m=2, L=4.0)
+        sched = Schedule(rel=rel, flit_slots=np.array([0, 1, 0]))
+        rep = evaluate_schedule(sched, params)
+        assert rep.m == 2
+        assert rep.superstep_cost == 4.0  # L floor
+
+    def test_missing_m_rejected(self):
+        sched = Schedule(rel=tiny_rel(), flit_slots=np.array([0, 1, 0]))
+        with pytest.raises(ValueError, match="m must be given"):
+            evaluate_schedule(sched)
+
+    def test_tau_added(self):
+        sched = Schedule(rel=tiny_rel(), flit_slots=np.array([0, 1, 0]))
+        rep = evaluate_schedule(sched, m=2, tau=7.0)
+        assert rep.completion_time == rep.superstep_cost + 7.0
+
+    def test_relation_mismatch_rejected(self):
+        sched = Schedule(rel=tiny_rel(), flit_slots=np.array([0, 1, 0]))
+        other = uniform_random_relation(4, 100, seed=1)
+        with pytest.raises(ValueError, match="match"):
+            evaluate_schedule(sched, other, m=2)
+
+    def test_ratio_of_optimal_schedule_is_near_one(self):
+        rel = uniform_random_relation(64, 5000, seed=2)
+        rep = evaluate_schedule(offline_optimal_schedule(rel, 16), m=16)
+        assert rep.ratio <= 1.01
+
+
+class TestBSPgRoutingTime:
+    def test_proposition_6_1(self):
+        rel = one_to_all_relation(65)
+        assert bsp_g_routing_time(rel, g=4.0) == 4.0 * 64
+
+    def test_latency_floor(self):
+        rel = tiny_rel()
+        assert bsp_g_routing_time(rel, g=1.0, L=100.0) == 100.0
+
+    def test_bad_gap(self):
+        with pytest.raises(ValueError):
+            bsp_g_routing_time(tiny_rel(), g=0.5)
+
+    def test_separation_under_skew(self):
+        """The headline claim: under one-to-all skew, BSP(g) pays Θ(g) more
+        than the BSP(m) schedule."""
+        p, m = 256, 32
+        g = p / m
+        rel = one_to_all_relation(p)
+        bspg = bsp_g_routing_time(rel, g=g)
+        rep = evaluate_schedule(unbalanced_send(rel, m, 0.1, seed=3), m=m)
+        assert bspg / rep.completion_time >= g * 0.9

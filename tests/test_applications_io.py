@@ -1,0 +1,178 @@
+"""Tests for application workloads, relation I/O, load profiles, the QSM
+columnsort, and the §4.1 conversion-factor formulas."""
+
+import numpy as np
+import pytest
+
+from repro import MachineParams, QSMg, QSMm
+from repro.algorithms import (
+    bsp_lower_bound_from_crcw,
+    bsp_lower_bound_from_crcw_deterministic,
+    bsp_lower_bound_from_crcw_randomized,
+    columnsort,
+)
+from repro.scheduling import offline_optimal_schedule, unbalanced_send, naive_schedule
+from repro.workloads import (
+    block_remap_relation,
+    load_relation,
+    matrix_transpose_relation,
+    save_relation,
+    task_spawn_relation,
+    uniform_random_relation,
+    zipf_h_relation,
+)
+
+
+class TestMatrixTranspose:
+    def test_balanced(self):
+        rel = matrix_transpose_relation(8, 64, 64)
+        assert rel.x_bar == rel.y_bar
+        # perfectly regular: every processor sends the same amount
+        assert rel.imbalance() == pytest.approx(1.0)
+
+    def test_total_volume(self):
+        # all off-diagonal blocks move: rows*cols*(1 - 1/p)
+        rel = matrix_transpose_relation(4, 32, 32)
+        assert rel.n == 32 * 32 * 3 // 4
+
+    def test_rectangular(self):
+        rel = matrix_transpose_relation(4, 16, 64)
+        assert rel.n > 0
+        assert rel.p == 4
+
+    def test_single_processor(self):
+        rel = matrix_transpose_relation(1, 8, 8)
+        assert rel.n == 0  # nothing leaves the single owner
+
+
+class TestBlockRemap:
+    def test_identity_remap_is_empty(self):
+        rel = block_remap_relation(4, 100, 8, 8)
+        assert rel.n == 0
+
+    def test_counts_conserved(self):
+        p, n = 8, 1000
+        rel = block_remap_relation(p, n, 4, 16)
+        idx = np.arange(n)
+        src = (idx // 4) % p
+        dest = (idx // 16) % p
+        assert rel.n == int(np.sum(src != dest))
+
+    def test_regular_pattern(self):
+        rel = block_remap_relation(16, 10_000, 2, 32)
+        assert rel.imbalance() < 1.5
+
+
+class TestTaskSpawn:
+    def test_reproducible(self):
+        a = task_spawn_relation(32, seed=5)
+        b = task_spawn_relation(32, seed=5)
+        assert np.array_equal(a.src, b.src)
+
+    def test_burst_quantization(self):
+        rel = task_spawn_relation(32, burst=50, seed=6)
+        assert np.all(rel.sizes % 50 == 0)
+
+
+class TestRelationIO:
+    def test_roundtrip(self, tmp_path):
+        rel = zipf_h_relation(64, 5000, seed=7)
+        path = tmp_path / "rel.npz"
+        save_relation(path, rel)
+        back = load_relation(path)
+        assert back.p == rel.p
+        assert np.array_equal(back.src, rel.src)
+        assert np.array_equal(back.dest, rel.dest)
+        assert np.array_equal(back.length, rel.length)
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, nothing=np.zeros(3))
+        with pytest.raises(ValueError, match="not a relation file"):
+            load_relation(path)
+
+    def test_version_checked(self, tmp_path):
+        rel = uniform_random_relation(4, 10, seed=8)
+        path = tmp_path / "rel.npz"
+        np.savez(
+            path, version=np.asarray([99]), p=np.asarray([rel.p]),
+            src=rel.src, dest=rel.dest, length=rel.length,
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_relation(path)
+
+    def test_corrupted_data_fails_invariants(self, tmp_path):
+        rel = uniform_random_relation(4, 10, seed=9)
+        path = tmp_path / "rel.npz"
+        np.savez(
+            path, version=np.asarray([1]), p=np.asarray([2]),  # p too small
+            src=rel.src, dest=rel.dest, length=rel.length,
+        )
+        with pytest.raises(ValueError):
+            load_relation(path)
+
+
+class TestLoadProfile:
+    def test_flat_schedule(self):
+        rel = uniform_random_relation(64, 5000, seed=10)
+        sched = offline_optimal_schedule(rel, m=16)
+        prof = sched.load_profile(m=16)
+        assert "slots" in prof
+        assert "!" not in prof  # never overloaded
+
+    def test_bursty_schedule_flagged(self):
+        rel = uniform_random_relation(64, 5000, seed=11)
+        prof = naive_schedule(rel).load_profile(m=4)
+        assert "!" in prof
+
+    def test_empty(self):
+        rel = uniform_random_relation(4, 0, seed=12)
+        assert "empty" in unbalanced_send(rel, 2, 0.2, seed=1).load_profile()
+
+
+class TestQSMColumnsort:
+    @pytest.mark.parametrize("n", [200, 1024])
+    def test_qsm_m_sorts(self, n):
+        rng = np.random.default_rng(n)
+        keys = rng.random(n)
+        mach = QSMm(MachineParams(p=64, m=8))
+        res, out = columnsort(mach, keys)
+        assert np.array_equal(out, np.sort(keys))
+        assert res.stat_max("overloaded_slots") == 0
+
+    def test_qsm_g_sorts(self):
+        rng = np.random.default_rng(0)
+        keys = rng.random(512)
+        mach = QSMg(MachineParams(p=64, g=4.0))
+        res, out = columnsort(mach, keys)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_qsm_m_beats_qsm_g(self):
+        rng = np.random.default_rng(1)
+        keys = rng.random(2048)
+        local, global_ = MachineParams.matched_pair(p=64, m=8, L=2)
+        t_g = columnsort(QSMg(local), keys, columns=7)[0].time
+        t_m = columnsort(QSMm(global_), keys, columns=7)[0].time
+        assert t_m < t_g
+
+
+class TestConversionFactors:
+    def test_deterministic_full_factor(self):
+        assert bsp_lower_bound_from_crcw_deterministic(10.0, 4.0) == 40.0
+        assert bsp_lower_bound_from_crcw_deterministic(
+            10.0, 4.0
+        ) == bsp_lower_bound_from_crcw(10.0, 4.0)
+
+    def test_randomized_large_L_is_full(self):
+        # L >= g lg* p: full g factor
+        val = bsp_lower_bound_from_crcw_randomized(10.0, 4.0, L=1000.0, p=2**16)
+        assert val == pytest.approx(40.0)
+
+    def test_randomized_small_L_discounted(self):
+        val = bsp_lower_bound_from_crcw_randomized(10.0, 4.0, L=1.0, p=2**16)
+        assert val < 40.0
+        assert val >= 40.0 / 5  # lg* 2^16 = 4 (+1 safety)
+
+    def test_bad_g(self):
+        with pytest.raises(ValueError):
+            bsp_lower_bound_from_crcw_randomized(1.0, 0.5, 1.0, 16)

@@ -1,0 +1,221 @@
+"""Tests for Section 5: leader recognition and the CRCW-step simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.concurrent_read import (
+    leader_recognition_pramm,
+    leader_recognition_qsm_m,
+    make_leader_input,
+    simulate_concurrent_read_step,
+)
+from repro.theory.bounds import (
+    crcw_pramm_on_qsm_m_upper,
+    leader_recognition_qsm_m_lower,
+)
+
+
+class TestLeaderInput:
+    def test_one_hot(self):
+        rom = make_leader_input(8, 3)
+        assert sum(rom) == 1 and rom[3] == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_leader_input(4, 4)
+
+
+class TestLeaderPRAMm:
+    @pytest.mark.parametrize("leader", [0, 7, 100, 255])
+    def test_correct(self, leader):
+        res, answers = leader_recognition_pramm(256, leader)
+        assert set(answers) == {leader}
+
+    def test_constant_time_with_wide_words(self):
+        res, _ = leader_recognition_pramm(1 << 10, 5, w=64)
+        assert res.time <= 4  # lg p / w < 1: O(1) steps
+
+    def test_chunked_address_small_words(self):
+        res, answers = leader_recognition_pramm(256, 200, w=2)
+        assert set(answers) == {200}
+        # ceil(9/2) = 5 write steps + 5 read steps
+        assert res.time >= 8
+
+    def test_time_grows_as_words_shrink(self):
+        t_wide = leader_recognition_pramm(1 << 12, 9, w=64)[0].time
+        t_narrow = leader_recognition_pramm(1 << 12, 9, w=1)[0].time
+        assert t_narrow > t_wide
+
+    def test_m_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            leader_recognition_pramm(1 << 16, 3, m=1, w=1)
+
+
+class TestLeaderQSMm:
+    @pytest.mark.parametrize("leader", [0, 1, 31, 200])
+    def test_correct(self, leader):
+        res, answers = leader_recognition_qsm_m(256, leader, m=16)
+        assert set(answers) == {leader}
+
+    def test_time_above_lemma_53(self):
+        p, m, w = 1024, 8, 64
+        res, _ = leader_recognition_qsm_m(p, 17, m=m)
+        assert res.time >= leader_recognition_qsm_m_lower(p, m, w)
+
+    def test_time_tracks_p_over_m(self):
+        t1 = leader_recognition_qsm_m(256, 3, m=8)[0].time
+        t2 = leader_recognition_qsm_m(1024, 3, m=8)[0].time
+        assert t2 >= 2.5 * t1  # ~linear in p at fixed m
+
+    def test_gap_vs_pramm_grows_with_p(self):
+        """The ER-vs-CR separation: the QSM(m)/PRAM(m) time ratio grows
+        roughly like p/m."""
+        ratios = []
+        for p in (64, 256, 1024):
+            t_qsm = leader_recognition_qsm_m(p, 7, m=8)[0].time
+            t_pram = leader_recognition_pramm(p, 7)[0].time
+            ratios.append(t_qsm / t_pram)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+
+class TestConcurrentReadSimulation:
+    def _run(self, p, m, addrs, n_cells=32, seed=0):
+        memory = {x: 1000 + x for x in range(n_cells)}
+        res, vals = simulate_concurrent_read_step(p, m, addrs, memory)
+        assert vals == [memory[a] for a in addrs]
+        return res
+
+    def test_all_same_address(self):
+        """Maximum concurrency: everyone reads one cell."""
+        self._run(64, 8, [5] * 64)
+
+    def test_all_distinct(self):
+        self._run(32, 8, list(range(32)))
+
+    def test_mixed_pattern(self):
+        rng = np.random.default_rng(1)
+        addrs = rng.integers(0, 4, size=128).tolist()
+        self._run(128, 16, addrs)
+
+    def test_contention_stays_bounded(self):
+        """The paper's central-read argument: contention never exceeds m
+        (reached only in the one designated-reader phase; every central
+        read step itself is contention-1 thanks to sortedness)."""
+        m = 8
+        res = self._run(64, m, [3] * 64)
+        assert res.stat_max("kappa") <= m
+        hot_phases = [r for r in res.records if r.stats.get("kappa", 0) > 2]
+        assert len(hot_phases) <= 1  # only the designated-read phase
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            simulate_concurrent_read_step(48, 8, [0] * 48, {0: 1})
+
+    def test_address_count_checked(self):
+        with pytest.raises(ValueError):
+            simulate_concurrent_read_step(8, 2, [0] * 4, {0: 1})
+
+    def test_central_read_cost_scales_with_p_over_m(self):
+        """Fixing p and halving m should roughly double the non-sorting
+        part of the cost; the total is sort-dominated so we check the
+        central phase via superstep counts."""
+        t_hi = self._run(64, 32, [2] * 64).time
+        t_lo = self._run(64, 4, [2] * 64).time
+        assert t_lo > t_hi
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_random_patterns(self, seed):
+        rng = np.random.default_rng(seed)
+        p, m = 32, 4
+        addrs = rng.integers(0, 10, size=p).tolist()
+        self._run(p, m, addrs, n_cells=10, seed=seed)
+
+
+class TestConcurrentWriteSimulation:
+    """The write half of Theorem 5.1: dedup by sorting, one writer per
+    address."""
+
+    def _run(self, p, m, addrs, seed=0):
+        from repro.concurrent_read import simulate_concurrent_write_step
+
+        vals = [f"v{i}" for i in range(p)]
+        res, mem = simulate_concurrent_write_step(
+            p, m, addrs, vals, memory={x: None for x in set(addrs)}
+        )
+        for a in set(addrs):
+            winner = min(i for i in range(p) if addrs[i] == a)
+            assert mem[a] == f"v{winner}", a
+        return res
+
+    def test_all_same_address(self):
+        res = self._run(32, 4, [7] * 32)
+        # exactly one write reached the cell, contention stayed at 1
+        assert res.stat_max("kappa") <= 2
+
+    def test_all_distinct(self):
+        self._run(32, 8, list(range(32)))
+
+    def test_mixed(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        self._run(64, 8, rng.integers(0, 6, size=64).tolist())
+
+    def test_no_overload(self):
+        res = self._run(64, 8, [3] * 64)
+        assert res.stat_max("overloaded_slots") == 0
+
+    def test_power_of_two_required(self):
+        from repro.concurrent_read import simulate_concurrent_write_step
+
+        with pytest.raises(ValueError, match="power of two"):
+            simulate_concurrent_write_step(12, 4, [0] * 12, [0] * 12, {})
+
+    def test_length_checked(self):
+        from repro.concurrent_read import simulate_concurrent_write_step
+
+        with pytest.raises(ValueError):
+            simulate_concurrent_write_step(8, 2, [0] * 4, [0] * 8, {})
+
+
+class TestPRAMmSummation:
+    """Native PRAM(m) algorithm design under the m-cell constraint."""
+
+    def test_correct(self):
+        from repro.concurrent_read import pramm_summation
+
+        res, total = pramm_summation(list(range(64)), p=64, m=8)
+        assert total == sum(range(64))
+
+    @pytest.mark.parametrize("p,m", [(16, 1), (16, 16), (100, 7), (64, 32)])
+    def test_sizes(self, p, m):
+        from repro.concurrent_read import pramm_summation
+
+        rom = [i * i for i in range(p)]
+        res, total = pramm_summation(rom, p=p, m=m)
+        assert total == sum(rom)
+        assert all(v == total for v in res.results)
+
+    def test_time_is_p_over_m_plus_lg_m(self):
+        from repro.concurrent_read import pramm_summation
+        from repro.util.intmath import ceil_div, ilog2
+
+        p, m = 256, 16
+        res, _ = pramm_summation([1] * p, p=p, m=m)
+        bound = 2 * ceil_div(p, m) + 3 * (ilog2(m) + 1) + 3
+        assert res.time <= bound
+
+    def test_one_cell(self):
+        from repro.concurrent_read import pramm_summation
+
+        res, total = pramm_summation([2] * 10, p=10, m=1)
+        assert total == 20
+
+    def test_bad_m(self):
+        from repro.concurrent_read import pramm_summation
+
+        with pytest.raises(ValueError):
+            pramm_summation([1], p=1, m=0)

@@ -1,0 +1,133 @@
+"""Unit and property tests for penalty functions and superstep cost formulas.
+
+The property tests pin the paper's contract for every ``f_m`` family:
+``f_m(0) = 0``; ``f_m(m_t) = 1`` on ``[1, m]``; ``f_m(m_t) >= m_t/m`` and
+increasing above ``m``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.costs import (
+    EXPONENTIAL,
+    LINEAR,
+    CapacityPenalty,
+    ExponentialPenalty,
+    LinearPenalty,
+    PolynomialPenalty,
+    bsp_g_cost,
+    bsp_m_cost,
+    qsm_g_cost,
+    qsm_m_cost,
+    self_scheduling_cost,
+    slot_charges,
+    superstep_charge,
+)
+
+PENALTIES = [LinearPenalty(), ExponentialPenalty(), PolynomialPenalty(2.0), PolynomialPenalty(3.5)]
+
+
+@pytest.mark.parametrize("pen", PENALTIES, ids=lambda p: f"{p.name}")
+class TestPenaltyContract:
+    def test_zero_is_free(self, pen):
+        assert pen.scalar(0, 10) == 0.0
+
+    def test_in_band_is_unit(self, pen):
+        for c in (1, 5, 10):
+            assert pen.scalar(c, 10) == 1.0
+
+    @given(st.integers(1, 10_000), st.integers(1, 1000))
+    def test_at_least_linear_above_m(self, pen, extra, m):
+        count = m + extra
+        assert pen.scalar(count, m) >= count / m - 1e-12
+
+    @given(st.integers(1, 1000))
+    def test_increasing_above_m(self, pen, m):
+        counts = np.array([m + 1, 2 * m + 1, 4 * m + 1, 16 * m + 1])
+        charges = pen(counts, m)
+        assert np.all(np.diff(charges) > 0)
+
+    def test_vectorized_matches_scalar(self, pen):
+        m = 7
+        counts = np.array([0, 1, 3, 7, 8, 20, 100])
+        vec = pen(counts, m)
+        scal = [pen.scalar(int(c), m) for c in counts]
+        assert np.allclose(vec, scal)
+
+    def test_rejects_negative_counts(self, pen):
+        with pytest.raises(ValueError):
+            pen(np.array([-1]), 5)
+
+    def test_rejects_nonpositive_m(self, pen):
+        with pytest.raises(ValueError):
+            pen(np.array([1]), 0)
+
+
+class TestSpecificValues:
+    def test_linear_value(self):
+        assert LINEAR.scalar(30, 10) == pytest.approx(3.0)
+
+    def test_exponential_value(self):
+        # e^{m_t/m - 1} at m_t = 2m is e
+        assert EXPONENTIAL.scalar(20, 10) == pytest.approx(np.e)
+
+    def test_exponential_dominates_linear(self):
+        counts = np.arange(11, 200)
+        assert np.all(EXPONENTIAL(counts, 10) >= LINEAR(counts, 10) - 1e-12)
+
+    def test_polynomial_degree_one_is_linear(self):
+        pen = PolynomialPenalty(1.0)
+        counts = np.array([15, 30, 100])
+        assert np.allclose(pen(counts, 10), LINEAR(counts, 10))
+
+    def test_polynomial_rejects_sublinear_degree(self):
+        with pytest.raises(ValueError):
+            PolynomialPenalty(0.5)
+
+    def test_capacity_raises_on_overload(self):
+        pen = CapacityPenalty()
+        assert pen.scalar(5, 10) == 1.0
+        with pytest.raises(OverflowError):
+            pen.scalar(11, 10)
+
+
+class TestSuperstepCharge:
+    def test_empty(self):
+        assert superstep_charge(np.zeros(0), 4) == 0.0
+
+    def test_all_in_band(self):
+        # five nonempty slots, each within m: c_m = 5
+        assert superstep_charge(np.array([1, 4, 4, 2, 3]), 4) == 5.0
+
+    def test_overloaded_slot_linear(self):
+        assert superstep_charge(np.array([8]), 4, LINEAR) == 2.0
+
+    def test_slot_charges_shape(self):
+        out = slot_charges(np.array([0, 1, 9]), 3)
+        assert out.shape == (3,)
+        assert out[0] == 0 and out[1] == 1 and out[2] == pytest.approx(np.e**2)
+
+
+class TestCostFormulas:
+    def test_bsp_g(self):
+        assert bsp_g_cost(w=5, h=3, g=4, L=10) == 12
+        assert bsp_g_cost(w=50, h=3, g=4, L=10) == 50
+        assert bsp_g_cost(w=1, h=1, g=2, L=10) == 10
+
+    def test_bsp_m(self):
+        assert bsp_m_cost(w=1, h=7, c_m=5, L=2) == 7
+        assert bsp_m_cost(w=1, h=2, c_m=5, L=2) == 5
+
+    def test_self_scheduling(self):
+        assert self_scheduling_cost(w=1, h=2, n=100, m=10, L=3) == 10.0
+        with pytest.raises(ValueError):
+            self_scheduling_cost(1, 1, 1, 0, 1)
+
+    def test_qsm_g(self):
+        assert qsm_g_cost(w=1, h=2, g=3, kappa=10) == 10
+        assert qsm_g_cost(w=1, h=4, g=3, kappa=10) == 12
+
+    def test_qsm_m(self):
+        assert qsm_m_cost(w=1, h=2, kappa=3, c_m=4) == 4

@@ -1,0 +1,228 @@
+"""Tests for Section 6.2: adversaries, protocols, stability, M/G/1."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import MachineParams
+from repro.dynamic import (
+    ZETA4,
+    AlgorithmBProtocol,
+    BSPgIntervalProtocol,
+    BurstyAdversary,
+    SingleTargetAdversary,
+    UniformAdversary,
+    check_compliance,
+    expected_time_in_system,
+    mg1_mean_queue_at_departure,
+    mg1_stable,
+    required_u,
+    run_dynamic,
+    s0_service_moments,
+)
+from repro.dynamic.adversary import ArrivalTrace
+
+
+P, M, L, W, T = 256, 16, 8, 128, 16_000
+
+
+@pytest.fixture
+def pair():
+    return MachineParams.matched_pair(p=P, m=M, L=L)
+
+
+class TestAdversaries:
+    def test_single_target_compliant(self):
+        adv = SingleTargetAdversary(P, W, beta=0.25)
+        trace = adv.generate(T, seed=0)
+        ok, why = check_compliance(trace, W, alpha=0.25, beta=0.25)
+        assert ok, why
+        assert set(trace.src.tolist()) == {0}
+
+    def test_single_target_rate(self):
+        trace = SingleTargetAdversary(P, W, beta=0.5).generate(T, seed=0)
+        assert trace.n == pytest.approx(0.5 * T, rel=0.01)
+
+    def test_single_target_rejects_beta_above_one(self):
+        with pytest.raises(ValueError):
+            SingleTargetAdversary(P, W, beta=1.5).generate(100)
+
+    def test_uniform_compliant(self):
+        alpha = 0.5 * M
+        adv = UniformAdversary(P, W, alpha=alpha, beta=alpha)
+        trace = adv.generate(T, seed=1)
+        ok, why = check_compliance(trace, W, alpha=alpha, beta=alpha)
+        assert ok, why
+
+    def test_uniform_rate(self):
+        alpha = 2.0
+        trace = UniformAdversary(P, W, alpha=alpha, beta=alpha).generate(T, seed=2)
+        assert trace.n == pytest.approx(alpha * T, rel=0.02)
+
+    def test_bursty_compliant(self):
+        adv = BurstyAdversary(P, W, alpha=4.0, beta=1.0)
+        trace = adv.generate(T, seed=3)
+        ok, why = check_compliance(trace, W, alpha=4.0, beta=1.0)
+        assert ok, why
+
+    def test_beta_cannot_exceed_alpha(self):
+        with pytest.raises(ValueError):
+            UniformAdversary(P, W, alpha=1.0, beta=2.0)
+
+    def test_trace_window(self):
+        trace = SingleTargetAdversary(P, W, beta=0.5).generate(1000, seed=4)
+        sub = trace.window(100, 200)
+        assert np.all((sub.t >= 100) & (sub.t < 200))
+
+    def test_trace_sorted(self):
+        trace = UniformAdversary(P, W, alpha=1.0, beta=1.0).generate(1000, seed=5)
+        assert np.all(np.diff(trace.t) >= 0)
+
+    def test_compliance_detects_violation(self):
+        bad = ArrivalTrace(
+            p=4,
+            horizon=100,
+            t=np.zeros(50, dtype=np.int64),
+            src=np.zeros(50, dtype=np.int64),
+            dest=np.ones(50, dtype=np.int64),
+        )
+        ok, why = check_compliance(bad, w=10, alpha=0.1, beta=0.1)
+        assert not ok
+
+
+class TestTheorem65:
+    """BSP(g) is stable iff beta <= 1/g."""
+
+    def test_stable_below_threshold(self, pair):
+        local, _ = pair
+        g = local.g
+        trace = SingleTargetAdversary(P, W, beta=0.5 / g).generate(T, seed=0)
+        res = run_dynamic(BSPgIntervalProtocol(local, W), trace)
+        assert res.is_stable()
+        assert res.final_backlog <= 2 * W
+
+    def test_unstable_above_threshold(self, pair):
+        local, _ = pair
+        g = local.g
+        beta = 2.0 / g
+        trace = SingleTargetAdversary(P, W, beta=beta).generate(T, seed=0)
+        res = run_dynamic(BSPgIntervalProtocol(local, W), trace)
+        assert not res.is_stable()
+        # measured growth rate matches the proof's beta - 1/g
+        assert res.backlog_slope() == pytest.approx(beta - 1 / g, rel=0.15)
+
+    def test_backlog_grows_linearly(self, pair):
+        local, _ = pair
+        trace = SingleTargetAdversary(P, W, beta=4.0 / local.g).generate(T, seed=1)
+        res = run_dynamic(BSPgIntervalProtocol(local, W), trace)
+        first_half = res.backlog[len(res.backlog) // 2]
+        assert res.final_backlog >= 1.7 * first_half
+
+
+class TestTheorem67:
+    """Algorithm B on the BSP(m) rides out what sinks the BSP(g)."""
+
+    def test_stable_where_bsp_g_fails(self, pair):
+        local, global_ = pair
+        beta = 2.0 / local.g  # kills BSP(g)
+        trace = SingleTargetAdversary(P, W, beta=beta).generate(T, seed=0)
+        res = run_dynamic(
+            AlgorithmBProtocol(global_, W, alpha=beta, epsilon=0.25, seed=1), trace
+        )
+        assert res.is_stable()
+        # only the final, not-yet-served window may remain in flight
+        assert res.final_backlog <= math.ceil(beta * W) + 1
+
+    def test_stable_at_high_local_rate(self, pair):
+        _, global_ = pair
+        beta = 0.75  # x̄ per window = 96 < w: fine for the global model
+        trace = SingleTargetAdversary(P, W, beta=beta).generate(T, seed=2)
+        res = run_dynamic(
+            AlgorithmBProtocol(global_, W, alpha=beta, epsilon=0.25, seed=3), trace
+        )
+        assert res.is_stable()
+
+    def test_unstable_past_aggregate_limit(self, pair):
+        _, global_ = pair
+        alpha = 1.5 * M
+        trace = UniformAdversary(P, W, alpha=alpha, beta=alpha).generate(T, seed=4)
+        res = run_dynamic(
+            AlgorithmBProtocol(global_, W, alpha=alpha, epsilon=0.25, seed=5), trace
+        )
+        assert not res.is_stable()
+
+    def test_sojourn_bounded_when_stable(self, pair):
+        _, global_ = pair
+        trace = SingleTargetAdversary(P, W, beta=0.5).generate(T, seed=6)
+        res = run_dynamic(
+            AlgorithmBProtocol(global_, W, alpha=0.5, epsilon=0.25, seed=7), trace
+        )
+        assert res.mean_sojourn <= 3 * W
+
+
+class TestQueueing:
+    def test_s0_first_moment_is_zeta4(self):
+        m1, _ = s0_service_moments(w=100, u=10)
+        assert m1 == pytest.approx(ZETA4 * 10, rel=1e-6)
+        assert m1 < 1.21 * 10  # the paper's quoted (looser) constant
+
+    def test_s0_second_moment(self):
+        _, m2 = s0_service_moments(w=100, u=10, kmax=200_000)
+        # E[S^2] = (w/u)^2 * sum k^2 ((k+1)^4 - k^4)/(k^4 (k+1)^4)
+        series = sum(
+            k * k * (1.0 / k**4 - 1.0 / (k + 1) ** 4) for k in range(1, 200_001)
+        )
+        assert m2 == pytest.approx(100.0 * series, rel=1e-6)
+
+    def test_mg1_stability_condition(self):
+        assert mg1_stable(0.05, 10.0)
+        assert not mg1_stable(0.2, 10.0)
+
+    def test_pollaczek_khinchine(self):
+        q = mg1_mean_queue_at_departure(0.05, 10.0, 150.0)
+        assert q == pytest.approx(0.5 + 0.0025 * 150.0 / (2 * 0.5))
+
+    def test_pk_infinite_when_unstable(self):
+        assert mg1_mean_queue_at_departure(0.2, 10.0, 150.0) == math.inf
+
+    def test_required_u(self):
+        assert required_u(100, 0.05) == math.floor(1.21 * 5) + 1
+        # and the resulting queue is stable
+        u = required_u(100, 0.05)
+        m1, _ = s0_service_moments(100, u)
+        assert mg1_stable(0.05, m1)
+
+    def test_expected_time_O_w2_over_u(self):
+        t1 = expected_time_in_system(100, 10, 0.01)
+        t2 = expected_time_in_system(200, 10, 0.01)
+        assert t2 / t1 == pytest.approx(4.0, rel=0.15)  # quadratic in w
+
+    def test_expected_time_infinite_when_unstable(self):
+        assert expected_time_in_system(100, 1, 0.9) == math.inf
+
+
+class TestStabilityFrontier:
+    def test_frontier_values(self, pair):
+        _, global_ = pair
+        proto = AlgorithmBProtocol(global_, W, alpha=1.0, epsilon=0.25, seed=0)
+        alpha_max, beta_max = proto.stability_frontier(r=0.01)
+        # alpha_max < m/(1+eps), beta_max < 1
+        assert 0 < alpha_max < M / 1.25
+        assert 0 < beta_max < 1.0
+
+    def test_frontier_shrinks_with_epsilon(self, pair):
+        _, global_ = pair
+        lo = AlgorithmBProtocol(global_, W, alpha=1.0, epsilon=0.1).stability_frontier()
+        hi = AlgorithmBProtocol(global_, W, alpha=1.0, epsilon=0.5).stability_frontier()
+        assert hi[0] < lo[0]
+
+    def test_running_inside_the_frontier_is_stable(self, pair):
+        _, global_ = pair
+        proto = AlgorithmBProtocol(global_, W, alpha=0.0, epsilon=0.25, seed=1)
+        alpha_max, beta_max = proto.stability_frontier()
+        beta = min(0.5 * beta_max, 0.9)
+        trace = SingleTargetAdversary(P, W, beta=beta).generate(T, seed=2)
+        proto = AlgorithmBProtocol(global_, W, alpha=beta, epsilon=0.25, seed=3)
+        res = run_dynamic(proto, trace)
+        assert res.is_stable()

@@ -1,0 +1,112 @@
+"""Tests for the variable-length dynamic extension."""
+
+import numpy as np
+import pytest
+
+from repro import MachineParams
+from repro.dynamic import (
+    AlgorithmBProtocol,
+    SingleTargetAdversary,
+    UniformAdversary,
+    VariableLengthAdversary,
+    run_dynamic,
+)
+from repro.dynamic.adversary import ArrivalTrace
+from repro.scheduling import unbalanced_send_long
+
+
+class TestArrivalTraceLengths:
+    def test_default_unit_lengths(self):
+        trace = SingleTargetAdversary(8, 16, beta=0.5).generate(1000, seed=0)
+        assert trace.flits == trace.n
+
+    def test_explicit_lengths(self):
+        trace = ArrivalTrace(
+            p=4,
+            horizon=10,
+            t=np.array([1, 2]),
+            src=np.array([0, 1]),
+            dest=np.array([1, 2]),
+            length=np.array([3, 5]),
+        )
+        assert trace.flits == 8
+
+    def test_length_shape_checked(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(
+                p=4, horizon=10,
+                t=np.array([1]), src=np.array([0]), dest=np.array([1]),
+                length=np.array([1, 2]),
+            )
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(
+                p=4, horizon=10,
+                t=np.array([1]), src=np.array([0]), dest=np.array([1]),
+                length=np.array([0]),
+            )
+
+    def test_window_slices_lengths(self):
+        trace = ArrivalTrace(
+            p=4, horizon=10,
+            t=np.array([1, 5, 8]), src=np.array([0, 1, 2]),
+            dest=np.array([1, 2, 3]), length=np.array([2, 4, 6]),
+        )
+        sub = trace.window(4, 9)
+        assert sub.flits == 10
+
+
+class TestVariableLengthAdversary:
+    def test_mean_length(self):
+        adv = VariableLengthAdversary(
+            UniformAdversary(64, 32, alpha=2.0, beta=2.0), mean_length=6.0
+        )
+        trace = adv.generate(20_000, seed=1)
+        assert trace.flits / trace.n == pytest.approx(6.0, rel=0.1)
+
+    def test_reproducible(self):
+        adv = VariableLengthAdversary(SingleTargetAdversary(16, 32, beta=0.5), 4.0)
+        a = adv.generate(2000, seed=2)
+        b = adv.generate(2000, seed=2)
+        assert np.array_equal(a.length, b.length)
+
+    def test_bad_mean_rejected(self):
+        with pytest.raises(ValueError):
+            VariableLengthAdversary(SingleTargetAdversary(8, 16, beta=0.5), 0.0)
+
+
+class TestLongMessageDynamic:
+    def test_algorithm_b_with_long_sender_stable(self):
+        p, m, w = 128, 32, 256
+        _, global_ = MachineParams.matched_pair(p=p, m=m, L=4)
+        # flit rate per source must stay below 1 (a processor injects at
+        # most one flit per step): 0.25 msgs/step * mean 2 = 0.5 flits/step
+        beta = 0.25
+        adv = VariableLengthAdversary(
+            SingleTargetAdversary(p, w, beta=beta), mean_length=2.0
+        )
+        trace = adv.generate(30_000, seed=3)
+        proto = AlgorithmBProtocol(
+            global_, w, alpha=beta * 2.0, epsilon=0.3, seed=4,
+            sender=unbalanced_send_long,
+        )
+        res = run_dynamic(proto, trace)
+        assert res.is_stable()
+
+    def test_flit_volume_drives_instability(self):
+        """Same message rate, longer messages: past alpha_flits = m the
+        system must sink."""
+        p, m, w = 128, 8, 256
+        _, global_ = MachineParams.matched_pair(p=p, m=m, L=4)
+        msg_rate = 2.0
+        adv = VariableLengthAdversary(
+            UniformAdversary(p, w, alpha=msg_rate, beta=msg_rate), mean_length=16.0
+        )  # flit rate ~ 32 > m = 8
+        trace = adv.generate(30_000, seed=5)
+        proto = AlgorithmBProtocol(
+            global_, w, alpha=msg_rate * 16.0, epsilon=0.3, seed=6,
+            sender=unbalanced_send_long,
+        )
+        res = run_dynamic(proto, trace)
+        assert not res.is_stable()

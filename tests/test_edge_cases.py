@@ -1,0 +1,197 @@
+"""Edge-case and failure-injection tests across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BSPg,
+    BSPm,
+    MachineParams,
+    Message,
+    ModelViolation,
+    ProgramError,
+    QSMg,
+    QSMm,
+)
+from repro.core.events import CostBreakdown
+from repro.scheduling import (
+    evaluate_schedule,
+    offline_optimal_schedule,
+    send_window,
+    unbalanced_send,
+)
+from repro.workloads import HRelation, uniform_random_relation
+
+
+class TestMessageValidation:
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(src=0, dest=1, size=0)
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            Message(src=0, dest=1, slot=-1)
+
+    def test_defaults(self):
+        msg = Message(src=0, dest=1)
+        assert msg.size == 1 and msg.slot is None and msg.consecutive
+
+
+class TestCostBreakdown:
+    def test_total_is_max(self):
+        b = CostBreakdown(work=3, local_band=7, global_band=5, latency=1, contention=2)
+        assert b.total() == 7
+
+    def test_dominant_names_the_max(self):
+        b = CostBreakdown(work=3, global_band=9)
+        assert b.dominant() == "global_band"
+
+    def test_dominant_tie_prefers_declaration_order(self):
+        b = CostBreakdown(work=5, latency=5)
+        assert b.dominant() == "work"
+
+    def test_empty(self):
+        assert CostBreakdown().total() == 0.0
+
+
+class TestEngineEdges:
+    def test_zero_message_program_on_every_machine(self):
+        def prog(ctx):
+            yield
+
+        for mach in (
+            BSPg(MachineParams(p=2, g=2.0, L=3.0)),
+            BSPm(MachineParams(p=2, m=1, L=3.0)),
+        ):
+            res = mach.run(prog)
+            assert res.time == 3.0  # barrier still costs L
+
+        for mach in (QSMg(MachineParams(p=2, g=2.0)), QSMm(MachineParams(p=2, m=1))):
+            res = mach.run(prog)
+            assert res.time == 2.0 if mach.params.m is None else res.time >= 1.0
+
+    def test_single_processor_machine(self):
+        def prog(ctx):
+            ctx.work(5)
+            yield
+            return "done"
+
+        res = BSPm(MachineParams(p=1, m=1)).run(prog)
+        assert res.results == ["done"] and res.time == 5.0
+
+    def test_self_send(self):
+        def prog(ctx):
+            ctx.send(ctx.pid, "loop")
+            yield
+            return [m.payload for m in ctx.receive()]
+
+        res = BSPg(MachineParams(p=2, g=2.0)).run(prog)
+        assert res.results == [["loop"], ["loop"]]
+
+    def test_qsm_read_of_unwritten_location_is_none(self):
+        def prog(ctx):
+            h = ctx.read(("nowhere", ctx.pid))
+            yield
+            return h.value
+
+        res = QSMg(MachineParams(p=2, g=1.0)).run(prog)
+        assert res.results == [None, None]
+
+    def test_messages_to_inactive_processors(self):
+        """With nprocs < p, sends outside the active prefix are programmer
+        errors caught at send time."""
+
+        def prog(ctx):
+            ctx.send(ctx.nprocs, "beyond")
+            yield
+
+        mach = BSPg(MachineParams(p=8, g=1.0))
+        with pytest.raises(ProgramError):
+            mach.run(prog, nprocs=4)
+
+    def test_generator_exception_propagates(self):
+        def prog(ctx):
+            yield
+            raise RuntimeError("inner failure")
+
+        with pytest.raises(RuntimeError, match="inner failure"):
+            BSPg(MachineParams(p=2, g=1.0)).run(prog)
+
+    def test_shared_memory_persists_across_runs(self):
+        mach = QSMg(MachineParams(p=2, g=1.0))
+
+        def writer(ctx):
+            if ctx.pid == 0:
+                ctx.write("persist", 99)
+            yield
+
+        def reader(ctx):
+            h = ctx.read("persist") if ctx.pid == 1 else None
+            yield
+            return h.value if h else None
+
+        mach.run(writer)
+        res = mach.run(reader)
+        assert res.results[1] == 99
+
+
+class TestSchedulingEdges:
+    def test_empty_relation_everywhere(self):
+        rel = HRelation(
+            p=4,
+            src=np.zeros(0, dtype=np.int64),
+            dest=np.zeros(0, dtype=np.int64),
+            length=np.zeros(0, dtype=np.int64),
+        )
+        sched = unbalanced_send(rel, m=2, epsilon=0.5, seed=0)
+        rep = evaluate_schedule(sched, m=2)
+        assert rep.completion_time == 0.0
+        assert rep.ratio == 1.0
+
+    def test_single_message(self):
+        rel = HRelation(
+            p=2, src=np.array([0]), dest=np.array([1]), length=np.array([1])
+        )
+        sched = unbalanced_send(rel, m=1, epsilon=0.5, seed=1)
+        sched.check_valid()
+        rep = evaluate_schedule(sched, m=1)
+        assert rep.completion_time >= 1.0
+
+    def test_m_larger_than_n(self):
+        rel = uniform_random_relation(16, 5, seed=2)
+        sched = unbalanced_send(rel, m=1000, epsilon=0.5, seed=3)
+        rep = evaluate_schedule(sched, m=1000)
+        assert not rep.overloaded
+
+    def test_window_of_tiny_n(self):
+        assert send_window(1, 1000, 0.1) == 1
+
+    def test_m_one(self):
+        """m = 1 serializes everything: optimal span = n."""
+        rel = uniform_random_relation(8, 50, seed=4)
+        sched = offline_optimal_schedule(rel, m=1)
+        assert sched.span == rel.n
+
+    def test_all_messages_same_pair(self):
+        rel = HRelation(
+            p=4,
+            src=np.zeros(20, dtype=np.int64),
+            dest=np.full(20, 3, dtype=np.int64),
+            length=np.ones(20, dtype=np.int64),
+        )
+        sched = unbalanced_send(rel, m=4, epsilon=0.5, seed=5)
+        sched.check_valid()
+        rep = evaluate_schedule(sched, m=4)
+        assert rep.completion_time == 20.0  # x̄ = ȳ = n
+
+
+class TestParamEdges:
+    def test_word_bits_positive(self):
+        with pytest.raises(ValueError):
+            MachineParams(p=2, word_bits=0)
+
+    def test_g_exactly_one_allowed(self):
+        MachineParams(p=2, g=1.0)
+
+    def test_m_one_allowed(self):
+        MachineParams(p=2, m=1)

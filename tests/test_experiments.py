@@ -1,0 +1,74 @@
+"""Tests for the programmatic experiment registry."""
+
+import json
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, list_experiments, run_experiment
+
+
+class TestRegistry:
+    def test_list(self):
+        names = list_experiments()
+        assert "table1_measured" in names
+        assert "dynamic_stability" in names
+        assert names == sorted(names)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("bogus")
+
+    def test_every_experiment_runs_and_serializes(self):
+        small_kwargs = {
+            "table1_measured": dict(p=64, m=8, L=4.0),
+            "unbalanced_send": dict(p=128, m=16, n=5000, trials=3),
+            "dynamic_stability": dict(p=64, m=8, w=64, horizon=4000),
+            "leader_gap": dict(m=8),
+            "self_scheduling": dict(p=128, m=16, trials=3),
+        }
+        for name in list_experiments():
+            out = run_experiment(name, **small_kwargs[name])
+            json.dumps(out, default=float)
+
+    def test_deterministic_under_seed(self):
+        a = run_experiment("unbalanced_send", p=128, m=16, n=5000, trials=3, seed=7)
+        b = run_experiment("unbalanced_send", p=128, m=16, n=5000, trials=3, seed=7)
+        assert a == b
+
+
+class TestExperimentShapes:
+    def test_table1_separations(self):
+        out = run_experiment("table1_measured", p=128, m=8, L=4.0)
+        t = out["times"]["one_to_all"]
+        assert t["bsp_g"] / t["bsp_m"] >= 0.8 * out["g"]
+
+    def test_dynamic_threshold(self):
+        out = run_experiment("dynamic_stability", p=64, m=8, w=64, horizon=8000)
+        for row in out["sweep"]:
+            if row["beta_times_g"] < 1.0:
+                assert row["bsp_g"]["stable"]
+            else:
+                assert not row["bsp_g"]["stable"]
+            assert row["algorithm_b"]["stable"]
+
+    def test_self_scheduling_within_eps(self):
+        out = run_experiment("self_scheduling", p=256, m=32, epsilon=0.2, trials=5)
+        for wk in out["workloads"].values():
+            assert wk["max_ratio"] <= 1.25
+
+
+class TestCLIExperiment:
+    def test_list_command(self, capsys):
+        from repro.harness import main
+
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "leader_gap" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        from repro.harness import main
+
+        path = tmp_path / "out.json"
+        assert main(["experiment", "leader_gap", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["sweep"]

@@ -1,0 +1,149 @@
+"""Tests for the extension features: gap template, hard-capacity penalty
+injection, report summaries, timeline rendering, and engine invariants
+under randomized programs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BSPm, CapacityPenalty, MachineParams
+from repro.dynamic import BSPgIntervalProtocol, SingleTargetAdversary, run_dynamic
+from repro.scheduling import evaluate_schedule, unbalanced_send
+from repro.workloads import uniform_random_relation
+
+
+class TestGapTemplate:
+    def test_valid(self):
+        rel = uniform_random_relation(64, 2000, seed=0)
+        sched = unbalanced_send(rel, 64, 0.5, seed=1, template="gap", gap=3)
+        sched.check_valid()
+
+    def test_spacing_enforced(self):
+        """Within the cyclic window, a processor's successive flits sit
+        ``gap`` apart (mod W) whenever its spaced block fits."""
+        rel = uniform_random_relation(16, 100, seed=2)
+        gap = 4
+        sched = unbalanced_send(rel, 32, 1.0, seed=3, template="gap", gap=gap)
+        W = sched.window
+        flit_src = sched.flit_src
+        for pid in range(16):
+            mine = sched.flit_slots[flit_src == pid]
+            if mine.size * gap <= W and mine.size > 1:
+                diffs = np.diff(mine) % W
+                assert np.all(diffs == gap % W), pid
+
+    def test_oversized_fallback(self):
+        from repro.workloads import one_to_all_relation
+
+        rel = one_to_all_relation(64)
+        sched = unbalanced_send(rel, 8, 0.2, seed=4, template="gap", gap=10)
+        sched.check_valid()  # falls back to consecutive for the big sender
+
+    def test_bad_gap(self):
+        rel = uniform_random_relation(8, 10, seed=5)
+        with pytest.raises(ValueError, match="gap"):
+            unbalanced_send(rel, 4, 0.2, template="gap", gap=0)
+
+
+class TestCapacityPenaltyInjection:
+    def test_bspm_with_hard_capacity_raises_on_overload(self):
+        """A BSP(m) with the hard-capacity penalty models LOGP/PRAM(m)-style
+        networks: overload is an error, not a cost."""
+        mach = BSPm(MachineParams(p=16, m=2, L=1), penalty=CapacityPenalty())
+
+        def prog(ctx):
+            ctx.send((ctx.pid + 1) % ctx.nprocs, "x", slot=0)
+            yield
+
+        with pytest.raises(OverflowError, match="overloaded"):
+            mach.run(prog)
+
+    def test_clean_program_unaffected(self):
+        mach = BSPm(MachineParams(p=16, m=2, L=1), penalty=CapacityPenalty())
+
+        def prog(ctx):
+            ctx.send((ctx.pid + 1) % ctx.nprocs, "x", slot=ctx.stagger_slot())
+            yield
+
+        res = mach.run(prog)
+        assert res.time >= 1
+
+
+class TestSummaries:
+    def test_schedule_report_summary(self):
+        rel = uniform_random_relation(64, 2000, seed=6)
+        rep = evaluate_schedule(unbalanced_send(rel, 32, 0.3, seed=7), m=32)
+        text = rep.summary()
+        assert "unbalanced-send" in text
+        assert "offline optimum" in text
+
+    def test_summary_mentions_overload(self):
+        from repro.scheduling import naive_schedule
+
+        rel = uniform_random_relation(64, 2000, seed=8)
+        rep = evaluate_schedule(naive_schedule(rel), m=4)
+        assert "overloaded slots" in rep.summary()
+
+    def test_dynamic_timeline(self):
+        local, _ = MachineParams.matched_pair(p=64, m=8, L=4)
+        trace = SingleTargetAdversary(64, 64, beta=0.5).generate(4000, seed=9)
+        res = run_dynamic(BSPgIntervalProtocol(local, 64), trace)
+        text = res.render_timeline()
+        assert "backlog over time" in text
+        assert "UNSTABLE" in text or "stable" in text
+
+
+class TestEngineInvariantsRandomPrograms:
+    """Property: for arbitrary staggered communication programs the engine
+    conserves messages and prices supersteps at least at the L floor."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        p=st.integers(2, 12),
+        fanout=st.integers(0, 4),
+        supersteps=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    def test_conservation(self, p, fanout, supersteps, seed):
+        rng = np.random.default_rng(seed)
+        sends = rng.integers(0, p, size=(supersteps, p, fanout)) if fanout else None
+
+        def prog(ctx):
+            got = 0
+            for s in range(supersteps):
+                if fanout:
+                    for d in sends[s, ctx.pid]:
+                        ctx.send(int(d), None, slot=ctx.stagger_slot())
+                yield
+                got += len(ctx.receive())
+            return got
+
+        mach = BSPm(MachineParams(p=p, m=max(1, p // 2), L=2))
+        res = mach.run(prog)
+        assert sum(res.results) == supersteps * p * fanout
+        for record in res.records[:supersteps]:
+            assert record.cost >= 2  # the L floor
+        assert res.total_messages == supersteps * p * fanout
+
+
+class TestSerialization:
+    def test_schedule_report_to_dict_roundtrips_json(self):
+        import json
+
+        rel = uniform_random_relation(32, 500, seed=20)
+        rep = evaluate_schedule(unbalanced_send(rel, 8, 0.25, seed=21), m=8)
+        d = rep.to_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert d["ratio"] == pytest.approx(rep.ratio)
+
+    def test_dynamic_result_to_dict(self):
+        import json
+
+        local, _ = MachineParams.matched_pair(p=32, m=4, L=2)
+        trace = SingleTargetAdversary(32, 32, beta=0.25).generate(2000, seed=22)
+        res = run_dynamic(BSPgIntervalProtocol(local, 32), trace)
+        d = res.to_dict()
+        json.dumps(d)
+        assert d["stable"] == res.is_stable()
+        assert len(d["backlog"]) == len(res.backlog)

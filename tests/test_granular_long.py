@@ -1,0 +1,144 @@
+"""Tests for Unbalanced-Granular-Send (Theorem 6.4) and the long-message /
+overhead senders (Section 6.1 closing remarks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling import (
+    evaluate_schedule,
+    send_window,
+    unbalanced_granular_send,
+    unbalanced_send_long,
+    unbalanced_send_with_overhead,
+)
+from repro.workloads import (
+    HRelation,
+    one_to_all_relation,
+    uniform_random_relation,
+    variable_length_relation,
+)
+
+
+class TestGranularSend:
+    def test_valid(self):
+        rel = uniform_random_relation(256, 10_000, seed=0)
+        sched = unbalanced_granular_send(rel, m=32, c=4.0, seed=1)
+        sched.check_valid(require_consecutive=True)
+
+    def test_starts_are_granule_aligned(self):
+        rel = uniform_random_relation(128, 5000, seed=2)
+        sched = unbalanced_granular_send(rel, m=16, c=4.0, seed=3)
+        granule = int(sched.meta["granule"])
+        # light processors start at multiples of t'; reconstruct starts
+        lengths = rel.length
+        starts_idx = np.cumsum(lengths) - lengths
+        flit_src = np.repeat(rel.src, lengths)
+        ranks_first = sched.flit_slots[starts_idx] - 0  # message start slots
+        x = rel.sizes
+        threshold = rel.n / 16
+        for msg in range(rel.n_messages):
+            src = rel.src[msg]
+            if x[src] <= threshold:
+                block_start = sched.flit_slots[starts_idx[msg]] - int(
+                    np.sum(lengths[:msg][rel.src[:msg] == src])
+                )
+                assert block_start % granule == 0
+
+    def test_span_within_window(self):
+        rel = uniform_random_relation(512, 20_000, seed=4)
+        sched = unbalanced_granular_send(rel, m=64, c=4.0, seed=5)
+        # span <= c*n/m + x̄' by construction
+        assert sched.span <= sched.window + rel.x_bar
+
+    def test_no_overload_with_reasonable_m(self):
+        rel = uniform_random_relation(1024, 100_000, seed=6)
+        for seed in range(10):
+            sched = unbalanced_granular_send(rel, m=256, c=4.0, seed=seed)
+            rep = evaluate_schedule(sched, m=256)
+            assert not rep.overloaded
+
+    def test_bad_c(self):
+        rel = uniform_random_relation(8, 10, seed=7)
+        with pytest.raises(ValueError):
+            unbalanced_granular_send(rel, m=4, c=0.5)
+
+    def test_empty_relation(self):
+        rel = HRelation(
+            p=4,
+            src=np.zeros(0, dtype=np.int64),
+            dest=np.zeros(0, dtype=np.int64),
+            length=np.zeros(0, dtype=np.int64),
+        )
+        sched = unbalanced_granular_send(rel, m=4)
+        assert sched.span == 0
+
+
+class TestLongMessages:
+    def test_consecutive_flits(self):
+        rel = variable_length_relation(64, 800, mean_length=10, dist="pareto", seed=8)
+        sched = unbalanced_send_long(rel, m=16, epsilon=0.2, seed=9)
+        sched.check_valid(require_consecutive=True)
+
+    def test_span_within_window_plus_lhat(self):
+        rel = variable_length_relation(128, 2000, mean_length=8, seed=10)
+        sched = unbalanced_send_long(rel, m=32, epsilon=0.2, seed=11)
+        assert sched.span <= max(sched.window + rel.max_length, rel.x_bar)
+
+    def test_additive_term_beats_consecutive_send(self):
+        """The wrap-avoiding sender's additive term is l_hat, not x̄' —
+        with many short messages per processor the two differ a lot."""
+        rel = variable_length_relation(32, 3200, mean_length=4, dist="uniform", seed=12)
+        long_sched = unbalanced_send_long(rel, m=8, epsilon=0.2, seed=13)
+        window = long_sched.window
+        assert long_sched.span <= window + rel.max_length
+        assert rel.max_length < rel.x_bar  # the comparison is meaningful
+
+    def test_oversized_processor(self):
+        rel = one_to_all_relation(64, length=3)
+        sched = unbalanced_send_long(rel, m=63, epsilon=0.1, seed=14)
+        sched.check_valid(require_consecutive=True)
+
+
+class TestOverhead:
+    def test_zero_overhead_is_plain_long_send(self):
+        rel = variable_length_relation(32, 300, mean_length=5, seed=15)
+        sched, inflated = unbalanced_send_with_overhead(rel, m=8, o=0, epsilon=0.2, seed=16)
+        assert inflated is rel
+        assert sched.algorithm == "unbalanced-send-long"
+
+    def test_inflated_lengths(self):
+        rel = variable_length_relation(32, 300, mean_length=5, seed=17)
+        sched, inflated = unbalanced_send_with_overhead(rel, m=8, o=3, epsilon=0.2, seed=18)
+        assert np.array_equal(inflated.length, rel.length + 3)
+        sched.check_valid(require_consecutive=True)
+        assert sched.meta["overhead"] == 3.0
+
+    def test_negative_overhead_rejected(self):
+        rel = variable_length_relation(8, 10, seed=19)
+        with pytest.raises(ValueError):
+            unbalanced_send_with_overhead(rel, m=4, o=-1)
+
+    def test_cost_matches_paper_shape(self):
+        """Completion ≈ (1+eps)(1+o/l̄)n/m + l̂ + o for balanced workloads."""
+        rel = variable_length_relation(256, 5000, mean_length=6, seed=20)
+        o, eps, m = 4, 0.25, 64
+        sched, inflated = unbalanced_send_with_overhead(rel, m=m, o=o, epsilon=eps, seed=21)
+        rep = evaluate_schedule(sched, m=m)
+        bound = (1 + eps) * (1 + o / rel.mean_length) * rel.n / m + rel.max_length + o
+        assert rep.span <= bound * 1.1 + inflated.x_bar
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    p=st.integers(2, 32),
+    nm=st.integers(1, 200),
+    m=st.integers(1, 16),
+    o=st.integers(0, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_long_and_overhead_always_valid(p, nm, m, o, seed):
+    rel = variable_length_relation(p, nm, mean_length=3, seed=seed)
+    sched, _ = unbalanced_send_with_overhead(rel, m=m, o=o, epsilon=0.25, seed=seed)
+    sched.check_valid(require_consecutive=True)

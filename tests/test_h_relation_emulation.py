@@ -1,0 +1,159 @@
+"""Tests for the CRCW h-relation gadget (§4.1) and the model emulations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    PRAMTrace,
+    bsp_lower_bound_from_crcw,
+    crcw_max,
+    grouping_emulation_time,
+    realize_h_relation_crcw,
+    self_scheduling_transfer,
+    simulate_trace_on_qsm_m,
+)
+from repro.workloads import (
+    HRelation,
+    all_to_one_relation,
+    one_to_all_relation,
+    uniform_random_relation,
+    variable_length_relation,
+)
+
+
+def delivered_pairs(rel, delivered):
+    got = sorted((d, s) for d in range(rel.p) for s in delivered[d])
+    want = sorted(zip(rel.dest.tolist(), rel.src.tolist()))
+    return got, want
+
+
+class TestHRelationRealization:
+    def test_uniform(self):
+        rel = uniform_random_relation(12, 40, seed=0)
+        res, delivered = realize_h_relation_crcw(rel)
+        got, want = delivered_pairs(rel, delivered)
+        assert got == want
+
+    def test_all_to_one(self):
+        rel = all_to_one_relation(10)
+        res, delivered = realize_h_relation_crcw(rel)
+        got, want = delivered_pairs(rel, delivered)
+        assert got == want
+        # y_bar = 9 rounds, 2 steps each: O(h) exactly
+        assert res.time == 2 * 9
+
+    def test_one_to_all(self):
+        rel = one_to_all_relation(10)
+        res, delivered = realize_h_relation_crcw(rel)
+        got, want = delivered_pairs(rel, delivered)
+        assert got == want
+        assert res.time == 2  # y_bar = 1: one round
+
+    def test_time_is_O_of_h(self):
+        rel = uniform_random_relation(16, 100, seed=1)
+        res, _ = realize_h_relation_crcw(rel)
+        assert res.time <= 2 * rel.y_bar + 2
+
+    def test_rejects_long_messages(self):
+        rel = variable_length_relation(8, 10, mean_length=4, seed=2)
+        if rel.length.max() > 1:
+            with pytest.raises(ValueError):
+                realize_h_relation_crcw(rel)
+
+    @settings(max_examples=15, deadline=None)
+    @given(p=st.integers(2, 12), n=st.integers(0, 60), seed=st.integers(0, 1000))
+    def test_property_all_delivered(self, p, n, seed):
+        rel = uniform_random_relation(p, n, seed=seed)
+        res, delivered = realize_h_relation_crcw(rel)
+        got, want = delivered_pairs(rel, delivered)
+        assert got == want
+
+
+class TestCrcwMax:
+    def test_constant_steps(self):
+        res, mx = crcw_max([5, 2, 9, 1])
+        assert mx == 9
+        assert res.time <= 6  # O(1) steps, independent of p
+
+    def test_all_processors_know(self):
+        res, _ = crcw_max([3, 7, 7, 1])
+        assert all(v == 7 for v in res.results[:4])
+
+    def test_single_value(self):
+        _, mx = crcw_max([42])
+        assert mx == 42
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            crcw_max([])
+
+    def test_step_count_independent_of_p(self):
+        t4 = crcw_max(list(range(4)))[0].time
+        t10 = crcw_max(list(range(10)))[0].time
+        assert t4 == t10
+
+
+class TestLowerBoundConversion:
+    def test_multiplies_by_g(self):
+        assert bsp_lower_bound_from_crcw(10.0, g=4.0) == 40.0
+
+    def test_rejects_bad_g(self):
+        with pytest.raises(ValueError):
+            bsp_lower_bound_from_crcw(10.0, g=0.5)
+
+
+class TestGroupingEmulation:
+    def test_identity(self):
+        assert grouping_emulation_time(123.0) == 123.0
+
+
+class TestPRAMTrace:
+    def test_balanced(self):
+        tr = PRAMTrace.balanced(t=10, work_per_step=100, input_size=100)
+        assert tr.t == 10 and tr.w == 1000
+
+    def test_geometric_shape(self):
+        tr = PRAMTrace.geometric(1024)
+        assert tr.ops[0] == 1024
+        assert tr.w <= 3 * 1024  # O(n) total work
+        assert tr.t <= 2 * 11  # O(lg n) steps
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ValueError):
+            PRAMTrace(np.array([-1]), 4)
+
+    def test_simulation_bound(self):
+        """Measured QSM(m) time of the naive simulation is within the
+        paper's O(n/m + t + w/m) for every trace shape."""
+        for tr in (
+            PRAMTrace.balanced(20, 256, 256),
+            PRAMTrace.geometric(4096),
+            PRAMTrace(np.array([1, 1000, 1, 1000]), 1000),
+        ):
+            for m in (1, 4, 64, 1024):
+                measured, bound = simulate_trace_on_qsm_m(tr, m)
+                assert measured <= 2 * bound + 2, (tr.ops[:4], m)
+
+    def test_bad_m(self):
+        with pytest.raises(ValueError):
+            simulate_trace_on_qsm_m(PRAMTrace.geometric(16), 0)
+
+
+class TestSelfSchedulingTransfer:
+    def test_ratio_near_one_plus_eps(self):
+        rel = uniform_random_relation(512, 50_000, seed=3)
+        _, _, ratio = self_scheduling_transfer(rel, m=128, epsilon=0.2, seed=4)
+        assert ratio <= 1.25
+
+    def test_skewed_is_exact(self):
+        rel = one_to_all_relation(256)
+        self_c, real_c, ratio = self_scheduling_transfer(rel, m=32, epsilon=0.1, seed=5)
+        assert ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_components_returned(self):
+        rel = uniform_random_relation(64, 1000, seed=6)
+        self_c, real_c, ratio = self_scheduling_transfer(rel, m=16, epsilon=0.25, seed=7)
+        assert real_c >= self_c * 0.99
+        assert ratio == pytest.approx(real_c / self_c)

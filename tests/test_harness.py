@@ -1,0 +1,56 @@
+"""Tests for the CLI harness (python -m repro ...)."""
+
+import pytest
+
+from repro.harness import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.p == 4096 and args.m == 256
+
+    def test_schedule_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--workload", "bogus"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--p", "256", "--m", "16", "--L", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "One-to-all" in out and "Sorting" in out
+
+    def test_measure(self, capsys):
+        assert main(["measure", "--p", "64", "--m", "8", "--L", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "QSM(m)" in out and "summation" in out
+
+    @pytest.mark.parametrize("workload", ["balanced", "uniform", "zipf", "one-to-all"])
+    def test_schedule(self, capsys, workload):
+        assert (
+            main(
+                ["schedule", "--workload", workload, "--p", "128", "--n", "5000",
+                 "--m", "16", "--seed", "1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "unbalanced-send" in out
+        assert "Proposition 6.1" in out
+
+    def test_dynamic(self, capsys):
+        assert (
+            main(
+                ["dynamic", "--p", "64", "--m", "8", "--window", "64",
+                 "--horizon", "4000", "--seed", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "UNSTABLE" in out  # beta*g = 3 sinks the BSP(g)
+        assert out.count("stable") >= 3

@@ -1,0 +1,97 @@
+"""Tests for the §3 'send immediately' strawman protocol."""
+
+import numpy as np
+import pytest
+
+from repro import LINEAR, MachineParams
+from repro.dynamic import (
+    AlgorithmBProtocol,
+    ImmediateProtocol,
+    UniformAdversary,
+    run_dynamic,
+)
+from repro.dynamic.adversary import ArrivalTrace
+
+P, M = 256, 16
+
+
+def spike_trace(horizon=8000, spike=200, every=1000):
+    """``spike`` messages from distinct sources land simultaneously every
+    ``every`` steps — AQT-compliant (per-source count 1 per window) but a
+    nightmare for unscheduled injection."""
+    ts, srcs, dests = [], [], []
+    for t0 in range(0, horizon, every):
+        ts.extend([t0] * spike)
+        srcs.extend(range(spike))
+        dests.extend((np.arange(spike) + 1) % P)
+    return ArrivalTrace(
+        p=P,
+        horizon=horizon,
+        t=np.asarray(ts),
+        src=np.asarray(srcs),
+        dest=np.asarray(dests),
+    )
+
+
+@pytest.fixture
+def glob():
+    return MachineParams.matched_pair(p=P, m=M, L=1)[1]
+
+
+class TestImmediateProtocol:
+    def test_always_drains(self, glob):
+        """The paper's point: in the BSP(m), the naive algorithm always
+        succeeds (unlike the multiple-channel model, where >m contenders
+        never terminate) — every batch gets a finite completion time, just
+        a possibly very slow one."""
+        res = run_dynamic(ImmediateProtocol(glob), spike_trace())
+        assert all(np.isfinite(b.finish) for b in res.batches)
+        served = [b for b in res.batches if b.n > 0]
+        assert served and all(b.finish > b.start for b in served)
+
+    def test_smooth_traffic_is_cheap(self, glob):
+        trace = UniformAdversary(P, 128, alpha=4.0, beta=4.0).generate(10_000, seed=0)
+        res = run_dynamic(ImmediateProtocol(glob), trace)
+        assert res.is_stable()
+        assert res.mean_sojourn <= 2.0
+
+    def test_spikes_pay_the_exponential_penalty(self, glob):
+        """A single 200-message step costs e^{200/16 - 1} ≈ 10^5 — the
+        'possibly very slow' step."""
+        res = run_dynamic(ImmediateProtocol(glob), spike_trace())
+        worst = max(b.service for b in res.batches)
+        assert worst >= np.exp(200 / M - 1) * 0.99
+
+    def test_algorithm_b_beats_it_on_spikes(self, glob):
+        trace = spike_trace()
+        t_imm = run_dynamic(ImmediateProtocol(glob), trace).mean_sojourn
+        t_algb = run_dynamic(
+            AlgorithmBProtocol(glob, 128, alpha=200 / 128, epsilon=0.25, seed=1), trace
+        ).mean_sojourn
+        # batching + staggering flattens the spike into ~200/m slots
+        assert t_algb < t_imm / 10
+
+    def test_linear_penalty_tames_it(self, glob):
+        """Under the linear (lower-bound) penalty the naive protocol is
+        merely m-times-parallel FIFO — fine.  The exponential/linear split
+        is exactly the paper's lower-vs-upper-bound modelling choice."""
+        from repro import LINEAR
+
+        res = run_dynamic(ImmediateProtocol(glob, penalty=LINEAR), spike_trace())
+        worst = max(b.service for b in res.batches)
+        assert worst == pytest.approx(200 / M, rel=0.01)
+
+    def test_empty_step_costs_nothing(self, glob):
+        proto = ImmediateProtocol(glob)
+        empty = ArrivalTrace(
+            p=P, horizon=10,
+            t=np.zeros(0, dtype=np.int64),
+            src=np.zeros(0, dtype=np.int64),
+            dest=np.zeros(0, dtype=np.int64),
+        )
+        assert proto.service_time(empty) == 0.0
+
+    def test_requires_global_machine(self):
+        local, _ = MachineParams.matched_pair(p=P, m=M, L=1)
+        with pytest.raises(ValueError):
+            ImmediateProtocol(local)

@@ -1,0 +1,140 @@
+"""Tests for the offline optimal / FFD / naive / grouped baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling import (
+    evaluate_schedule,
+    grouped_schedule,
+    naive_schedule,
+    offline_consecutive_schedule,
+    offline_lower_bound,
+    offline_optimal_schedule,
+)
+from repro.util.intmath import ceil_div
+from repro.workloads import (
+    HRelation,
+    one_to_all_relation,
+    uniform_random_relation,
+    variable_length_relation,
+    zipf_h_relation,
+)
+
+
+class TestOfflineOptimal:
+    def test_meets_lower_bound_exactly(self):
+        rel = uniform_random_relation(64, 5000, seed=0)
+        sched = offline_optimal_schedule(rel, m=16)
+        sched.check_valid()
+        assert sched.span == offline_lower_bound(rel, 16)
+
+    def test_never_overloads(self):
+        rel = zipf_h_relation(128, 20_000, alpha=1.3, seed=1)
+        sched = offline_optimal_schedule(rel, m=32)
+        rep = evaluate_schedule(sched, m=32)
+        assert not rep.overloaded
+
+    def test_x_bar_dominated(self):
+        rel = one_to_all_relation(100)
+        sched = offline_optimal_schedule(rel, m=50)
+        assert sched.span == 99  # x̄ dominates ceil(99/50)
+
+    def test_bandwidth_dominated(self):
+        rel = uniform_random_relation(1000, 10_000, seed=2)
+        sched = offline_optimal_schedule(rel, m=10)
+        assert sched.span == offline_lower_bound(rel, 10) == 1000
+
+    def test_empty(self):
+        rel = HRelation(
+            p=2,
+            src=np.zeros(0, dtype=np.int64),
+            dest=np.zeros(0, dtype=np.int64),
+            length=np.zeros(0, dtype=np.int64),
+        )
+        assert offline_optimal_schedule(rel, 4).span == 0
+        assert offline_lower_bound(rel, 4) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        p=st.integers(1, 64),
+        n=st.integers(0, 2000),
+        m=st.integers(1, 64),
+        seed=st.integers(0, 10_000),
+    )
+    def test_optimality_property(self, p, n, m, seed):
+        """The constructive schedule always achieves max(ceil(n/m), x̄) —
+        the exact offline optimum — and never exceeds bandwidth."""
+        rel = uniform_random_relation(p, n, seed=seed)
+        sched = offline_optimal_schedule(rel, m=m)
+        sched.check_valid()
+        bound = max(ceil_div(rel.n, m), rel.x_bar) if rel.n else 0
+        assert sched.span == bound
+        counts = sched.slot_counts()
+        assert counts.size == 0 or counts.max() <= m
+
+
+class TestOfflineConsecutive:
+    def test_valid_and_consecutive(self):
+        rel = variable_length_relation(32, 300, mean_length=5, seed=3)
+        sched = offline_consecutive_schedule(rel, m=8)
+        sched.check_valid(require_consecutive=True)
+
+    def test_never_overloads(self):
+        rel = variable_length_relation(32, 300, mean_length=5, seed=4)
+        sched = offline_consecutive_schedule(rel, m=8)
+        counts = sched.slot_counts()
+        assert counts.max() <= 8
+
+    def test_close_to_lower_bound(self):
+        rel = variable_length_relation(64, 1000, mean_length=4, seed=5)
+        sched = offline_consecutive_schedule(rel, m=16)
+        lb = offline_lower_bound(rel, 16)
+        assert sched.span <= lb + rel.max_length + 1
+
+    def test_empty(self):
+        rel = HRelation(
+            p=2,
+            src=np.zeros(0, dtype=np.int64),
+            dest=np.zeros(0, dtype=np.int64),
+            length=np.zeros(0, dtype=np.int64),
+        )
+        assert offline_consecutive_schedule(rel, 4).span == 0
+
+
+class TestNaiveAndGrouped:
+    def test_naive_overloads_heavily(self):
+        rel = uniform_random_relation(256, 10_000, seed=6)
+        rep = evaluate_schedule(naive_schedule(rel), m=16)
+        assert rep.overloaded
+        assert rep.max_slot_load > 16
+
+    def test_naive_valid_per_processor(self):
+        rel = uniform_random_relation(64, 1000, seed=7)
+        naive_schedule(rel).check_valid(require_consecutive=False)
+
+    def test_grouped_never_overloads(self):
+        rel = zipf_h_relation(128, 20_000, alpha=1.2, seed=8)
+        sched = grouped_schedule(rel, m=16)
+        sched.check_valid()
+        counts = sched.slot_counts()
+        assert counts.max() <= 16
+
+    def test_grouped_pays_g_x_bar(self):
+        """The grouped schedule is the locally-limited emulation: span is
+        ceil(p/m)·x̄ up to the heavy sender's group offset."""
+        rel = one_to_all_relation(64)
+        sched = grouped_schedule(rel, m=8)
+        groups = 8
+        assert sched.span >= groups * (rel.x_bar - 1) + 1
+        assert sched.span <= groups * rel.x_bar
+
+    def test_grouped_vs_optimal_ratio_is_theta_g(self):
+        rel = one_to_all_relation(256)
+        m = 32
+        g = 256 // m
+        grouped = evaluate_schedule(grouped_schedule(rel, m), m=m)
+        optimal = evaluate_schedule(offline_optimal_schedule(rel, m), m=m)
+        ratio = grouped.comm_time / optimal.comm_time
+        assert g * 0.9 <= ratio <= g * 1.1

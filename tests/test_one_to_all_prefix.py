@@ -1,0 +1,158 @@
+"""Tests for one-to-all personalized communication and
+parity/summation/prefix sums (Table 1 rows 1 and 3)."""
+
+import functools
+import operator
+
+import pytest
+
+from repro import BSPg, BSPm, MachineParams, QSMg, QSMm
+from repro.algorithms import one_to_all, parity, prefix_sums, reduce_all, summation
+from repro.theory.bounds import (
+    one_to_all_bsp_g,
+    one_to_all_bsp_m,
+    one_to_all_qsm_g,
+    one_to_all_qsm_m,
+    parity_bsp_m,
+    parity_qsm_m,
+)
+
+
+class TestOneToAll:
+    def test_correct_all_models(self, all_machines):
+        for name, mach in all_machines.items():
+            mach.shared_memory.clear()
+            res = one_to_all(mach)
+            assert res.results == list(range(mach.params.p)), name
+
+    def test_custom_payloads_and_root(self):
+        mach = BSPm(MachineParams(p=8, m=2, L=1))
+        payloads = [f"msg{i}" for i in range(8)]
+        res = one_to_all(mach, payloads, root=3)
+        assert res.results == payloads
+
+    def test_payload_length_checked(self):
+        mach = BSPm(MachineParams(p=8, m=2))
+        with pytest.raises(ValueError):
+            one_to_all(mach, payloads=[1, 2])
+
+    def test_root_range_checked(self):
+        mach = BSPm(MachineParams(p=8, m=2))
+        with pytest.raises(ValueError):
+            one_to_all(mach, root=8)
+
+    def test_theta_g_separation(self, matched_medium):
+        """The paper's opening example: g(p-1) vs p-1."""
+        local, global_ = matched_medium
+        g = local.g
+        t_local = one_to_all(BSPg(local)).time
+        t_global = one_to_all(BSPm(global_)).time
+        assert t_local / t_global >= 0.9 * g
+
+    def test_measured_matches_bounds(self, matched_medium):
+        local, global_ = matched_medium
+        p, m, L, g = local.p, global_.m, local.L, local.g
+        assert one_to_all(BSPg(local)).time <= 1.1 * one_to_all_bsp_g(p, g, L)
+        assert one_to_all(BSPm(global_)).time <= 1.1 * one_to_all_bsp_m(p, m, L)
+        assert one_to_all(QSMg(local)).time <= 1.1 * one_to_all_qsm_g(p, g)
+        assert one_to_all(QSMm(global_)).time <= 1.2 * one_to_all_qsm_m(p, m)
+
+
+class TestReductions:
+    def test_summation_all_models(self, all_machines):
+        p = 64
+        values = [i * i for i in range(p)]
+        for name, mach in all_machines.items():
+            mach.shared_memory.clear()
+            res, total = summation(mach, values)
+            assert total == sum(values), name
+
+    def test_parity_all_models(self, all_machines):
+        bits = [1 if i % 3 == 0 else 0 for i in range(64)]
+        expected = functools.reduce(operator.xor, bits)
+        for name, mach in all_machines.items():
+            mach.shared_memory.clear()
+            res, val = parity(mach, bits)
+            assert val == expected, name
+
+    def test_parity_rejects_non_bits(self):
+        mach = BSPm(MachineParams(p=4, m=2))
+        with pytest.raises(ValueError):
+            parity(mach, [0, 1, 2, 0])
+
+    def test_custom_op(self):
+        mach = BSPm(MachineParams(p=16, m=4, L=2))
+        res, val = reduce_all(mach, list(range(16)), op=max)
+        assert val == 15
+
+    def test_value_count_checked(self):
+        mach = BSPm(MachineParams(p=4, m=2))
+        with pytest.raises(ValueError):
+            summation(mach, [1, 2])
+
+    def test_m_model_faster_than_g_model(self, matched_medium):
+        local, global_ = matched_medium
+        values = [1.0] * local.p
+        t_local = summation(BSPg(local), values)[0].time
+        t_global = summation(BSPm(global_), values)[0].time
+        assert t_global < t_local
+        tq_local = summation(QSMg(local), values)[0].time
+        tq_global = summation(QSMm(global_), values)[0].time
+        assert tq_global < tq_local
+
+    def test_m_model_time_tracks_bound(self, matched_medium):
+        local, global_ = matched_medium
+        p, m, L = local.p, global_.m, local.L
+        values = [1.0] * p
+        t_bsp = summation(BSPm(global_), values)[0].time
+        assert t_bsp <= 4 * parity_bsp_m(p, m, L)
+        t_qsm = summation(QSMm(global_), values)[0].time
+        assert t_qsm <= 4 * parity_qsm_m(p, m)
+
+    @pytest.mark.parametrize("p", [1, 2, 7, 33])
+    def test_odd_sizes(self, p):
+        mach = BSPm(MachineParams(p=p, m=max(1, p // 3), L=2))
+        res, total = summation(mach, list(range(p)))
+        assert total == sum(range(p))
+
+
+class TestPrefixSums:
+    @pytest.mark.parametrize("p", [1, 2, 3, 8, 13, 64, 100])
+    def test_correct(self, p):
+        mach = BSPm(MachineParams(p=p, m=max(1, p // 4), L=1))
+        res, out = prefix_sums(mach, list(range(p)))
+        assert out == [sum(range(i + 1)) for i in range(p)]
+
+    def test_non_commutative_op(self):
+        """Prefix with string concatenation checks left-to-right order."""
+        p = 16
+        mach = BSPg(MachineParams(p=p, g=2.0, L=1))
+        values = [chr(ord("a") + i) for i in range(p)]
+        res, out = prefix_sums(mach, values, op=operator.add)
+        assert out == ["".join(values[: i + 1]) for i in range(p)]
+
+    def test_no_overload_on_bspm(self):
+        mach = BSPm(MachineParams(p=128, m=4, L=1))
+        res, out = prefix_sums(mach, [1] * 128)
+        assert res.stat_max("overloaded_slots") == 0
+        assert out == list(range(1, 129))
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 8, 13, 64])
+    def test_qsm_machines_supported(self, p):
+        for mach in (
+            QSMg(MachineParams(p=p, g=2.0)),
+            QSMm(MachineParams(p=p, m=max(1, p // 4))),
+        ):
+            res, out = prefix_sums(mach, list(range(p)))
+            assert out == [sum(range(i + 1)) for i in range(p)]
+
+    def test_qsm_m_no_overload(self):
+        mach = QSMm(MachineParams(p=128, m=8))
+        res, out = prefix_sums(mach, [1] * 128)
+        assert out == list(range(1, 129))
+        assert res.stat_max("overloaded_slots") == 0
+
+    def test_length_checked(self):
+        mach = BSPm(MachineParams(p=4, m=2))
+        with pytest.raises(ValueError):
+            prefix_sums(mach, [1])

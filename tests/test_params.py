@@ -1,0 +1,85 @@
+"""Tests for MachineParams."""
+
+import pytest
+
+from repro import MachineParams
+
+
+class TestConstruction:
+    def test_defaults(self):
+        p = MachineParams(p=4)
+        assert p.g == 1.0 and p.m is None and p.L == 1.0 and p.o == 0.0
+
+    def test_rejects_nonpositive_p(self):
+        with pytest.raises(ValueError):
+            MachineParams(p=0)
+
+    def test_rejects_non_int_p(self):
+        with pytest.raises(TypeError):
+            MachineParams(p=4.0)
+
+    def test_rejects_gap_below_one(self):
+        with pytest.raises(ValueError):
+            MachineParams(p=4, g=0.5)
+
+    def test_rejects_non_int_m(self):
+        with pytest.raises(TypeError):
+            MachineParams(p=4, m=2.0)
+
+    def test_rejects_nonpositive_m(self):
+        with pytest.raises(ValueError):
+            MachineParams(p=4, m=0)
+
+    def test_rejects_nonpositive_L(self):
+        with pytest.raises(ValueError):
+            MachineParams(p=4, L=0)
+
+    def test_rejects_negative_o(self):
+        with pytest.raises(ValueError):
+            MachineParams(p=4, o=-1)
+
+    def test_frozen(self):
+        params = MachineParams(p=4)
+        with pytest.raises(Exception):
+            params.p = 8
+
+
+class TestDerived:
+    def test_require_m(self):
+        assert MachineParams(p=4, m=2).require_m() == 2
+        with pytest.raises(ValueError):
+            MachineParams(p=4).require_m()
+
+    def test_aggregate_bandwidth_local(self):
+        assert MachineParams(p=16, g=4.0).aggregate_bandwidth_local == 4.0
+
+    def test_implied_gap(self):
+        assert MachineParams(p=16, m=4).implied_gap == 4.0
+
+    def test_with_(self):
+        params = MachineParams(p=4, L=2.0)
+        q = params.with_(L=8.0)
+        assert q.L == 8.0 and q.p == 4 and params.L == 2.0
+
+
+class TestMatchedPair:
+    def test_equal_aggregate_bandwidth(self):
+        local, global_ = MachineParams.matched_pair(p=64, m=8, L=4)
+        assert local.p == global_.p == 64
+        assert local.g == 8.0
+        assert global_.m == 8
+        # p * (1/g) == m — the paper's comparison setting
+        assert local.aggregate_bandwidth_local == global_.m
+
+    def test_m_exceeding_p_rejected(self):
+        with pytest.raises(ValueError):
+            MachineParams.matched_pair(p=4, m=8)
+
+    def test_m_equal_p_gives_unit_gap(self):
+        local, global_ = MachineParams.matched_pair(p=8, m=8)
+        assert local.g == 1.0
+
+    def test_carries_extras(self):
+        local, global_ = MachineParams.matched_pair(p=8, m=2, L=3.0, o=1.5, word_bits=32)
+        for q in (local, global_):
+            assert q.L == 3.0 and q.o == 1.5 and q.word_bits == 32

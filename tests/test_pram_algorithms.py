@@ -1,0 +1,108 @@
+"""Tests for the PRAM reference algorithms, trace extraction, and the
+end-to-end §4 emulation pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    pram_prefix_sums,
+    pram_wyllie_ranks,
+    random_list,
+    sequential_ranks,
+    simulate_trace_on_qsm_m,
+    trace_from_run,
+)
+from repro.theory.bounds import parity_qsm_m
+
+
+class TestPramPrefixSums:
+    @pytest.mark.parametrize("p", [1, 2, 3, 8, 13, 64])
+    def test_correct(self, p):
+        values = [float(i * i) for i in range(p)]
+        res, out = pram_prefix_sums(values)
+        assert out == [sum(values[: i + 1]) for i in range(p)]
+
+    def test_erew_discipline_holds(self):
+        """The EREW machine raises on any concurrent access, so a clean run
+        certifies the algorithm's exclusivity."""
+        res, _ = pram_prefix_sums([1.0] * 32)
+        assert res.time >= 1
+
+    def test_logarithmic_time(self):
+        t64 = pram_prefix_sums([1.0] * 64)[0].time
+        t1024 = pram_prefix_sums([1.0] * 1024)[0].time
+        # 4x rounds when p goes 64 -> 1024 would be lg ratio 10/6
+        assert t1024 <= 2.2 * t64
+
+    def test_linear_work(self):
+        res, _ = pram_prefix_sums([1.0] * 256)
+        tr = trace_from_run(res)
+        assert tr.w <= 6 * 256  # O(n) shared-memory operations
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pram_prefix_sums([])
+
+
+class TestPramWyllie:
+    @pytest.mark.parametrize("p", [1, 2, 5, 32, 100])
+    def test_correct(self, p):
+        succ = random_list(p, seed=p)
+        res, ranks = pram_wyllie_ranks(succ)
+        assert np.array_equal(ranks, sequential_ranks(succ))
+
+    def test_superlinear_work(self):
+        """Wyllie is Θ(n lg n) work — the reason the Table-1 algorithms
+        exist."""
+        res, _ = pram_wyllie_ranks(random_list(256, seed=0))
+        tr = trace_from_run(res)
+        assert tr.w >= 2 * 256  # clearly more than one op per node
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pram_wyllie_ranks([])
+
+
+class TestEndToEndEmulation:
+    def test_measured_prefix_trace_maps_within_bound(self):
+        """Run the real EREW algorithm, extract its measured trace, map it
+        onto the QSM(m), and check the §4 formula holds."""
+        p = 512
+        res, _ = pram_prefix_sums([1.0] * p)
+        tr = trace_from_run(res)
+        for m in (4, 32, 256):
+            measured, bound = simulate_trace_on_qsm_m(tr, m)
+            assert measured <= 2 * bound + 2, m
+
+    def test_emulated_prefix_close_to_direct_qsm_m_algorithm(self):
+        """The generic emulation of the EREW prefix algorithm lands within
+        a small constant of the direct Table-1 QSM(m) summation bound."""
+        p, m = 1024, 64
+        res, _ = pram_prefix_sums([1.0] * p)
+        tr = trace_from_run(res)
+        measured, _ = simulate_trace_on_qsm_m(tr, m)
+        direct_bound = parity_qsm_m(p, m)
+        assert measured <= 8 * direct_bound
+
+    def test_wyllie_emulation_pays_the_lg_factor(self):
+        """Mapping Wyllie (w = Θ(n lg n)) is strictly worse than mapping
+        the work-optimal prefix algorithm — the quantitative reason the
+        paper's Table-1 list ranking uses a work-efficient algorithm."""
+        p, m = 512, 16
+        t_prefix = simulate_trace_on_qsm_m(
+            trace_from_run(pram_prefix_sums([1.0] * p)[0]), m
+        )[0]
+        t_wyllie = simulate_trace_on_qsm_m(
+            trace_from_run(pram_wyllie_ranks(random_list(p, seed=1))[0]), m
+        )[0]
+        assert t_wyllie > 2 * t_prefix
+
+
+@settings(max_examples=10, deadline=None)
+@given(p=st.integers(2, 64), seed=st.integers(0, 1000))
+def test_property_pram_wyllie_matches_oracle(p, seed):
+    succ = random_list(p, seed=seed)
+    _, ranks = pram_wyllie_ranks(succ)
+    assert np.array_equal(ranks, sequential_ranks(succ))

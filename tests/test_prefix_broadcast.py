@@ -1,0 +1,70 @@
+"""Tests for the n-computation phase (prefix sum + broadcast) on the BSP(m)."""
+
+import pytest
+
+from repro import BSPg, BSPm, MachineParams, SelfSchedulingBSPm
+from repro.scheduling import sum_and_broadcast, tau_bound
+
+
+class TestSumAndBroadcast:
+    @pytest.mark.parametrize("p,m,L", [(16, 4, 2), (64, 8, 4), (256, 16, 8), (100, 7, 3)])
+    def test_correct_total_everywhere(self, p, m, L):
+        mach = BSPm(MachineParams(p=p, m=m, L=L))
+        values = list(range(p))
+        res, totals = sum_and_broadcast(mach, values)
+        assert totals == [sum(values)] * p
+
+    def test_measured_time_within_bound(self):
+        params = MachineParams(p=256, m=16, L=8)
+        mach = BSPm(params)
+        res, _ = sum_and_broadcast(mach, [1.0] * 256)
+        assert res.time <= 2.0 * tau_bound(params)
+
+    def test_no_overload(self):
+        mach = BSPm(MachineParams(p=512, m=8, L=4))
+        res, _ = sum_and_broadcast(mach, [1.0] * 512)
+        assert res.stat_max("overloaded_slots") == 0
+
+    def test_single_processor(self):
+        mach = BSPm(MachineParams(p=1, m=1, L=2))
+        res, totals = sum_and_broadcast(mach, [42.0])
+        assert totals == [42.0]
+
+    def test_m_equals_p(self):
+        mach = BSPm(MachineParams(p=32, m=32, L=2))
+        res, totals = sum_and_broadcast(mach, [2.0] * 32)
+        assert totals == [64.0] * 32
+
+    def test_wrong_value_count(self):
+        mach = BSPm(MachineParams(p=8, m=2))
+        with pytest.raises(ValueError):
+            sum_and_broadcast(mach, [1.0] * 3)
+
+    def test_works_on_bspg_and_self_scheduling(self):
+        for mach in (
+            BSPg(MachineParams(p=64, g=8.0, L=4)),
+            SelfSchedulingBSPm(MachineParams(p=64, m=8, L=4)),
+        ):
+            res, totals = sum_and_broadcast(mach, [1.0] * 64)
+            assert totals == [64.0] * 64
+
+    def test_custom_branching(self):
+        mach = BSPm(MachineParams(p=64, m=16, L=4))
+        res, totals = sum_and_broadcast(mach, [1.0] * 64, branching=4)
+        assert totals == [64.0] * 64
+
+
+class TestTauBound:
+    def test_scales_with_p_over_m(self):
+        a = tau_bound(MachineParams(p=1024, m=8, L=4))
+        b = tau_bound(MachineParams(p=2048, m=8, L=4))
+        assert b > a
+
+    def test_latency_term(self):
+        small_l = tau_bound(MachineParams(p=64, m=64, L=2))
+        big_l = tau_bound(MachineParams(p=64, m=64, L=64))
+        assert big_l > small_l
+
+    def test_requires_m(self):
+        with pytest.raises(ValueError):
+            tau_bound(MachineParams(p=8))

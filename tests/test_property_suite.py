@@ -1,0 +1,133 @@
+"""Cross-cutting property suite: invariants that must hold across module
+boundaries for arbitrary inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EXPONENTIAL, LINEAR, MachineParams
+from repro.scheduling import (
+    Schedule,
+    evaluate_schedule,
+    grouped_schedule,
+    naive_schedule,
+    offline_lower_bound,
+    offline_optimal_schedule,
+    unbalanced_consecutive_send,
+    unbalanced_granular_send,
+    unbalanced_send,
+)
+from repro.workloads import uniform_random_relation, variable_length_relation
+
+SENDERS = [
+    lambda rel, m, seed: unbalanced_send(rel, m, 0.25, seed=seed),
+    lambda rel, m, seed: unbalanced_consecutive_send(rel, m, 0.25, seed=seed),
+    lambda rel, m, seed: unbalanced_granular_send(rel, m, 4.0, seed=seed),
+    lambda rel, m, seed: offline_optimal_schedule(rel, m),
+    lambda rel, m, seed: grouped_schedule(rel, m),
+    lambda rel, m, seed: naive_schedule(rel),
+]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    p=st.integers(2, 32),
+    n=st.integers(1, 500),
+    m=st.integers(1, 32),
+    seed=st.integers(0, 5000),
+    which=st.integers(0, len(SENDERS) - 1),
+)
+def test_no_schedule_beats_the_offline_lower_bound(p, n, m, seed, which):
+    """Even under the *minimum admissible* (linear) charge, no schedule in
+    the library beats ``max(n/m, x̄)`` — overloading trades span for
+    penalty, never below the bandwidth bound."""
+    rel = uniform_random_relation(p, n, seed=seed)
+    sched = SENDERS[which](rel, m, seed)
+    sched.check_valid()
+    rep = evaluate_schedule(sched, m=m, penalty=LINEAR)
+    assert rep.comm_time >= max(rel.n / m, rel.x_bar) - 1e-9
+    # and bandwidth-respecting schedules meet the span bound too
+    if rep.max_slot_load <= m:
+        assert sched.span >= offline_lower_bound(rel, m)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    p=st.integers(2, 24),
+    n=st.integers(1, 300),
+    m=st.integers(1, 16),
+    seed=st.integers(0, 5000),
+)
+def test_linear_charge_never_exceeds_exponential(p, n, m, seed):
+    rel = uniform_random_relation(p, n, seed=seed)
+    sched = naive_schedule(rel)
+    lin = evaluate_schedule(sched, m=m, penalty=LINEAR)
+    exp = evaluate_schedule(sched, m=m, penalty=EXPONENTIAL)
+    assert lin.comm_time <= exp.comm_time + 1e-9
+    # and both dominate the span (idle slots still elapse)
+    assert lin.comm_time >= sched.span - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    p=st.integers(2, 24),
+    n=st.integers(1, 300),
+    seed=st.integers(0, 5000),
+    m_small=st.integers(1, 8),
+    extra=st.integers(1, 32),
+)
+def test_more_bandwidth_never_hurts_a_fixed_schedule(p, n, seed, m_small, extra):
+    """For a fixed schedule, increasing m can only decrease the charge."""
+    rel = uniform_random_relation(p, n, seed=seed)
+    sched = naive_schedule(rel)
+    small = evaluate_schedule(sched, m=m_small)
+    big = evaluate_schedule(sched, m=m_small + extra)
+    assert big.comm_time <= small.comm_time + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    p=st.integers(2, 16),
+    nm=st.integers(1, 150),
+    m=st.integers(1, 12),
+    seed=st.integers(0, 5000),
+    tau=st.floats(0, 100),
+)
+def test_tau_is_purely_additive(p, nm, m, seed, tau):
+    rel = variable_length_relation(p, nm, mean_length=3, seed=seed)
+    sched = unbalanced_send(rel, m, 0.25, seed=seed)
+    base = evaluate_schedule(sched, m=m)
+    with_tau = evaluate_schedule(sched, m=m, tau=tau)
+    assert with_tau.completion_time == pytest.approx(base.completion_time + tau)
+    assert with_tau.superstep_cost == base.superstep_cost
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    p=st.integers(2, 16),
+    n=st.integers(1, 200),
+    m=st.integers(1, 12),
+    seed=st.integers(0, 5000),
+)
+def test_schedule_histogram_conserves_flits(p, n, m, seed):
+    rel = uniform_random_relation(p, n, seed=seed)
+    for make in (unbalanced_send, unbalanced_consecutive_send):
+        sched = make(rel, m, 0.25, seed=seed)
+        assert int(sched.slot_counts().sum()) == rel.n
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    p=st.integers(2, 16),
+    n=st.integers(0, 200),
+    seed=st.integers(0, 5000),
+    m=st.integers(1, 12),
+)
+def test_report_internal_consistency(p, n, seed, m):
+    rel = uniform_random_relation(p, n, seed=seed)
+    rep = evaluate_schedule(unbalanced_send(rel, m, 0.25, seed=seed), m=m, L=2.0)
+    assert rep.superstep_cost >= max(rep.x_bar, rep.y_bar, 2.0) - 1e-9
+    assert rep.completion_time >= rep.superstep_cost
+    assert rep.optimal_time <= rep.completion_time + 1e-9 or rep.n == 0
+    assert rep.span <= rep.comm_time + 1e-9

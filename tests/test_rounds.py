@@ -1,0 +1,94 @@
+"""Tests for bounded-buffer batched routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling import route_in_batches, split_by_receive_buffer
+from repro.workloads import (
+    HRelation,
+    all_to_one_relation,
+    uniform_random_relation,
+    variable_length_relation,
+)
+
+
+class TestSplit:
+    def test_buffer_respected(self):
+        rel = all_to_one_relation(100)
+        for batch in split_by_receive_buffer(rel, 16):
+            assert batch.y_bar <= 16
+
+    def test_messages_conserved(self):
+        rel = uniform_random_relation(32, 500, seed=0)
+        batches = split_by_receive_buffer(rel, 8)
+        assert sum(b.n for b in batches) == rel.n
+        assert sum(b.n_messages for b in batches) == rel.n_messages
+
+    def test_batch_count(self):
+        rel = all_to_one_relation(64)
+        assert len(split_by_receive_buffer(rel, 16)) == -(-63 // 16)
+
+    def test_oversized_message_gets_own_slot(self):
+        rel = HRelation(
+            p=2, src=np.array([0]), dest=np.array([1]), length=np.array([100])
+        )
+        batches = split_by_receive_buffer(rel, 8)
+        assert len(batches) == 1 and batches[0].n == 100
+
+    def test_empty(self):
+        rel = uniform_random_relation(4, 0, seed=1)
+        assert split_by_receive_buffer(rel, 4) == []
+
+    def test_bad_buffer(self):
+        rel = uniform_random_relation(4, 4, seed=2)
+        with pytest.raises(ValueError):
+            split_by_receive_buffer(rel, 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        p=st.integers(2, 16),
+        nm=st.integers(0, 200),
+        buffer=st.integers(1, 20),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_split(self, p, nm, buffer, seed):
+        rel = variable_length_relation(p, nm, mean_length=3, max_length=buffer, seed=seed)
+        batches = split_by_receive_buffer(rel, buffer)
+        assert sum(b.n for b in batches) == rel.n
+        for b in batches:
+            assert b.y_bar <= buffer
+
+
+class TestRouteInBatches:
+    def test_total_time_near_lower_bound(self):
+        rel = uniform_random_relation(256, 20_000, seed=3)
+        m, L = 64, 2.0
+        out = route_in_batches(rel, m=m, buffer=200, epsilon=0.2, L=L, seed=4)
+        lower = max(rel.n / m, rel.x_bar, rel.y_bar)
+        assert out.total_time >= lower
+        assert out.total_time <= 1.5 * lower + out.n_batches * L + 50
+
+    def test_buffer_bound_holds_end_to_end(self):
+        rel = all_to_one_relation(128)
+        out = route_in_batches(rel, m=16, buffer=16, L=1, seed=5)
+        assert out.max_receive_per_batch <= 16
+        assert out.n_batches == -(-127 // 16)
+
+    def test_smaller_buffer_more_batches_more_latency(self):
+        rel = all_to_one_relation(128)
+        big = route_in_batches(rel, m=16, buffer=64, L=8, seed=6)
+        small = route_in_batches(rel, m=16, buffer=8, L=8, seed=6)
+        assert small.n_batches > big.n_batches
+        assert small.total_time > big.total_time
+
+    def test_empty_relation(self):
+        rel = uniform_random_relation(4, 0, seed=7)
+        out = route_in_batches(rel, m=2, buffer=4)
+        assert out.total_time == 0.0 and out.n_batches == 0
+
+    def test_no_overload(self):
+        rel = uniform_random_relation(512, 40_000, seed=8)
+        out = route_in_batches(rel, m=128, buffer=100, epsilon=0.3, seed=9)
+        assert all(not r.overloaded for r in out.batches)

@@ -1,0 +1,100 @@
+"""Tests for randomized sample sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BSPg, BSPm, MachineParams, QSMm
+from repro.algorithms import sample_sort
+
+
+def make_bspm(p=64, m=8):
+    return BSPm(MachineParams(p=p, m=m, L=2))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 10, 100, 1000, 4096])
+    def test_sorts_random_keys(self, n):
+        rng = np.random.default_rng(n)
+        keys = rng.random(n)
+        res, out = sample_sort(make_bspm(), keys, seed=1)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_duplicates(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 5, 2000).astype(float)
+        _, out = sample_sort(make_bspm(), keys, seed=2)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_already_sorted(self):
+        keys = np.arange(1000, dtype=float)
+        _, out = sample_sort(make_bspm(), keys, seed=3)
+        assert np.array_equal(out, keys)
+
+    def test_reverse_sorted(self):
+        keys = np.arange(1000, dtype=float)[::-1]
+        _, out = sample_sort(make_bspm(), keys, seed=4)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_all_equal(self):
+        keys = np.full(500, 3.14)
+        _, out = sample_sort(make_bspm(), keys, seed=5)
+        assert np.array_equal(out, keys)
+
+    def test_empty(self):
+        _, out = sample_sort(make_bspm(), np.zeros(0), seed=6)
+        assert out.size == 0
+
+    def test_on_bspg(self):
+        rng = np.random.default_rng(1)
+        keys = rng.normal(size=800)
+        _, out = sample_sort(BSPg(MachineParams(p=32, g=4.0, L=2)), keys, seed=7)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_custom_sorters_and_oversample(self):
+        rng = np.random.default_rng(2)
+        keys = rng.random(600)
+        _, out = sample_sort(make_bspm(), keys, sorters=4, oversample=20, seed=8)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_rejects_infinite(self):
+        with pytest.raises(ValueError):
+            sample_sort(make_bspm(), np.array([1.0, np.inf]))
+
+    def test_rejects_qsm(self):
+        with pytest.raises(ValueError):
+            sample_sort(QSMm(MachineParams(p=8, m=2)), np.ones(8))
+
+
+class TestQuality:
+    def test_no_overload_on_bspm(self):
+        rng = np.random.default_rng(3)
+        keys = rng.random(4000)
+        res, _ = sample_sort(make_bspm(), keys, seed=9)
+        assert res.stat_max("overloaded_slots") == 0
+
+    def test_buckets_balanced_whp(self):
+        """With Θ(lg n) oversampling the receive side stays O(n/k)."""
+        rng = np.random.default_rng(4)
+        keys = rng.random(8000)
+        res, _ = sample_sort(make_bspm(p=64, m=8), keys, seed=10)
+        # bucket routing superstep: max received (h stat of phase 3)
+        h_max = max(r.stats.get("h", 0) for r in res.records)
+        assert h_max <= 6 * 8000 / 8  # within a small factor of n/k
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(5)
+        keys = rng.random(500)
+        t1 = sample_sort(make_bspm(), keys, seed=11)[0].time
+        t2 = sample_sort(make_bspm(), keys, seed=11)[0].time
+        assert t1 == t2
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 600))
+def test_property_sample_sort(seed, n):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 100, size=n).astype(float)
+    _, out = sample_sort(make_bspm(p=32, m=4), keys, seed=seed)
+    assert np.array_equal(out, np.sort(keys))

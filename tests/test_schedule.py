@@ -1,0 +1,127 @@
+"""Tests for the Schedule representation and validity checking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.schedule import Schedule, expand_per_flit, flit_offsets
+from repro.workloads import HRelation, uniform_random_relation, variable_length_relation
+
+
+class TestFlitHelpers:
+    def test_flit_offsets(self):
+        assert flit_offsets(np.array([2, 1, 3])).tolist() == [0, 1, 0, 0, 1, 2]
+
+    def test_flit_offsets_empty(self):
+        assert flit_offsets(np.array([], dtype=np.int64)).size == 0
+
+    def test_expand_per_flit(self):
+        out = expand_per_flit(np.array([10, 20]), np.array([2, 3]))
+        assert out.tolist() == [10, 10, 20, 20, 20]
+
+    @given(st.lists(st.integers(1, 10), min_size=0, max_size=50))
+    def test_offsets_rebuild_lengths(self, lengths):
+        lengths = np.asarray(lengths, dtype=np.int64)
+        offs = flit_offsets(lengths)
+        assert offs.size == lengths.sum()
+        # each message's offsets are 0..len-1
+        pos = 0
+        for ln in lengths:
+            assert offs[pos : pos + ln].tolist() == list(range(ln))
+            pos += ln
+
+
+def simple_rel():
+    return HRelation(
+        p=3,
+        src=np.array([0, 1, 0]),
+        dest=np.array([1, 2, 2]),
+        length=np.array([2, 1, 1]),
+    )
+
+
+class TestScheduleValidity:
+    def test_wrong_flit_count(self):
+        with pytest.raises(ValueError, match="flit slots"):
+            Schedule(rel=simple_rel(), flit_slots=np.array([0, 1]))
+
+    def test_negative_slot(self):
+        with pytest.raises(ValueError):
+            Schedule(rel=simple_rel(), flit_slots=np.array([0, 1, 0, -1]))
+
+    def test_valid_schedule(self):
+        s = Schedule(rel=simple_rel(), flit_slots=np.array([0, 1, 0, 2]))
+        s.check_valid()
+        assert s.span == 3
+        assert s.slot_counts().tolist() == [2, 1, 1]
+
+    def test_per_proc_conflict_detected(self):
+        # proc 0's flits at slots (0, 0) collide
+        s = Schedule(rel=simple_rel(), flit_slots=np.array([0, 0, 0, 2]))
+        with pytest.raises(ValueError, match="two flits"):
+            s.check_valid()
+        assert not s.is_valid()
+
+    def test_consecutive_check(self):
+        # message 0 (len 2, proc 0) at slots 0,2: not consecutive
+        s = Schedule(rel=simple_rel(), flit_slots=np.array([0, 2, 0, 1]))
+        s.check_valid()  # fine without the constraint
+        with pytest.raises(ValueError, match="consecutive"):
+            s.check_valid(require_consecutive=True)
+
+    def test_empty_schedule(self):
+        rel = HRelation(
+            p=2,
+            src=np.zeros(0, dtype=np.int64),
+            dest=np.zeros(0, dtype=np.int64),
+            length=np.zeros(0, dtype=np.int64),
+        )
+        s = Schedule(rel=rel, flit_slots=np.zeros(0, dtype=np.int64))
+        s.check_valid(require_consecutive=True)
+        assert s.span == 0
+
+    def test_flit_src_and_message(self):
+        s = Schedule(rel=simple_rel(), flit_slots=np.array([0, 1, 0, 2]))
+        assert s.flit_src.tolist() == [0, 0, 1, 0]
+        assert s.flit_message.tolist() == [0, 0, 1, 2]
+
+
+class TestFromMessageStarts:
+    def test_consecutive_layout(self):
+        rel = simple_rel()
+        s = Schedule.from_message_starts(rel, np.array([5, 0, 9]))
+        assert s.flit_slots.tolist() == [5, 6, 0, 9]
+        s.check_valid(require_consecutive=True)
+
+    def test_wrap_mask(self):
+        rel = HRelation(
+            p=1, src=np.array([0]), dest=np.array([0]), length=np.array([4])
+        )
+        s = Schedule.from_message_starts(
+            rel, np.array([3]), window=5, wrap_mask=np.array([True])
+        )
+        assert s.flit_slots.tolist() == [3, 4, 0, 1]
+
+    def test_wrap_without_window_rejected(self):
+        rel = simple_rel()
+        with pytest.raises(ValueError, match="window"):
+            Schedule.from_message_starts(rel, np.array([0, 0, 0]), wrap_mask=np.array([True, False, False]))
+
+    def test_wrong_starts_count(self):
+        with pytest.raises(ValueError):
+            Schedule.from_message_starts(simple_rel(), np.array([0]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p=st.integers(2, 16),
+    n=st.integers(1, 100),
+    seed=st.integers(0, 10_000),
+)
+def test_slot_counts_conserve_flits(p, n, seed):
+    rel = uniform_random_relation(p, n, seed=seed)
+    rng = np.random.default_rng(seed)
+    slots = rng.integers(0, 1000, size=rel.n)
+    s = Schedule(rel=rel, flit_slots=slots)
+    assert int(s.slot_counts().sum()) == rel.n

@@ -1,0 +1,92 @@
+"""Tests for the numeric Theorem-4.1 sensitivity verification and the
+rotating-target adversary."""
+
+import math
+
+import pytest
+
+from repro.dynamic import RotatingTargetAdversary, check_compliance
+from repro.theory import closed_form_Y, minimize_sensitivity_bound
+from repro.theory.bounds import broadcast_bsp_g_lower
+
+
+class TestSensitivityMinimization:
+    @pytest.mark.parametrize("p", [16, 256, 4096])
+    @pytest.mark.parametrize("g,L", [(1.0, 1.0), (2.0, 16.0), (8.0, 8.0), (4.0, 64.0)])
+    def test_closed_form_lower_bounds_numeric(self, p, g, L):
+        """The paper's closed form never exceeds the true discrete optimum
+        (it is a lower bound obtained by relaxing integrality)."""
+        opt = minimize_sensitivity_bound(p, g, L)
+        assert closed_form_Y(p, g, L) <= opt.value * (1 + 1e-9)
+
+    @pytest.mark.parametrize("p", [64, 1024])
+    def test_numeric_close_to_closed_form(self, p):
+        """And it is tight within a small constant (integrality slack)."""
+        g, L = 2.0, 32.0
+        opt = minimize_sensitivity_bound(p, g, L)
+        assert opt.value <= 3.0 * closed_form_Y(p, g, L)
+
+    def test_optimal_y_near_L_over_g(self):
+        """The proof pins the optimum at y = L/g."""
+        p, g, L = 4096, 2.0, 64.0
+        opt = minimize_sensitivity_bound(p, g, L)
+        assert 0.2 * L / g <= opt.y <= 5.0 * L / g
+
+    def test_T_lower_matches_theorem(self):
+        p, g, L = 1024, 4.0, 16.0
+        opt = minimize_sensitivity_bound(p, g, L)
+        # Theorem 4.1's stated bound is the closed form halved
+        assert broadcast_bsp_g_lower(p, g, L) == pytest.approx(
+            closed_form_Y(p, g, L) / 2.0
+        )
+        assert opt.T_lower >= broadcast_bsp_g_lower(p, g, L) * 0.999
+
+    def test_trivial_p(self):
+        assert minimize_sensitivity_bound(1, 2.0, 4.0).value == 0.0
+        assert closed_form_Y(1, 2.0, 4.0) == 0.0
+
+    def test_constraint_always_satisfied(self):
+        p, g, L = 729, 3.0, 9.0
+        opt = minimize_sensitivity_bound(p, g, L)
+        assert (2 * opt.y + 1) ** opt.n >= p * (1 - 1e-9)
+
+
+class TestRotatingTargetAdversary:
+    def test_compliant(self):
+        adv = RotatingTargetAdversary(64, w=32, beta=0.5, rotation=4)
+        trace = adv.generate(8000, seed=0)
+        ok, why = check_compliance(trace, 32, alpha=0.5, beta=0.5)
+        assert ok, why
+
+    def test_source_rotates(self):
+        adv = RotatingTargetAdversary(64, w=32, beta=0.5, rotation=2)
+        trace = adv.generate(8000, seed=1)
+        assert len(set(trace.src.tolist())) > 1
+
+    def test_single_source_per_epoch(self):
+        adv = RotatingTargetAdversary(64, w=32, beta=0.5, rotation=2)
+        trace = adv.generate(8000, seed=2)
+        period = 2 * 32
+        for start in range(0, 8000, period):
+            sub = trace.window(start, start + period)
+            if sub.n:
+                assert len(set(sub.src.tolist())) == 1
+
+    def test_rate(self):
+        adv = RotatingTargetAdversary(64, w=32, beta=0.25)
+        trace = adv.generate(10_000, seed=3)
+        assert trace.n == pytest.approx(2500, rel=0.01)
+
+    def test_beta_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            RotatingTargetAdversary(8, 16, beta=1.5)
+
+    def test_sinks_bsp_g_like_the_static_flood(self):
+        from repro import MachineParams
+        from repro.dynamic import BSPgIntervalProtocol, run_dynamic
+
+        local, _ = MachineParams.matched_pair(p=64, m=8, L=4)
+        beta = 2.0 / local.g
+        trace = RotatingTargetAdversary(64, 128, beta=beta).generate(16_000, seed=4)
+        res = run_dynamic(BSPgIntervalProtocol(local, 128), trace)
+        assert not res.is_stable()

@@ -1,0 +1,147 @@
+"""Tests for columnsort (Table 1 row 5), reference and engine program."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BSPg, BSPm, MachineParams
+from repro.algorithms import choose_columns, columnsort, columnsort_reference
+from repro.algorithms.sorting import local_sort_work
+from repro.util.intmath import ceil_div
+
+
+class TestChooseColumns:
+    def test_leighton_conditions(self):
+        for n in (64, 512, 4096, 100_000):
+            for limit in (2, 8, 64):
+                r, s = choose_columns(n, limit)
+                assert r * s >= n
+                assert s <= max(1, limit)
+                if s > 1:
+                    assert r % s == 0
+                    assert r >= 2 * (s - 1) ** 2
+
+    def test_tiny_n(self):
+        r, s = choose_columns(3, 8)
+        assert s >= 1 and r * s >= 3
+
+    def test_no_limit(self):
+        r, s = choose_columns(10_000, None)
+        assert s > 1
+
+
+class TestReference:
+    @pytest.mark.parametrize("n,s", [(128, 4), (512, 4), (2048, 8)])
+    def test_sorts(self, n, s):
+        rng = np.random.default_rng(n)
+        keys = rng.random(n)
+        r = s * ceil_div(n, s * s)
+        out = columnsort_reference(keys, r, s)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_with_padding(self):
+        rng = np.random.default_rng(0)
+        keys = rng.random(100)  # r*s = 128 > 100
+        out = columnsort_reference(keys, 32, 4)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_duplicates(self):
+        keys = np.array([3.0, 1.0, 3.0, 1.0] * 32)
+        out = columnsort_reference(keys, 32, 4)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_condition_violations_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            columnsort_reference(np.ones(100), 4, 4)
+        with pytest.raises(ValueError, match="s \\| r"):
+            columnsort_reference(np.ones(30), 10, 3)
+        with pytest.raises(ValueError, match="2\\(s-1\\)"):
+            columnsort_reference(np.ones(64), 16, 4)  # 16 < 2*9
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_random_keys(self, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.normal(size=512)
+        out = columnsort_reference(keys, 128, 4)
+        assert np.array_equal(out, np.sort(keys))
+
+
+class TestEngineColumnsort:
+    @pytest.mark.parametrize("n", [64, 500, 1024])
+    def test_sorts_on_bspm(self, n):
+        rng = np.random.default_rng(n)
+        keys = rng.random(n)
+        mach = BSPm(MachineParams(p=64, m=8, L=2))
+        res, out = columnsort(mach, keys)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_sorts_on_bspg(self):
+        rng = np.random.default_rng(1)
+        keys = rng.random(512)
+        mach = BSPg(MachineParams(p=64, g=8.0, L=2))
+        res, out = columnsort(mach, keys)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_no_overload_on_bspm(self):
+        rng = np.random.default_rng(2)
+        keys = rng.random(1024)
+        mach = BSPm(MachineParams(p=64, m=8, L=2))
+        res, out = columnsort(mach, keys)
+        assert res.stat_max("overloaded_slots") == 0
+
+    def test_degenerate_single_column(self):
+        keys = np.array([3.0, 1.0, 2.0])
+        mach = BSPm(MachineParams(p=4, m=1, L=1))
+        res, out = columnsort(mach, keys, columns=1)
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_m_model_comm_beats_g_model(self):
+        """The Θ(g) separation on the communication term."""
+        n, p, m = 2048, 128, 8
+        g = p / m
+        rng = np.random.default_rng(3)
+        keys = rng.random(n)
+        local, global_ = MachineParams.matched_pair(p=p, m=m, L=2)
+        res_g, _ = columnsort(BSPg(local), keys)
+        res_m, _ = columnsort(BSPm(global_), keys)
+        comm_g = sum(r.breakdown.local_band for r in res_g.records)
+        comm_m = sum(
+            max(r.breakdown.local_band, r.breakdown.global_band) for r in res_m.records
+        )
+        assert comm_g / comm_m >= 0.5 * g
+
+    def test_rejects_infinite_keys(self):
+        mach = BSPm(MachineParams(p=8, m=2))
+        with pytest.raises(ValueError, match="finite"):
+            columnsort(mach, np.array([1.0, np.inf]))
+
+    def test_qsm_machines_supported(self):
+        from repro import QSMm
+
+        mach = QSMm(MachineParams(p=16, m=4))
+        rng = np.random.default_rng(4)
+        keys = rng.random(64)
+        res, out = columnsort(mach, keys)
+        assert np.array_equal(out, np.sort(keys))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(10, 400))
+    def test_property_engine_sorts(self, seed, n):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 50, size=n).astype(float)  # many duplicates
+        mach = BSPm(MachineParams(p=32, m=4, L=1))
+        res, out = columnsort(mach, keys)
+        assert np.array_equal(out, np.sort(keys))
+
+
+class TestLocalSortWork:
+    def test_zero(self):
+        assert local_sort_work(0) == 0.0
+
+    def test_small(self):
+        assert local_sort_work(1) == 1.0
+
+    def test_nlogn(self):
+        assert local_sort_work(1024) == pytest.approx(1024 * 10)

@@ -1,0 +1,209 @@
+"""Tests for the executable bounds, separations and Chernoff machinery."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory import (
+    TABLE1,
+    chernoff_upper_tail,
+    completion_tail_probability,
+    min_m_for_failure_probability,
+    render_table1,
+    slot_overload_probability,
+    table1_rows,
+    window_overload_probability,
+)
+from repro.theory import bounds as B
+from repro.theory.separations import (
+    separation_broadcast_qsm,
+    separation_one_to_all,
+    separation_parity_qsm,
+)
+
+
+class TestTable1Registry:
+    def test_all_twenty_cells_present(self):
+        problems = {"one_to_all", "broadcast", "parity", "list_ranking", "sorting"}
+        models = {"qsm_m", "qsm_g", "bsp_m", "bsp_g"}
+        assert set(TABLE1) == {(pr, mo) for pr in problems for mo in models}
+
+    def test_cells_evaluate_positive(self):
+        for key, fn in TABLE1.items():
+            val = fn(1024, 1024, 16.0, 64, 8.0)
+            assert val > 0, key
+
+    def test_global_cells_beat_local_cells(self):
+        """For n = p and "suitable values of L and g" (the paper's phrase —
+        the latency term of the m-model upper bounds must not swamp the
+        g-model lower bounds), every globally-limited bound is below its
+        locally-limited counterpart."""
+        p = n = 2**16
+        m = 2**12
+        g = p / m
+        L = 4.0
+        for problem in ("one_to_all", "broadcast", "parity", "list_ranking", "sorting"):
+            for fam in ("qsm", "bsp"):
+                strong = TABLE1[(problem, f"{fam}_m")](p, n, g, m, L)
+                weak = TABLE1[(problem, f"{fam}_g")](p, n, g, m, L)
+                assert strong < weak, (problem, fam)
+
+
+class TestBoundShapes:
+    def test_one_to_all_separation_is_g(self):
+        assert B.one_to_all_qsm_g(100, 8.0) / B.one_to_all_qsm_m(100, 8) == 8.0
+
+    def test_broadcast_lower_below_upper(self):
+        for p in (64, 1024, 2**16):
+            for L in (2.0, 16.0):
+                for g in (1.0, 2.0, 4.0):
+                    lower = B.broadcast_bsp_g_lower(p, g, L)
+                    upper = B.broadcast_bsp_g(p, g, L)
+                    assert lower <= 3 * upper + 1e-9, (p, L, g)
+
+    def test_broadcast_bsp_m_terms(self):
+        # p/m term dominates for big p
+        assert B.broadcast_bsp_m(2**20, 16, 4.0) > 2**20 / 16
+
+    def test_parity_monotone_in_n(self):
+        vals = [B.parity_qsm_m(n, 64) for n in (2**10, 2**12, 2**14)]
+        assert vals == sorted(vals)
+
+    def test_sorting_theta_n_over_m(self):
+        assert B.sorting_qsm_m(2**20, 2**10) == 2**10
+
+    def test_unbalanced_routing_bounds(self):
+        assert B.unbalanced_routing_bsp_g(10, 5, 4.0, 2.0) == 62.0
+        assert B.unbalanced_routing_bsp_m(1000, 10, 5, 100, 2.0) == 10.0
+        assert B.unbalanced_routing_bsp_m(10_000, 10, 5, 100, 2.0, epsilon=0.1) == 110.0
+
+    def test_tau(self):
+        assert B.tau_prefix_broadcast(1024, 64, 4.0) > 1024 / 64
+
+    def test_leader_bounds(self):
+        assert B.leader_recognition_pramm(2**16, 64) == 1.0
+        assert B.leader_recognition_pramm(2**200, 8) > 1.0
+        low = B.leader_recognition_qsm_m_lower(2**16, 64, 64)
+        assert low > 0
+
+    def test_er_cr_separation_grows(self):
+        a = B.er_cr_pramm_separation(2**12, 16)
+        b = B.er_cr_pramm_separation(2**16, 16)
+        assert b > a
+
+    def test_thm52_lower_below_upper(self):
+        for p in (2**10, 2**16):
+            for m in (4, 64):
+                for w in (8, 64):
+                    assert B.crcw_pramm_on_qsm_m_lower(p, m, w) <= B.crcw_pramm_on_qsm_m_upper(p, m) + 1e-9
+
+
+class TestSeparations:
+    def test_one_to_all(self):
+        assert separation_one_to_all(16.0) == 16.0
+
+    def test_broadcast_qsm(self):
+        assert separation_broadcast_qsm(2**16, 16.0) == pytest.approx(4.0)
+
+    def test_parity_grows_slowly(self):
+        assert separation_parity_qsm(2**16) == pytest.approx(4.0)
+        assert separation_parity_qsm(2**64) > separation_parity_qsm(2**16)
+
+    def test_table1_rows_structure(self):
+        rows = table1_rows(p=1024, L=8.0, m=64)
+        assert len(rows) == 10
+        problems = {r.problem for r in rows}
+        assert len(problems) == 5
+        for r in rows:
+            assert r.strong_bound > 0 and r.weak_bound > 0
+            assert r.separation >= 1.0
+
+    def test_render_table1(self):
+        out = render_table1(p=1024, L=8.0, m=64)
+        assert "One-to-all" in out and "Sorting" in out
+        assert "g = 16" in out
+
+
+class TestChernoff:
+    def test_upper_tail_below_one(self):
+        assert chernoff_upper_tail(10.0, 20.0) < 1.0
+
+    def test_upper_tail_trivial_when_below_mean(self):
+        assert chernoff_upper_tail(10.0, 5.0) == 1.0
+
+    def test_upper_tail_decreasing_in_threshold(self):
+        vals = [chernoff_upper_tail(10.0, t) for t in (15, 20, 30, 50)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_slot_overload_shape(self):
+        # exp(-eps^2 m / 3)
+        assert slot_overload_probability(1000, 300, 0.3) == pytest.approx(
+            math.exp(-0.09 * 300 / 3)
+        )
+
+    def test_window_union_bound(self):
+        single = slot_overload_probability(10_000, 100, 0.2)
+        window = window_overload_probability(10_000, 100, 0.2)
+        assert window >= single
+        assert window <= 1.0
+
+    def test_tail_decays_in_k(self):
+        vals = [completion_tail_probability(k, 10_000, 400, 0.2) for k in (1, 2, 4, 8)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_tail_is_one_below_k1(self):
+        assert completion_tail_probability(0.5, 100, 10, 0.1) == 1.0
+
+    def test_min_m_sizing(self):
+        m = min_m_for_failure_probability(100_000, 0.2, 1e-6)
+        assert window_overload_probability(100_000, m, 0.2) <= 1e-6
+        assert window_overload_probability(100_000, max(1, m // 2), 0.2) > 1e-6
+
+    @given(st.integers(10, 10**6), st.integers(1, 10**4))
+    def test_probabilities_in_range(self, n, m):
+        for eps in (0.1, 0.5, 0.99):
+            assert 0 <= slot_overload_probability(n, m, eps) <= 1
+            assert 0 <= window_overload_probability(n, m, eps) <= 1
+
+
+class TestChernoffVsMeasurement:
+    """The Theorem 6.2 analysis predicts per-slot load tails; measure them."""
+
+    def test_slot_load_tail_below_exact_chernoff(self):
+        """Empirical P[slot load >= threshold] for Unbalanced-Send slots is
+        below the exact multiplicative Chernoff value at every threshold."""
+        import numpy as np
+
+        from repro.scheduling import unbalanced_send
+        from repro.workloads import uniform_random_relation
+
+        p, n, m, eps = 512, 40_000, 64, 0.25
+        rel = uniform_random_relation(p, n, seed=42)
+        loads = []
+        for seed in range(10):
+            sched = unbalanced_send(rel, m, eps, seed=seed)
+            loads.append(sched.slot_counts())
+        loads = np.concatenate(loads).astype(float)
+        mu = n / ((1 + eps) * n / m)  # expected slot load m/(1+eps)
+        for threshold in (mu * 1.3, mu * 1.5, mu * 1.8):
+            measured = float(np.mean(loads >= threshold))
+            predicted = chernoff_upper_tail(mu, threshold)
+            assert measured <= predicted * 3 + 0.02, threshold
+
+    def test_window_bound_is_conservative(self):
+        """The union-bounded window probability upper-bounds the measured
+        overload frequency (it is a bound, not an estimate)."""
+        from repro.scheduling import evaluate_schedule, unbalanced_send
+        from repro.workloads import uniform_random_relation
+
+        n, m, eps = 40_000, 128, 0.3
+        rel = uniform_random_relation(512, n, seed=43)
+        fails = sum(
+            evaluate_schedule(unbalanced_send(rel, m, eps, seed=s), m=m).overloaded
+            for s in range(20)
+        )
+        measured = fails / 20
+        assert measured <= max(0.15, window_overload_probability(n, m, eps))

@@ -1,0 +1,102 @@
+"""Tests for total exchange and the unbalanced "chatting" schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    chatting_schedule_centralized,
+    chatting_schedule_distributed,
+    latin_square_schedule,
+    total_exchange_lower_bound,
+)
+from repro.scheduling import evaluate_schedule
+from repro.util.intmath import ceil_div
+from repro.workloads import total_exchange_relation
+
+
+class TestLatinSquare:
+    @pytest.mark.parametrize("p,m", [(8, 2), (16, 4), (16, 16), (9, 4)])
+    def test_valid(self, p, m):
+        sched = latin_square_schedule(p, m)
+        sched.check_valid(require_consecutive=True)
+
+    def test_never_overloads(self):
+        sched = latin_square_schedule(32, 8)
+        counts = sched.slot_counts()
+        assert counts.max() <= 8
+
+    def test_span_meets_lower_bound_when_m_divides_p(self):
+        p, m = 32, 8
+        sched = latin_square_schedule(p, m)
+        assert sched.span == total_exchange_lower_bound(p, m)
+
+    def test_span_with_lengths(self):
+        p, m, ln = 16, 4, 3
+        sched = latin_square_schedule(p, m, length=ln)
+        assert sched.span == (p - 1) * ceil_div(p, m) * ln
+        sched.check_valid(require_consecutive=True)
+
+    def test_every_pair_scheduled(self):
+        p = 8
+        sched = latin_square_schedule(p, 4)
+        pairs = set(zip(sched.rel.src.tolist(), sched.rel.dest.tolist()))
+        assert len(pairs) == p * (p - 1)
+
+    def test_each_round_is_permutation(self):
+        """Within each latin-square round, sends and receives are both
+        1-balanced — the schedule's defining property."""
+        p, m = 12, 4
+        sched = latin_square_schedule(p, m)
+        groups = ceil_div(p, m)
+        rel = sched.rel
+        round_of = (rel.dest - rel.src) % p
+        for r in range(1, p):
+            mask = round_of == r
+            assert sorted(rel.src[mask].tolist()) == list(range(p))
+            assert sorted(rel.dest[mask].tolist()) == list(range(p))
+
+    def test_lower_bound_values(self):
+        assert total_exchange_lower_bound(8, 2) == ceil_div(8 * 7, 2)
+        assert total_exchange_lower_bound(8, 8) == 7
+        with pytest.raises(ValueError):
+            total_exchange_lower_bound(0, 2)
+
+
+class TestChatting:
+    def make_rel(self, p=24, seed=0):
+        return total_exchange_relation(p, seed=seed, max_length=6)
+
+    def test_centralized_schedule_valid_and_tight(self):
+        rel = self.make_rel()
+        sched, pre = chatting_schedule_centralized(rel, m=6)
+        sched.check_valid(require_consecutive=True)
+        # the centrally computed schedule is near-optimal...
+        rep = evaluate_schedule(sched, m=6)
+        assert rep.ratio <= 1.3
+        # ...but its preprocessing costs Θ(p^2)
+        assert pre >= rel.p**2
+
+    def test_distributed_preprocessing_is_tau(self):
+        rel = self.make_rel()
+        sched, pre = chatting_schedule_distributed(rel, m=6, L=2.0, seed=1)
+        sched.check_valid(require_consecutive=True)
+        # tau = O(p/m + L + L lg m / lg L) << p^2
+        assert pre < rel.p**2 / 10
+
+    def test_crossover_total_cost(self):
+        """The paper's Section 3 point: for n << p^2 descriptors dominate
+        the centralized approach; the distributed one wins end-to-end."""
+        rel = total_exchange_relation(32, seed=2)  # unit lengths: n = p(p-1)
+        m = 8
+        c_sched, c_pre = chatting_schedule_centralized(rel, m=m)
+        d_sched, d_pre = chatting_schedule_distributed(rel, m=m, seed=3)
+        c_total = c_pre + evaluate_schedule(c_sched, m=m).completion_time
+        d_total = d_pre + evaluate_schedule(d_sched, m=m).completion_time
+        assert d_total < c_total
+
+    def test_distributed_schedule_cost_within_2_plus_eps(self):
+        rel = self.make_rel(p=32, seed=4)
+        m = 8
+        sched, _ = chatting_schedule_distributed(rel, m=m, epsilon=0.2, seed=5)
+        rep = evaluate_schedule(sched, m=m)
+        assert rep.completion_time <= (2 + 0.2) * max(rel.n / m, rel.h) + rel.max_length

@@ -1,0 +1,147 @@
+"""Tests for the footnote-2 two-parameter model and the QSM-on-BSP
+shared-memory emulation."""
+
+import operator
+
+import pytest
+
+from repro import BSPg, BSPm, MachineParams, QSMm, SelfSchedulingBSPm, TwoLevelBSP
+from repro.algorithms import run_qsm_program_on_bsp
+from repro.algorithms.prefix import reduce_funnel_qsm_program
+from repro.core.engine import ProgramError
+
+
+def one_to_all_prog(ctx):
+    if ctx.pid == 0:
+        for d in range(1, ctx.nprocs):
+            ctx.send(d, d)
+    yield
+
+
+class TestTwoLevelBSP:
+    def test_additive_charge(self):
+        mach = TwoLevelBSP(MachineParams(p=8, L=1), g1=4.0, g2=2.0)
+        res = mach.run(one_to_all_prog)
+        assert res.time == pytest.approx(4.0 * 7 / 8 + 2.0 * 7)
+
+    def test_latency_floor(self):
+        mach = TwoLevelBSP(MachineParams(p=4, L=50), g1=1.0, g2=1.0)
+        def prog(ctx):
+            if ctx.pid == 0:
+                ctx.send(1, "x")
+            yield
+        assert mach.run(prog).time == 50.0
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ValueError):
+            TwoLevelBSP(MachineParams(p=4), g1=-1.0)
+
+    def test_footnote_2_similarity(self):
+        """With g1 = p/m, g2 = 1 the additive metric brackets the
+        self-scheduling max-metric within a factor of 2 on any superstep."""
+        p, m = 64, 8
+        two = TwoLevelBSP(MachineParams(p=p, L=1), g1=p / m, g2=1.0)
+        self_s = SelfSchedulingBSPm(MachineParams(p=p, m=m, L=1))
+
+        def skewed(ctx):
+            if ctx.pid == 0:
+                for d in range(1, ctx.nprocs):
+                    ctx.send(d, d, slot=d - 1)
+            yield
+
+        def balanced(ctx):
+            ctx.send((ctx.pid + 1) % ctx.nprocs, "x", slot=0)
+            yield
+
+        for prog in (skewed, balanced, one_to_all_prog):
+            t_two = two.run(prog).time
+            t_max = self_s.run(prog).time
+            assert t_max <= t_two <= 2 * t_max + 1e-9, prog.__name__
+
+
+class TestQSMOnBSP:
+    def test_emulated_reduce_correct(self):
+        p, m = 64, 8
+        vals = [float(i) for i in range(p)]
+        res = run_qsm_program_on_bsp(
+            BSPm(MachineParams(p=p, m=m, L=2)),
+            reduce_funnel_qsm_program,
+            args=(operator.add, min(p, m), 2),
+            per_proc_args=[(v,) for v in vals],
+        )
+        assert res.results[0] == sum(vals)
+
+    def test_same_answer_as_native_qsm(self):
+        p, m = 32, 4
+        vals = [float(i * i) for i in range(p)]
+        args = (operator.add, min(p, m), 2)
+        emulated = run_qsm_program_on_bsp(
+            BSPg(MachineParams(p=p, g=4.0, L=1)),
+            reduce_funnel_qsm_program,
+            args=args,
+            per_proc_args=[(v,) for v in vals],
+        )
+        native = QSMm(MachineParams(p=p, m=m)).run(
+            reduce_funnel_qsm_program, args=args, per_proc_args=[(v,) for v in vals]
+        )
+        assert emulated.results[0] == native.results[0]
+
+    def test_constant_factor_overhead(self):
+        """3 supersteps per phase: the emulated time is a constant multiple
+        of the native QSM(m) time (L floors included)."""
+        p, m = 64, 8
+        vals = [1.0] * p
+        args = (operator.add, min(p, m), 2)
+        emu = run_qsm_program_on_bsp(
+            BSPm(MachineParams(p=p, m=m, L=1)),
+            reduce_funnel_qsm_program,
+            args=args,
+            per_proc_args=[(v,) for v in vals],
+        )
+        nat = QSMm(MachineParams(p=p, m=m)).run(
+            reduce_funnel_qsm_program, args=args, per_proc_args=[(v,) for v in vals]
+        )
+        assert emu.time <= 8 * nat.time
+
+    def test_write_then_read_across_phases(self):
+        def prog(ctx):
+            ctx.write(("cell", ctx.pid), ctx.pid * 10)
+            yield
+            h = ctx.read(("cell", (ctx.pid + 1) % ctx.nprocs))
+            yield
+            return h.value
+
+        res = run_qsm_program_on_bsp(
+            BSPm(MachineParams(p=8, m=2, L=1)), prog
+        )
+        assert res.results == [(i + 1) % 8 * 10 for i in range(8)]
+
+    def test_premature_value_access_raises(self):
+        def prog(ctx):
+            h = ctx.read("x")
+            _ = h.value  # before the yield
+            yield
+
+        with pytest.raises(ProgramError, match="not yet resolved"):
+            run_qsm_program_on_bsp(BSPm(MachineParams(p=2, m=1)), prog)
+
+    def test_direct_send_blocked(self):
+        def prog(ctx):
+            ctx.send(0, "x")
+            yield
+
+        with pytest.raises(ProgramError, match="cannot send"):
+            run_qsm_program_on_bsp(BSPm(MachineParams(p=2, m=1)), prog)
+
+    def test_rejects_shared_memory_machine(self):
+        with pytest.raises(ValueError):
+            run_qsm_program_on_bsp(QSMm(MachineParams(p=2, m=1)), lambda ctx: None)
+
+    def test_unwritten_cell_reads_none(self):
+        def prog(ctx):
+            h = ctx.read(("never", ctx.pid))
+            yield
+            return h.value
+
+        res = run_qsm_program_on_bsp(BSPm(MachineParams(p=4, m=2)), prog)
+        assert res.results == [None] * 4

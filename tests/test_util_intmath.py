@@ -1,0 +1,134 @@
+"""Unit and property tests for repro.util.intmath."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intmath import (
+    ceil_div,
+    ilog,
+    ilog2,
+    lg,
+    log_star,
+    next_pow2,
+    safe_log_ratio,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(6, 3) == 2
+
+    def test_rounding_up(self):
+        assert ceil_div(7, 3) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 100) == 1
+
+    def test_negative_denominator_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+        with pytest.raises(ValueError):
+            ceil_div(4, -1)
+
+    def test_negative_numerator_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 3)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_math_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b) or ceil_div(a, b) == -(-a // b)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_bracketing(self, a, b):
+        q = ceil_div(a, b)
+        assert (q - 1) * b < a or a == 0
+        assert q * b >= a
+
+
+class TestIlog2:
+    def test_one(self):
+        assert ilog2(1) == 0
+
+    def test_powers(self):
+        for k in range(20):
+            assert ilog2(1 << k) == k
+
+    def test_between_powers(self):
+        assert ilog2(9) == 3
+        assert ilog2(1023) == 9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+    @given(st.integers(1, 2**60))
+    def test_bracketing(self, n):
+        k = ilog2(n)
+        assert 2**k <= n < 2 ** (k + 1)
+
+
+class TestIlog:
+    def test_base3(self):
+        assert ilog(27, 3) == 3
+        assert ilog(26, 3) == 2
+
+    def test_base_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            ilog(5, 1)
+
+    @given(st.integers(1, 10**12), st.integers(2, 100))
+    def test_bracketing(self, n, b):
+        k = ilog(n, b)
+        assert b**k <= n < b ** (k + 1)
+
+
+class TestLogStar:
+    def test_small_values(self):
+        assert log_star(0) == 0
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+    def test_monotone(self):
+        vals = [log_star(n) for n in range(1, 100)]
+        assert vals == sorted(vals)
+
+
+class TestNextPow2:
+    def test_values(self):
+        assert next_pow2(0) == 1
+        assert next_pow2(1) == 1
+        assert next_pow2(2) == 2
+        assert next_pow2(3) == 4
+        assert next_pow2(1025) == 2048
+
+    @given(st.integers(1, 2**40))
+    def test_properties(self, n):
+        q = next_pow2(n)
+        assert q >= n
+        assert q & (q - 1) == 0
+        assert q < 2 * n
+
+
+class TestLg:
+    def test_clamped_below(self):
+        assert lg(0.5) == 0.0
+        assert lg(1.0) == 0.0
+
+    def test_exact(self):
+        assert lg(8.0) == 3.0
+
+    def test_safe_log_ratio_degenerate_base(self):
+        # lg p / lg g with g close to 1 degrades to lg p, not infinity
+        assert safe_log_ratio(1024, 1.0) == pytest.approx(10.0)
+
+    def test_safe_log_ratio_normal(self):
+        assert safe_log_ratio(1024, 4) == pytest.approx(5.0)

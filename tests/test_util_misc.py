@@ -1,0 +1,105 @@
+"""Tests for rng plumbing, validation helpers, and the report renderer."""
+
+import numpy as np
+import pytest
+
+from repro.util.reporting import Table, format_float
+from repro.util.rng import as_generator, spawn_children
+from repro.util.validation import (
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_prob,
+)
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(7).integers(0, 1000, 10)
+        b = as_generator(7).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_seed_sequence(self):
+        g = as_generator(np.random.SeedSequence(5))
+        assert isinstance(g, np.random.Generator)
+
+    def test_spawn_children_independent_and_reproducible(self):
+        kids1 = spawn_children(42, 3)
+        kids2 = spawn_children(42, 3)
+        for a, b in zip(kids1, kids2):
+            assert np.array_equal(a.integers(0, 100, 5), b.integers(0, 100, 5))
+        draws = [g.integers(0, 2**32) for g in spawn_children(42, 3)]
+        assert len(set(int(d) for d in draws)) == 3
+
+    def test_spawn_from_generator(self):
+        kids = spawn_children(np.random.default_rng(3), 4)
+        assert len(kids) == 4
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_children(1, -1)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0)
+
+    def test_check_nonnegative(self):
+        check_nonnegative("x", 0)
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -0.5)
+
+    def test_check_in_range_closed(self):
+        check_in_range("x", 1, 1, 2)
+        check_in_range("x", 2, 1, 2)
+        with pytest.raises(ValueError):
+            check_in_range("x", 2.5, 1, 2)
+
+    def test_check_in_range_open(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1, 1, 2, low_open=True)
+        with pytest.raises(ValueError):
+            check_in_range("x", 2, 1, 2, high_open=True)
+
+    def test_check_prob(self):
+        check_prob("p", 0.0)
+        check_prob("p", 1.0)
+        with pytest.raises(ValueError):
+            check_prob("p", 1.01)
+
+
+class TestReporting:
+    def test_format_float(self):
+        assert format_float(3) == "3"
+        assert format_float(True) == "True"
+        assert format_float(0.0) == "0"
+        assert format_float(1.23456789) == "1.235"
+
+    def test_table_rejects_bad_row(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_table_renders_aligned(self):
+        t = Table(["name", "v"], title="T")
+        t.add_row(["long-name", 1])
+        t.add_row(["x", 123456])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "v" in lines[1]
+        assert len(lines) == 5
+
+    def test_table_str(self):
+        t = Table(["a"])
+        t.add_row([1])
+        assert "a" in str(t)

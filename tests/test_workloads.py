@@ -1,0 +1,187 @@
+"""Tests for h-relation generators and the HRelation invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    HRelation,
+    all_to_one_relation,
+    balanced_h_relation,
+    geometric_h_relation,
+    one_to_all_relation,
+    permutation_relation,
+    total_exchange_relation,
+    two_class_relation,
+    uniform_random_relation,
+    variable_length_relation,
+    zipf_h_relation,
+)
+
+
+class TestHRelationInvariants:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            HRelation(p=4, src=np.array([0]), dest=np.array([1, 2]), length=np.array([1]))
+
+    def test_out_of_range_src(self):
+        with pytest.raises(ValueError):
+            HRelation(p=2, src=np.array([5]), dest=np.array([0]), length=np.array([1]))
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            HRelation(p=2, src=np.array([0]), dest=np.array([1]), length=np.array([0]))
+
+    def test_basic_stats(self):
+        rel = HRelation(
+            p=3,
+            src=np.array([0, 0, 1]),
+            dest=np.array([1, 2, 2]),
+            length=np.array([2, 3, 1]),
+        )
+        assert rel.n == 6
+        assert rel.n_messages == 3
+        assert rel.sizes.tolist() == [5, 1, 0]
+        assert rel.recv_sizes.tolist() == [0, 2, 4]
+        assert rel.x_bar == 5 and rel.y_bar == 4 and rel.h == 5
+        assert rel.max_length == 3
+        assert rel.mean_length == pytest.approx(2.0)
+
+    def test_lower_bounds(self):
+        rel = one_to_all_relation(9)
+        assert rel.bsp_g_lower_bound(g=2.0, L=3.0) == 2.0 * (8 + 1) + 3.0
+        assert rel.bsp_m_lower_bound(m=4) == 8.0  # x_bar dominates n/m
+
+    def test_imbalance(self):
+        rel = one_to_all_relation(8)
+        assert rel.imbalance() == pytest.approx(8.0)  # x̄ / (n/p) = 7/(7/8)
+
+    def test_concat(self):
+        a = one_to_all_relation(4)
+        b = all_to_one_relation(4)
+        c = a.concat(b)
+        assert c.n == a.n + b.n
+        with pytest.raises(ValueError):
+            a.concat(one_to_all_relation(5))
+
+    def test_from_counts(self):
+        counts = np.array([3, 0, 2])
+        rel = HRelation.from_counts(counts, dest_rng=0)
+        assert rel.sizes.tolist() == [3, 0, 2]
+        assert np.all(rel.src != rel.dest)  # no self-sends
+
+
+class TestGenerators:
+    def test_balanced_is_balanced(self):
+        rel = balanced_h_relation(16, 4, seed=0)
+        assert rel.x_bar == 4 and rel.y_bar == 4
+        assert rel.n == 64
+
+    def test_balanced_zero_h(self):
+        rel = balanced_h_relation(4, 0)
+        assert rel.n == 0
+
+    def test_permutation(self):
+        rel = permutation_relation(32, seed=1)
+        assert rel.x_bar == rel.y_bar == 1
+        assert sorted(rel.dest.tolist()) == list(range(32))
+
+    def test_one_to_all(self):
+        rel = one_to_all_relation(8, root=3)
+        assert rel.x_bar == 7 and rel.y_bar == 1
+        assert set(rel.src.tolist()) == {3}
+        assert 3 not in rel.dest.tolist()
+
+    def test_all_to_one(self):
+        rel = all_to_one_relation(8, root=2)
+        assert rel.y_bar == 7 and rel.x_bar == 1
+        assert set(rel.dest.tolist()) == {2}
+
+    def test_total_exchange(self):
+        rel = total_exchange_relation(5)
+        assert rel.n_messages == 20
+        assert rel.x_bar == rel.y_bar == 4
+
+    def test_total_exchange_variable(self):
+        rel = total_exchange_relation(5, seed=0, max_length=7)
+        assert rel.length.min() >= 1 and rel.length.max() <= 7
+
+    def test_uniform_random(self):
+        rel = uniform_random_relation(64, 10_000, seed=2)
+        assert rel.n == 10_000
+        # mild imbalance only
+        assert rel.imbalance() < 2.0
+        assert np.all(rel.src != rel.dest)
+
+    def test_zipf_heavy_tail(self):
+        rel = zipf_h_relation(256, 50_000, alpha=1.5, seed=3)
+        assert rel.n == 50_000
+        assert rel.imbalance() > 10.0  # the heavy sender dominates
+
+    def test_zipf_reproducible(self):
+        a = zipf_h_relation(64, 1000, seed=9)
+        b = zipf_h_relation(64, 1000, seed=9)
+        assert np.array_equal(a.src, b.src) and np.array_equal(a.dest, b.dest)
+
+    def test_geometric_skew(self):
+        rel = geometric_h_relation(32, base_count=1024, ratio=0.5, seed=4)
+        sizes = np.sort(rel.sizes)[::-1]
+        assert sizes[0] == 1024
+        assert rel.imbalance() > 5.0
+
+    def test_geometric_bad_ratio(self):
+        with pytest.raises(ValueError):
+            geometric_h_relation(8, 10, ratio=1.5)
+
+    def test_two_class(self):
+        rel = two_class_relation(100, heavy_fraction=0.1, heavy_count=50, light_count=2, seed=5)
+        sizes = rel.sizes
+        assert int(np.sum(sizes == 50)) == 10
+        assert int(np.sum(sizes == 2)) == 90
+
+    def test_two_class_bad_fraction(self):
+        with pytest.raises(ValueError):
+            two_class_relation(10, heavy_fraction=1.5, heavy_count=5)
+
+    @pytest.mark.parametrize("dist", ["geometric", "uniform", "pareto"])
+    def test_variable_length(self, dist):
+        rel = variable_length_relation(32, 500, mean_length=8.0, dist=dist, seed=6)
+        assert rel.n_messages == 500
+        assert rel.length.min() >= 1
+
+    def test_variable_length_cap(self):
+        rel = variable_length_relation(8, 100, mean_length=20, dist="pareto", max_length=25, seed=7)
+        assert rel.max_length <= 25
+
+    def test_variable_length_bad_dist(self):
+        with pytest.raises(ValueError):
+            variable_length_relation(8, 10, dist="bogus")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    p=st.integers(2, 64),
+    n=st.integers(0, 500),
+    seed=st.integers(0, 2**31),
+)
+def test_uniform_random_properties(p, n, seed):
+    """Conservation laws: flits sent == flits received == n; maxima bound
+    the per-processor arrays."""
+    rel = uniform_random_relation(p, n, seed=seed)
+    assert int(rel.sizes.sum()) == rel.n == n
+    assert int(rel.recv_sizes.sum()) == rel.n
+    assert rel.x_bar == (rel.sizes.max() if p else 0)
+    assert rel.h >= rel.n / p  # pigeonhole
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p=st.integers(2, 32),
+    counts=st.lists(st.integers(0, 50), min_size=2, max_size=32),
+)
+def test_from_counts_properties(p, counts):
+    counts = np.asarray(counts[:p] + [0] * max(0, p - len(counts)))
+    rel = HRelation.from_counts(counts, dest_rng=0)
+    assert np.array_equal(rel.sizes, counts)
+    assert np.all(rel.src != rel.dest)
