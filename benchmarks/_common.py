@@ -11,7 +11,7 @@ the crossovers fall.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.util.reporting import Table
 
@@ -29,8 +29,13 @@ def emit(title: str, columns: Sequence[str], rows: Iterable[Sequence[Any]]) -> s
 
 
 def ratio_row(name: str, strong: float, weak: float, expected: float) -> list:
-    """A standard (problem, global, local, measured ratio, paper ratio) row."""
-    measured = weak / strong if strong else float("inf")
+    """A standard (problem, global, local, measured ratio, paper ratio) row.
+
+    A zero strong time makes the ratio undefined; it is reported as NaN
+    (rendered ``—`` by the table, and finite-safe in JSON exports) rather
+    than ``inf``.
+    """
+    measured = weak / strong if strong else float("nan")
     return [name, strong, weak, measured, expected]
 
 

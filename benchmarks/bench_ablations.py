@@ -12,7 +12,6 @@ import numpy as np
 import pytest
 
 from repro import EXPONENTIAL, LINEAR, MachineParams, PolynomialPenalty
-from repro.core.costs import PenaltyFunction
 from repro.scheduling import (
     evaluate_schedule,
     naive_schedule,

@@ -11,11 +11,7 @@ import pytest
 
 from repro import BSPg, MachineParams
 from repro.algorithms import broadcast, broadcast_bit_nonreceipt
-from repro.theory.bounds import (
-    broadcast_bsp_g,
-    broadcast_bsp_g_lower,
-    broadcast_nonreceipt_upper,
-)
+from repro.theory.bounds import broadcast_bsp_g_lower, broadcast_nonreceipt_upper
 
 from _common import emit
 

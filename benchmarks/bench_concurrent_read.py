@@ -8,7 +8,6 @@ phases are exact).  Shape check: the non-sorting component scales like
 """
 
 import numpy as np
-import pytest
 
 from repro.concurrent_read import simulate_concurrent_read_step
 from repro.theory.bounds import crcw_pramm_on_qsm_m_upper

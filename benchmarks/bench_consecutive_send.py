@@ -4,7 +4,6 @@ consecutive slots.
 """
 
 import numpy as np
-import pytest
 
 from repro.scheduling import (
     evaluate_schedule,

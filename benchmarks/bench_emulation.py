@@ -8,7 +8,6 @@ leaves on the table for work-suboptimal algorithms (Wyllie) versus
 work-optimal ones (balanced-tree prefix).
 """
 
-import pytest
 
 from repro import MachineParams, QSMm
 from repro.algorithms import (

@@ -1,0 +1,168 @@
+"""Engine throughput regression harness for the columnar fast path.
+
+Measures simulator wall-clock throughput (messages or requests per second)
+on three hot profiles and pins the corresponding *model* times, which must
+be bit-identical across engine rewrites:
+
+* **routing** — the 40k-message route-verify profile from
+  docs/performance.md (Unbalanced-Send schedule executed end-to-end on a
+  BSP(m) and delivery-verified).
+* **qsm-phases** — a phase-heavy QSM(m) workload (alternating
+  ``write_many`` / ``read_many`` phases over dense shared memory).
+* **delivery** — a balanced total exchange (p·(p−1) messages through one
+  ``_deliver``-dominated superstep).
+
+Run standalone to (re)generate the regression baseline::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+
+which writes ``BENCH_engine.json`` (messages/s per profile plus the pinned
+model times) to the repository root, or under pytest-benchmark like every
+other file in this directory.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro import BSPm, MachineParams, QSMm
+from repro.algorithms.total_exchange import run_total_exchange
+from repro.scheduling import unbalanced_send
+from repro.scheduling.execute import execute_schedule
+from repro.workloads import uniform_random_relation
+
+from _common import emit
+
+# The seed engine (pre-columnar) sustained ~200k msg/s on the routing
+# profile (docs/performance.md); the columnar fast path must hold >= 5x.
+SEED_ROUTING_MSGS_PER_S = 200_000.0
+SPEEDUP_FLOOR = 5.0
+
+# Pinned model times: the optimization contract is that *no* model time
+# moves.  These are deterministic (fixed seeds), so equality is exact.
+ROUTING_MODEL_TIME = 750.2839547352119
+
+
+def _routing_profile():
+    rel = uniform_random_relation(256, 40_000, seed=0)
+    sched = unbalanced_send(rel, 64, 0.2, seed=1)
+    machine = BSPm(MachineParams(p=256, m=64, L=1))
+    t0 = time.perf_counter()
+    res = execute_schedule(machine, sched)
+    dt = time.perf_counter() - t0
+    return {
+        "messages": int(rel.n),
+        "seconds": dt,
+        "msgs_per_s": rel.n / dt,
+        "model_time": res.time,
+    }
+
+
+def _qsm_program(ctx, rounds, k, span):
+    addrs = (ctx.pid * k + np.arange(k, dtype=np.int64)) % span
+    values = np.arange(k, dtype=np.int64)
+    total = 0
+    for r in range(rounds):
+        ctx.write_many(addrs, values)
+        yield
+        handle = ctx.read_many((addrs + (r + 1) * k) % span)
+        yield
+        total += len(handle)
+    return total
+
+
+def _qsm_profile(p=256, rounds=12, k=24):
+    span = p * k
+    machine = QSMm(MachineParams(p=p, m=32, L=2))
+    machine.use_dense_memory(span)
+    t0 = time.perf_counter()
+    res = machine.run(_qsm_program, args=(rounds, k, span))
+    dt = time.perf_counter() - t0
+    requests = 2 * rounds * k * p
+    return {
+        "requests": requests,
+        "seconds": dt,
+        "reqs_per_s": requests / dt,
+        "model_time": res.time,
+        "phases": res.supersteps,
+    }
+
+
+def _delivery_profile(p=192):
+    machine = BSPm(MachineParams(p=p, m=48, L=1))
+    t0 = time.perf_counter()
+    res = run_total_exchange(machine)
+    dt = time.perf_counter() - t0
+    n = p * (p - 1)
+    return {
+        "messages": n,
+        "seconds": dt,
+        "msgs_per_s": n / dt,
+        "model_time": res.time,
+    }
+
+
+def run_all():
+    return {
+        "routing": _routing_profile(),
+        "qsm-phases": _qsm_profile(),
+        "delivery": _delivery_profile(),
+    }
+
+
+def _report(data):
+    emit(
+        "engine throughput (columnar fast path)",
+        ["profile", "volume", "seconds", "throughput/s", "model time"],
+        [
+            ["routing (40k route-verify)", data["routing"]["messages"],
+             data["routing"]["seconds"], data["routing"]["msgs_per_s"],
+             data["routing"]["model_time"]],
+            ["qsm phases (dense mem)", data["qsm-phases"]["requests"],
+             data["qsm-phases"]["seconds"], data["qsm-phases"]["reqs_per_s"],
+             data["qsm-phases"]["model_time"]],
+            ["delivery (total exchange)", data["delivery"]["messages"],
+             data["delivery"]["seconds"], data["delivery"]["msgs_per_s"],
+             data["delivery"]["model_time"]],
+        ],
+    )
+
+
+def _check(data):
+    # Optimizations must never move a model time.
+    assert data["routing"]["model_time"] == ROUTING_MODEL_TIME
+    # Acceptance floor: >= 5x the seed engine's routing throughput.
+    speedup = data["routing"]["msgs_per_s"] / SEED_ROUTING_MSGS_PER_S
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"routing throughput regressed: {data['routing']['msgs_per_s']:.0f} msg/s "
+        f"is only {speedup:.1f}x the seed baseline (need >= {SPEEDUP_FLOOR}x)"
+    )
+
+
+def write_baseline(path="BENCH_engine.json"):
+    data = run_all()
+    data["routing"]["speedup_vs_seed"] = (
+        data["routing"]["msgs_per_s"] / SEED_ROUTING_MSGS_PER_S
+    )
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    return data
+
+
+def test_engine_throughput(benchmark):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    _report(data)
+    benchmark.extra_info.update(data)
+    _check(data)
+
+
+if __name__ == "__main__":
+    out = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
+    result = write_baseline(out)
+    _report(result)
+    _check(result)
+    print(f"\nwrote {out}  "
+          f"(routing speedup vs seed: {result['routing']['speedup_vs_seed']:.1f}x)")

@@ -5,7 +5,6 @@ i.e. many messages, comparatively small m.
 """
 
 import numpy as np
-import pytest
 
 from repro.scheduling import evaluate_schedule, unbalanced_granular_send
 from repro.workloads import uniform_random_relation, zipf_h_relation

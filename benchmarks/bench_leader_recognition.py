@@ -6,7 +6,6 @@ Series: time on both machines as p grows at fixed m; the ratio grows like
 when ``m << p`` this vastly improves the previous ``2^Ω(sqrt(lg p))``.
 """
 
-import pytest
 
 from repro.concurrent_read import leader_recognition_pramm, leader_recognition_qsm_m
 from repro.theory.bounds import (

@@ -10,7 +10,6 @@ Claims reproduced:
 """
 
 import numpy as np
-import pytest
 
 from repro.scheduling import (
     evaluate_schedule,

@@ -4,7 +4,6 @@ true BSP(m) within ``(1+eps)`` w.h.p. (via Unbalanced-Send).
 """
 
 import numpy as np
-import pytest
 
 from repro.algorithms import self_scheduling_transfer
 from repro.workloads import (

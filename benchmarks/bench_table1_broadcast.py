@@ -5,7 +5,6 @@ O(L lg m / lg L + p/m + L) vs BSP(g) Θ(L lg p / lg(L/g)); separation
 Θ(lg p / lg g) on the QSM side.
 """
 
-import pytest
 
 from repro import BSPg, BSPm, MachineParams, QSMg, QSMm
 from repro.algorithms import broadcast

@@ -10,7 +10,6 @@ component scales like n/m while the g-model cost carries the g factor.
 """
 
 import numpy as np
-import pytest
 
 from repro import BSPg, BSPm, MachineParams
 from repro.algorithms import (

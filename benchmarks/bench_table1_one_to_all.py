@@ -4,7 +4,6 @@ Paper claim: QSM(m) Θ(p) vs QSM(g) Θ(gp); BSP(m) Θ(p+L) vs BSP(g) Θ(gp+L);
 separation Θ(g).
 """
 
-import pytest
 
 from repro import BSPg, BSPm, MachineParams, QSMg, QSMm
 from repro.algorithms import one_to_all

@@ -4,7 +4,6 @@ Paper claim: QSM(m) Θ(lg m + n/m) vs QSM(g) Ω(g lg n / lg lg n); BSP(m)
 O(L lg m / lg L + n/m + L) vs BSP(g) Θ(L lg n / lg(L/g)).
 """
 
-import pytest
 
 from repro import BSPg, BSPm, MachineParams, QSMg, QSMm
 from repro.algorithms import parity, summation

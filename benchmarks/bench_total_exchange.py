@@ -9,7 +9,6 @@ Series regenerated:
   (``tau = O(p/m + L + L lg m / lg L)``) — a widening end-to-end win.
 """
 
-import pytest
 
 from repro.algorithms import (
     chatting_schedule_centralized,

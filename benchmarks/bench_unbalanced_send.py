@@ -8,7 +8,6 @@ Proposition 6.1.
 """
 
 import numpy as np
-import pytest
 
 from repro.scheduling import (
     bsp_g_routing_time,

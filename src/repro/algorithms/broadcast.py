@@ -26,16 +26,15 @@ from receipt, the other from non-receipt).  Theorem 4.1's lower bound
 
 from __future__ import annotations
 
-import math
-from typing import Any, Optional, Tuple
+from typing import Any, Optional
+
+import numpy as np
 
 from repro.core.engine import Machine, RunResult
-from repro.models.bsp_g import BSPg
 from repro.models.bsp_m import BSPm
 from repro.models.qsm_g import QSMg
 from repro.models.qsm_m import QSMm
 from repro.models.self_scheduling import SelfSchedulingBSPm
-from repro.util.intmath import ceil_div
 
 __all__ = [
     "broadcast",
@@ -78,15 +77,22 @@ def broadcast_bsp_tree_program(ctx, value: Any, b: int, length: int = 1):
     span = 1
     while span < p:
         if have and pid < span:
-            for j in range(1, b):
-                target = pid + j * span
-                if target < p:
-                    ctx.send(target, val, size=length, slot=(j - 1) * length)
+            # children pid + j*span for j in 1..b-1 (increasing, so the
+            # in-range ones are a prefix); one batch send per round
+            targets = pid + np.arange(1, b, dtype=np.int64) * span
+            targets = targets[targets < p]
+            if targets.size:
+                ctx.send_many(
+                    targets,
+                    payloads=[val] * targets.size,
+                    sizes=np.full(targets.size, length, dtype=np.int64),
+                    slots=np.arange(targets.size, dtype=np.int64) * length,
+                )
         yield
         if not have:
-            msgs = ctx.receive()
-            if msgs:
-                val = msgs[0].payload
+            inbox = ctx.receive()
+            if inbox:
+                val = inbox.payloads[0]
                 have = True
         span *= b
     return val
@@ -101,29 +107,38 @@ def broadcast_bsp_m_program(ctx, value: Any, a: int, b: int, length: int = 1):
     span = 1
     while span < a:
         if have and pid < span:
-            for j in range(1, b):
-                target = pid + j * span
-                if target < a:
-                    ctx.send(target, val, size=length, slot=(j - 1) * length)
+            targets = pid + np.arange(1, b, dtype=np.int64) * span
+            targets = targets[targets < a]
+            if targets.size:
+                ctx.send_many(
+                    targets,
+                    payloads=[val] * targets.size,
+                    sizes=np.full(targets.size, length, dtype=np.int64),
+                    slots=np.arange(targets.size, dtype=np.int64) * length,
+                )
         yield
         if not have and pid < a:
-            msgs = ctx.receive()
-            if msgs:
-                val = msgs[0].payload
+            inbox = ctx.receive()
+            if inbox:
+                val = inbox.payloads[0]
                 have = True
         span *= b
     # Fan-out: aggregator j serves pids j+a, j+2a, ...; the k-th member is
     # sent at slot k, so each slot carries at most a <= m flits.
     if pid < a:
-        k = 0
-        for member in range(pid + a, p, a):
-            ctx.send(member, val, size=length, slot=k * length)
-            k += 1
+        members = np.arange(pid + a, p, a, dtype=np.int64)
+        if members.size:
+            ctx.send_many(
+                members,
+                payloads=[val] * members.size,
+                sizes=np.full(members.size, length, dtype=np.int64),
+                slots=np.arange(members.size, dtype=np.int64) * length,
+            )
     yield
     if pid >= a:
-        msgs = ctx.receive()
-        if msgs:
-            val = msgs[0].payload
+        inbox = ctx.receive()
+        if inbox:
+            val = inbox.payloads[0]
     return val
 
 

@@ -27,18 +27,16 @@ Three executable translations between models:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
 from repro.core.costs import EXPONENTIAL, PenaltyFunction
-from repro.core.engine import RunResult
-from repro.core.params import MachineParams
 from repro.scheduling.analysis import evaluate_schedule
 from repro.scheduling.static_send import unbalanced_send
 from repro.util.intmath import ceil_div
-from repro.util.rng import SeedLike, as_generator
+from repro.util.rng import SeedLike
 from repro.util.validation import check_positive
 from repro.workloads.relations import HRelation
 

@@ -23,7 +23,7 @@ conversion.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +40,25 @@ __all__ = [
     "bsp_lower_bound_from_crcw_randomized",
     "bsp_lower_bound_from_crcw_deterministic",
 ]
+
+
+def _msgs_by_source(rel: HRelation) -> List[List[Tuple[int, Any]]]:
+    """Per-source ``(dest, payload=src)`` message lists, grouped by one
+    stable argsort of the relation's columns (record order preserved
+    within each source)."""
+    order = np.argsort(rel.src, kind="stable")
+    dest_sorted = rel.dest[order]
+    src_sorted = rel.src[order]
+    bounds = np.searchsorted(src_sorted, np.arange(rel.p + 1))
+    return [
+        list(
+            zip(
+                dest_sorted[bounds[i] : bounds[i + 1]].tolist(),
+                src_sorted[bounds[i] : bounds[i + 1]].tolist(),
+            )
+        )
+        for i in range(rel.p)
+    ]
 
 
 def _team_program(ctx, x_bar: int, max_rounds: int, my_msg, is_reader: bool):
@@ -98,9 +117,7 @@ def realize_h_relation_crcw(
     rounds = max_rounds if max_rounds is not None else max(1, y_bar)
 
     # Assign message k-of-source-i to engine processor i*x_bar + k.
-    msgs_of: List[List[Tuple[int, Any]]] = [[] for _ in range(p)]
-    for src, dest in zip(rel.src.tolist(), rel.dest.tolist()):
-        msgs_of[src].append((dest, src))
+    msgs_of = _msgs_by_source(rel)
     per_proc = []
     for i in range(p):
         for k in range(x_bar):
@@ -295,9 +312,7 @@ def realize_h_relation_crcw_randomized(
     if max_rounds is None:
         max_rounds = 4 * (int(_math.log2(max(2, rel.n + 1))) + 1) + 8
 
-    msgs_of: List[List[Tuple[int, Any]]] = [[] for _ in range(p)]
-    for src, dest in zip(rel.src.tolist(), rel.dest.tolist()):
-        msgs_of[src].append((dest, src))
+    msgs_of = _msgs_by_source(rel)
     rng = as_generator(seed)
     seeds = rng.integers(0, 2**62, size=p * x_bar)
     per_proc = []

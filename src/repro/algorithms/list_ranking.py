@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.engine import Machine, RunResult
-from repro.util.intmath import ceil_div, ilog2
+from repro.util.intmath import ilog2
 from repro.util.rng import SeedLike, as_generator
 
 __all__ = [

@@ -26,7 +26,6 @@ from repro.core.engine import Machine, RunResult
 from repro.models.bsp_m import BSPm
 from repro.models.qsm_m import QSMm
 from repro.models.self_scheduling import SelfSchedulingBSPm
-from repro.util.intmath import ceil_div
 
 __all__ = [
     "reduce_all",

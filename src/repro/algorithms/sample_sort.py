@@ -40,13 +40,18 @@ __all__ = ["sample_sort"]
 
 
 def _sample_sort_program(
-    ctx, n: int, k: int, s: int, per: int, m_cap: int, chunk: List[float], seed: int
+    ctx, n: int, k: int, s: int, per: int, m_cap: int, chunk, seed: int
 ):
+    # Written in the engine's columnar idiom: every high-volume phase is one
+    # ``send_many`` of array columns (keys travel as float64 payload arrays)
+    # and receivers read ``ctx.receive().payloads`` without materializing
+    # Message objects.  Slot patterns are identical to the scalar original.
     pid, p = ctx.pid, ctx.nprocs
     groups = ceil_div(p, m_cap)
+    base = pid // m_cap
 
-    def stag(i: int) -> int:
-        return i * groups + pid // m_cap
+    def stag_arr(count: int) -> np.ndarray:
+        return np.arange(count, dtype=np.int64) * groups + base
 
     # ---- phase 1: local sort + samples to processor 0 ----
     local = np.sort(np.asarray(chunk, dtype=np.float64))
@@ -54,68 +59,80 @@ def _sample_sort_program(
     if local.size:
         # evenly spaced (regular) samples from the sorted local run
         idx = np.linspace(0, local.size - 1, num=min(s, local.size)).astype(int)
-        for i, j in enumerate(np.unique(idx)):
-            ctx.send(0, ("smp", float(local[j])), slot=stag(i))
+        samples = local[np.unique(idx)]
+        ctx.send_many(
+            np.zeros(samples.size, dtype=np.int64),
+            payloads=samples,
+            slots=stag_arr(samples.size),
+        )
     yield
 
     # ---- phase 2: processor 0 picks and broadcasts splitters ----
     if pid == 0:
-        samples = sorted(msg.payload[1] for msg in ctx.receive())
-        ctx.work(local_sort_work(len(samples)))
-        if samples and k > 1:
-            step = len(samples) / k
-            splitters = [samples[min(len(samples) - 1, int((j + 1) * step))] for j in range(k - 1)]
+        samples = np.sort(np.asarray(ctx.receive().payloads, dtype=np.float64))
+        ctx.work(local_sort_work(samples.size))
+        if samples.size and k > 1:
+            step = samples.size / k
+            pick = np.minimum(
+                samples.size - 1, (np.arange(1, k) * step).astype(np.int64)
+            )
+            splitters = samples[pick]
         else:
-            splitters = []
-        slot = 0
-        for dest in range(p):
-            ctx.send(dest, ("spl", splitters), size=max(1, k - 1), slot=slot)
-            slot += max(1, k - 1)
+            splitters = np.zeros(0)
+        sz = max(1, k - 1)
+        ctx.send_many(
+            np.arange(p, dtype=np.int64),
+            payloads=[splitters] * p,
+            sizes=np.full(p, sz, dtype=np.int64),
+            slots=np.arange(p, dtype=np.int64) * sz,
+        )
     yield
-    msgs = [m for m in ctx.receive() if m.payload[0] == "spl"]
-    splitters = np.asarray(msgs[0].payload[1], dtype=np.float64) if msgs else np.zeros(0)
+    inbox = ctx.receive()
+    splitters = (
+        np.asarray(inbox.payloads[0], dtype=np.float64) if len(inbox) else np.zeros(0)
+    )
 
     # ---- phase 3: route keys to bucket sorters ----
     if local.size:
-        buckets = np.searchsorted(splitters, local, side="right")
+        buckets = np.searchsorted(splitters, local, side="right").astype(np.int64)
         ctx.work(local.size * max(1.0, math.log2(max(2, k))))
-        for i, (b, key) in enumerate(zip(buckets.tolist(), local.tolist())):
-            ctx.send(int(b), ("key", float(key)), slot=stag(i))
+        ctx.send_many(buckets, payloads=local, slots=stag_arr(local.size))
     yield
-    mine = sorted(m.payload[1] for m in ctx.receive() if m.payload[0] == "key")
-    ctx.work(local_sort_work(len(mine)))
+    mine = np.sort(np.asarray(ctx.receive().payloads, dtype=np.float64))
+    ctx.work(local_sort_work(mine.size))
 
     # ---- phase 4: bucket sizes to processor 0 ----
     if pid < k:
-        ctx.send(0, ("sz", pid, len(mine)), slot=stag(0))
+        ctx.send(0, (pid, int(mine.size)), slot=base)
     yield
     if pid == 0:
         sizes = [0] * k
-        for msg in ctx.receive():
-            if msg.payload[0] == "sz":
-                sizes[msg.payload[1]] = msg.payload[2]
-        offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]]).tolist()
-        for j in range(k):
-            ctx.send(j, ("off", offsets[j]), slot=j)
+        for bucket, count in ctx.receive().payloads:
+            sizes[bucket] = count
+        offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]]).astype(np.int64)
+        ctx.send_many(
+            np.arange(k, dtype=np.int64),
+            payloads=offsets,
+            slots=np.arange(k, dtype=np.int64),
+        )
     yield
-    offset = 0
-    for msg in ctx.receive():
-        if msg.payload[0] == "off":
-            offset = msg.payload[1]
+    inbox = ctx.receive()
+    offset = int(inbox.payloads[0]) if len(inbox) else 0
 
     # ---- phase 6: route to final owners ----
     # Only the k <= m sorters send here, so the i-th outgoing flit can use
     # slot i directly (the p-wide stagger would stretch the span by p/m).
-    if pid < k:
-        for i, key in enumerate(mine):
-            g = offset + i
-            ctx.send(g // per, ("out", g % per, float(key)), slot=i)
+    # A key with global rank g goes to processor g // per; since each owner
+    # holds a contiguous rank range, sorting the received keys reproduces
+    # the rank order without shipping positions.
+    if pid < k and mine.size:
+        g = offset + np.arange(mine.size, dtype=np.int64)
+        ctx.send_many(
+            g // per, payloads=mine, slots=np.arange(mine.size, dtype=np.int64)
+        )
     yield
-    out: List[Optional[float]] = [None] * per
-    for msg in ctx.receive():
-        if msg.payload[0] == "out":
-            out[msg.payload[1]] = msg.payload[2]
-    return [x for x in out if x is not None]
+    final = np.sort(np.asarray(ctx.receive().payloads, dtype=np.float64))
+    return final.tolist()
 
 
 def sample_sort(
@@ -148,9 +165,7 @@ def sample_sort(
     k = max(1, min(k, p))
     s = oversample if oversample is not None else (ilog2(max(2, n)) + 2)
     per = ceil_div(n, p)
-    chunks = [
-        [float(x) for x in keys[i * per : (i + 1) * per]] for i in range(p)
-    ]
+    chunks = [keys[i * per : (i + 1) * per] for i in range(p)]
     rng = as_generator(seed)
     res = machine.run(
         _sample_sort_program,

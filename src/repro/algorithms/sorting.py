@@ -33,7 +33,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.engine import Machine, RunResult
-from repro.util.intmath import ceil_div, ilog2
+from repro.util.intmath import ceil_div
 from repro.util.validation import check_positive
 
 __all__ = [

@@ -25,7 +25,7 @@ module provides:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -33,7 +33,7 @@ from repro.core.params import MachineParams
 from repro.scheduling.long_messages import unbalanced_send_long
 from repro.scheduling.offline import offline_consecutive_schedule
 from repro.scheduling.prefix_broadcast import tau_bound
-from repro.scheduling.schedule import Schedule, expand_per_flit
+from repro.scheduling.schedule import Schedule
 from repro.util.intmath import ceil_div
 from repro.util.rng import SeedLike
 from repro.util.validation import check_positive
@@ -44,6 +44,7 @@ __all__ = [
     "chatting_schedule_centralized",
     "chatting_schedule_distributed",
     "total_exchange_lower_bound",
+    "run_total_exchange",
 ]
 
 
@@ -79,6 +80,32 @@ def latin_square_schedule(p: int, m: int, length: int = 1) -> Schedule:
         rel, starts.astype(np.int64), algorithm="latin-square", meta={"rounds": float(p - 1)}
     )
     return sched
+
+
+def run_total_exchange(machine, length: int = 1):
+    """Execute the balanced total exchange end-to-end on a message-passing
+    machine and verify delivery.
+
+    Globally-limited machines get the optimal latin-square schedule; on
+    locally-limited machines no scheduling is needed (Proposition 6.1) and
+    flits go back-to-back.  The routing program is the engine's columnar
+    fast path (one ``send_many`` per processor), so this doubles as the
+    library's all-to-all throughput workload.  Returns the engine
+    :class:`~repro.core.engine.RunResult`.
+    """
+    from repro.scheduling.execute import execute_schedule
+
+    if machine.uses_shared_memory:
+        raise ValueError("total exchange routes point-to-point messages; use a BSP machine")
+    check_positive("length", length)
+    p = machine.params.p
+    if machine.params.m is not None:
+        sched = latin_square_schedule(p, machine.params.m, length=length)
+    else:
+        from repro.scheduling.naive import naive_schedule
+
+        sched = naive_schedule(total_exchange_relation(p, length=length))
+    return execute_schedule(machine, sched)
 
 
 def chatting_schedule_centralized(

@@ -34,7 +34,7 @@ from typing import Any, Dict, List, Sequence, Tuple
 from repro.core.engine import RunResult
 from repro.core.params import MachineParams
 from repro.models.qsm_m import QSMm
-from repro.util.intmath import ceil_div, ilog2, next_pow2
+from repro.util.intmath import ceil_div, next_pow2
 
 __all__ = [
     "simulate_concurrent_read_step",

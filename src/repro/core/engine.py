@@ -9,16 +9,28 @@ yields the program calls methods on its :class:`Proc` context:
   (BSP machines).  ``slot`` is the injection time-slot within the superstep;
   globally-limited machines price slot congestion, locally-limited machines
   ignore slots.
+* ``ctx.send_many(dests, payloads=..., sizes=..., slots=...)`` — the batch
+  form: one call registers a whole array of messages into the engine's
+  columnar buffers (no per-message Python objects).  Use it whenever a
+  processor emits more than a handful of messages per superstep.
 * ``ctx.read(addr)`` / ``ctx.write(addr, value)`` — shared memory (QSM
   machines).  A read returns a :class:`ReadHandle` whose ``.value`` becomes
-  available only after the next ``yield`` (the QSM rule).
+  available only after the next ``yield`` (the QSM rule).  The batch forms
+  ``ctx.read_many(addrs)`` / ``ctx.write_many(addrs, values)`` register
+  arrays of requests; ``read_many`` returns one :class:`BatchReadHandle`
+  whose ``.values`` resolve at the barrier.
 * ``ctx.work(amount)`` — charge local computation.
-* ``ctx.inbox`` — messages delivered at the last barrier.
+* ``ctx.inbox`` — messages delivered at the last barrier (a list-like
+  :class:`InboxView`; iterate for :class:`Message` objects, or use its
+  ``.payloads`` / ``.srcs`` columns to skip object materialization).
 
-At every barrier the engine freezes the superstep into a
+At every barrier the engine freezes the superstep into a columnar
 :class:`~repro.core.events.SuperstepRecord`, asks the concrete machine to
 price it, delivers messages, resolves read handles and applies writes.  The
-run's total time is the sum of superstep costs.
+run's total time is the sum of superstep costs.  Pricing and delivery are
+vectorized over the record's columns; scalar and batch APIs produce
+identical records, costs and stats (a contract pinned by
+``tests/test_batch_equivalence.py``).
 
 Timing note (globally-limited machines)
 ---------------------------------------
@@ -38,18 +50,32 @@ literal ``c_m`` is also recorded in ``record.stats['c_m_paper']``.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Sequence, Tuple
+from collections import Counter
+from dataclasses import dataclass
+from functools import cached_property
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Iterator,
+    List,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.core.events import (
+    Column,
     CostBreakdown,
     Message,
-    ReadRequest,
+    MessageBatch,
+    RequestBatch,
     SuperstepRecord,
-    WriteRequest,
+    _column_take,
 )
 from repro.core.params import MachineParams
 
@@ -57,10 +83,15 @@ __all__ = [
     "ModelViolation",
     "ProgramError",
     "ReadHandle",
+    "BatchReadHandle",
+    "InboxView",
+    "DenseSharedMemory",
     "Proc",
     "Machine",
     "RunResult",
 ]
+
+_I64 = np.int64
 
 
 class ModelViolation(Exception):
@@ -108,27 +139,279 @@ class ReadHandle:
     def _resolve(self, value: Any) -> None:
         self._value = value
 
+    def _resolve_span(self, values: Sequence[Any], start: int, stop: int) -> None:
+        self._value = values[start]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = repr(self._value) if self.resolved else "<pending>"
         return f"ReadHandle(addr={self.addr!r}, value={state})"
 
 
+class BatchReadHandle:
+    """Deferred results of a ``ctx.read_many`` batch of QSM reads.
+
+    ``.values`` (a list aligned with the request addresses) becomes
+    available after the next barrier, exactly like a scalar
+    :class:`ReadHandle`.
+    """
+
+    __slots__ = ("_values", "addrs")
+
+    def __init__(self, addrs: Any) -> None:
+        self.addrs = addrs
+        self._values = _UNRESOLVED
+
+    @property
+    def values(self) -> List[Any]:
+        if self._values is _UNRESOLVED:
+            raise ProgramError(
+                "batch read not yet resolved: QSM read values are available "
+                "only after the next phase barrier (yield)"
+            )
+        return self._values
+
+    @property
+    def resolved(self) -> bool:
+        return self._values is not _UNRESOLVED
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    def __getitem__(self, i: int) -> Any:
+        return self.values[i]
+
+    def _resolve_span(self, values: Sequence[Any], start: int, stop: int) -> None:
+        vals = values[start:stop]
+        self._values = vals.tolist() if isinstance(vals, np.ndarray) else list(vals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{len(self.addrs)} values" if self.resolved else "<pending>"
+        return f"BatchReadHandle({state})"
+
+
+class InboxView:
+    """List-like view of the messages delivered to one processor.
+
+    Iterating (or indexing) materializes :class:`Message` objects lazily —
+    the debuggability contract for existing programs.  The columnar
+    accessors ``payloads`` / ``srcs`` / ``sizes`` / ``slots`` skip object
+    materialization entirely and are the fast path for batch-style
+    programs.
+    """
+
+    __slots__ = ("_batch", "_idx", "_objects")
+
+    def __init__(self, batch: MessageBatch, idx: np.ndarray) -> None:
+        self._batch = batch
+        self._idx = idx
+        self._objects: Optional[List[Message]] = None
+
+    # -- list compatibility ----------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._idx.size)
+
+    def __bool__(self) -> bool:
+        return self._idx.size > 0
+
+    def _materialize(self) -> List[Message]:
+        if self._objects is None:
+            b, pl = self._batch, self._batch.payload
+            self._objects = [
+                Message(
+                    src=int(b.src[i]),
+                    dest=int(b.dest[i]),
+                    payload=None if pl is None else pl[i],
+                    size=int(b.size[i]),
+                    slot=int(b.slot[i]),
+                    consecutive=bool(b.consecutive[i]),
+                )
+                for i in self._idx.tolist()
+            ]
+        return self._objects
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._materialize())
+
+    def __getitem__(self, i):
+        return self._materialize()[i]
+
+    # -- columnar fast path ----------------------------------------------------
+    @property
+    def payloads(self):
+        """Payload column of the delivered messages (list, or array slice
+        when the payloads were sent as an array)."""
+        return _column_take(self._batch.payload, self._idx, int(self._idx.size))
+
+    @property
+    def srcs(self) -> np.ndarray:
+        return self._batch.src[self._idx]
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return self._batch.size[self._idx]
+
+    @property
+    def slots(self) -> np.ndarray:
+        return self._batch.slot[self._idx]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InboxView({len(self)} messages)"
+
+
+_EMPTY_INBOX = InboxView(MessageBatch.empty(), np.zeros(0, dtype=_I64))
+
+
+class DenseSharedMemory(MutableMapping):
+    """``np.ndarray``-backed shared memory for integer address spaces.
+
+    Install with ``machine.use_dense_memory(size)``.  Integer addresses in
+    ``[0, size)`` live in an object-dtype array, so a phase whose requests
+    are integer-addressed (``ctx.read_many`` / ``ctx.write_many`` with an
+    integer array) resolves with one fancy-indexing operation instead of a
+    per-request dict lookup.  Anything else (tuple addresses, out-of-range
+    ints) transparently falls back to an overflow dict, and the scalar
+    mapping API behaves like the plain dict it replaces — with the one
+    documented difference that in-range cells default to ``None`` rather
+    than raising ``KeyError`` (matching ``dict.get``, which is how the
+    engine reads memory).
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"dense memory size must be >= 1, got {size}")
+        self.size = size
+        self._cells = np.full(size, None, dtype=object)
+        self._overflow: Dict[Any, Any] = {}
+
+    # -- scalar mapping API ----------------------------------------------------
+    def _in_range(self, key: Any) -> bool:
+        return isinstance(key, (int, np.integer)) and 0 <= key < self.size
+
+    def __getitem__(self, key: Any) -> Any:
+        if self._in_range(key):
+            return self._cells[key]
+        return self._overflow[key]
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        if self._in_range(key):
+            self._cells[key] = value
+        else:
+            self._overflow[key] = value
+
+    def __delitem__(self, key: Any) -> None:
+        if self._in_range(key):
+            self._cells[key] = None
+        else:
+            del self._overflow[key]
+
+    def __iter__(self):
+        for i in range(self.size):
+            if self._cells[i] is not None:
+                yield i
+        yield from self._overflow
+
+    def __len__(self) -> int:
+        return int(np.sum(self._cells != None)) + len(self._overflow)  # noqa: E711
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        if self._in_range(key):
+            v = self._cells[key]
+            return default if v is None else v
+        return self._overflow.get(key, default)
+
+    def clear(self) -> None:
+        self._cells[:] = None
+        self._overflow.clear()
+
+    # -- batch fast path -------------------------------------------------------
+    def take(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorized ``get`` over an integer address array."""
+        if addrs.size and (addrs.min() < 0 or addrs.max() >= self.size):
+            out = np.empty(addrs.size, dtype=object)
+            for i, a in enumerate(addrs.tolist()):
+                out[i] = self.get(a)
+            return out
+        return self._cells[addrs]
+
+    def put(self, addrs: np.ndarray, values: Any) -> None:
+        """Vectorized ``__setitem__``; duplicate addresses resolve to the
+        last value in request order (the engine's Arbitrary rule)."""
+        if addrs.size and (addrs.min() < 0 or addrs.max() >= self.size):
+            for a, v in zip(addrs.tolist(), values):
+                self[a] = v
+            return
+        vals = np.empty(addrs.size, dtype=object)
+        vals[:] = list(values) if not isinstance(values, np.ndarray) else values.tolist()
+        self._cells[addrs] = vals
+
+
+def _as_index_array(values: Any, name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=_I64)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    if arr.ndim != 1:
+        raise ProgramError(f"{name} must be one-dimensional")
+    return arr
+
+
 class Proc:
-    """Per-processor execution context handed to SPMD programs."""
+    """Per-processor execution context handed to SPMD programs.
+
+    Operations accumulate into per-processor *chunks* — scalar calls append
+    to plain Python lists, batch calls append whole arrays — and the engine
+    concatenates everything into the superstep's columnar record at the
+    barrier, preserving issue order exactly.
+    """
 
     def __init__(self, pid: int, nprocs: int, machine: "Machine") -> None:
         self.pid = pid
         self.nprocs = nprocs
         self._machine = machine
-        self.inbox: List[Message] = []
-        self._reset_superstep()
+        self.inbox: InboxView = _EMPTY_INBOX
+        self._work = 0.0
+        # scalar accumulation lists (dest, size, slot, consecutive, payload)
+        self._sc_dest: List[int] = []
+        self._sc_size: List[int] = []
+        self._sc_slot: List[int] = []
+        self._sc_consec: List[bool] = []
+        self._sc_payload: List[Any] = []
+        self._send_chunks: List[MessageBatch] = []
+        # scalar read lists (addr, slot, handle) and write lists
+        self._sc_raddr: List[Any] = []
+        self._sc_rslot: List[int] = []
+        self._sc_rhandle: List[ReadHandle] = []
+        self._read_chunks: List[RequestBatch] = []
+        self._sc_waddr: List[Any] = []
+        self._sc_wslot: List[int] = []
+        self._sc_wvalue: List[Any] = []
+        self._write_chunks: List[RequestBatch] = []
+        self._next_slot = 0
+        self._stagger_k = 0
 
     # -- engine bookkeeping ---------------------------------------------------
     def _reset_superstep(self) -> None:
+        # The record assembly in run() copies everything out, so in-place
+        # clear() is safe and avoids reallocating 15 lists per processor
+        # per superstep; each accumulator group is only cleared when it was
+        # used (measurable on phase-heavy QSM workloads).
         self._work = 0.0
-        self._sends: List[Message] = []
-        self._reads: List[ReadRequest] = []
-        self._writes: List[WriteRequest] = []
+        if self._sc_dest or self._send_chunks:
+            self._sc_dest.clear()
+            self._sc_size.clear()
+            self._sc_slot.clear()
+            self._sc_consec.clear()
+            self._sc_payload.clear()
+            self._send_chunks.clear()
+        if self._sc_raddr or self._read_chunks:
+            self._sc_raddr.clear()
+            self._sc_rslot.clear()
+            self._sc_rhandle.clear()
+            self._read_chunks.clear()
+        if self._sc_waddr or self._write_chunks:
+            self._sc_waddr.clear()
+            self._sc_wslot.clear()
+            self._sc_wvalue.clear()
+            self._write_chunks.clear()
         self._next_slot = 0
         self._stagger_k = 0
 
@@ -165,6 +448,69 @@ class Proc:
         groups = -(-self.nprocs // m)  # ceil(p/m)
         return k * groups + self.pid // m
 
+    def stagger_slots(self, count: int) -> Optional[np.ndarray]:
+        """Vectorized :meth:`stagger_slot`: slots for this processor's next
+        ``count`` staggered requests (or ``None`` on machines without an
+        aggregate bandwidth parameter)."""
+        k0 = self._stagger_k
+        self._stagger_k += count
+        m = self._machine.params.m
+        if m is None:
+            return None
+        groups = -(-self.nprocs // m)
+        return (k0 + np.arange(count, dtype=_I64)) * groups + self.pid // m
+
+    # -- freezing into columnar batches ---------------------------------------
+    def _flush_scalar_sends(self) -> None:
+        if not self._sc_dest:
+            return
+        n = len(self._sc_dest)
+        payload: Any = self._sc_payload
+        if all(p is None for p in payload):
+            payload = None
+        self._send_chunks.append(
+            MessageBatch(
+                np.full(n, self.pid, dtype=_I64),
+                np.asarray(self._sc_dest, dtype=_I64),
+                np.asarray(self._sc_size, dtype=_I64),
+                np.asarray(self._sc_slot, dtype=_I64),
+                np.asarray(self._sc_consec, dtype=bool),
+                payload,
+            )
+        )
+        self._sc_dest, self._sc_size, self._sc_slot = [], [], []
+        self._sc_consec, self._sc_payload = [], []
+
+    def _flush_scalar_reads(self) -> None:
+        if not self._sc_raddr:
+            return
+        n = len(self._sc_raddr)
+        self._read_chunks.append(
+            RequestBatch(
+                np.full(n, self.pid, dtype=_I64),
+                _int_addr_column(self._sc_raddr),
+                np.asarray(self._sc_rslot, dtype=_I64),
+                None,
+                [(h, i, i + 1) for i, h in enumerate(self._sc_rhandle)],
+            )
+        )
+        self._sc_raddr, self._sc_rslot, self._sc_rhandle = [], [], []
+
+    def _flush_scalar_writes(self) -> None:
+        if not self._sc_waddr:
+            return
+        n = len(self._sc_waddr)
+        self._write_chunks.append(
+            RequestBatch(
+                np.full(n, self.pid, dtype=_I64),
+                _int_addr_column(self._sc_waddr),
+                np.asarray(self._sc_wslot, dtype=_I64),
+                self._sc_wvalue,
+                [],
+            )
+        )
+        self._sc_waddr, self._sc_wslot, self._sc_wvalue = [], [], []
+
     # -- program API ------------------------------------------------------------
     def work(self, amount: float = 1.0) -> None:
         """Charge ``amount`` units of local computation this superstep."""
@@ -196,77 +542,225 @@ class Proc:
             raise ProgramError(
                 f"destination {dest} out of range for {self.nprocs} processors"
             )
+        if size < 1:
+            raise ValueError(f"message size must be >= 1, got {size}")
         if slot is None:
-            slot = self._auto_slot(size)
+            slot = self._next_slot
+            self._next_slot += size
         else:
+            if slot < 0:
+                raise ValueError(f"slot must be >= 0, got {slot}")
             self._bump_slot(slot, size)
-        self._sends.append(
-            Message(
-                src=self.pid,
-                dest=dest,
-                payload=payload,
-                size=size,
-                slot=slot,
-                consecutive=consecutive,
+        self._sc_dest.append(dest)
+        self._sc_size.append(size)
+        self._sc_slot.append(slot)
+        self._sc_consec.append(consecutive)
+        self._sc_payload.append(payload)
+
+    def send_many(
+        self,
+        dests: Any,
+        payloads: Any = None,
+        *,
+        sizes: Any = None,
+        slots: Any = None,
+        consecutive: bool = True,
+    ) -> None:
+        """Batch form of :meth:`send`: register a whole array of messages.
+
+        ``dests`` is an integer array-like; ``sizes`` defaults to all-unit,
+        ``slots`` to the processor's next free slots (exactly what a loop of
+        scalar ``send`` calls would have assigned), and ``payloads`` to all
+        ``None``.  Passing a NumPy array as ``payloads`` keeps the column
+        array-backed end to end — receivers can read it back via
+        ``ctx.receive().payloads`` without materializing any objects.
+        """
+        if self._machine.uses_shared_memory:
+            raise ProgramError(
+                f"{type(self._machine).__name__} is a shared-memory machine; "
+                "use read()/write(), not send()"
+            )
+        dest = _as_index_array(dests, "dests")
+        n = dest.size
+        if n == 0:
+            return
+        if dest.min() < 0 or dest.max() >= self.nprocs:
+            bad = dest[(dest < 0) | (dest >= self.nprocs)][0]
+            raise ProgramError(
+                f"destination {bad} out of range for {self.nprocs} processors"
+            )
+        if sizes is None:
+            size = np.ones(n, dtype=_I64)
+            unit = True
+        else:
+            size = _as_index_array(sizes, "sizes")
+            if size.size != n:
+                raise ProgramError(f"sizes has {size.size} entries for {n} messages")
+            if size.min() < 1:
+                raise ValueError(f"message size must be >= 1, got {int(size.min())}")
+            unit = bool(size.max() == 1)
+        if slots is None:
+            if unit:
+                slot = self._next_slot + np.arange(n, dtype=_I64)
+                self._next_slot += n
+            else:
+                cs = np.cumsum(size)
+                slot = self._next_slot + cs - size
+                self._next_slot += int(cs[-1])
+        else:
+            slot = _as_index_array(slots, "slots")
+            if slot.size != n:
+                raise ProgramError(f"slots has {slot.size} entries for {n} messages")
+            if slot.min() < 0:
+                raise ValueError(f"slot must be >= 0, got {int(slot.min())}")
+            self._next_slot = max(self._next_slot, int((slot + size).max()))
+        if payloads is not None and len(payloads) != n:
+            raise ProgramError(f"payloads has {len(payloads)} entries for {n} messages")
+        self._flush_scalar_sends()
+        self._send_chunks.append(
+            MessageBatch(
+                np.full(n, self.pid, dtype=_I64),
+                dest,
+                size,
+                slot,
+                np.full(n, bool(consecutive), dtype=bool),
+                payloads,
             )
         )
 
-    def read(self, addr: Any, *, slot: Optional[int] = None) -> ReadHandle:
-        """Issue a QSM shared-memory read; value available after the barrier."""
+    def _require_shared_memory(self) -> None:
         if not self._machine.uses_shared_memory:
             raise ProgramError(
                 f"{type(self._machine).__name__} is a message-passing machine; "
                 "use send()/inbox, not read()/write()"
             )
+
+    def read(self, addr: Any, *, slot: Optional[int] = None) -> ReadHandle:
+        """Issue a QSM shared-memory read; value available after the barrier."""
+        self._require_shared_memory()
         if slot is None:
-            slot = self._auto_slot(1)
-        else:
-            self._bump_slot(slot, 1)
+            slot = self._next_slot
+            self._next_slot = slot + 1
+        elif slot >= self._next_slot:
+            self._next_slot = slot + 1
         handle = ReadHandle(addr)
-        self._reads.append(ReadRequest(pid=self.pid, addr=addr, slot=slot, handle=handle))
+        self._sc_raddr.append(addr)
+        self._sc_rslot.append(slot)
+        self._sc_rhandle.append(handle)
         return handle
 
     def write(self, addr: Any, value: Any, *, slot: Optional[int] = None) -> None:
         """Issue a QSM shared-memory write, visible from the next phase."""
-        if not self._machine.uses_shared_memory:
-            raise ProgramError(
-                f"{type(self._machine).__name__} is a message-passing machine; "
-                "use send()/inbox, not read()/write()"
-            )
+        self._require_shared_memory()
         if slot is None:
-            slot = self._auto_slot(1)
-        else:
-            self._bump_slot(slot, 1)
-        self._writes.append(WriteRequest(pid=self.pid, addr=addr, value=value, slot=slot))
+            slot = self._next_slot
+            self._next_slot = slot + 1
+        elif slot >= self._next_slot:
+            self._next_slot = slot + 1
+        self._sc_waddr.append(addr)
+        self._sc_wslot.append(slot)
+        self._sc_wvalue.append(value)
 
-    def receive(self) -> List[Message]:
-        """Return and clear the messages delivered at the last barrier."""
-        msgs, self.inbox = self.inbox, []
+    def _request_slots_for(self, n: int, slots: Any) -> np.ndarray:
+        if slots is None:
+            slot = self._next_slot + np.arange(n, dtype=_I64)
+            self._next_slot += n
+            return slot
+        slot = _as_index_array(slots, "slots")
+        if slot.size != n:
+            raise ProgramError(f"slots has {slot.size} entries for {n} requests")
+        if slot.min() < 0:
+            raise ValueError(f"slot must be >= 0, got {int(slot.min())}")
+        self._next_slot = max(self._next_slot, int(slot.max()) + 1)
+        return slot
+
+    @staticmethod
+    def _addr_column(addrs: Any) -> Any:
+        """Keep integer address batches as int64 arrays (dense-memory fast
+        path); anything else becomes a plain list."""
+        if isinstance(addrs, np.ndarray) and addrs.dtype.kind in "iu":
+            return addrs.astype(_I64, copy=False)
+        addr_list = list(addrs)
+        if addr_list and all(isinstance(a, (int, np.integer)) for a in addr_list):
+            return np.asarray(addr_list, dtype=_I64)
+        return addr_list
+
+    def read_many(self, addrs: Any, *, slots: Any = None) -> BatchReadHandle:
+        """Batch form of :meth:`read`: one call, one handle for all values.
+
+        Returns a :class:`BatchReadHandle`; ``handle.values[i]`` is the
+        value at ``addrs[i]``, available after the next barrier.
+        """
+        self._require_shared_memory()
+        addr = self._addr_column(addrs)
+        n = len(addr)
+        handle = BatchReadHandle(addr)
+        if n == 0:
+            handle._values = []
+            return handle
+        slot = self._request_slots_for(n, slots)
+        self._flush_scalar_reads()
+        self._read_chunks.append(
+            RequestBatch(
+                np.full(n, self.pid, dtype=_I64), addr, slot, None, [(handle, 0, n)]
+            )
+        )
+        return handle
+
+    def write_many(self, addrs: Any, values: Any, *, slots: Any = None) -> None:
+        """Batch form of :meth:`write`: register a whole array of writes."""
+        self._require_shared_memory()
+        addr = self._addr_column(addrs)
+        n = len(addr)
+        if n == 0:
+            return
+        if len(values) != n:
+            raise ProgramError(f"values has {len(values)} entries for {n} writes")
+        slot = self._request_slots_for(n, slots)
+        value = values if isinstance(values, (list, np.ndarray)) else list(values)
+        self._flush_scalar_writes()
+        self._write_chunks.append(
+            RequestBatch(np.full(n, self.pid, dtype=_I64), addr, slot, value, [])
+        )
+
+    def receive(self) -> InboxView:
+        """Return and clear the messages delivered at the last barrier.
+
+        The result is list-like (iterate for :class:`Message` objects) and
+        also exposes columnar accessors — ``.payloads``, ``.srcs``,
+        ``.sizes`` — that skip object materialization.
+        """
+        msgs, self.inbox = self.inbox, _EMPTY_INBOX
         return msgs
 
 
 @dataclass
 class RunResult:
-    """Outcome of running one SPMD program on a machine."""
+    """Outcome of running one SPMD program on a machine.
+
+    The aggregate properties (``time``, ``total_messages``, ``total_flits``)
+    are memoized on first access — ``records`` is immutable once ``run()``
+    returns, so the full scans happen at most once per result.
+    """
 
     params: MachineParams
     records: List[SuperstepRecord]
     results: List[Any]
 
-    @property
+    @cached_property
     def time(self) -> float:
-        """Total model time: sum of superstep costs."""
+        """Total model time: sum of superstep costs (memoized)."""
         return sum(r.cost for r in self.records)
 
     @property
     def supersteps(self) -> int:
         return len(self.records)
 
-    @property
+    @cached_property
     def total_messages(self) -> int:
         return sum(r.n_messages for r in self.records)
 
-    @property
+    @cached_property
     def total_flits(self) -> int:
         return sum(r.total_flits for r in self.records)
 
@@ -287,6 +781,158 @@ class RunResult:
         return out
 
 
+def _int_addr_column(addrs: list) -> Any:
+    """Int64 array when every address is an integer, else the list itself."""
+    if addrs and all(isinstance(a, (int, np.integer)) for a in addrs):
+        return np.asarray(addrs, dtype=_I64)
+    return addrs
+
+
+def _gather_msg_batch(procs: List[Proc]) -> MessageBatch:
+    """Freeze all processors' sends into one columnar batch, in pid order.
+
+    Scalar sends from consecutive processors are merged into shared Python
+    lists and converted with a single ``np.asarray`` per column — building
+    per-processor arrays would dominate phase-heavy workloads where each
+    processor sends only a handful of messages.
+    """
+    chunks: List[MessageBatch] = []
+    src: List[int] = []
+    dest: List[int] = []
+    size: List[int] = []
+    slot: List[int] = []
+    consec: List[bool] = []
+    payload: List[Any] = []
+
+    def flush() -> None:
+        nonlocal src, dest, size, slot, consec, payload
+        if dest:
+            pl: Column = None if all(x is None for x in payload) else payload
+            chunks.append(
+                MessageBatch(
+                    np.asarray(src, dtype=_I64),
+                    np.asarray(dest, dtype=_I64),
+                    np.asarray(size, dtype=_I64),
+                    np.asarray(slot, dtype=_I64),
+                    np.asarray(consec, dtype=bool),
+                    pl,
+                )
+            )
+            src, dest, size, slot, consec, payload = [], [], [], [], [], []
+
+    for proc in procs:
+        if proc._send_chunks:
+            flush()
+            chunks.extend(proc._send_chunks)
+        k = len(proc._sc_dest)
+        if k:
+            src.extend([proc.pid] * k)
+            dest.extend(proc._sc_dest)
+            size.extend(proc._sc_size)
+            slot.extend(proc._sc_slot)
+            consec.extend(proc._sc_consec)
+            payload.extend(proc._sc_payload)
+    flush()
+    return MessageBatch.concat(chunks)
+
+
+def _gather_read_batch(procs: List[Proc]) -> RequestBatch:
+    """Freeze all processors' reads into one columnar batch (pid order)."""
+    chunks: List[RequestBatch] = []
+    pid_l: List[int] = []
+    addr_l: List[Any] = []
+    slot_l: List[int] = []
+    handle_l: List[ReadHandle] = []
+
+    def flush() -> None:
+        nonlocal pid_l, addr_l, slot_l, handle_l
+        if addr_l:
+            chunks.append(
+                RequestBatch(
+                    np.asarray(pid_l, dtype=_I64),
+                    _int_addr_column(addr_l),
+                    np.asarray(slot_l, dtype=_I64),
+                    None,
+                    [(h, i, i + 1) for i, h in enumerate(handle_l)],
+                )
+            )
+            pid_l, addr_l, slot_l, handle_l = [], [], [], []
+
+    for proc in procs:
+        if proc._read_chunks:
+            flush()
+            chunks.extend(proc._read_chunks)
+        k = len(proc._sc_raddr)
+        if k:
+            pid_l.extend([proc.pid] * k)
+            addr_l.extend(proc._sc_raddr)
+            slot_l.extend(proc._sc_rslot)
+            handle_l.extend(proc._sc_rhandle)
+    flush()
+    return RequestBatch.concat(chunks)
+
+
+def _gather_write_batch(procs: List[Proc]) -> RequestBatch:
+    """Freeze all processors' writes into one columnar batch (pid order)."""
+    chunks: List[RequestBatch] = []
+    pid_l: List[int] = []
+    addr_l: List[Any] = []
+    slot_l: List[int] = []
+    value_l: List[Any] = []
+
+    def flush() -> None:
+        nonlocal pid_l, addr_l, slot_l, value_l
+        if addr_l:
+            chunks.append(
+                RequestBatch(
+                    np.asarray(pid_l, dtype=_I64),
+                    _int_addr_column(addr_l),
+                    np.asarray(slot_l, dtype=_I64),
+                    value_l,
+                    [],
+                )
+            )
+            pid_l, addr_l, slot_l, value_l = [], [], [], []
+
+    for proc in procs:
+        if proc._write_chunks:
+            flush()
+            chunks.extend(proc._write_chunks)
+        k = len(proc._sc_waddr)
+        if k:
+            pid_l.extend([proc.pid] * k)
+            addr_l.extend(proc._sc_waddr)
+            slot_l.extend(proc._sc_wslot)
+            value_l.extend(proc._sc_wvalue)
+    flush()
+    return RequestBatch.concat(chunks)
+
+
+def _addr_group_stats(addr_col: Any) -> Tuple[int, Any]:
+    """``(max multiplicity, distinct keys)`` of an address column.
+
+    Integer-array columns use ``np.unique``; object columns use ``Counter``
+    (a C-speed group-by) — both replace the historical per-request Python
+    dict loop.
+    """
+    if isinstance(addr_col, np.ndarray):
+        uniq, counts = np.unique(addr_col, return_counts=True)
+        return int(counts.max()) if counts.size else 0, uniq
+    c = Counter(addr_col)
+    return (max(c.values()) if c else 0), c.keys()
+
+
+def _common_key(keys_a: Any, keys_b: Any) -> Optional[Any]:
+    """Any address present in both key collections, or ``None``."""
+    if isinstance(keys_a, np.ndarray) and isinstance(keys_b, np.ndarray):
+        both = np.intersect1d(keys_a, keys_b)
+        return int(both[0]) if both.size else None
+    set_a = set(keys_a.tolist()) if isinstance(keys_a, np.ndarray) else set(keys_a)
+    set_b = set(keys_b.tolist()) if isinstance(keys_b, np.ndarray) else set(keys_b)
+    both = set_a & set_b
+    return next(iter(both)) if both else None
+
+
 class Machine:
     """Abstract bulk-synchronous machine.
 
@@ -302,7 +948,14 @@ class Machine:
 
     def __init__(self, params: MachineParams) -> None:
         self.params = params
-        self.shared_memory: Dict[Any, Any] = {}
+        self.shared_memory: MutableMapping[Any, Any] = {}
+
+    def use_dense_memory(self, size: int) -> DenseSharedMemory:
+        """Back the shared memory with a dense object array over the integer
+        address space ``[0, size)`` — integer-addressed batch reads/writes
+        then resolve via fancy indexing.  Returns the installed memory."""
+        self.shared_memory = DenseSharedMemory(size)
+        return self.shared_memory
 
     # ------------------------------------------------------------------
     # Hooks for concrete machines
@@ -312,7 +965,7 @@ class Machine:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
-    # Shared pricing helpers
+    # Shared pricing helpers (all vectorized over the record's columns)
     # ------------------------------------------------------------------
     def _flit_slots(self, record: SuperstepRecord) -> np.ndarray:
         """Expand every message into per-flit injection slots.
@@ -321,72 +974,76 @@ class Machine:
         two flits in the same slot ("each processor may initiate at most one
         message send" per step).
 
-        Profile-guided shape (see docs/performance.md): unit-size messages
-        — the overwhelmingly common case — take a list-append fast path
-        instead of one ``np.arange`` per message.
+        Vectorized (see docs/performance.md): unit-size messages — the
+        overwhelmingly common case — reuse the record's slot column with no
+        copy; multi-flit messages expand via ``repeat``/``cumsum``; the
+        slot-exclusivity check is duplicate detection on the ``(src, slot)``
+        pairs.
         """
-        if not record.messages:
-            return np.zeros(0, dtype=np.int64)
-        slots: List[int] = []
-        check = self.slot_limited
-        per_proc: Dict[int, set] = {}
-        for msg in record.messages:
-            start = msg.slot if msg.slot is not None else 0
-            if msg.size == 1:
-                flit_iter = (start,)
-            elif msg.consecutive:
-                flit_iter = range(start, start + msg.size)
-            else:
-                flit_iter = (start,) * msg.size
-            slots.extend(flit_iter)
-            if check:
-                seen = per_proc.setdefault(msg.src, set())
-                for s in flit_iter:
-                    if s in seen:
-                        raise ModelViolation(
-                            f"processor {msg.src} injects two flits at slot {s} "
-                            f"in superstep {record.index}"
-                        )
-                    seen.add(s)
-        return np.asarray(slots, dtype=np.int64)
+        batch = record.msg_batch
+        if not batch.n:
+            return np.zeros(0, dtype=_I64)
+        flit_src, flit_slot = batch.flit_expansion()
+        if self.slot_limited:
+            self._check_slot_exclusive(
+                flit_src, flit_slot, "injects two flits", f"superstep {record.index}"
+            )
+        return flit_slot
+
+    @staticmethod
+    def _check_slot_exclusive(
+        pids: np.ndarray, slots: np.ndarray, verb: str, where: str
+    ) -> None:
+        """Raise :class:`ModelViolation` if any ``(pid, slot)`` pair repeats."""
+        if slots.size < 2:
+            return
+        key = pids * (int(slots.max()) + 1) + slots
+        order = np.sort(key)
+        dup = np.nonzero(order[1:] == order[:-1])[0]
+        if dup.size:
+            k = int(order[dup[0]])
+            span = int(slots.max()) + 1
+            raise ModelViolation(f"processor {k // span} {verb} at slot {k % span} in {where}")
 
     def _request_slots(self, record: SuperstepRecord) -> np.ndarray:
         """Injection slots of all shared-memory requests (QSM machines)."""
-        slots = [r.slot or 0 for r in record.reads] + [w.slot or 0 for w in record.writes]
+        rb, wb = record.read_batch, record.write_batch
+        if rb.n and wb.n:
+            slots = np.concatenate([rb.slot, wb.slot])
+            pids = np.concatenate([rb.pid, wb.pid])
+        elif rb.n:
+            slots, pids = rb.slot, rb.pid
+        elif wb.n:
+            slots, pids = wb.slot, wb.pid
+        else:
+            return np.zeros(0, dtype=_I64)
         if self.slot_limited:
-            per_proc: Dict[int, set] = {}
-            reqs: Iterable = list(record.reads) + list(record.writes)
-            for req in reqs:
-                seen = per_proc.setdefault(req.pid, set())
-                s = req.slot or 0
-                if s in seen:
-                    raise ModelViolation(
-                        f"processor {req.pid} issues two shared-memory requests "
-                        f"at slot {s} in phase {record.index}"
-                    )
-                seen.add(s)
-        return np.asarray(slots, dtype=np.int64)
+            self._check_slot_exclusive(
+                pids,
+                slots,
+                "issues two shared-memory requests",
+                f"phase {record.index}",
+            )
+        return slots
 
     @staticmethod
     def _max_per_proc_sends_recvs(record: SuperstepRecord, p: int) -> Tuple[int, int]:
         """(max flits sent by one proc, max flits received by one proc)."""
-        s = record.sends_by_proc(p)
-        r = record.recvs_by_proc(p)
-        return (max(s) if s else 0, max(r) if r else 0)
+        batch = record.msg_batch
+        if not batch.n:
+            return 0, 0
+        s = np.bincount(batch.src, weights=batch.size)
+        r = np.bincount(batch.dest, weights=batch.size)
+        return int(s.max()), int(r.max())
 
     def _qsm_h(self, record: SuperstepRecord) -> int:
         """QSM ``h = max(1, max_i(r_i, w_i))``."""
-        r_counts: Dict[int, int] = {}
-        w_counts: Dict[int, int] = {}
-        for req in record.reads:
-            r_counts[req.pid] = r_counts.get(req.pid, 0) + 1
-        for req in record.writes:
-            w_counts[req.pid] = w_counts.get(req.pid, 0) + 1
         most = 0
-        if r_counts:
-            most = max(most, max(r_counts.values()))
-        if w_counts:
-            most = max(most, max(w_counts.values()))
+        rb, wb = record.read_batch, record.write_batch
+        if rb.n:
+            most = int(np.bincount(rb.pid).max())
+        if wb.n:
+            most = max(most, int(np.bincount(wb.pid).max()))
         return max(1, most)
 
     def _qsm_contention(self, record: SuperstepRecord) -> int:
@@ -394,25 +1051,21 @@ class Machine:
         (#readers of x, #writers of x).  Also enforces the QSM rule that a
         location may see concurrent reads or concurrent writes in a phase,
         but not both."""
-        readers: Dict[Any, int] = {}
-        writers: Dict[Any, int] = {}
-        for req in record.reads:
-            readers[req.addr] = readers.get(req.addr, 0) + 1
-        for req in record.writes:
-            writers[req.addr] = writers.get(req.addr, 0) + 1
-        both = set(readers) & set(writers)
-        if both:
-            addr = next(iter(both))
-            raise ModelViolation(
-                f"location {addr!r} is both read and written in phase "
-                f"{record.index} (QSM forbids mixed concurrent access)"
-            )
-        kappa = 0
-        if readers:
-            kappa = max(kappa, max(readers.values()))
-        if writers:
-            kappa = max(kappa, max(writers.values()))
-        return kappa
+        rb, wb = record.read_batch, record.write_batch
+        r_max = w_max = 0
+        r_keys = w_keys = None
+        if rb.n:
+            r_max, r_keys = _addr_group_stats(rb.addr)
+        if wb.n:
+            w_max, w_keys = _addr_group_stats(wb.addr)
+        if r_keys is not None and w_keys is not None:
+            addr = _common_key(r_keys, w_keys)
+            if addr is not None:
+                raise ModelViolation(
+                    f"location {addr!r} is both read and written in phase "
+                    f"{record.index} (QSM forbids mixed concurrent access)"
+                )
+        return max(r_max, w_max)
 
     # ------------------------------------------------------------------
     # Execution
@@ -461,7 +1114,6 @@ class Machine:
         procs = [Proc(pid, p, self) for pid in range(p)]
         gens: List[Optional[Generator]] = []
         results: List[Any] = [None] * p
-        immediate_done = [False] * p
         for pid, proc in enumerate(procs):
             extra = tuple(per_proc_args[pid]) if per_proc_args is not None else ()
             out = program(proc, *args, *extra)
@@ -470,7 +1122,6 @@ class Machine:
             else:
                 gens.append(None)
                 results[pid] = out
-                immediate_done[pid] = True
 
         records: List[SuperstepRecord] = []
         alive = [g is not None for g in gens]
@@ -492,18 +1143,12 @@ class Machine:
             record = SuperstepRecord(
                 index=index,
                 work=[proc._work for proc in procs],
-                messages=[msg for proc in procs for msg in proc._sends],
-                reads=[r for proc in procs for r in proc._reads],
-                writes=[w for proc in procs for w in proc._writes],
-            )
-            empty = (
-                not record.messages
-                and not record.reads
-                and not record.writes
-                and all(w == 0 for w in record.work)
+                msg_batch=_gather_msg_batch(procs),
+                read_batch=_gather_read_batch(procs),
+                write_batch=_gather_write_batch(procs),
             )
             still_running = any(alive)
-            if not empty or still_running or first:
+            if not record.is_empty or still_running or first:
                 cost, breakdown, stats = self._price(record)
                 record.cost = cost
                 record.breakdown = breakdown
@@ -525,17 +1170,46 @@ class Machine:
     def _deliver(self, record: SuperstepRecord, procs: List[Proc]) -> None:
         """Deliver messages, resolve reads against pre-phase memory, then
         apply writes (Arbitrary rule: the last write request in record order
-        wins — a legitimate instance of the model's arbitrary resolution)."""
+        wins — a legitimate instance of the model's arbitrary resolution).
+
+        All three steps are columnar: delivery argsorts the destination
+        column once and hands each processor an :class:`InboxView` slice;
+        reads resolve against the memory in one pass (one fancy-indexing
+        operation on :class:`DenseSharedMemory`); writes apply in record
+        order.
+        """
         for proc in procs:
-            proc.inbox = []
-        for msg in record.messages:
-            if msg.dest < len(procs):
-                procs[msg.dest].inbox.append(msg)
-        if record.reads:
-            for req in record.reads:
-                req.handle._resolve(self.shared_memory.get(req.addr))
-        for wreq in record.writes:
-            self.shared_memory[wreq.addr] = wreq.value
+            proc.inbox = _EMPTY_INBOX
+        batch = record.msg_batch
+        if batch.n:
+            order = np.argsort(batch.dest, kind="stable")
+            sorted_dest = batch.dest[order]
+            uniq, starts = np.unique(sorted_dest, return_index=True)
+            ends = np.append(starts[1:], sorted_dest.size)
+            nprocs = len(procs)
+            for d, s, e in zip(uniq.tolist(), starts.tolist(), ends.tolist()):
+                if d < nprocs:
+                    procs[d].inbox = InboxView(batch, order[s:e])
+        rb = record.read_batch
+        mem = self.shared_memory
+        if rb.n:
+            addrs = rb.addr
+            if isinstance(mem, DenseSharedMemory) and isinstance(addrs, np.ndarray):
+                values: Any = mem.take(addrs)
+            else:
+                get = mem.get
+                values = [get(a) for a in rb.addr_list()]
+            for handle, start, stop in rb.handles:
+                handle._resolve_span(values, start, stop)
+        wb = record.write_batch
+        if wb.n:
+            addrs = wb.addr
+            if isinstance(mem, DenseSharedMemory) and isinstance(addrs, np.ndarray):
+                mem.put(addrs, wb.value)
+            else:
+                vals = wb.value
+                for i, a in enumerate(wb.addr_list()):
+                    mem[a] = None if vals is None else vals[i]
 
     # ------------------------------------------------------------------
     def time(self, program: Callable[..., Any], **kwargs) -> float:

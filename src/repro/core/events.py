@@ -7,20 +7,76 @@ reads/writes, local work); at the barrier the engine freezes them into a
 delivers the communication.  Records are retained on the
 :class:`~repro.core.engine.RunResult` so benchmarks can decompose where time
 went (work vs. bandwidth vs. latency vs. contention).
+
+Columnar layout
+---------------
+Records are *natively columnar*: the engine freezes each superstep into
+structure-of-arrays batches (:class:`MessageBatch`, :class:`RequestBatch`)
+holding NumPy ``int64`` columns plus an object payload column, so pricing
+and delivery are single vector operations instead of per-object Python
+loops.  The classic object views — ``record.messages``, ``record.reads``,
+``record.writes`` yielding :class:`Message` / :class:`ReadRequest` /
+:class:`WriteRequest` — are lazy properties materialized on first access,
+so debugging code and existing benchmarks keep working unchanged (they just
+pay the materialization cost when, and only when, they ask for objects).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 __all__ = [
     "Message",
     "ReadRequest",
     "WriteRequest",
+    "MessageBatch",
+    "RequestBatch",
     "SuperstepRecord",
     "CostBreakdown",
 ]
+
+_I64 = np.int64
+
+#: Payload / value / address columns are either absent (all ``None``), a
+#: Python list (heterogeneous objects), or a NumPy array (homogeneous data).
+Column = Union[None, list, np.ndarray]
+
+
+def _column_get(col: Column, i: int) -> Any:
+    return None if col is None else col[i]
+
+
+def _column_take(col: Column, idx: np.ndarray, n: int) -> Union[list, np.ndarray]:
+    """Select ``idx`` entries of an object column (list result for object
+    columns, array slice for array columns)."""
+    if col is None:
+        return [None] * n
+    if isinstance(col, np.ndarray):
+        return col[idx]
+    return [col[i] for i in idx.tolist()]
+
+
+def _concat_columns(cols: Sequence[Column], counts: Sequence[int]) -> Column:
+    """Concatenate payload-style columns, preserving the cheapest faithful
+    representation (``None`` if everything is None, one array if all are
+    compatible arrays, otherwise a plain list)."""
+    if all(c is None for c in cols):
+        return None
+    arrays = [c for c in cols if isinstance(c, np.ndarray)]
+    if len(arrays) == len(cols):
+        return arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+    out: list = []
+    for c, n in zip(cols, counts):
+        if c is None:
+            out.extend([None] * n)
+        elif isinstance(c, np.ndarray):
+            out.extend(c.tolist())
+        else:
+            out.extend(c)
+    return out
 
 
 @dataclass
@@ -54,6 +110,8 @@ class ReadRequest:
     ``handle`` is filled in by the engine at the barrier; programs access it
     via :class:`~repro.core.engine.ReadHandle` in the *next* phase, matching
     the QSM rule that a read's value is usable only in a subsequent phase.
+    For batch reads (``ctx.read_many``) the handle is the shared
+    :class:`~repro.core.engine.BatchReadHandle` of the whole batch.
     """
 
     pid: int
@@ -70,6 +128,261 @@ class WriteRequest:
     addr: Any
     value: Any
     slot: Optional[int] = None
+
+
+class MessageBatch:
+    """Structure-of-arrays form of one superstep's messages.
+
+    Columns (all the same length ``n``):
+
+    * ``src`` / ``dest`` / ``size`` / ``slot`` — ``int64`` arrays;
+    * ``consecutive`` — bool array (wormhole flit expansion per message);
+    * ``payload`` — ``None`` (all payloads None), a list, or an array.
+    """
+
+    __slots__ = ("src", "dest", "size", "slot", "consecutive", "payload", "_total_flits")
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        dest: np.ndarray,
+        size: np.ndarray,
+        slot: np.ndarray,
+        consecutive: np.ndarray,
+        payload: Column = None,
+    ) -> None:
+        self.src = src
+        self.dest = dest
+        self.size = size
+        self.slot = slot
+        self.consecutive = consecutive
+        self.payload = payload
+        self._total_flits: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self.src.size)
+
+    @property
+    def total_flits(self) -> int:
+        if self._total_flits is None:
+            self._total_flits = int(self.size.sum()) if self.src.size else 0
+        return self._total_flits
+
+    @property
+    def unit_sized(self) -> bool:
+        """True when every message is a single flit (the common case)."""
+        return self.total_flits == self.n
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "MessageBatch":
+        z = np.zeros(0, dtype=_I64)
+        return cls(z, z, z, z, np.zeros(0, dtype=bool), None)
+
+    @classmethod
+    def concat(cls, batches: Sequence["MessageBatch"]) -> "MessageBatch":
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        counts = [b.n for b in batches]
+        return cls(
+            np.concatenate([b.src for b in batches]),
+            np.concatenate([b.dest for b in batches]),
+            np.concatenate([b.size for b in batches]),
+            np.concatenate([b.slot for b in batches]),
+            np.concatenate([b.consecutive for b in batches]),
+            _concat_columns([b.payload for b in batches], counts),
+        )
+
+    @classmethod
+    def from_objects(cls, messages: Sequence[Message]) -> "MessageBatch":
+        if not messages:
+            return cls.empty()
+        src = np.fromiter((m.src for m in messages), dtype=_I64, count=len(messages))
+        dest = np.fromiter((m.dest for m in messages), dtype=_I64, count=len(messages))
+        size = np.fromiter((m.size for m in messages), dtype=_I64, count=len(messages))
+        # Slotless messages price as slot 0 (the engine's historical rule).
+        slot = np.fromiter(
+            (m.slot if m.slot is not None else 0 for m in messages),
+            dtype=_I64,
+            count=len(messages),
+        )
+        consec = np.fromiter((m.consecutive for m in messages), dtype=bool, count=len(messages))
+        payload: Column = [m.payload for m in messages]
+        if all(p is None for p in payload):
+            payload = None
+        return cls(src, dest, size, slot, consec, payload)
+
+    def to_objects(self) -> List[Message]:
+        pl = self.payload
+        return [
+            Message(
+                src=int(self.src[i]),
+                dest=int(self.dest[i]),
+                payload=_column_get(pl, i),
+                size=int(self.size[i]),
+                slot=int(self.slot[i]),
+                consecutive=bool(self.consecutive[i]),
+            )
+            for i in range(self.n)
+        ]
+
+    # ------------------------------------------------------------------
+    def flit_expansion(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-flit ``(src, slot)`` arrays.
+
+        A ``consecutive`` message of size ``s`` starting at slot ``t``
+        occupies slots ``t .. t+s-1``; a non-consecutive one injects all
+        ``s`` flits at slot ``t``.  Unit-size batches return the message
+        columns directly (no copy).
+        """
+        if self.unit_sized:
+            return self.src, self.slot
+        reps = self.size
+        starts = np.repeat(self.slot, reps)
+        flit_src = np.repeat(self.src, reps)
+        offs = np.arange(self.total_flits, dtype=_I64) - np.repeat(
+            np.cumsum(reps) - reps, reps
+        )
+        consec = np.repeat(self.consecutive, reps)
+        return flit_src, starts + np.where(consec, offs, 0)
+
+    def sends_by_proc(self, p: int) -> np.ndarray:
+        """Flits sent per processor (length ``p``, ``int64``)."""
+        if not self.n:
+            return np.zeros(p, dtype=_I64)
+        return np.bincount(self.src, weights=self.size, minlength=p).astype(_I64)
+
+    def recvs_by_proc(self, p: int) -> np.ndarray:
+        """Flits received per processor (length ``p``, ``int64``)."""
+        if not self.n:
+            return np.zeros(p, dtype=_I64)
+        counts = np.bincount(self.dest, weights=self.size, minlength=p).astype(_I64)
+        return counts[:p]
+
+
+class RequestBatch:
+    """Structure-of-arrays form of one phase's shared-memory requests.
+
+    ``addr`` is an ``int64`` array when every address in the phase is an
+    integer (enabling the dense-memory fast path) and a plain list
+    otherwise.  For read batches, ``handles`` maps contiguous spans of the
+    batch back to the program-facing handle objects as
+    ``(handle, start, stop)`` triples; the engine resolves each span at the
+    barrier.  For write batches, ``value`` is the value column.
+    """
+
+    __slots__ = ("pid", "addr", "slot", "value", "handles")
+
+    def __init__(
+        self,
+        pid: np.ndarray,
+        addr: Union[list, np.ndarray],
+        slot: np.ndarray,
+        value: Column = None,
+        handles: Optional[List[Tuple[Any, int, int]]] = None,
+    ) -> None:
+        self.pid = pid
+        self.addr = addr
+        self.slot = slot
+        self.value = value
+        self.handles = handles if handles is not None else []
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self.pid.size)
+
+    @property
+    def int_addressed(self) -> bool:
+        """True when the address column is a dense integer array."""
+        return isinstance(self.addr, np.ndarray)
+
+    def addr_list(self) -> list:
+        return self.addr.tolist() if isinstance(self.addr, np.ndarray) else self.addr
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "RequestBatch":
+        z = np.zeros(0, dtype=_I64)
+        return cls(z, [], z, None, [])
+
+    @classmethod
+    def concat(cls, batches: Sequence["RequestBatch"]) -> "RequestBatch":
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        counts = [b.n for b in batches]
+        if all(isinstance(b.addr, np.ndarray) for b in batches):
+            addr: Union[list, np.ndarray] = np.concatenate([b.addr for b in batches])
+        else:
+            addr = []
+            for b in batches:
+                addr.extend(b.addr_list())
+        handles: List[Tuple[Any, int, int]] = []
+        offset = 0
+        for b in batches:
+            for h, s, e in b.handles:
+                handles.append((h, s + offset, e + offset))
+            offset += b.n
+        return cls(
+            np.concatenate([b.pid for b in batches]),
+            addr,
+            np.concatenate([b.slot for b in batches]),
+            _concat_columns([b.value for b in batches], counts),
+            handles,
+        )
+
+    @classmethod
+    def from_read_objects(cls, reqs: Sequence[ReadRequest]) -> "RequestBatch":
+        if not reqs:
+            return cls.empty()
+        pid = np.fromiter((r.pid for r in reqs), dtype=_I64, count=len(reqs))
+        slot = np.fromiter(
+            (r.slot if r.slot is not None else 0 for r in reqs), dtype=_I64, count=len(reqs)
+        )
+        addr = [r.addr for r in reqs]
+        handles = [(r.handle, i, i + 1) for i, r in enumerate(reqs) if r.handle is not None]
+        return cls(pid, addr, slot, None, handles)
+
+    @classmethod
+    def from_write_objects(cls, reqs: Sequence[WriteRequest]) -> "RequestBatch":
+        if not reqs:
+            return cls.empty()
+        pid = np.fromiter((r.pid for r in reqs), dtype=_I64, count=len(reqs))
+        slot = np.fromiter(
+            (r.slot if r.slot is not None else 0 for r in reqs), dtype=_I64, count=len(reqs)
+        )
+        addr = [r.addr for r in reqs]
+        return cls(pid, addr, slot, [r.value for r in reqs], [])
+
+    def to_read_objects(self) -> List[ReadRequest]:
+        addrs = self.addr_list()
+        out = [
+            ReadRequest(pid=int(self.pid[i]), addr=addrs[i], slot=int(self.slot[i]))
+            for i in range(self.n)
+        ]
+        for handle, start, stop in self.handles:
+            for i in range(start, stop):
+                out[i].handle = handle
+        return out
+
+    def to_write_objects(self) -> List[WriteRequest]:
+        addrs = self.addr_list()
+        val = self.value
+        return [
+            WriteRequest(
+                pid=int(self.pid[i]),
+                addr=addrs[i],
+                value=_column_get(val, i),
+                slot=int(self.slot[i]),
+            )
+            for i in range(self.n)
+        ]
 
 
 @dataclass
@@ -108,9 +421,14 @@ class CostBreakdown:
         return best_name
 
 
-@dataclass
 class SuperstepRecord:
     """Everything a superstep did, plus its price.
+
+    Natively columnar: the authoritative storage is the three batches
+    (``msg_batch``, ``read_batch``, ``write_batch``); the object views
+    ``messages`` / ``reads`` / ``writes`` are built lazily on first access
+    and cached.  Records may also be constructed from object lists (the
+    legacy form), in which case the batches are derived lazily instead.
 
     Attributes
     ----------
@@ -119,9 +437,9 @@ class SuperstepRecord:
     work:
         Per-processor local work amounts.
     messages:
-        All messages sent this superstep (BSP machines).
+        All messages sent this superstep (BSP machines) — lazy object view.
     reads / writes:
-        All shared-memory requests (QSM machines).
+        All shared-memory requests (QSM machines) — lazy object views.
     cost:
         The model time charged.
     breakdown:
@@ -131,34 +449,134 @@ class SuperstepRecord:
         ``c_m``, ``n``, max slot, overload count, ...).
     """
 
-    index: int
-    work: List[float]
-    messages: List[Message] = field(default_factory=list)
-    reads: List[ReadRequest] = field(default_factory=list)
-    writes: List[WriteRequest] = field(default_factory=list)
-    cost: float = 0.0
-    breakdown: CostBreakdown = field(default_factory=CostBreakdown)
-    stats: Dict[str, float] = field(default_factory=dict)
+    __slots__ = (
+        "index",
+        "work",
+        "cost",
+        "breakdown",
+        "stats",
+        "_msg_batch",
+        "_read_batch",
+        "_write_batch",
+        "_messages",
+        "_reads",
+        "_writes",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        work: List[float],
+        messages: Optional[List[Message]] = None,
+        reads: Optional[List[ReadRequest]] = None,
+        writes: Optional[List[WriteRequest]] = None,
+        *,
+        msg_batch: Optional[MessageBatch] = None,
+        read_batch: Optional[RequestBatch] = None,
+        write_batch: Optional[RequestBatch] = None,
+        cost: float = 0.0,
+        breakdown: Optional[CostBreakdown] = None,
+        stats: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.index = index
+        self.work = work
+        self.cost = cost
+        self.breakdown = breakdown if breakdown is not None else CostBreakdown()
+        self.stats = stats if stats is not None else {}
+        self._msg_batch = msg_batch
+        self._read_batch = read_batch
+        self._write_batch = write_batch
+        self._messages = messages
+        self._reads = reads
+        self._writes = writes
+        if messages is None and msg_batch is None:
+            self._messages = []
+        if reads is None and read_batch is None:
+            self._reads = []
+        if writes is None and write_batch is None:
+            self._writes = []
+
+    # -- columnar accessors ----------------------------------------------------
+    @property
+    def msg_batch(self) -> MessageBatch:
+        if self._msg_batch is None:
+            self._msg_batch = MessageBatch.from_objects(self._messages or [])
+        return self._msg_batch
+
+    @property
+    def read_batch(self) -> RequestBatch:
+        if self._read_batch is None:
+            self._read_batch = RequestBatch.from_read_objects(self._reads or [])
+        return self._read_batch
+
+    @property
+    def write_batch(self) -> RequestBatch:
+        if self._write_batch is None:
+            self._write_batch = RequestBatch.from_write_objects(self._writes or [])
+        return self._write_batch
+
+    # -- lazy object views -----------------------------------------------------
+    @property
+    def messages(self) -> List[Message]:
+        if self._messages is None:
+            self._messages = self._msg_batch.to_objects()
+        return self._messages
+
+    @property
+    def reads(self) -> List[ReadRequest]:
+        if self._reads is None:
+            self._reads = self._read_batch.to_read_objects()
+        return self._reads
+
+    @property
+    def writes(self) -> List[WriteRequest]:
+        if self._writes is None:
+            self._writes = self._write_batch.to_write_objects()
+        return self._writes
 
     # -- convenience accessors -------------------------------------------------
     @property
     def n_messages(self) -> int:
-        return len(self.messages)
+        if self._msg_batch is not None:
+            return self._msg_batch.n
+        return len(self._messages or [])
+
+    @property
+    def n_reads(self) -> int:
+        if self._read_batch is not None:
+            return self._read_batch.n
+        return len(self._reads or [])
+
+    @property
+    def n_writes(self) -> int:
+        if self._write_batch is not None:
+            return self._write_batch.n
+        return len(self._writes or [])
 
     @property
     def total_flits(self) -> int:
-        return sum(msg.size for msg in self.messages)
+        return self.msg_batch.total_flits
 
-    def sends_by_proc(self, p: int) -> List[int]:
-        """Number of flits sent by each processor."""
-        out = [0] * p
-        for msg in self.messages:
-            out[msg.src] += msg.size
-        return out
+    @property
+    def is_empty(self) -> bool:
+        """No communication and no work this superstep."""
+        return (
+            self.n_messages == 0
+            and self.n_reads == 0
+            and self.n_writes == 0
+            and not any(self.work)
+        )
 
-    def recvs_by_proc(self, p: int) -> List[int]:
-        """Number of flits received by each processor."""
-        out = [0] * p
-        for msg in self.messages:
-            out[msg.dest] += msg.size
-        return out
+    def sends_by_proc(self, p: int) -> np.ndarray:
+        """Number of flits sent by each processor (``int64`` array)."""
+        return self.msg_batch.sends_by_proc(p)
+
+    def recvs_by_proc(self, p: int) -> np.ndarray:
+        """Number of flits received by each processor (``int64`` array)."""
+        return self.msg_batch.recvs_by_proc(p)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SuperstepRecord(index={self.index}, messages={self.n_messages}, "
+            f"reads={self.n_reads}, writes={self.n_writes}, cost={self.cost})"
+        )

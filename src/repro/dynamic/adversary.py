@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -130,7 +130,6 @@ class SingleTargetAdversary(Adversary):
         self.source = source
 
     def generate(self, horizon: int, seed: SeedLike = None) -> ArrivalTrace:
-        rng = as_generator(seed)
         # One message every 1/beta steps (beta <= 1): arrival times are the
         # integer parts of k / beta, destinations round-robin over the other
         # processors (respecting the per-destination cap since p >= 2).
@@ -208,7 +207,6 @@ class BurstyAdversary(Adversary):
     unbalanced compliant pattern."""
 
     def generate(self, horizon: int, seed: SeedLike = None) -> ArrivalTrace:
-        rng = as_generator(seed)
         per_window = int(math.ceil(self.alpha * self.w))
         per_src = max(1, int(math.ceil(self.beta * self.w)))
         ts, srcs, dests = [], [], []
@@ -220,8 +218,6 @@ class BurstyAdversary(Adversary):
             step_in_src = np.arange(k) % per_src
             steps = w_start + np.minimum(step_in_src, self.w - 1)
             dest = (src + 1 + (np.arange(k) % (self.p - 1))) % self.p if self.p > 1 else src
-            cap = per_src
-            counts = np.bincount(dest, minlength=self.p)
             ts.append(steps)
             srcs.append(src)
             dests.append(dest)

@@ -24,8 +24,7 @@ interval's arrivals as one static routing problem, FIFO:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Tuple
 
 import numpy as np
 

@@ -145,6 +145,81 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile_workloads() -> Dict[str, Callable[[], None]]:
+    """Named hot-path workloads for ``python -m repro profile``."""
+
+    def route() -> None:
+        from repro import BSPm
+        from repro.scheduling import unbalanced_send
+        from repro.scheduling.execute import execute_schedule
+        from repro.workloads import uniform_random_relation
+
+        rel = uniform_random_relation(256, 40_000, seed=0)
+        sched = unbalanced_send(rel, 64, 0.2, seed=1)
+        execute_schedule(BSPm(MachineParams(p=256, m=64, L=1)), sched)
+
+    def qsm_phases() -> None:
+        import numpy as np
+
+        from repro import QSMm
+
+        p, rounds, k = 256, 12, 24
+        span = p * k
+
+        def program(ctx):
+            addrs = (ctx.pid * k + np.arange(k, dtype=np.int64)) % span
+            values = np.arange(k, dtype=np.int64)
+            for r in range(rounds):
+                ctx.write_many(addrs, values)
+                yield
+                ctx.read_many((addrs + (r + 1) * k) % span)
+                yield
+
+        machine = QSMm(MachineParams(p=p, m=32, L=2))
+        machine.use_dense_memory(span)
+        machine.run(program)
+
+    def delivery() -> None:
+        from repro import BSPm
+        from repro.algorithms.total_exchange import run_total_exchange
+
+        run_total_exchange(BSPm(MachineParams(p=192, m=48, L=1)))
+
+    def schedule() -> None:
+        from repro.scheduling import evaluate_schedule, unbalanced_send
+        from repro.workloads import uniform_random_relation
+
+        rel = uniform_random_relation(1024, 1_000_000, seed=2)
+        evaluate_schedule(unbalanced_send(rel, 256, 0.2, seed=3), m=256)
+
+    return {
+        "route": route,
+        "qsm-phases": qsm_phases,
+        "delivery": delivery,
+        "schedule": schedule,
+    }
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    workloads = _profile_workloads()
+    if args.workload == "list":
+        for name in workloads:
+            print(name)
+        return 0
+    run = workloads[args.workload]
+    run()  # warm-up: imports and first-call caches stay out of the profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run()
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import json
 
@@ -204,6 +279,18 @@ def build_parser() -> argparse.ArgumentParser:
     dy.add_argument("--horizon", type=int, default=20_000)
     dy.add_argument("--seed", type=int, default=0)
     dy.set_defaults(func=_cmd_dynamic)
+
+    pr = sub.add_parser(
+        "profile",
+        help="cProfile a hot-path workload and print the top functions",
+    )
+    pr.add_argument(
+        "workload",
+        choices=["route", "qsm-phases", "delivery", "schedule", "list"],
+        help='workload to profile ("list" to enumerate)',
+    )
+    pr.add_argument("--top", type=int, default=20, help="rows of the cumulative-time table")
+    pr.set_defaults(func=_cmd_profile)
 
     ex = sub.add_parser(
         "experiment",

@@ -63,17 +63,30 @@ class LogP(Machine):
     def _check_capacity(self, record: SuperstepRecord) -> None:
         """At most ceil(L/g) messages may be in transit to one processor;
         we check it per injection slot (messages injected together arrive
-        together in a bulk-synchronous step)."""
+        together in a bulk-synchronous step).
+
+        The check itself is one weighted ``bincount`` over ``(dest, slot)``
+        keys; only when a violation exists do we replay the columns in
+        record order to report the first offender exactly as before.
+        """
         cap = self.capacity
+        batch = record.msg_batch
+        if not batch.n:
+            return
+        span = int(batch.slot.max()) + 1
+        totals = np.bincount(batch.dest * span + batch.slot, weights=batch.size)
+        if totals.max() <= cap:
+            return
         in_flight: Dict[Tuple[int, int], int] = {}
-        for msg in record.messages:
-            slot = msg.slot if msg.slot is not None else 0
-            key = (msg.dest, slot)
-            in_flight[key] = in_flight.get(key, 0) + msg.size
+        for dest, slot, size in zip(
+            batch.dest.tolist(), batch.slot.tolist(), batch.size.tolist()
+        ):
+            key = (dest, slot)
+            in_flight[key] = in_flight.get(key, 0) + size
             if in_flight[key] > cap:
                 raise ModelViolation(
                     f"LOGP capacity exceeded: {in_flight[key]} messages in "
-                    f"transit to processor {msg.dest} at slot {slot} "
+                    f"transit to processor {dest} at slot {slot} "
                     f"(capacity ceil(L/g) = {cap})"
                 )
 
@@ -87,9 +100,7 @@ class LogP(Machine):
         w = max(record.work) if record.work else 0.0
         sends = record.sends_by_proc(p)
         recvs = record.recvs_by_proc(p)
-        per_proc_msgs = max(
-            (s + r for s, r in zip(sends, recvs)), default=0
-        )
+        per_proc_msgs = int((sends + recvs).max()) if sends.size else 0
         if per_proc_msgs > 0:
             comm = (per_proc_msgs - 1) * max(g, o) + 2 * o + L
         else:
@@ -97,7 +108,7 @@ class LogP(Machine):
         breakdown = CostBreakdown(work=w, local_band=comm, latency=L if per_proc_msgs else 0.0)
         cost = max(w, comm)
         stats = {
-            "h": float(max(max(sends, default=0), max(recvs, default=0))),
+            "h": float(max(int(sends.max()), int(recvs.max())) if sends.size else 0),
             "w": w,
             "n": float(record.total_flits),
             "per_proc_msgs": float(per_proc_msgs),

@@ -31,9 +31,9 @@ CRCW      1 per step (i.e. ``max(w, 1)``); concurrent and mixed access OK.
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, Tuple
+from typing import Dict, Tuple
 
-from repro.core.engine import Machine, ModelViolation
+from repro.core.engine import Machine, ModelViolation, _addr_group_stats
 from repro.core.events import CostBreakdown, SuperstepRecord
 from repro.core.params import MachineParams
 
@@ -74,15 +74,12 @@ class PRAM(Machine):
     # ------------------------------------------------------------------
     def _contention(self, record: SuperstepRecord) -> Tuple[int, int]:
         """(max read contention, max write contention) per location —
-        mixed access allowed (read-then-write step semantics)."""
-        readers: Dict[Any, int] = {}
-        writers: Dict[Any, int] = {}
-        for req in record.reads:
-            readers[req.addr] = readers.get(req.addr, 0) + 1
-        for req in record.writes:
-            writers[req.addr] = writers.get(req.addr, 0) + 1
-        max_r = max(readers.values()) if readers else 0
-        max_w = max(writers.values()) if writers else 0
+        mixed access allowed (read-then-write step semantics).  Group-by
+        runs on the record's address columns (``np.unique`` for integer
+        address spaces) rather than a per-request dict loop."""
+        rb, wb = record.read_batch, record.write_batch
+        max_r = _addr_group_stats(rb.addr)[0] if rb.n else 0
+        max_w = _addr_group_stats(wb.addr)[0] if wb.n else 0
         return max_r, max_w
 
     def _price(
@@ -107,7 +104,7 @@ class PRAM(Machine):
         stats = {
             "w": w,
             "kappa": float(kappa),
-            "reads": float(len(record.reads)),
-            "writes": float(len(record.writes)),
+            "reads": float(record.n_reads),
+            "writes": float(record.n_writes),
         }
         return cost, breakdown, stats

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
-from repro.core.engine import Machine, ModelViolation
+import numpy as np
+
+from repro.core.engine import ModelViolation
 from repro.core.events import CostBreakdown, SuperstepRecord
 from repro.core.params import MachineParams
 from repro.models.pram import PRAM, ConcurrencyRule
@@ -41,12 +43,25 @@ class PRAMm(PRAM):
 
     def _validate_addresses(self, record: SuperstepRecord) -> None:
         m = self.params.require_m()
-        for req in list(record.reads) + list(record.writes):
-            addr = req.addr
-            if not isinstance(addr, int) or not (0 <= addr < m):
-                raise ModelViolation(
-                    f"PRAM(m) shared address must be an int in [0, {m}), got {addr!r}"
-                )
+        for batch in (record.read_batch, record.write_batch):
+            if not batch.n:
+                continue
+            addr = batch.addr
+            if isinstance(addr, np.ndarray):
+                # integer-addressed batch: one vectorized range check
+                if addr.min() < 0 or addr.max() >= m:
+                    bad = int(addr[(addr < 0) | (addr >= m)][0])
+                    raise ModelViolation(
+                        f"PRAM(m) shared address must be an int in [0, {m}), "
+                        f"got {bad!r}"
+                    )
+            else:
+                for a in addr:
+                    if not isinstance(a, (int, np.integer)) or not (0 <= a < m):
+                        raise ModelViolation(
+                            f"PRAM(m) shared address must be an int in [0, {m}), "
+                            f"got {a!r}"
+                        )
 
     def _price(
         self, record: SuperstepRecord

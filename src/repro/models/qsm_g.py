@@ -53,6 +53,6 @@ class QSMg(Machine):
             "h": float(h),
             "w": w,
             "kappa": float(kappa),
-            "n": float(len(record.reads) + len(record.writes)),
+            "n": float(record.n_reads + record.n_writes),
         }
         return cost, breakdown, stats

@@ -72,6 +72,6 @@ class QSMm(Machine):
             "c_m_paper": c_m_paper,
             "span": span,
             "overloaded_slots": float(overloaded),
-            "n": float(len(record.reads) + len(record.writes)),
+            "n": float(record.n_reads + record.n_writes),
         }
         return cost, breakdown, stats

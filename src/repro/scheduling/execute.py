@@ -11,6 +11,14 @@ This is also the general *h-relation router* for the library: given a
 machine and a relation, pick the right discipline automatically —
 locally-limited machines need no scheduling (Proposition 6.1), globally-
 limited ones get Unbalanced-Send.
+
+The routing program is the engine's highest-volume workload (the 40k-flit
+profile in docs/performance.md), so it is written in the columnar idiom
+end-to-end: the per-processor plan is three array slices (slot, dest,
+flit-id) produced by one argsort of the schedule's flit columns, the
+program is a single ``ctx.send_many`` call per processor, and delivery is
+verified by sorting the concatenated payload columns — no per-flit Python
+objects anywhere.
 """
 
 from __future__ import annotations
@@ -28,24 +36,31 @@ from repro.workloads.relations import HRelation
 __all__ = ["route", "execute_schedule", "delivery_counts"]
 
 
-def _flit_plan(sched: Schedule) -> List[List[Tuple[int, int, int]]]:
-    """Per-processor list of (slot, dest, flit_id) triples."""
+def _flit_plan(sched: Schedule) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Per-processor ``(slots, dests, flit_ids)`` column triples.
+
+    One stable argsort groups the schedule's flit columns by source; each
+    processor's plan is then three contiguous array slices.
+    """
     rel = sched.rel
-    flit_src = sched.flit_src
-    flit_dest = expand_per_flit(rel.dest, rel.length)
-    plan: List[List[Tuple[int, int, int]]] = [[] for _ in range(rel.p)]
-    for k in range(rel.n):
-        plan[int(flit_src[k])].append(
-            (int(sched.flit_slots[k]), int(flit_dest[k]), k)
-        )
+    flit_src = np.asarray(sched.flit_src, dtype=np.int64)
+    flit_dest = np.asarray(expand_per_flit(rel.dest, rel.length), dtype=np.int64)
+    flit_slot = np.asarray(sched.flit_slots, dtype=np.int64)
+    flit_id = np.arange(rel.n, dtype=np.int64)
+    order = np.argsort(flit_src, kind="stable")
+    src_sorted = flit_src[order]
+    bounds = np.searchsorted(src_sorted, np.arange(rel.p + 1, dtype=np.int64))
+    plan = []
+    for pid in range(rel.p):
+        idx = order[bounds[pid] : bounds[pid + 1]]
+        plan.append((flit_slot[idx], flit_dest[idx], flit_id[idx]))
     return plan
 
 
-def _routing_program(ctx, plan_entry):
-    for slot, dest, flit_id in plan_entry:
-        ctx.send(dest, flit_id, slot=slot)
+def _routing_program(ctx, slots, dests, flit_ids):
+    ctx.send_many(dests, payloads=flit_ids, slots=slots)
     yield
-    return [msg.payload for msg in ctx.receive()]
+    return ctx.receive().payloads
 
 
 def execute_schedule(machine: Machine, sched: Schedule) -> RunResult:
@@ -65,13 +80,15 @@ def execute_schedule(machine: Machine, sched: Schedule) -> RunResult:
     plan = _flit_plan(sched)
     res = machine.run(
         _routing_program,
-        per_proc_args=[(plan[i],) for i in range(rel.p)],
+        per_proc_args=plan,
         nprocs=rel.p,
     )
-    got = sorted(fid for received in res.results for fid in received)
-    if got != list(range(rel.n)):
+    chunks = [np.asarray(received, dtype=np.int64) for received in res.results
+              if len(received)]
+    got = np.sort(np.concatenate(chunks)) if chunks else np.zeros(0, dtype=np.int64)
+    if got.size != rel.n or not np.array_equal(got, np.arange(rel.n, dtype=np.int64)):
         raise ValueError(
-            f"delivery mismatch: {len(got)} of {rel.n} flits arrived"
+            f"delivery mismatch: {got.size} of {rel.n} flits arrived"
         )
     return res
 
@@ -80,8 +97,7 @@ def delivery_counts(res: RunResult, p: int) -> np.ndarray:
     """Flits received per processor in an :func:`execute_schedule` run."""
     out = np.zeros(p, dtype=np.int64)
     for pid, received in enumerate(res.results):
-        if received:
-            out[pid] = len(received)
+        out[pid] = len(received)
     return out
 
 

@@ -19,7 +19,6 @@ Two foils for the randomized senders:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.scheduling.schedule import Schedule, expand_per_flit
 from repro.scheduling.static_send import per_proc_flit_ranks

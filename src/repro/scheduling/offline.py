@@ -19,12 +19,10 @@ heuristic baseline that is within ``l_hat`` of ``T*``.
 
 from __future__ import annotations
 
-import heapq
-from typing import Optional
 
 import numpy as np
 
-from repro.scheduling.schedule import Schedule, expand_per_flit, flit_offsets
+from repro.scheduling.schedule import Schedule, expand_per_flit
 from repro.util.intmath import ceil_div
 from repro.util.validation import check_positive
 from repro.workloads.relations import HRelation

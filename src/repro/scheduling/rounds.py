@@ -16,7 +16,7 @@ the extra latency being the price of the barrier per round.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List
 
 import numpy as np
 
@@ -24,7 +24,6 @@ from repro.core.costs import EXPONENTIAL, PenaltyFunction
 from repro.scheduling.analysis import ScheduleReport, evaluate_schedule
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.static_send import unbalanced_send
-from repro.util.intmath import ceil_div
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_positive
 from repro.workloads.relations import HRelation

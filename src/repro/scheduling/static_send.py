@@ -34,8 +34,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.scheduling.schedule import Schedule, expand_per_flit, flit_offsets
-from repro.util.intmath import ceil_div
+from repro.scheduling.schedule import Schedule, expand_per_flit
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_positive
 from repro.workloads.relations import HRelation

@@ -17,9 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
 
-from repro.theory.bounds import broadcast_bsp_g_lower
 from repro.util.validation import check_positive
 
 __all__ = ["SensitivityOptimum", "minimize_sensitivity_bound", "closed_form_Y"]

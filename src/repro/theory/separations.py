@@ -9,7 +9,7 @@ ratios against them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import List
 
 from repro.theory import bounds as B
 from repro.util.intmath import lg, safe_log_ratio

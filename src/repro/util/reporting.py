@@ -21,6 +21,8 @@ def format_float(x: Any, digits: int = 4) -> str:
     if isinstance(x, int):
         return str(x)
     if isinstance(x, float):
+        if x != x:  # NaN: an undefined entry (e.g. a ratio over zero time)
+            return "—"
         if x == 0:
             return "0"
         if abs(x) >= 10**6 or abs(x) < 10**-4:

@@ -9,7 +9,7 @@ streams can be derived with :func:`spawn_children`.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 

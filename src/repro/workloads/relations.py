@@ -13,7 +13,7 @@ vectorized at millions of messages, per the HPC guides.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

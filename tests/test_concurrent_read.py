@@ -11,10 +11,7 @@ from repro.concurrent_read import (
     make_leader_input,
     simulate_concurrent_read_step,
 )
-from repro.theory.bounds import (
-    crcw_pramm_on_qsm_m_upper,
-    leader_recognition_qsm_m_lower,
-)
+from repro.theory.bounds import leader_recognition_qsm_m_lower
 
 
 class TestLeaderInput:

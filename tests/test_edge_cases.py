@@ -3,16 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import (
-    BSPg,
-    BSPm,
-    MachineParams,
-    Message,
-    ModelViolation,
-    ProgramError,
-    QSMg,
-    QSMm,
-)
+from repro import BSPg, BSPm, MachineParams, Message, ProgramError, QSMg, QSMm
 from repro.core.events import CostBreakdown
 from repro.scheduling import (
     evaluate_schedule,

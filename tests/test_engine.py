@@ -2,15 +2,7 @@
 
 import pytest
 
-from repro import (
-    BSPg,
-    BSPm,
-    MachineParams,
-    ModelViolation,
-    ProgramError,
-    QSMg,
-    QSMm,
-)
+from repro import BSPg, BSPm, MachineParams, ModelViolation, ProgramError, QSMg
 from repro.core.engine import ReadHandle
 
 

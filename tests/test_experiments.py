@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.experiments import EXPERIMENTS, list_experiments, run_experiment
+from repro.experiments import list_experiments, run_experiment
 
 
 class TestRegistry:

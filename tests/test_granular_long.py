@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.scheduling import (
     evaluate_schedule,
-    send_window,
     unbalanced_granular_send,
     unbalanced_send_long,
     unbalanced_send_with_overhead,
@@ -34,8 +33,6 @@ class TestGranularSend:
         # light processors start at multiples of t'; reconstruct starts
         lengths = rel.length
         starts_idx = np.cumsum(lengths) - lengths
-        flit_src = np.repeat(rel.src, lengths)
-        ranks_first = sched.flit_slots[starts_idx] - 0  # message start slots
         x = rel.sizes
         threshold = rel.n / 16
         for msg in range(rel.n_messages):

@@ -15,7 +15,6 @@ from repro.algorithms import (
     simulate_trace_on_qsm_m,
 )
 from repro.workloads import (
-    HRelation,
     all_to_one_relation,
     one_to_all_relation,
     uniform_random_relation,

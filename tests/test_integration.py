@@ -4,8 +4,8 @@ across module boundaries (workloads → schedulers → evaluation → engine).""
 import numpy as np
 import pytest
 
-from repro import BSPg, BSPm, LINEAR, MachineParams, QSMg, QSMm
-from repro.algorithms import broadcast, one_to_all, summation
+from repro import BSPm, LINEAR, MachineParams, QSMg, QSMm
+from repro.algorithms import broadcast, summation
 from repro.scheduling import (
     bsp_g_routing_time,
     evaluate_schedule,

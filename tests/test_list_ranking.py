@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import BSPg, BSPm, MachineParams, QSMg, QSMm
+from repro import BSPg, BSPm, MachineParams, QSMm
 from repro.algorithms import (
     list_ranking_contraction,
     list_ranking_wyllie,

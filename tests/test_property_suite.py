@@ -1,14 +1,12 @@
 """Cross-cutting property suite: invariants that must hold across module
 boundaries for arbitrary inputs."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import EXPONENTIAL, LINEAR, MachineParams
+from repro import EXPONENTIAL, LINEAR
 from repro.scheduling import (
-    Schedule,
     evaluate_schedule,
     grouped_schedule,
     naive_schedule,

@@ -1,7 +1,6 @@
 """Tests for the randomized CRCW h-relation realization (§4.1, randomized
 conversion)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -7,7 +7,6 @@ changes, this file fails before a user hits it.
 import re
 from pathlib import Path
 
-import pytest
 
 README = Path(__file__).resolve().parent.parent / "README.md"
 

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.scheduling.schedule import Schedule, expand_per_flit, flit_offsets
-from repro.workloads import HRelation, uniform_random_relation, variable_length_relation
+from repro.workloads import HRelation, uniform_random_relation
 
 
 class TestFlitHelpers:

@@ -1,7 +1,6 @@
 """Tests for the numeric Theorem-4.1 sensitivity verification and the
 rotating-target adversary."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for total exchange and the unbalanced "chatting" schedulers."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms import (
@@ -47,7 +46,6 @@ class TestLatinSquare:
         1-balanced — the schedule's defining property."""
         p, m = 12, 4
         sched = latin_square_schedule(p, m)
-        groups = ceil_div(p, m)
         rel = sched.rel
         round_of = (rel.dest - rel.src) % p
         for r in range(1, p):
