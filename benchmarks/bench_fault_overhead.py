@@ -1,0 +1,122 @@
+"""Fault-hook overhead guard: the disabled path must stay free.
+
+The fault layer's contract (docs/robustness.md) is that a machine without an
+injector — and one with a *null* plan attached — pays nothing measurable for
+the hooks added to the engine's barrier loop.  This harness runs the same
+40k-flit route-verify profile as ``bench_engine_throughput.py`` three ways:
+
+* **baseline** — no injector attached (the hook's ``is not None`` fast path);
+* **null-plan** — an injector built from an all-zero :class:`FaultPlan`
+  (the hook fires but must return the sent batch unchanged);
+* **audited** — reported for context only, never gated (the auditor re-prices
+  every superstep, so it is legitimately slower).
+
+and asserts that the first two hold the routing throughput within 3% of the
+pinned floor from ``BENCH_engine.json``'s acceptance contract
+(``SEED_ROUTING_MSGS_PER_S × SPEEDUP_FLOOR``), and that all three leave the
+pinned model time bit-identical — faults and auditing may never move costs.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fault_overhead.py
+
+or under pytest-benchmark like every other file in this directory.
+"""
+
+import time
+
+from repro import BSPm, MachineParams
+from repro.faults import FaultPlan
+from repro.scheduling import unbalanced_send
+from repro.scheduling.execute import execute_schedule
+from repro.workloads import uniform_random_relation
+
+from _common import emit
+from bench_engine_throughput import (
+    ROUTING_MODEL_TIME,
+    SEED_ROUTING_MSGS_PER_S,
+    SPEEDUP_FLOOR,
+)
+
+# The disabled fault path may cost at most 3% of the engine-throughput
+# acceptance floor (the floor already absorbs machine noise; 3% is the
+# hook's whole budget on top of it).
+THROUGHPUT_FLOOR = SEED_ROUTING_MSGS_PER_S * SPEEDUP_FLOOR
+OVERHEAD_TOLERANCE = 0.03
+
+_REPEATS = 3  # best-of-N wall-clock to shed scheduler noise
+
+
+def _route_once(injector_plan=None, audit=False):
+    rel = uniform_random_relation(256, 40_000, seed=0)
+    sched = unbalanced_send(rel, 64, 0.2, seed=1)
+    machine = BSPm(MachineParams(p=256, m=64, L=1))
+    if injector_plan is not None:
+        machine.inject_faults(injector_plan)
+    best = float("inf")
+    model_time = None
+    for _ in range(_REPEATS):
+        if machine.fault_injector is not None:
+            machine.fault_injector.reset()
+        t0 = time.perf_counter()
+        res = execute_schedule(machine, sched, audit=audit)
+        best = min(best, time.perf_counter() - t0)
+        model_time = res.time
+    return {
+        "messages": int(rel.n),
+        "seconds": best,
+        "msgs_per_s": rel.n / best,
+        "model_time": model_time,
+    }
+
+
+def run_all():
+    return {
+        "baseline": _route_once(),
+        "null_plan": _route_once(injector_plan=FaultPlan()),
+        "audited": _route_once(audit=True),
+    }
+
+
+def _report(data):
+    emit(
+        "fault-hook overhead (40k route-verify profile)",
+        ["variant", "messages", "seconds", "msgs/s", "model time"],
+        [
+            [name, d["messages"], d["seconds"], d["msgs_per_s"], d["model_time"]]
+            for name, d in data.items()
+        ],
+    )
+
+
+def _check(data):
+    floor = THROUGHPUT_FLOOR * (1.0 - OVERHEAD_TOLERANCE)
+    for variant in ("baseline", "null_plan"):
+        d = data[variant]
+        # The hook may never move a model time, enabled or not.
+        assert d["model_time"] == ROUTING_MODEL_TIME, (
+            f"{variant}: model time {d['model_time']!r} != pinned "
+            f"{ROUTING_MODEL_TIME!r}"
+        )
+        assert d["msgs_per_s"] >= floor, (
+            f"{variant}: {d['msgs_per_s']:.0f} msg/s is below "
+            f"{floor:.0f} (the {THROUGHPUT_FLOOR:.0f} msg/s acceptance floor "
+            f"minus the {OVERHEAD_TOLERANCE:.0%} fault-hook budget)"
+        )
+    # Auditing re-prices every superstep, so only the cost pin applies.
+    assert data["audited"]["model_time"] == ROUTING_MODEL_TIME
+
+
+def test_fault_hook_overhead(benchmark):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    _report(data)
+    benchmark.extra_info.update(data)
+    _check(data)
+
+
+if __name__ == "__main__":
+    result = run_all()
+    _report(result)
+    _check(result)
+    ratio = result["null_plan"]["msgs_per_s"] / result["baseline"]["msgs_per_s"]
+    print(f"\nnull-plan/baseline throughput ratio: {ratio:.3f}")

@@ -14,7 +14,9 @@ The package provides:
 * the concurrent-read results of Section 5 (:mod:`repro.concurrent_read`);
 * executable closed-form bounds for every Table-1 cell and theorem
   (:mod:`repro.theory`);
-* workload generators (:mod:`repro.workloads`).
+* workload generators (:mod:`repro.workloads`);
+* fault injection, run watchdogs, and an exactly-once reliable transport
+  priced against the bandwidth limit (:mod:`repro.faults`).
 
 Quickstart::
 
@@ -42,6 +44,7 @@ from repro.core import (
     RunResult,
     ModelViolation,
     ProgramError,
+    RunAborted,
     Message,
 )
 from repro.models import (
@@ -72,6 +75,7 @@ __all__ = [
     "RunResult",
     "ModelViolation",
     "ProgramError",
+    "RunAborted",
     "Message",
     "BSPg",
     "BSPm",

@@ -19,6 +19,7 @@ from repro.core.engine import (
     RunResult,
     ModelViolation,
     ProgramError,
+    RunAborted,
 )
 from repro.core.events import (
     Message,
@@ -45,6 +46,7 @@ __all__ = [
     "RunResult",
     "ModelViolation",
     "ProgramError",
+    "RunAborted",
     "Message",
     "ReadRequest",
     "WriteRequest",

@@ -50,6 +50,7 @@ literal ``c_m`` is also recorded in ``record.stats['c_m_paper']``.
 
 from __future__ import annotations
 
+import time as _time
 from collections import Counter
 from dataclasses import dataclass
 from functools import cached_property
@@ -82,6 +83,7 @@ from repro.core.params import MachineParams
 __all__ = [
     "ModelViolation",
     "ProgramError",
+    "RunAborted",
     "ReadHandle",
     "BatchReadHandle",
     "InboxView",
@@ -103,6 +105,36 @@ class ModelViolation(Exception):
 class ProgramError(Exception):
     """The SPMD program misused the engine API (e.g. reading a
     :class:`ReadHandle` before the barrier that resolves it)."""
+
+
+class RunAborted(ProgramError):
+    """A run was cut short by a watchdog, carrying everything computed so
+    far instead of losing it.
+
+    Raised when a run exceeds ``max_supersteps`` or the wall-clock
+    ``max_time`` budget of :meth:`Machine.run`.  Subclasses
+    :class:`ProgramError` so existing ``except ProgramError`` handlers keep
+    working.
+
+    Attributes
+    ----------
+    partial:
+        The :class:`RunResult` of every superstep completed before the
+        abort (per-processor results are ``None`` for processors that had
+        not finished).
+    superstep:
+        Index of the superstep at which the run was aborted.
+    reason:
+        Machine-readable cause: ``"max_supersteps"`` or ``"max_time"``.
+    """
+
+    def __init__(
+        self, message: str, *, partial: "RunResult", superstep: int, reason: str
+    ) -> None:
+        super().__init__(message)
+        self.partial = partial
+        self.superstep = superstep
+        self.reason = reason
 
 
 _UNRESOLVED = object()
@@ -949,6 +981,24 @@ class Machine:
     def __init__(self, params: MachineParams) -> None:
         self.params = params
         self.shared_memory: MutableMapping[Any, Any] = {}
+        #: Optional :class:`~repro.faults.FaultInjector`; ``None`` (the
+        #: default) keeps the engine on the zero-overhead fault-free path.
+        self.fault_injector: Optional[Any] = None
+
+    def inject_faults(self, plan: Any) -> Any:
+        """Attach a fault injector built from ``plan`` (a
+        :class:`~repro.faults.FaultPlan`, or an existing injector) and
+        return it.  Pass ``None`` to detach."""
+        if plan is None:
+            self.fault_injector = None
+            return None
+        if hasattr(plan, "apply"):
+            self.fault_injector = plan
+        else:
+            from repro.faults.plan import FaultInjector
+
+            self.fault_injector = FaultInjector(plan)
+        return self.fault_injector
 
     def use_dense_memory(self, size: int) -> DenseSharedMemory:
         """Back the shared memory with a dense object array over the integer
@@ -1078,6 +1128,8 @@ class Machine:
         per_proc_args: Optional[Sequence[Tuple]] = None,
         nprocs: Optional[int] = None,
         max_supersteps: int = 1_000_000,
+        max_time: Optional[float] = None,
+        audit: bool = False,
     ) -> RunResult:
         """Execute ``program`` SPMD-style on all processors.
 
@@ -1096,12 +1148,31 @@ class Machine:
             Run on a prefix of processors (defaults to ``params.p``); the
             machine is still priced as a ``p``-processor machine.
         max_supersteps:
-            Safety valve against non-terminating programs.
+            Safety valve against non-terminating programs; exceeding it
+            raises :class:`RunAborted` carrying the partial result.
+        max_time:
+            Optional wall-clock budget in seconds.  A run that is still
+            going when the budget expires raises :class:`RunAborted` with
+            everything computed so far in ``exc.partial``.
+        audit:
+            Debug mode: after every barrier, re-derive the superstep's
+            price and check delivery invariants (flit conservation,
+            engine-vs-evaluator cost reconciliation) via
+            :mod:`repro.faults.audit`; violations raise
+            :class:`~repro.faults.audit.AuditViolation`.
 
         Returns
         -------
         RunResult
             Total time, per-superstep records, and per-processor results.
+
+        Notes
+        -----
+        When a fault injector is attached (:meth:`inject_faults`), the
+        machine still *prices* the sent batch — a dropped flit was injected
+        and counts toward the slot load ``m_t`` — but *delivers* the
+        injector's faulted batch.  Without an injector this hook is a
+        single ``None`` check per superstep.
         """
         p = self.params.p if nprocs is None else nprocs
         if not (1 <= p <= self.params.p):
@@ -1127,12 +1198,28 @@ class Machine:
         alive = [g is not None for g in gens]
         index = 0
         first = True
+        injector = self.fault_injector
+        auditor = None
+        if audit:
+            from repro.faults.audit import audit_record as auditor
+        deadline = None if max_time is None else _time.monotonic() + max_time
         while True:
+            if deadline is not None and _time.monotonic() > deadline:
+                raise RunAborted(
+                    f"run exceeded the max_time={max_time:g}s wall-clock budget "
+                    f"at superstep {index}",
+                    partial=RunResult(params=self.params, records=records, results=results),
+                    superstep=index,
+                    reason="max_time",
+                )
+            halted = injector.halted(index) if injector is not None else None
             any_advanced = False
             for pid, gen in enumerate(gens):
                 if gen is None or not alive[pid]:
                     continue
                 any_advanced = True
+                if halted is not None and pid in halted:
+                    continue  # stalled/crashed: alive but frozen this superstep
                 try:
                     next(gen)
                 except StopIteration as stop:
@@ -1154,7 +1241,14 @@ class Machine:
                 record.breakdown = breakdown
                 record.stats = stats
                 records.append(record)
-                self._deliver(record, procs)
+                delivered = None
+                if injector is not None:
+                    delivered, fault_stats = injector.apply(record.msg_batch, index, p)
+                    if fault_stats:
+                        record.stats.update(fault_stats)
+                self._deliver(record, procs, msg_batch=delivered)
+                if auditor is not None:
+                    auditor(self, record, procs, delivered)
             index += 1
             first = False
             for proc in procs:
@@ -1162,12 +1256,20 @@ class Machine:
             if not still_running:
                 break
             if index >= max_supersteps:
-                raise ProgramError(
-                    f"program exceeded {max_supersteps} supersteps without finishing"
+                raise RunAborted(
+                    f"program exceeded {max_supersteps} supersteps without finishing",
+                    partial=RunResult(params=self.params, records=records, results=results),
+                    superstep=index,
+                    reason="max_supersteps",
                 )
         return RunResult(params=self.params, records=records, results=results)
 
-    def _deliver(self, record: SuperstepRecord, procs: List[Proc]) -> None:
+    def _deliver(
+        self,
+        record: SuperstepRecord,
+        procs: List[Proc],
+        msg_batch: Optional[MessageBatch] = None,
+    ) -> None:
         """Deliver messages, resolve reads against pre-phase memory, then
         apply writes (Arbitrary rule: the last write request in record order
         wins — a legitimate instance of the model's arbitrary resolution).
@@ -1177,10 +1279,15 @@ class Machine:
         reads resolve against the memory in one pass (one fancy-indexing
         operation on :class:`DenseSharedMemory`); writes apply in record
         order.
+
+        ``msg_batch`` overrides the record's sent batch with the batch as
+        transformed by a fault injector (drops/duplicates/reorders); the
+        record itself — and hence the pricing — always reflects what was
+        *sent*.
         """
         for proc in procs:
             proc.inbox = _EMPTY_INBOX
-        batch = record.msg_batch
+        batch = record.msg_batch if msg_batch is None else msg_batch
         if batch.n:
             order = np.argsort(batch.dest, kind="stable")
             sorted_dest = batch.dest[order]

@@ -230,6 +230,26 @@ class MessageBatch:
             for i in range(self.n)
         ]
 
+    def take(self, idx: np.ndarray) -> "MessageBatch":
+        """New batch holding rows ``idx`` (in that order, repeats allowed).
+
+        Used by the fault layer to derive the *delivered* batch from the
+        *sent* batch (drops = missing rows, duplicates = repeated rows,
+        reorders = permuted rows) without touching the original columns.
+        """
+        idx = np.asarray(idx, dtype=_I64)
+        payload = None
+        if self.payload is not None:
+            payload = _column_take(self.payload, idx, int(idx.size))
+        return MessageBatch(
+            self.src[idx],
+            self.dest[idx],
+            self.size[idx],
+            self.slot[idx],
+            self.consecutive[idx],
+            payload,
+        )
+
     # ------------------------------------------------------------------
     def flit_expansion(self) -> Tuple[np.ndarray, np.ndarray]:
         """Per-flit ``(src, slot)`` arrays.

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
-from repro.util.validation import check_positive, check_nonnegative
+from repro.util.validation import check_finite, check_positive, check_nonnegative
 
 __all__ = ["MachineParams"]
 
@@ -60,16 +60,22 @@ class MachineParams:
     word_bits: int = 64
 
     def __post_init__(self) -> None:
-        if not isinstance(self.p, int):
+        if isinstance(self.p, bool) or not isinstance(self.p, int):
             raise TypeError(f"p must be an int, got {type(self.p).__name__}")
         check_positive("p", self.p)
+        check_finite("g", self.g)
         if self.g < 1.0:
             raise ValueError(f"gap g must be >= 1, got {self.g}")
         if self.m is not None:
-            if not isinstance(self.m, int):
+            if isinstance(self.m, bool) or not isinstance(self.m, int):
                 raise TypeError(f"m must be an int or None, got {type(self.m).__name__}")
             check_positive("m", self.m)
+        # L and o reject nan/inf explicitly: nan fails every comparison, so
+        # a plain `> 0` guard silently admits it, and an infinite latency or
+        # overhead turns every superstep cost into inf downstream
+        check_finite("L", self.L)
         check_positive("L", self.L)
+        check_finite("o", self.o)
         check_nonnegative("o", self.o)
         check_positive("word_bits", self.word_bits)
 

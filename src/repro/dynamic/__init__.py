@@ -14,6 +14,7 @@ from repro.dynamic.protocols import (
     Protocol,
     BSPgIntervalProtocol,
     AlgorithmBProtocol,
+    LossyAlgorithmBProtocol,
     ImmediateProtocol,
 )
 from repro.dynamic.simulation import BatchRecord, DynamicResult, run_dynamic
@@ -38,6 +39,7 @@ __all__ = [
     "Protocol",
     "BSPgIntervalProtocol",
     "AlgorithmBProtocol",
+    "LossyAlgorithmBProtocol",
     "ImmediateProtocol",
     "BatchRecord",
     "DynamicResult",

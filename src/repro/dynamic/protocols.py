@@ -32,14 +32,17 @@ from repro.core.costs import EXPONENTIAL, PenaltyFunction
 from repro.core.params import MachineParams
 from repro.dynamic.adversary import ArrivalTrace
 from repro.scheduling.analysis import evaluate_schedule
+from repro.scheduling.schedule import expand_per_flit
 from repro.scheduling.static_send import unbalanced_send
 from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_prob
 from repro.workloads.relations import HRelation
 
 __all__ = [
     "Protocol",
     "BSPgIntervalProtocol",
     "AlgorithmBProtocol",
+    "LossyAlgorithmBProtocol",
     "ImmediateProtocol",
 ]
 
@@ -142,6 +145,101 @@ class AlgorithmBProtocol(Protocol):
             sched, m=m, L=self.params.L, penalty=self.penalty
         )
         return report.superstep_cost
+
+
+class LossyAlgorithmBProtocol(AlgorithmBProtocol):
+    """Algorithm B over a lossy network: the stability-under-loss variant.
+
+    Each batch is served with the reliable-transport discipline of
+    :mod:`repro.faults.transport`: every flit is (re)scheduled by the
+    static sender until delivered *and acknowledged*, with acks travelling
+    through the same lossy network and an exponential backoff
+    (``backoff_base · 2^round`` idle supersteps at ``L`` each) between
+    retry rounds.  Each flit is lost independently with probability
+    ``drop_rate`` per traversal, so a flit survives a round with
+    probability ``(1 − drop_rate)²`` (data and ack must both arrive).
+
+    The realized service time therefore inflates by roughly
+    ``1/(1−q)² + ack traffic``; feeding the protocol to
+    :func:`~repro.dynamic.simulation.run_dynamic` shows how far loss
+    pushes Theorem 6.7's stability frontier in: the backlog stays bounded
+    while the *effective* arrival rate ``alpha / (1−q)²`` remains inside
+    the frontier, and diverges once retries push it past ``≈ m/a``.
+
+    With ``drop_rate = 0`` the service time is exactly
+    :class:`AlgorithmBProtocol`'s (same draws from the same seed).
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        w: int,
+        alpha: float,
+        drop_rate: float = 0.0,
+        epsilon: float = 0.25,
+        penalty: PenaltyFunction = EXPONENTIAL,
+        seed: SeedLike = None,
+        sender: Callable = unbalanced_send,
+        max_rounds: int = 64,
+        backoff_base: int = 1,
+    ) -> None:
+        super().__init__(params, w, alpha, epsilon, penalty, seed, sender)
+        check_prob("drop_rate", drop_rate)
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        if backoff_base < 1:
+            raise ValueError(f"backoff_base must be >= 1, got {backoff_base}")
+        self.drop_rate = drop_rate
+        self.max_rounds = max_rounds
+        self.backoff_base = backoff_base
+
+    def service_time(self, batch: ArrivalTrace) -> float:
+        if batch.n == 0:
+            return 0.0
+        if self.drop_rate <= 0.0:
+            return super().service_time(batch)
+        m = self.params.require_m()
+        p = self.params.p
+        rel = _batch_relation(p, batch)
+        src = expand_per_flit(rel.src, rel.length)
+        dest = expand_per_flit(rel.dest, rel.length)
+        ones = np.ones(src.size, dtype=np.int64)
+        n_known = max(rel.n, int(math.ceil(self.alpha * self.w)))
+        q = self.drop_rate
+        total = 0.0
+        pending = np.arange(src.size, dtype=np.int64)
+        for r in range(self.max_rounds):
+            unit = ones[: pending.size]
+            sub = HRelation(p=p, src=src[pending], dest=dest[pending], length=unit)
+            # round 0 is the a-priori-known budget; retries are fresh traffic
+            sched = self.sender(
+                sub, m, self.epsilon, seed=self._rng,
+                n=n_known if r == 0 else None,
+            )
+            total += evaluate_schedule(
+                sched, m=m, L=self.params.L, penalty=self.penalty
+            ).superstep_cost
+            arrived = self._rng.random(pending.size) >= q
+            acked = arrived & (self._rng.random(pending.size) >= q)
+            delivered = pending[arrived]
+            if delivered.size:
+                # ack superstep: reverse relation through the same discipline
+                ack = HRelation(
+                    p=p, src=dest[delivered], dest=src[delivered],
+                    length=ones[: delivered.size],
+                )
+                ack_sched = self.sender(ack, m, self.epsilon, seed=self._rng)
+                total += evaluate_schedule(
+                    ack_sched, m=m, L=self.params.L, penalty=self.penalty
+                ).superstep_cost
+            pending = pending[~acked]
+            if not pending.size:
+                return total
+            total += self.backoff_base * (2**r) * self.params.L
+        # retry budget exhausted: the straggler flits are still pending, so
+        # keep the server busy for one more full-relation service as a
+        # pessimistic bound rather than silently under-charging
+        return total + super().service_time(batch)
 
 
 class ImmediateProtocol(Protocol):

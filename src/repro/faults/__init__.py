@@ -1,0 +1,33 @@
+"""Fault injection, invariant auditing, and reliable transport.
+
+This subpackage is the repo's resilience layer: deterministic chaos for the
+superstep engine (:mod:`repro.faults.plan`), a debug-mode invariant auditor
+(:mod:`repro.faults.audit`), and an exactly-once transport protocol whose
+retries are priced against the bandwidth limit like any other traffic
+(:mod:`repro.faults.transport`).  See ``docs/robustness.md``.
+"""
+
+from repro.faults.audit import AuditViolation, audit_record
+from repro.faults.plan import (
+    CorruptedPayload,
+    CrashSpec,
+    FaultInjector,
+    FaultPlan,
+    StallSpec,
+    is_corrupted,
+)
+from repro.faults.transport import TransportError, TransportResult, reliable_route
+
+__all__ = [
+    "AuditViolation",
+    "audit_record",
+    "CorruptedPayload",
+    "CrashSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "StallSpec",
+    "is_corrupted",
+    "TransportError",
+    "TransportResult",
+    "reliable_route",
+]

@@ -11,7 +11,17 @@ Gives downstream users the paper's experiments without writing code:
     Schedule a chosen workload with every sender and print the Section-6
     comparison (optimal / randomized / grouped / naive / BSP(g)).
 ``dynamic``
-    Run the Theorem 6.5 vs Theorem 6.7 stability experiment.
+    Run the Theorem 6.5 vs Theorem 6.7 stability experiment (optionally
+    under message loss with ``--drop-rate``).
+``chaos``
+    Route a workload through the fault injector with the reliable
+    transport and report delivered / lost / retried counts plus the
+    resilience overhead against the fault-free run.
+
+Every randomized subcommand accepts ``--seed``; a top-level
+``python -m repro --seed N <command>`` sets the default for all of them,
+and the effective seed is always echoed in the output header so any run
+can be reproduced from its transcript.
 """
 
 from __future__ import annotations
@@ -23,6 +33,17 @@ from repro.core.params import MachineParams
 from repro.util.reporting import Table
 
 __all__ = ["main", "build_parser"]
+
+
+def _effective_seed(args: argparse.Namespace, default: int = 0) -> int:
+    """Resolve a subcommand's seed: its own ``--seed``, else the top-level
+    ``--seed``, else ``default``."""
+    seed = getattr(args, "seed", None)
+    if seed is None:
+        seed = getattr(args, "root_seed", None)
+    if seed is None:
+        seed = default
+    return seed
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -81,22 +102,24 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         zipf_h_relation,
     )
 
+    seed = _effective_seed(args)
     makers = {
-        "balanced": lambda: balanced_h_relation(args.p, max(1, args.n // args.p), seed=args.seed),
-        "uniform": lambda: uniform_random_relation(args.p, args.n, seed=args.seed),
-        "zipf": lambda: zipf_h_relation(args.p, args.n, alpha=args.alpha, seed=args.seed),
+        "balanced": lambda: balanced_h_relation(args.p, max(1, args.n // args.p), seed=seed),
+        "uniform": lambda: uniform_random_relation(args.p, args.n, seed=seed),
+        "zipf": lambda: zipf_h_relation(args.p, args.n, alpha=args.alpha, seed=seed),
         "one-to-all": lambda: one_to_all_relation(args.p),
     }
     rel = makers[args.workload]()
     g = args.p / args.m
     schedulers = {
         "offline optimal": lambda: offline_optimal_schedule(rel, args.m),
-        "unbalanced-send": lambda: unbalanced_send(rel, args.m, args.epsilon, seed=args.seed),
-        "consecutive": lambda: unbalanced_consecutive_send(rel, args.m, args.epsilon, seed=args.seed),
-        "granular": lambda: unbalanced_granular_send(rel, args.m, seed=args.seed),
+        "unbalanced-send": lambda: unbalanced_send(rel, args.m, args.epsilon, seed=seed),
+        "consecutive": lambda: unbalanced_consecutive_send(rel, args.m, args.epsilon, seed=seed),
+        "granular": lambda: unbalanced_granular_send(rel, args.m, seed=seed),
         "grouped (g-emulation)": lambda: grouped_schedule(rel, args.m),
         "naive": lambda: naive_schedule(rel),
     }
+    print(f"# seed = {seed}")
     table = Table(
         ["scheduler", "span", "completion", "T/OPT", "overloaded slots"],
         title=(
@@ -116,31 +139,47 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     from repro.dynamic import (
         AlgorithmBProtocol,
         BSPgIntervalProtocol,
+        LossyAlgorithmBProtocol,
         SingleTargetAdversary,
         run_dynamic,
     )
 
+    seed = _effective_seed(args)
+    lossy = args.drop_rate > 0.0
     local, global_ = MachineParams.matched_pair(p=args.p, m=args.m, L=args.L)
     g = local.g
+    columns = ["beta·g", "BSP(g) slope", "BSP(g)", "AlgB slope", "AlgB"]
+    if lossy:
+        columns += [f"AlgB q={args.drop_rate:g} slope", "AlgB lossy"]
+    print(f"# seed = {seed}")
     table = Table(
-        ["beta·g", "BSP(g) slope", "BSP(g)", "AlgB slope", "AlgB"],
+        columns,
         title=f"single-source flood stability (p={args.p}, m={args.m}, g={g:g}, w={args.window})",
     )
     for beta_g in (0.5, 1.5, 3.0):
         beta = beta_g / g
         trace = SingleTargetAdversary(args.p, args.window, beta=beta).generate(
-            args.horizon, seed=args.seed
+            args.horizon, seed=seed
         )
         res_g = run_dynamic(BSPgIntervalProtocol(local, args.window), trace)
         res_m = run_dynamic(
-            AlgorithmBProtocol(global_, args.window, alpha=beta, seed=args.seed), trace
+            AlgorithmBProtocol(global_, args.window, alpha=beta, seed=seed), trace
         )
-        table.add_row(
-            [beta_g, round(res_g.backlog_slope(), 5),
-             "stable" if res_g.is_stable() else "UNSTABLE",
-             round(res_m.backlog_slope(), 5),
-             "stable" if res_m.is_stable() else "UNSTABLE"]
-        )
+        row = [beta_g, round(res_g.backlog_slope(), 5),
+               "stable" if res_g.is_stable() else "UNSTABLE",
+               round(res_m.backlog_slope(), 5),
+               "stable" if res_m.is_stable() else "UNSTABLE"]
+        if lossy:
+            res_q = run_dynamic(
+                LossyAlgorithmBProtocol(
+                    global_, args.window, alpha=beta,
+                    drop_rate=args.drop_rate, seed=seed,
+                ),
+                trace,
+            )
+            row += [round(res_q.backlog_slope(), 5),
+                    "stable" if res_q.is_stable() else "UNSTABLE"]
+        table.add_row(row)
     print(table.render())
     return 0
 
@@ -229,7 +268,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         for name in list_experiments():
             print(name)
         return 0
-    result = run_experiment(args.name, seed=args.seed)
+    seed = _effective_seed(args)
+    print(f"# seed = {seed}")
+    result = run_experiment(args.name, seed=seed)
     text = json.dumps(result, indent=2, default=float)
     if args.json:
         with open(args.json, "w") as fh:
@@ -240,12 +281,130 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_proc_fault(text: str):
+    """Parse a ``pid:start[:duration]`` CLI fault spec into a tuple."""
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"expected pid:start[:duration], got {text!r}"
+        )
+    try:
+        nums = [int(x) for x in parts]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected integers in pid:start[:duration], got {text!r}"
+        ) from None
+    pid, start = nums[0], nums[1]
+    duration = nums[2] if len(nums) == 3 else 1
+    return pid, start, duration
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults import CrashSpec, FaultPlan, StallSpec, TransportError
+    from repro.models.bsp_m import BSPm
+    from repro.scheduling import route_reliable
+    from repro.workloads import (
+        balanced_h_relation,
+        one_to_all_relation,
+        uniform_random_relation,
+        zipf_h_relation,
+    )
+
+    seed = _effective_seed(args)
+    if args.workload == "route-verify":
+        # the docs/performance.md 40k-flit routing profile, pinned so the CI
+        # smoke exercises exactly the throughput-bench configuration
+        p, m, L = 256, 64, 1.0
+        rel = uniform_random_relation(p, 40_000, seed=seed)
+    else:
+        p, m, L = args.p, args.m, args.L
+        makers = {
+            "balanced": lambda: balanced_h_relation(p, max(1, args.n // p), seed=seed),
+            "uniform": lambda: uniform_random_relation(p, args.n, seed=seed),
+            "zipf": lambda: zipf_h_relation(p, args.n, alpha=args.alpha, seed=seed),
+            "one-to-all": lambda: one_to_all_relation(p),
+        }
+        rel = makers[args.workload]()
+    machine = BSPm(MachineParams(p=p, m=m, L=L))
+    plan = FaultPlan(
+        seed=seed,
+        drop_rate=args.drop_rate,
+        duplicate_rate=args.duplicate_rate,
+        reorder_rate=args.reorder_rate,
+        corrupt_rate=args.corrupt_rate,
+        stalls=tuple(StallSpec(pid=a, start=b, duration=c) for a, b, c in args.stall),
+        crashes=tuple(CrashSpec(pid=a, start=b, duration=c) for a, b, c in args.crash),
+    )
+    machine.inject_faults(plan)
+    print(f"# chaos {args.workload} (p={p}, n={rel.n}, m={m}, L={L:g})")
+    print(f"# seed = {seed}")
+    print(
+        f"# plan: drop={plan.drop_rate:g} duplicate={plan.duplicate_rate:g} "
+        f"reorder={plan.reorder_rate:g} corrupt={plan.corrupt_rate:g} "
+        f"stalls={len(plan.stalls)} crashes={len(plan.crashes)}"
+    )
+    status = 0
+    try:
+        result = route_reliable(
+            machine, rel,
+            epsilon=args.epsilon, seed=seed,
+            max_rounds=args.max_rounds, backoff_base=args.backoff_base,
+            audit=args.audit,
+        )
+        report = result.to_dict()
+    except TransportError as exc:
+        result = exc.result
+        report = result.to_dict()
+        report["error"] = str(exc)
+        print(f"TRANSPORT FAILED: {exc}")
+        status = 1
+    table = Table(["metric", "value"], title="reliable transport under chaos")
+    table.add_row(["flits", result.n])
+    table.add_row(["rounds", result.rounds])
+    table.add_row(["delivered", result.delivered])
+    table.add_row(["exactly once", str(result.exactly_once)])
+    table.add_row(["lost in flight", result.dropped])
+    table.add_row(["retried", result.retried])
+    table.add_row(["duplicates", result.duplicates])
+    table.add_row(["corrupted", result.corrupted])
+    table.add_row(["backoff supersteps", result.backoff_steps])
+    table.add_row(["fault-free time", round(result.fault_free_time, 3)])
+    table.add_row(["protocol time", round(result.time, 3)])
+    table.add_row(["resilience overhead", f"{result.overhead:.3f}x"])
+    print(table.render())
+    if args.json:
+        report["workload"] = args.workload
+        report["seed"] = seed
+        report["plan"] = {
+            "drop_rate": plan.drop_rate,
+            "duplicate_rate": plan.duplicate_rate,
+            "reorder_rate": plan.reorder_rate,
+            "corrupt_rate": plan.corrupt_rate,
+            "stalls": len(plan.stalls),
+            "crashes": len(plan.crashes),
+        }
+        with open(args.json, "w") as fh:
+            fh.write(json.dumps(report, indent=2, default=float) + "\n")
+        print(f"wrote {args.json}")
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (subcommands: table1, measure,
     schedule, dynamic)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Experiment harness for the SPAA'97 bandwidth-models reproduction.",
+    )
+    parser.add_argument(
+        "--seed",
+        dest="root_seed",
+        type=int,
+        default=None,
+        help="default seed for every randomized subcommand (a subcommand's "
+        "own --seed wins); the effective seed is echoed in the output",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -268,7 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--m", type=int, default=64)
     sc.add_argument("--alpha", type=float, default=1.2)
     sc.add_argument("--epsilon", type=float, default=0.15)
-    sc.add_argument("--seed", type=int, default=0)
+    sc.add_argument("--seed", type=int, default=None)
     sc.set_defaults(func=_cmd_schedule)
 
     dy = sub.add_parser("dynamic", help="Theorem 6.5 vs 6.7 stability experiment")
@@ -277,7 +436,14 @@ def build_parser() -> argparse.ArgumentParser:
     dy.add_argument("--L", type=float, default=8.0)
     dy.add_argument("--window", type=int, default=128)
     dy.add_argument("--horizon", type=int, default=20_000)
-    dy.add_argument("--seed", type=int, default=0)
+    dy.add_argument("--seed", type=int, default=None)
+    dy.add_argument(
+        "--drop-rate",
+        type=float,
+        default=0.0,
+        help="per-traversal message-loss probability; > 0 adds the "
+        "LossyAlgorithmB stability-under-loss columns",
+    )
     dy.set_defaults(func=_cmd_dynamic)
 
     pr = sub.add_parser(
@@ -297,9 +463,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a registered experiment and print/save its JSON record",
     )
     ex.add_argument("name", help='"list" to enumerate, or an experiment name')
-    ex.add_argument("--seed", type=int, default=0)
+    ex.add_argument("--seed", type=int, default=None)
     ex.add_argument("--json", default=None, help="write the record to this file")
     ex.set_defaults(func=_cmd_experiment)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="route a workload through the fault injector with the "
+        "reliable transport and report the resilience overhead",
+    )
+    ch.add_argument(
+        "workload",
+        choices=["route-verify", "balanced", "uniform", "zipf", "one-to-all"],
+        help='"route-verify" pins the docs/performance.md 40k-flit routing '
+        "profile (p=256, m=64, L=1); the others honour --p/--n/--m/--L",
+    )
+    ch.add_argument("--p", type=int, default=256)
+    ch.add_argument("--n", type=int, default=20_000)
+    ch.add_argument("--m", type=int, default=64)
+    ch.add_argument("--L", type=float, default=1.0)
+    ch.add_argument("--alpha", type=float, default=1.2, help="zipf skew")
+    ch.add_argument("--epsilon", type=float, default=0.15)
+    ch.add_argument("--seed", type=int, default=None)
+    ch.add_argument("--drop-rate", type=float, default=0.05)
+    ch.add_argument("--duplicate-rate", type=float, default=0.0)
+    ch.add_argument("--reorder-rate", type=float, default=0.0)
+    ch.add_argument("--corrupt-rate", type=float, default=0.0)
+    ch.add_argument(
+        "--stall",
+        type=_parse_proc_fault,
+        action="append",
+        default=[],
+        metavar="PID:START[:DUR]",
+        help="stall a processor for DUR supersteps (repeatable)",
+    )
+    ch.add_argument(
+        "--crash",
+        type=_parse_proc_fault,
+        action="append",
+        default=[],
+        metavar="PID:START[:DUR]",
+        help="crash a processor for DUR supersteps (repeatable)",
+    )
+    ch.add_argument("--max-rounds", type=int, default=64)
+    ch.add_argument("--backoff-base", type=int, default=1)
+    ch.add_argument(
+        "--audit",
+        action="store_true",
+        help="run every superstep through the invariant auditor",
+    )
+    ch.add_argument("--json", default=None, help="write the report to this file")
+    ch.set_defaults(func=_cmd_chaos)
 
     return parser
 

@@ -35,7 +35,12 @@ from repro.scheduling.analysis import (
     evaluate_schedule,
     bsp_g_routing_time,
 )
-from repro.scheduling.execute import route, execute_schedule, delivery_counts
+from repro.scheduling.execute import (
+    route,
+    route_reliable,
+    execute_schedule,
+    delivery_counts,
+)
 from repro.scheduling.rounds import BatchedRoute, split_by_receive_buffer, route_in_batches
 from repro.scheduling.prefix_broadcast import (
     sum_and_broadcast,
@@ -66,6 +71,7 @@ __all__ = [
     "sum_and_broadcast_program",
     "tau_bound",
     "route",
+    "route_reliable",
     "execute_schedule",
     "delivery_counts",
     "BatchedRoute",

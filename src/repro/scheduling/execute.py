@@ -33,7 +33,7 @@ from repro.scheduling.static_send import unbalanced_send
 from repro.util.rng import SeedLike
 from repro.workloads.relations import HRelation
 
-__all__ = ["route", "execute_schedule", "delivery_counts"]
+__all__ = ["route", "route_reliable", "execute_schedule", "delivery_counts"]
 
 
 def _flit_plan(sched: Schedule) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
@@ -63,12 +63,16 @@ def _routing_program(ctx, slots, dests, flit_ids):
     return ctx.receive().payloads
 
 
-def execute_schedule(machine: Machine, sched: Schedule) -> RunResult:
+def execute_schedule(
+    machine: Machine, sched: Schedule, *, audit: bool = False
+) -> RunResult:
     """Run a schedule on ``machine`` as one superstep and verify delivery.
 
     Raises :class:`AssertionError`-free :class:`ValueError` if any flit is
     lost or duplicated (this would be an engine bug — the check is the
-    library guarding its own invariants, not user error).
+    library guarding its own invariants, not user error).  ``audit=True``
+    additionally runs every barrier through the invariant auditor
+    (:mod:`repro.faults.audit`).
     """
     if machine.uses_shared_memory:
         raise ValueError("schedules route point-to-point messages; use a BSP machine")
@@ -82,11 +86,23 @@ def execute_schedule(machine: Machine, sched: Schedule) -> RunResult:
         _routing_program,
         per_proc_args=plan,
         nprocs=rel.p,
+        audit=audit,
     )
-    chunks = [np.asarray(received, dtype=np.int64) for received in res.results
-              if len(received)]
-    got = np.sort(np.concatenate(chunks)) if chunks else np.zeros(0, dtype=np.int64)
+    try:
+        chunks = [np.asarray(received, dtype=np.int64) for received in res.results
+                  if len(received)]
+        got = np.sort(np.concatenate(chunks)) if chunks else np.zeros(0, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError):
+        # un-coercible payloads (e.g. CorruptedPayload markers) = not delivered
+        got = np.zeros(0, dtype=np.int64)
     if got.size != rel.n or not np.array_equal(got, np.arange(rel.n, dtype=np.int64)):
+        injector = getattr(machine, "fault_injector", None)
+        if injector is not None and not injector.plan.is_null:
+            raise ValueError(
+                f"delivery mismatch: {got.size} of {rel.n} flits arrived — the "
+                "machine has an active fault injector; use route_reliable() "
+                "(repro.faults.reliable_route) to route with retries"
+            )
         raise ValueError(
             f"delivery mismatch: {got.size} of {rel.n} flits arrived"
         )
@@ -126,3 +142,40 @@ def route(
 
         sch = naive_schedule(rel)
     return execute_schedule(machine, sch), sch
+
+
+def route_reliable(
+    machine: Machine,
+    rel: HRelation,
+    *,
+    epsilon: float = 0.15,
+    seed: SeedLike = None,
+    scheduler: Optional[Callable[..., Schedule]] = None,
+    max_rounds: int = 64,
+    backoff_base: int = 1,
+    max_time: Optional[float] = None,
+    audit: bool = False,
+):
+    """Route an h-relation with exactly-once delivery despite faults.
+
+    Scheduler-side entry point for :func:`repro.faults.reliable_route`:
+    the same automatic discipline choice as :func:`route` (Unbalanced-Send
+    when the machine is globally limited, back-to-back otherwise), but with
+    sequence numbers, acks and retransmission so every flit survives the
+    machine's attached fault injector.  Retries are rescheduled against the
+    bandwidth limit — they are priced like fresh traffic, never injected
+    for free.  Returns a :class:`repro.faults.transport.TransportResult`.
+    """
+    from repro.faults.transport import reliable_route
+
+    return reliable_route(
+        machine,
+        rel,
+        epsilon=epsilon,
+        seed=seed,
+        scheduler=scheduler,
+        max_rounds=max_rounds,
+        backoff_base=backoff_base,
+        max_time=max_time,
+        audit=audit,
+    )

@@ -2,9 +2,27 @@
 
 from __future__ import annotations
 
+import math
 from numbers import Real
 
-__all__ = ["check_positive", "check_nonnegative", "check_in_range", "check_prob"]
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_prob",
+    "check_finite",
+]
+
+
+def check_finite(name: str, value: Real) -> None:
+    """Raise :class:`ValueError` unless ``value`` is a finite number.
+
+    Catches the two values comparison-based checks let through: ``inf``
+    satisfies ``> 0``, and ``nan`` fails every comparison so ``value < 1``
+    style guards never fire on it.
+    """
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
 
 
 def check_positive(name: str, value: Real) -> None:

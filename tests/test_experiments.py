@@ -25,6 +25,7 @@ class TestRegistry:
             "dynamic_stability": dict(p=64, m=8, w=64, horizon=4000),
             "leader_gap": dict(m=8),
             "self_scheduling": dict(p=128, m=16, trials=3),
+            "stability_under_loss": dict(p=32, m=8, w=16, horizon=600),
         }
         for name in list_experiments():
             out = run_experiment(name, **small_kwargs[name])

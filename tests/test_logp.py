@@ -105,6 +105,37 @@ class TestCapacity:
         res = mach.run(prog)  # no violation
         assert res.records[0].stats["h"] == 15.0
 
+    def test_scalar_sends_accumulate_to_violation(self):
+        # each sender issues a single scalar ctx.send; the violation only
+        # exists in aggregate, at the shared destination slot
+        mach = make(p=8, g=2.0, L=4.0)  # capacity 2
+        def prog(ctx):
+            if ctx.pid in (1, 2, 3):
+                ctx.send(0, ctx.pid, slot=0)
+            yield
+        with pytest.raises(ModelViolation, match=r"3 messages.*processor 0.*slot 0"):
+            mach.run(prog)
+
+    def test_scalar_send_at_capacity_boundary_passes(self):
+        # exactly cap messages to one (dest, slot) is legal; cap+1 is not
+        mach = make(p=8, g=2.0, L=4.0)  # capacity 2
+        def prog(ctx):
+            if ctx.pid in (1, 2):
+                ctx.send(0, ctx.pid, slot=0)
+            yield
+        res = mach.run(prog)
+        assert res.records[0].stats["h"] == 2.0
+
+    def test_scalar_oversized_message_violates_alone(self):
+        # one scalar send with size > cap busts the per-slot capacity by itself
+        mach = make(p=8, g=2.0, L=4.0)  # capacity 2
+        def prog(ctx):
+            if ctx.pid == 1:
+                ctx.send(0, "big", size=3, slot=0)
+            yield
+        with pytest.raises(ModelViolation, match="capacity"):
+            mach.run(prog)
+
     def test_capacity_disabled(self):
         mach = make(p=16, g=2.0, L=4.0, enforce_capacity=False)
 

@@ -188,6 +188,38 @@ class TestPRAM:
             yield
         assert mach.run(prog).time == 1.0
 
+    def test_erew_scalar_write_write_violation(self):
+        # two processors ctx.write() the same cell in one step
+        mach = PRAM(MachineParams(p=4), rule=ConcurrencyRule.EREW)
+        def prog(ctx):
+            if ctx.pid < 2:
+                ctx.write("hot", ctx.pid)
+            yield
+        with pytest.raises(ModelViolation, match="EREW.*contention 2"):
+            mach.run(prog)
+
+    def test_erew_scalar_read_write_same_cell_allowed(self):
+        # mixed access is read-then-write step semantics: one reader plus
+        # one writer on a cell is contention 1 on each side, not a conflict
+        mach = PRAM(MachineParams(p=4), rule=ConcurrencyRule.EREW)
+        def prog(ctx):
+            if ctx.pid == 0:
+                ctx.read("cell")
+            elif ctx.pid == 1:
+                ctx.write("cell", 7)
+            yield
+        assert mach.run(prog).time == 1.0
+
+    def test_erew_violation_is_not_a_program_error(self):
+        from repro import ProgramError
+        mach = PRAM(MachineParams(p=2), rule=ConcurrencyRule.EREW)
+        def prog(ctx):
+            ctx.read(0)
+            yield
+        with pytest.raises(ModelViolation) as excinfo:
+            mach.run(prog)
+        assert not isinstance(excinfo.value, ProgramError)
+
     def test_qrqw_charges_queue(self):
         mach = PRAM(MachineParams(p=8), rule=ConcurrencyRule.QRQW)
         def prog(ctx):

@@ -1,5 +1,7 @@
 """Tests for MachineParams."""
 
+import math
+
 import pytest
 
 from repro import MachineParams
@@ -42,6 +44,46 @@ class TestConstruction:
         params = MachineParams(p=4)
         with pytest.raises(Exception):
             params.p = 8
+
+
+class TestNonFiniteRejection:
+    """nan fails every comparison, so plain `> 0` guards admit it silently;
+    inf satisfies `> 0`.  Both must be rejected with errors naming the
+    offending parameter."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_rejects_non_finite_L(self, bad):
+        with pytest.raises(ValueError, match="L"):
+            MachineParams(p=4, L=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_rejects_non_finite_o(self, bad):
+        with pytest.raises(ValueError, match="o"):
+            MachineParams(p=4, o=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_rejects_non_finite_g(self, bad):
+        with pytest.raises(ValueError, match="g"):
+            MachineParams(p=4, g=bad)
+
+    def test_error_messages_name_the_parameter_and_value(self):
+        with pytest.raises(ValueError, match=r"L must be finite.*nan"):
+            MachineParams(p=4, L=math.nan)
+        with pytest.raises(ValueError, match=r"o must be non-negative.*-2"):
+            MachineParams(p=4, o=-2.0)
+        with pytest.raises(ValueError, match=r"L must be positive.*-1"):
+            MachineParams(p=4, L=-1.0)
+
+    def test_rejects_bool_p_and_m(self):
+        # bool is an int subclass; p=True must not sneak in as p=1
+        with pytest.raises(TypeError):
+            MachineParams(p=True)
+        with pytest.raises(TypeError):
+            MachineParams(p=4, m=True)
+
+    def test_finite_values_still_accepted(self):
+        params = MachineParams(p=4, g=2.5, m=2, L=16.0, o=0.5)
+        assert params.L == 16.0 and params.o == 0.5
 
 
 class TestDerived:
