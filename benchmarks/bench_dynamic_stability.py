@@ -5,7 +5,13 @@ Series regenerated:
   (Theorem 6.5: stable iff beta <= 1/g; measured growth rate beta - 1/g);
 * Algorithm B on the matched BSP(m) staying stable at local rates far past
   ``1/g`` and only failing past the aggregate limit (Theorem 6.7).
+
+The beta and alpha sweeps fan their grid points out through
+``repro.sweep`` (SeedSequence-derived per-point streams; ``BENCH_JOBS``
+selects the pool width, results identical at any job count).
 """
+
+import os
 
 import pytest
 
@@ -18,31 +24,42 @@ from repro.dynamic import (
     check_compliance,
     run_dynamic,
 )
+from repro.sweep import SweepSpec, run_sweep
 
 from _common import emit
 
 P, M, L, W, T = 256, 16, 8.0, 128, 24_000
+JOBS = int(os.environ.get("BENCH_JOBS", "1"))
+
+
+def _crossing_point(beta_g, seed):
+    """One beta·g cell of the Theorem-6.5 crossing (module-level for pool
+    dispatch)."""
+    local, global_ = MachineParams.matched_pair(p=P, m=M, L=L)
+    g = local.g
+    beta = beta_g / g
+    trace_seed, proto_seed = seed.spawn(2)
+    trace = SingleTargetAdversary(P, W, beta=beta).generate(T, seed=trace_seed)
+    ok, _ = check_compliance(trace, W, alpha=beta, beta=beta)
+    assert ok
+    res_g = run_dynamic(BSPgIntervalProtocol(local, W), trace)
+    res_m = run_dynamic(
+        AlgorithmBProtocol(global_, W, alpha=beta, epsilon=0.25, seed=proto_seed), trace
+    )
+    return (beta_g, beta - 1 / g,
+            res_g.backlog_slope(), res_g.final_backlog, res_g.is_stable(),
+            res_m.backlog_slope(), res_m.final_backlog, res_m.is_stable())
 
 
 def run_crossing():
-    local, global_ = MachineParams.matched_pair(p=P, m=M, L=L)
-    g = local.g
-    rows = []
-    for beta_g in (0.5, 0.9, 1.1, 2.0, 4.0):
-        beta = beta_g / g
-        trace = SingleTargetAdversary(P, W, beta=beta).generate(T, seed=1)
-        ok, _ = check_compliance(trace, W, alpha=beta, beta=beta)
-        assert ok
-        res_g = run_dynamic(BSPgIntervalProtocol(local, W), trace)
-        res_m = run_dynamic(
-            AlgorithmBProtocol(global_, W, alpha=beta, epsilon=0.25, seed=2), trace
-        )
-        rows.append(
-            (beta_g, beta - 1 / g,
-             res_g.backlog_slope(), res_g.final_backlog, res_g.is_stable(),
-             res_m.backlog_slope(), res_m.final_backlog, res_m.is_stable())
-        )
-    return rows, g
+    g = MachineParams.matched_pair(p=P, m=M, L=L)[0].g
+    spec = SweepSpec(
+        name="bench_dynamic_crossing",
+        fn=_crossing_point,
+        grid={f"beta_g={bg:g}": {"beta_g": bg} for bg in (0.5, 0.9, 1.1, 2.0, 4.0)},
+        seed=0,
+    )
+    return run_sweep(spec, jobs=JOBS).results, g
 
 
 def test_theorem_6_5_crossing(benchmark):
@@ -64,17 +81,26 @@ def test_theorem_6_5_crossing(benchmark):
         assert stable_m, beta_g
 
 
-def run_aggregate_limit():
+def _aggregate_point(frac, seed):
+    """One alpha = frac·m cell of the Theorem-6.7 limit sweep."""
     _, global_ = MachineParams.matched_pair(p=P, m=M, L=L)
-    rows = []
-    for frac in (0.25, 0.5, 1.5):
-        alpha = frac * M
-        trace = UniformAdversary(P, W, alpha=alpha, beta=alpha).generate(T, seed=3)
-        res = run_dynamic(
-            AlgorithmBProtocol(global_, W, alpha=alpha, epsilon=0.25, seed=4), trace
-        )
-        rows.append((frac, res.backlog_slope(), res.max_backlog, res.is_stable()))
-    return rows
+    alpha = frac * M
+    trace_seed, proto_seed = seed.spawn(2)
+    trace = UniformAdversary(P, W, alpha=alpha, beta=alpha).generate(T, seed=trace_seed)
+    res = run_dynamic(
+        AlgorithmBProtocol(global_, W, alpha=alpha, epsilon=0.25, seed=proto_seed), trace
+    )
+    return (frac, res.backlog_slope(), res.max_backlog, res.is_stable())
+
+
+def run_aggregate_limit():
+    spec = SweepSpec(
+        name="bench_dynamic_aggregate",
+        fn=_aggregate_point,
+        grid={f"frac={f:g}": {"frac": f} for f in (0.25, 0.5, 1.5)},
+        seed=0,
+    )
+    return run_sweep(spec, jobs=JOBS).results
 
 
 def test_theorem_6_7_aggregate_limit(benchmark):

@@ -1,0 +1,130 @@
+"""Sweep-engine scaling harness: serial vs process-pool trial fan-out.
+
+Runs the 100-trial Unbalanced-Send experiment (4 workloads x 25 trials,
+the Theorem-6.2 reproduction) through ``repro.sweep`` at 1/2/4/8 jobs and
+records, per job count:
+
+* wall-clock elapsed and speedup over the serial run,
+* worker utilization and memo-cache hit rate (sweep telemetry),
+* whether the output dict is **bit-identical** to the serial run (it must
+  be — trials are pure and carry derived per-trial seeds, so the pool
+  changes only wall-clock, never results).
+
+Run standalone to (re)generate the scaling baseline::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py
+
+which writes ``BENCH_sweep.json`` to the repository root, or under
+pytest-benchmark like every other file in this directory.  Environment
+knobs for constrained boxes (the CI smoke uses both): ``BENCH_SWEEP_JOBS``
+(comma list, default ``1,2,4,8``) and ``BENCH_SWEEP_TRIALS`` (per-workload
+trials, default 25).
+
+The speedup floor (>= 2.5x at 4 jobs) is asserted only when the machine
+actually has >= 4 usable cores; identity is asserted everywhere.
+"""
+
+import json
+import os
+import time
+
+from repro.experiments import unbalanced_send_vs_optimal
+from repro.sweep import resolve_jobs
+
+from _common import emit
+
+#: the >= 100-trial experiment: 4 workloads x TRIALS trials
+P, M, N, EPS = 1024, 128, 60_000, 0.2
+TRIALS = int(os.environ.get("BENCH_SWEEP_TRIALS", "25"))
+SEED = 0
+JOBS = [int(j) for j in os.environ.get("BENCH_SWEEP_JOBS", "1,2,4,8").split(",")]
+
+#: acceptance floor: >= 2.5x at 4 jobs (checked when >= 4 cores exist)
+SPEEDUP_FLOOR_4 = 2.5
+
+
+def _run(jobs: int):
+    t0 = time.perf_counter()
+    out = unbalanced_send_vs_optimal(
+        p=P, m=M, n=N, epsilon=EPS, trials=TRIALS, seed=SEED, jobs=jobs
+    )
+    return out, time.perf_counter() - t0
+
+
+def run_all():
+    cores = resolve_jobs(0)
+    total_trials = 4 * TRIALS
+    data = {
+        "experiment": "unbalanced_send",
+        "params": {"p": P, "m": M, "n": N, "epsilon": EPS,
+                   "trials_per_workload": TRIALS, "total_trials": total_trials,
+                   "seed": SEED},
+        "cores": cores,
+        "jobs": {},
+    }
+    serial_out, serial_s = None, None
+    for jobs in JOBS:
+        out, elapsed = _run(jobs)
+        if serial_out is None:
+            serial_out, serial_s = out, elapsed
+        data["jobs"][str(jobs)] = {
+            "elapsed_s": elapsed,
+            "speedup_vs_serial": serial_s / elapsed,
+            "trials_per_s": total_trials / elapsed,
+            "identical_to_serial": out == serial_out,
+        }
+    return data
+
+
+def _report(data):
+    emit(
+        f"sweep scaling: unbalanced_send, {data['params']['total_trials']} trials "
+        f"({data['cores']} usable cores)",
+        ["jobs", "elapsed s", "speedup", "trials/s", "identical"],
+        [
+            [jobs, round(rec["elapsed_s"], 3), round(rec["speedup_vs_serial"], 2),
+             round(rec["trials_per_s"], 1), rec["identical_to_serial"]]
+            for jobs, rec in data["jobs"].items()
+        ],
+    )
+
+
+def _check(data):
+    # The invariant that makes the pool safe to use anywhere: results never
+    # depend on the job count.
+    for jobs, rec in data["jobs"].items():
+        assert rec["identical_to_serial"], (
+            f"jobs={jobs} output diverged from the serial run — "
+            "a trial is impure or seed derivation is order-dependent"
+        )
+    # The speedup claim is only measurable where parallel hardware exists.
+    if data["cores"] >= 4 and "4" in data["jobs"]:
+        speedup = data["jobs"]["4"]["speedup_vs_serial"]
+        assert speedup >= SPEEDUP_FLOOR_4, (
+            f"4-job speedup {speedup:.2f}x below the {SPEEDUP_FLOOR_4}x floor "
+            f"on a {data['cores']}-core machine"
+        )
+
+
+def write_baseline(path="BENCH_sweep.json"):
+    data = run_all()
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    return data
+
+
+def test_parallel_scaling(benchmark):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    _report(data)
+    benchmark.extra_info.update(data)
+    _check(data)
+
+
+if __name__ == "__main__":
+    out_path = os.environ.get("BENCH_SWEEP_JSON", "BENCH_sweep.json")
+    result = write_baseline(out_path)
+    _report(result)
+    _check(result)
+    best = max(rec["speedup_vs_serial"] for rec in result["jobs"].values())
+    print(f"\nwrote {out_path}  (best speedup: {best:.2f}x on {result['cores']} cores)")

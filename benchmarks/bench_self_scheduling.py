@@ -1,11 +1,19 @@
 """E2.1 — Section 2's simplified cost metric: any program priced under the
 self-scheduling BSP(m) metric ``max(w, h, n/m, L)`` is realizable on the
 true BSP(m) within ``(1+eps)`` w.h.p. (via Unbalanced-Send).
+
+Trials fan out through ``repro.sweep`` with SeedSequence-derived per-trial
+streams (``BENCH_JOBS`` selects the pool width; results are identical at
+any job count).
 """
+
+import os
 
 import numpy as np
 
 from repro.algorithms import self_scheduling_transfer
+from repro.sweep import SweepSpec, run_sweep
+from repro.util.rng import derive_seed_sequence
 from repro.workloads import (
     balanced_h_relation,
     one_to_all_relation,
@@ -16,25 +24,39 @@ from repro.workloads import (
 from _common import emit
 
 M, EPS, TRIALS = 128, 0.15, 15
+JOBS = int(os.environ.get("BENCH_JOBS", "1"))
+
+
+def _trial(rel, seed):
+    """One metric-vs-realized comparison (module-level for pool dispatch)."""
+    return self_scheduling_transfer(rel, M, epsilon=EPS, seed=seed)
 
 
 def run_all():
     p = 1024
+
+    def wseed(name):
+        return derive_seed_sequence(0, "bench_self_scheduling", "workload", name)
+
     cases = {
-        "balanced": balanced_h_relation(p, 32, seed=0),
-        "uniform": uniform_random_relation(p, 50_000, seed=1),
-        "zipf": zipf_h_relation(p, 50_000, alpha=1.2, seed=2),
+        "balanced": balanced_h_relation(p, 32, seed=wseed("balanced")),
+        "uniform": uniform_random_relation(p, 50_000, seed=wseed("uniform")),
+        "zipf": zipf_h_relation(p, 50_000, alpha=1.2, seed=wseed("zipf")),
         "one-to-all": one_to_all_relation(p),
     }
+    spec = SweepSpec(
+        name="bench_self_scheduling",
+        fn=_trial,
+        grid={name: {"rel": rel} for name, rel in cases.items()},
+        trials=TRIALS,
+        seed=0,
+    )
+    by_point = run_sweep(spec, jobs=JOBS).results_by_point()
     rows = []
-    for name, rel in cases.items():
-        ratios = []
-        for seed in range(TRIALS):
-            self_c, real_c, ratio = self_scheduling_transfer(
-                rel, M, epsilon=EPS, seed=seed
-            )
-        # keep last pair for display, ratios across trials for the bound
-            ratios.append(ratio)
+    for name in cases:
+        trials = by_point[name]
+        self_c, real_c, _ = trials[-1]  # last pair for display
+        ratios = [ratio for _, _, ratio in trials]
         rows.append(
             (name, self_c, real_c, float(np.mean(ratios)), float(np.max(ratios)))
         )

@@ -1,12 +1,26 @@
 """E4.2 — regenerate Table 1 as printed (analytic bounds, all 10 rows).
 
 This harness prints the paper's table populated numerically at a concrete
-parameter point and asserts the separation column ordering.
+parameter point and asserts the separation column ordering.  The
+separation-vs-p sweep fans its machine sizes out through ``repro.sweep``
+(``BENCH_JOBS`` selects the pool width).
 """
+
+import os
 
 import pytest
 
+from repro.sweep import SweepSpec, run_sweep
 from repro.theory import render_table1, table1_rows
+
+JOBS = int(os.environ.get("BENCH_JOBS", "1"))
+
+
+def _table1_point(p, seed):
+    """Bound ratios for one machine size (module-level for pool dispatch;
+    deterministic — ``seed`` is the sweep contract, unused)."""
+    rows = table1_rows(p=p, L=4.0, m=max(4, p // 16))
+    return {(r.problem, r.family): r.bound_ratio for r in rows}
 
 
 def test_table1_regeneration(benchmark):
@@ -23,11 +37,14 @@ def test_table1_regeneration(benchmark):
 
 def test_table1_separation_scales_with_p(benchmark):
     def sweep():
-        out = {}
-        for p in (2**10, 2**14, 2**18):
-            rows = table1_rows(p=p, L=4.0, m=max(4, p // 16))
-            out[p] = {(r.problem, r.family): r.bound_ratio for r in rows}
-        return out
+        ps = (2**10, 2**14, 2**18)
+        spec = SweepSpec(
+            name="bench_table1_scaling",
+            fn=_table1_point,
+            grid={f"p={p}": {"p": p} for p in ps},
+            seed=0,
+        )
+        return dict(zip(ps, run_sweep(spec, jobs=JOBS).results))
 
     data = benchmark.pedantic(sweep, rounds=1, iterations=1)
     # the one-to-all ratio is exactly g = 16 at every size

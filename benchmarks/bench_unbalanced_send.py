@@ -5,7 +5,15 @@ Workloads: balanced, uniform-random, zipf-skewed, one-to-all (maximal
 skew).  Baselines: exact offline optimum, the deterministic grouped
 (g-model-emulation) schedule, the naive schedule, and the BSP(g) charge of
 Proposition 6.1.
+
+Trial fan-out goes through ``repro.sweep``: per-trial seeds are derived
+via SeedSequence spawning (``derive_seed_sequence``, not ``seed + t``),
+the offline optimum is shared through the memo cache, and ``BENCH_JOBS``
+(default 1) runs the trials on a process pool — results are bit-identical
+at any job count.
 """
+
+import os
 
 import numpy as np
 
@@ -14,10 +22,11 @@ from repro.scheduling import (
     evaluate_schedule,
     grouped_schedule,
     naive_schedule,
-    offline_optimal_schedule,
     unbalanced_send,
 )
+from repro.sweep import SweepSpec, cached_offline_report, run_sweep
 from repro.theory.chernoff import window_overload_probability
+from repro.util.rng import derive_seed_sequence
 from repro.workloads import (
     balanced_h_relation,
     one_to_all_relation,
@@ -30,32 +39,48 @@ from _common import emit
 P, M, EPS = 1024, 128, 0.2
 G = P / M
 TRIALS = 25
+JOBS = int(os.environ.get("BENCH_JOBS", "1"))
 
 
 def workloads():
+    def wseed(name):
+        return derive_seed_sequence(0, "bench_unbalanced_send", "workload", name)
+
     return {
-        "balanced": balanced_h_relation(P, 64, seed=0),
-        "uniform": uniform_random_relation(P, 60_000, seed=1),
-        "zipf": zipf_h_relation(P, 60_000, alpha=1.2, seed=2),
+        "balanced": balanced_h_relation(P, 64, seed=wseed("balanced")),
+        "uniform": uniform_random_relation(P, 60_000, seed=wseed("uniform")),
+        "zipf": zipf_h_relation(P, 60_000, alpha=1.2, seed=wseed("zipf")),
         "one-to-all": one_to_all_relation(P),
     }
 
 
+def _trial(rel, seed):
+    """One Unbalanced-Send draw (module-level for pool dispatch)."""
+    rep = evaluate_schedule(unbalanced_send(rel, M, EPS, seed=seed), m=M)
+    return rep.completion_time, int(rep.overloaded)
+
+
 def run_all():
+    cases = workloads()
+    spec = SweepSpec(
+        name="bench_unbalanced_send",
+        fn=_trial,
+        grid={name: {"rel": rel} for name, rel in cases.items()},
+        trials=TRIALS,
+        seed=0,
+    )
+    by_point = run_sweep(spec, jobs=JOBS).results_by_point()
     out = {}
-    for name, rel in workloads().items():
-        opt = evaluate_schedule(offline_optimal_schedule(rel, M), m=M)
-        ratios, overloads = [], 0
-        for seed in range(TRIALS):
-            rep = evaluate_schedule(unbalanced_send(rel, M, EPS, seed=seed), m=M)
-            ratios.append(rep.completion_time / opt.completion_time)
-            overloads += rep.overloaded
+    for name, rel in cases.items():
+        opt = cached_offline_report(rel, M)
+        times = [t for t, _ in by_point[name]]
+        overloads = sum(o for _, o in by_point[name])
         grp = evaluate_schedule(grouped_schedule(rel, M), m=M)
         nai = evaluate_schedule(naive_schedule(rel), m=M)
         out[name] = {
             "opt": opt.completion_time,
-            "mean_ratio": float(np.mean(ratios)),
-            "max_ratio": float(np.max(ratios)),
+            "mean_ratio": float(np.mean(times)) / opt.completion_time,
+            "max_ratio": float(np.max(times)) / opt.completion_time,
             "overload_rate": overloads / TRIALS,
             "grouped_ratio": grp.completion_time / opt.completion_time,
             "naive_ratio": nai.completion_time / opt.completion_time,
@@ -92,22 +117,32 @@ def test_unbalanced_send_vs_optimal(benchmark):
     assert data["uniform"]["naive_ratio"] > 10.0
 
 
+def _tail_trial(rel, m_small, eps, seed):
+    """One completion time at small m (module-level for pool dispatch)."""
+    rep = evaluate_schedule(unbalanced_send(rel, m_small, eps, seed=seed), m=m_small)
+    return rep.completion_time
+
+
 def test_tail_probability_decay(benchmark):
     """P[T > k·sigma] decays with k: measured empirically at small m where
     overloads actually happen."""
 
     def measure():
-        rel = uniform_random_relation(256, 20_000, seed=3)
+        rel = uniform_random_relation(
+            256, 20_000, seed=derive_seed_sequence(0, "bench_unbalanced_send", "tail")
+        )
         m_small, eps = 24, 0.1
         opt = max(rel.n / m_small, rel.x_bar, rel.y_bar)
         sigma = (1 + eps) * opt
-        times = []
-        for seed in range(120):
-            rep = evaluate_schedule(
-                unbalanced_send(rel, m_small, eps, seed=seed), m=m_small
-            )
-            times.append(rep.completion_time)
-        times = np.asarray(times)
+        spec = SweepSpec(
+            name="bench_unbalanced_send_tail",
+            fn=_tail_trial,
+            grid={"tail": {"rel": rel}},
+            trials=120,
+            common={"m_small": m_small, "eps": eps},
+            seed=0,
+        )
+        times = np.asarray(run_sweep(spec, jobs=JOBS).results)
         return {k: float(np.mean(times > k * sigma)) for k in (1.0, 1.5, 2.0, 4.0)}
 
     tail = benchmark.pedantic(measure, rounds=1, iterations=1)

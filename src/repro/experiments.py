@@ -3,8 +3,20 @@
 The pytest benchmarks regenerate the paper's artifacts with assertions; this
 module exposes the same experiments as plain functions returning JSON-ready
 dicts, for scripting and for the CLI (``python -m repro experiment <name>
-[--json out.json]``).  Every experiment takes explicit parameters with the
-benchmark defaults and is deterministic under its ``seed``.
+[--json out.json] [--jobs N]``).  Every experiment takes explicit parameters
+with the benchmark defaults and is deterministic under its ``seed``.
+
+Since the sweep-engine rewiring, every trial- or grid-looped experiment fans
+its independent units out through :func:`repro.sweep.run_sweep`: per-trial
+seeds are derived with :func:`repro.util.rng.derive_seed_sequence` on the
+stable path ``(experiment, point, trial)`` — never ``seed + t`` arithmetic,
+which collides across experiments sharing a root seed — and ``jobs > 1``
+executes trials on a process pool with output bit-identical to ``jobs=1``
+(pinned by ``tests/test_sweep.py``).
+
+The trial functions (module-level ``_*_trial`` / ``_*_point``) are the
+units of parallelism: pure, picklable, seeded only through their
+``SeedSequence`` argument.
 """
 
 from __future__ import annotations
@@ -14,12 +26,37 @@ from typing import Any, Callable, Dict, List
 import numpy as np
 
 from repro.core.params import MachineParams
+from repro.sweep import SweepSpec, cached_offline_report, grid_points, run_sweep
+from repro.util.rng import derive_seed_sequence
 
-__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "list_experiments",
+    "UnknownExperimentError",
+]
 
 
-def table1_measured(p: int = 256, m: int = 16, L: float = 8.0, seed: int = 0) -> Dict[str, Any]:
-    """Measured model times for the Table-1 problems on all four models."""
+class UnknownExperimentError(ValueError):
+    """Raised for an unregistered experiment name; ``choices`` lists the
+    registered ones (rendered without ``KeyError``'s escaped-quote repr)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.choices = list_experiments()
+        super().__init__(
+            f"unknown experiment {name!r}; choose from: {', '.join(self.choices)}"
+        )
+
+
+def table1_measured(
+    p: int = 256, m: int = 16, L: float = 8.0, seed: int = 0, jobs: int = 1
+) -> Dict[str, Any]:
+    """Measured model times for the Table-1 problems on all four models.
+
+    A single deterministic parameter point — always runs serially (``jobs``
+    is accepted for registry uniformity).
+    """
     from repro import BSPg, BSPm, QSMg, QSMm
     from repro.algorithms import broadcast, one_to_all, summation
 
@@ -43,18 +80,26 @@ def table1_measured(p: int = 256, m: int = 16, L: float = 8.0, seed: int = 0) ->
     return out
 
 
+def _unbalanced_send_trial(rel, m: int, epsilon: float, seed) -> Dict[str, Any]:
+    """One Unbalanced-Send trial: T/OPT ratio against the (cached) offline
+    optimum plus the overload indicator."""
+    from repro.scheduling import evaluate_schedule, unbalanced_send
+
+    opt = cached_offline_report(rel, m)
+    rep = evaluate_schedule(unbalanced_send(rel, m, epsilon, seed=seed), m=m)
+    return {
+        "ratio": rep.completion_time / opt.completion_time,
+        "overloaded": int(rep.overloaded),
+    }
+
+
 def unbalanced_send_vs_optimal(
     p: int = 1024, m: int = 128, n: int = 60_000, epsilon: float = 0.2,
-    trials: int = 25, seed: int = 0,
+    trials: int = 25, seed: int = 0, jobs: int = 1,
 ) -> Dict[str, Any]:
     """Theorem 6.2: Unbalanced-Send ratio to the offline optimum across the
     benchmark's four workload shapes."""
-    from repro.scheduling import (
-        bsp_g_routing_time,
-        evaluate_schedule,
-        offline_optimal_schedule,
-        unbalanced_send,
-    )
+    from repro.scheduling import bsp_g_routing_time
     from repro.workloads import (
         balanced_h_relation,
         one_to_all_relation,
@@ -62,37 +107,48 @@ def unbalanced_send_vs_optimal(
         zipf_h_relation,
     )
 
+    def wseed(name: str):
+        return derive_seed_sequence(seed, "unbalanced_send", "workload", name)
+
     g = p / m
     cases = {
-        "balanced": balanced_h_relation(p, max(1, n // p), seed=seed),
-        "uniform": uniform_random_relation(p, n, seed=seed + 1),
-        "zipf": zipf_h_relation(p, n, alpha=1.2, seed=seed + 2),
+        "balanced": balanced_h_relation(p, max(1, n // p), seed=wseed("balanced")),
+        "uniform": uniform_random_relation(p, n, seed=wseed("uniform")),
+        "zipf": zipf_h_relation(p, n, alpha=1.2, seed=wseed("zipf")),
         "one_to_all": one_to_all_relation(p),
     }
+    # Warm the offline-schedule cache before the fan-out: forked workers
+    # inherit the entries, so every trial's optimum is a cache hit.
+    opts = {name: cached_offline_report(rel, m) for name, rel in cases.items()}
+    spec = SweepSpec(
+        name="unbalanced_send",
+        fn=_unbalanced_send_trial,
+        grid={name: {"rel": rel} for name, rel in cases.items()},
+        trials=trials,
+        common={"m": m, "epsilon": epsilon},
+        seed=seed,
+    )
+    sweep = run_sweep(spec, jobs=jobs)
+    by_point = sweep.results_by_point()
     out: Dict[str, Any] = {"p": p, "m": m, "epsilon": epsilon, "workloads": {}}
     for name, rel in cases.items():
-        opt = evaluate_schedule(offline_optimal_schedule(rel, m), m=m)
-        ratios = []
-        overloads = 0
-        for t in range(trials):
-            rep = evaluate_schedule(unbalanced_send(rel, m, epsilon, seed=seed + t), m=m)
-            ratios.append(rep.completion_time / opt.completion_time)
-            overloads += rep.overloaded
+        ratios = [t["ratio"] for t in by_point[name]]
+        overloads = sum(t["overloaded"] for t in by_point[name])
         out["workloads"][name] = {
-            "optimal": opt.completion_time,
+            "optimal": opts[name].completion_time,
             "mean_ratio": float(np.mean(ratios)),
             "max_ratio": float(np.max(ratios)),
             "overload_rate": overloads / trials,
-            "bsp_g_ratio": bsp_g_routing_time(rel, g) / opt.completion_time,
+            "bsp_g_ratio": bsp_g_routing_time(rel, g) / opts[name].completion_time,
         }
     return out
 
 
-def dynamic_stability(
-    p: int = 256, m: int = 16, L: float = 8.0, w: int = 128,
-    horizon: int = 20_000, seed: int = 0,
+def _dynamic_stability_point(
+    p: int, m: int, L: float, w: int, horizon: int, beta_g: float, seed
 ) -> Dict[str, Any]:
-    """Theorems 6.5/6.7: the single-source flood sweep."""
+    """One beta·g cell of the Theorem 6.5/6.7 sweep: BSP(g) vs Algorithm B
+    on the same adversarial trace."""
     from repro.dynamic import (
         AlgorithmBProtocol,
         BSPgIntervalProtocol,
@@ -102,29 +158,81 @@ def dynamic_stability(
 
     local, global_ = MachineParams.matched_pair(p=p, m=m, L=L)
     g = local.g
-    out: Dict[str, Any] = {"p": p, "m": m, "g": g, "w": w, "sweep": []}
-    for beta_g in (0.5, 1.1, 2.0, 4.0):
-        beta = beta_g / g
-        trace = SingleTargetAdversary(p, w, beta=beta).generate(horizon, seed=seed)
-        res_g = run_dynamic(BSPgIntervalProtocol(local, w), trace)
-        res_m = run_dynamic(
-            AlgorithmBProtocol(global_, w, alpha=beta, epsilon=0.25, seed=seed + 1),
+    beta = beta_g / g
+    trace_seed, proto_seed = seed.spawn(2)
+    trace = SingleTargetAdversary(p, w, beta=beta).generate(horizon, seed=trace_seed)
+    res_g = run_dynamic(BSPgIntervalProtocol(local, w), trace)
+    res_m = run_dynamic(
+        AlgorithmBProtocol(global_, w, alpha=beta, epsilon=0.25, seed=proto_seed),
+        trace,
+    )
+    return {
+        "beta_times_g": beta_g,
+        "theory_slope": beta - 1 / g,
+        "bsp_g": {"slope": res_g.backlog_slope(), "stable": res_g.is_stable()},
+        "algorithm_b": {"slope": res_m.backlog_slope(), "stable": res_m.is_stable()},
+    }
+
+
+def dynamic_stability(
+    p: int = 256, m: int = 16, L: float = 8.0, w: int = 128,
+    horizon: int = 20_000, seed: int = 0, jobs: int = 1,
+) -> Dict[str, Any]:
+    """Theorems 6.5/6.7: the single-source flood sweep."""
+    local, _ = MachineParams.matched_pair(p=p, m=m, L=L)
+    betas = (0.5, 1.1, 2.0, 4.0)
+    spec = SweepSpec(
+        name="dynamic_stability",
+        fn=_dynamic_stability_point,
+        grid={f"beta_g={bg:g}": {"beta_g": bg} for bg in betas},
+        common={"p": p, "m": m, "L": L, "w": w, "horizon": horizon},
+        seed=seed,
+    )
+    sweep = run_sweep(spec, jobs=jobs)
+    return {"p": p, "m": m, "g": local.g, "w": w, "sweep": sweep.results}
+
+
+def _stability_under_loss_point(
+    p: int, m: int, L: float, w: int, horizon: int, beta_g: float, drop_rates, seed
+) -> Dict[str, Any]:
+    """One beta·g cell of the loss sweep: fault-free Algorithm B plus one
+    lossy run per drop rate, all on the same trace."""
+    from repro.dynamic import (
+        AlgorithmBProtocol,
+        LossyAlgorithmBProtocol,
+        SingleTargetAdversary,
+        run_dynamic,
+    )
+
+    local, global_ = MachineParams.matched_pair(p=p, m=m, L=L)
+    g = local.g
+    beta = beta_g / g
+    trace_seed, proto_seed = seed.spawn(2)
+    trace = SingleTargetAdversary(p, w, beta=beta).generate(horizon, seed=trace_seed)
+    res_b = run_dynamic(AlgorithmBProtocol(global_, w, alpha=beta, seed=proto_seed), trace)
+    entry: Dict[str, Any] = {
+        "beta_times_g": beta_g,
+        "algorithm_b": {"slope": res_b.backlog_slope(), "stable": res_b.is_stable()},
+        "lossy": {},
+    }
+    for q in drop_rates:
+        res_q = run_dynamic(
+            LossyAlgorithmBProtocol(
+                global_, w, alpha=beta, drop_rate=q, seed=proto_seed
+            ),
             trace,
         )
-        out["sweep"].append(
-            {
-                "beta_times_g": beta_g,
-                "theory_slope": beta - 1 / g,
-                "bsp_g": {"slope": res_g.backlog_slope(), "stable": res_g.is_stable()},
-                "algorithm_b": {"slope": res_m.backlog_slope(), "stable": res_m.is_stable()},
-            }
-        )
-    return out
+        entry["lossy"][f"q={q:g}"] = {
+            "slope": res_q.backlog_slope(),
+            "stable": res_q.is_stable(),
+            "effective_rate_inflation": 1.0 / (1.0 - q) ** 2,
+        }
+    return entry
 
 
 def stability_under_loss(
     p: int = 64, m: int = 8, L: float = 4.0, w: int = 32,
-    horizon: int = 4_000, seed: int = 0,
+    horizon: int = 4_000, seed: int = 0, jobs: int = 1,
 ) -> Dict[str, Any]:
     """Theorems 6.5/6.7 under message loss: how far the reliable-transport
     retries push Algorithm B's stability frontier in.
@@ -135,86 +243,113 @@ def stability_under_loss(
     slope of :class:`~repro.dynamic.protocols.LossyAlgorithmBProtocol`
     against the fault-free Algorithm B on the same trace.
     """
-    from repro.dynamic import (
-        AlgorithmBProtocol,
-        LossyAlgorithmBProtocol,
-        SingleTargetAdversary,
-        run_dynamic,
+    local, _ = MachineParams.matched_pair(p=p, m=m, L=L)
+    betas = (0.5, 1.5, 3.0)
+    spec = SweepSpec(
+        name="stability_under_loss",
+        fn=_stability_under_loss_point,
+        grid={f"beta_g={bg:g}": {"beta_g": bg} for bg in betas},
+        common={
+            "p": p, "m": m, "L": L, "w": w, "horizon": horizon,
+            "drop_rates": (0.05, 0.15, 0.3),
+        },
+        seed=seed,
     )
-
-    local, global_ = MachineParams.matched_pair(p=p, m=m, L=L)
-    g = local.g
-    out: Dict[str, Any] = {"p": p, "m": m, "g": g, "w": w, "sweep": []}
-    for beta_g in (0.5, 1.5, 3.0):
-        beta = beta_g / g
-        trace = SingleTargetAdversary(p, w, beta=beta).generate(horizon, seed=seed)
-        res_b = run_dynamic(
-            AlgorithmBProtocol(global_, w, alpha=beta, seed=seed + 1), trace
-        )
-        entry: Dict[str, Any] = {
-            "beta_times_g": beta_g,
-            "algorithm_b": {"slope": res_b.backlog_slope(), "stable": res_b.is_stable()},
-            "lossy": {},
-        }
-        for q in (0.05, 0.15, 0.3):
-            res_q = run_dynamic(
-                LossyAlgorithmBProtocol(
-                    global_, w, alpha=beta, drop_rate=q, seed=seed + 1
-                ),
-                trace,
-            )
-            entry["lossy"][f"q={q:g}"] = {
-                "slope": res_q.backlog_slope(),
-                "stable": res_q.is_stable(),
-                "effective_rate_inflation": 1.0 / (1.0 - q) ** 2,
-            }
-        out["sweep"].append(entry)
-    return out
+    sweep = run_sweep(spec, jobs=jobs)
+    return {"p": p, "m": m, "g": local.g, "w": w, "sweep": sweep.results}
 
 
-def leader_recognition_gap(m: int = 8, seed: int = 0) -> Dict[str, Any]:
-    """Theorem 5.2: the ER-vs-CR Leader Recognition gap across p."""
+def _leader_gap_point(p: int, m: int, seed) -> Dict[str, Any]:
+    """One machine size of the Theorem-5.2 sweep (deterministic)."""
     from repro.concurrent_read import leader_recognition_pramm, leader_recognition_qsm_m
     from repro.theory.bounds import er_cr_pramm_separation
 
-    out: Dict[str, Any] = {"m": m, "sweep": []}
-    for p in (128, 256, 512, 1024):
-        leader = p // 3
-        t_pram = leader_recognition_pramm(p, leader)[0].time
-        t_qsm = leader_recognition_qsm_m(p, leader, m=m)[0].time
-        out["sweep"].append(
-            {
-                "p": p,
-                "pramm_time": t_pram,
-                "qsm_m_time": t_qsm,
-                "measured_gap": t_qsm / t_pram,
-                "paper_separation": er_cr_pramm_separation(p, m),
-            }
-        )
-    return out
+    leader = p // 3
+    t_pram = leader_recognition_pramm(p, leader)[0].time
+    t_qsm = leader_recognition_qsm_m(p, leader, m=m)[0].time
+    return {
+        "p": p,
+        "pramm_time": t_pram,
+        "qsm_m_time": t_qsm,
+        "measured_gap": t_qsm / t_pram,
+        "paper_separation": er_cr_pramm_separation(p, m),
+    }
+
+
+def leader_recognition_gap(m: int = 8, seed: int = 0, jobs: int = 1) -> Dict[str, Any]:
+    """Theorem 5.2: the ER-vs-CR Leader Recognition gap across p."""
+    spec = SweepSpec(
+        name="leader_gap",
+        fn=_leader_gap_point,
+        grid={f"p={p}": {"p": p} for p in (128, 256, 512, 1024)},
+        common={"m": m},
+        seed=seed,
+    )
+    sweep = run_sweep(spec, jobs=jobs)
+    return {"m": m, "sweep": sweep.results}
+
+
+def _self_scheduling_trial(rel, m: int, epsilon: float, seed) -> float:
+    """One realized-cost ratio of the Section-2 transfer."""
+    from repro.algorithms import self_scheduling_transfer
+
+    return self_scheduling_transfer(rel, m, epsilon=epsilon, seed=seed)[2]
 
 
 def self_scheduling_transfer_experiment(
-    p: int = 1024, m: int = 128, epsilon: float = 0.15, trials: int = 15, seed: int = 0
+    p: int = 1024, m: int = 128, epsilon: float = 0.15, trials: int = 15,
+    seed: int = 0, jobs: int = 1,
 ) -> Dict[str, Any]:
     """Section 2: the self-scheduling metric realized within (1+eps)."""
-    from repro.algorithms import self_scheduling_transfer
     from repro.workloads import uniform_random_relation, zipf_h_relation
 
+    def wseed(name: str):
+        return derive_seed_sequence(seed, "self_scheduling", "workload", name)
+
+    cases = {
+        "uniform": uniform_random_relation(p, 50_000, seed=wseed("uniform")),
+        "zipf": zipf_h_relation(p, 50_000, alpha=1.2, seed=wseed("zipf")),
+    }
+    spec = SweepSpec(
+        name="self_scheduling",
+        fn=_self_scheduling_trial,
+        grid={name: {"rel": rel} for name, rel in cases.items()},
+        trials=trials,
+        common={"m": m, "epsilon": epsilon},
+        seed=seed,
+    )
+    sweep = run_sweep(spec, jobs=jobs)
+    by_point = sweep.results_by_point()
     out: Dict[str, Any] = {"p": p, "m": m, "epsilon": epsilon, "workloads": {}}
-    for name, rel in {
-        "uniform": uniform_random_relation(p, 50_000, seed=seed),
-        "zipf": zipf_h_relation(p, 50_000, alpha=1.2, seed=seed + 1),
-    }.items():
-        ratios = [
-            self_scheduling_transfer(rel, m, epsilon=epsilon, seed=seed + t)[2]
-            for t in range(trials)
-        ]
+    for name in cases:
+        ratios = by_point[name]
         out["workloads"][name] = {
             "mean_ratio": float(np.mean(ratios)),
             "max_ratio": float(np.max(ratios)),
         }
     return out
+
+
+def sensitivity_grid(
+    p_values=(256, 1024, 4096), g_values=(2.0, 8.0), L_values=(4.0, 16.0),
+    y_grid: int = 4000, seed: int = 0, jobs: int = 1,
+) -> Dict[str, Any]:
+    """Theorem 4.1 sensitivity check fanned over a ``(p, g, L)`` grid: the
+    numeric optimum of the constrained minimization vs the paper's closed
+    form at every cell (brute-force per cell, so the grid is the
+    CPU-heaviest deterministic sweep in the registry)."""
+    from repro.theory.sensitivity import sensitivity_point
+
+    spec = SweepSpec(
+        name="sensitivity_grid",
+        fn=sensitivity_point,
+        grid=grid_points(p=list(p_values), g=list(g_values), L=list(L_values)),
+        common={"y_grid": y_grid},
+        seed=seed,
+    )
+    sweep = run_sweep(spec, jobs=jobs)
+    worst = min(cell["closed_over_numeric"] for cell in sweep.results)
+    return {"y_grid": y_grid, "cells": sweep.results, "min_closed_over_numeric": worst}
 
 
 #: name -> callable returning a JSON-ready dict
@@ -225,6 +360,7 @@ EXPERIMENTS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "stability_under_loss": stability_under_loss,
     "leader_gap": leader_recognition_gap,
     "self_scheduling": self_scheduling_transfer_experiment,
+    "sensitivity_grid": sensitivity_grid,
 }
 
 
@@ -234,8 +370,8 @@ def list_experiments() -> List[str]:
 
 
 def run_experiment(name: str, **kwargs) -> Dict[str, Any]:
-    """Run a registered experiment; unknown names raise :class:`KeyError`
-    with the available choices."""
+    """Run a registered experiment; unknown names raise
+    :class:`UnknownExperimentError` with the available choices."""
     if name not in EXPERIMENTS:
-        raise KeyError(f"unknown experiment {name!r}; choose from {list_experiments()}")
+        raise UnknownExperimentError(name)
     return EXPERIMENTS[name](**kwargs)

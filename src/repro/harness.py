@@ -21,12 +21,16 @@ Gives downstream users the paper's experiments without writing code:
 Every randomized subcommand accepts ``--seed``; a top-level
 ``python -m repro --seed N <command>`` sets the default for all of them,
 and the effective seed is always echoed in the output header so any run
-can be reproduced from its transcript.
+can be reproduced from its transcript.  Sweep-capable subcommands
+(``experiment``, ``chaos --trials``) likewise accept ``--jobs`` — their
+own or the top-level one — to fan independent trials across a process
+pool (``repro.sweep``); outputs are bit-identical at any job count.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Callable, Dict
 
 from repro.core.params import MachineParams
@@ -44,6 +48,19 @@ def _effective_seed(args: argparse.Namespace, default: int = 0) -> int:
     if seed is None:
         seed = default
     return seed
+
+
+def _effective_jobs(args: argparse.Namespace, default: int = 1) -> int:
+    """Resolve a subcommand's worker count: its own ``--jobs``, else the
+    top-level ``--jobs``, else serial (``0`` means all cores)."""
+    jobs = getattr(args, "jobs", None)
+    if jobs is None:
+        jobs = getattr(args, "root_jobs", None)
+    if jobs is None:
+        jobs = default
+    from repro.sweep import resolve_jobs
+
+    return resolve_jobs(jobs)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -262,15 +279,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import json
 
-    from repro.experiments import list_experiments, run_experiment
+    from repro.experiments import UnknownExperimentError, list_experiments, run_experiment
 
     if args.name == "list":
         for name in list_experiments():
             print(name)
         return 0
     seed = _effective_seed(args)
-    print(f"# seed = {seed}")
-    result = run_experiment(args.name, seed=seed)
+    jobs = _effective_jobs(args)
+    print(f"# seed = {seed}  jobs = {jobs}")
+    try:
+        result = run_experiment(args.name, seed=seed, jobs=jobs)
+    except UnknownExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     text = json.dumps(result, indent=2, default=float)
     if args.json:
         with open(args.json, "w") as fh:
@@ -313,6 +335,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
 
     seed = _effective_seed(args)
+    if args.trials > 1:
+        return _chaos_sweep(args, seed)
     if args.workload == "route-verify":
         # the docs/performance.md 40k-flit routing profile, pinned so the CI
         # smoke exercises exactly the throughput-bench configuration
@@ -391,6 +415,66 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return status
 
 
+def _chaos_sweep(args: argparse.Namespace, seed: int) -> int:
+    """``chaos --trials N``: fan N independent seeded chaos runs through
+    the sweep engine and print the aggregate resilience statistics."""
+    import json
+
+    from repro.faults.chaos import chaos_trial, summarize_chaos_sweep
+    from repro.sweep import SweepSpec, run_sweep
+
+    jobs = _effective_jobs(args)
+    if args.workload == "route-verify":
+        p, n, m, L = 256, 40_000, 64, 1.0
+    else:
+        p, n, m, L = args.p, args.n, args.m, args.L
+    spec = SweepSpec(
+        name="chaos",
+        fn=chaos_trial,
+        grid={args.workload: {}},
+        trials=args.trials,
+        common=dict(
+            workload=args.workload, p=p, n=n, m=m, L=L,
+            alpha=args.alpha, epsilon=args.epsilon,
+            drop_rate=args.drop_rate, duplicate_rate=args.duplicate_rate,
+            reorder_rate=args.reorder_rate, corrupt_rate=args.corrupt_rate,
+            stalls=tuple(args.stall), crashes=tuple(args.crash),
+            max_rounds=args.max_rounds, backoff_base=args.backoff_base,
+            audit=args.audit,
+        ),
+        seed=seed,
+    )
+    print(f"# chaos sweep {args.workload} (p={p}, n={n}, m={m}, L={L:g})")
+    print(f"# seed = {seed}  jobs = {jobs}  trials = {args.trials}")
+    sweep = run_sweep(spec, jobs=jobs)
+    summary = summarize_chaos_sweep(sweep.results)
+    table = Table(["metric", "value"], title="reliable transport under chaos (sweep)")
+    table.add_row(["trials", summary["trials"]])
+    table.add_row(["transport failures", summary["failures"]])
+    table.add_row(["exactly-once rate", f"{summary['exactly_once_rate']:.3f}"])
+    table.add_row(["delivered (total)", summary["delivered_total"]])
+    table.add_row(["lost in flight (total)", summary["dropped_total"]])
+    table.add_row(["retried (total)", summary["retried_total"]])
+    table.add_row(["rounds mean / max",
+                   f"{summary['rounds']['mean']:.2f} / {summary['rounds']['max']}"])
+    table.add_row(["overhead mean / p95 / max",
+                   f"{summary['overhead']['mean']:.3f} / "
+                   f"{summary['overhead']['p95']:.3f} / {summary['overhead']['max']:.3f}x"])
+    tel = sweep.telemetry()
+    table.add_row(["sweep elapsed", f"{tel['elapsed_s']:.2f}s"])
+    table.add_row(["worker utilization", f"{tel['utilization']:.2f}"])
+    print(table.render())
+    if args.json:
+        record = {
+            "workload": args.workload, "seed": seed,
+            "summary": summary, "telemetry": tel, "trials": sweep.results,
+        }
+        with open(args.json, "w") as fh:
+            fh.write(json.dumps(record, indent=2, default=float) + "\n")
+        print(f"wrote {args.json}")
+    return 1 if summary["failures"] else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (subcommands: table1, measure,
     schedule, dynamic)."""
@@ -405,6 +489,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="default seed for every randomized subcommand (a subcommand's "
         "own --seed wins); the effective seed is echoed in the output",
+    )
+    parser.add_argument(
+        "--jobs",
+        dest="root_jobs",
+        type=int,
+        default=None,
+        help="default worker-process count for sweep-capable subcommands "
+        "(a subcommand's own --jobs wins; 0 = all cores; output is "
+        "bit-identical at any job count)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -464,6 +557,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ex.add_argument("name", help='"list" to enumerate, or an experiment name')
     ex.add_argument("--seed", type=int, default=None)
+    ex.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the experiment's trial fan-out "
+        "(0 = all cores; default serial)",
+    )
     ex.add_argument("--json", default=None, help="write the record to this file")
     ex.set_defaults(func=_cmd_experiment)
 
@@ -507,6 +605,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ch.add_argument("--max-rounds", type=int, default=64)
     ch.add_argument("--backoff-base", type=int, default=1)
+    ch.add_argument(
+        "--trials", type=int, default=1,
+        help="> 1 sweeps that many independently seeded chaos runs and "
+        "reports aggregate statistics",
+    )
+    ch.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for --trials > 1 (0 = all cores)",
+    )
     ch.add_argument(
         "--audit",
         action="store_true",

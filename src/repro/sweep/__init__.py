@@ -1,0 +1,54 @@
+"""Parallel sweep engine: multiprocess trial fan-out with deterministic
+seeding, schedule-result caching, and sweep telemetry.
+
+The layer between a single priced superstep and a paper-scale experiment:
+Monte Carlo trials and parameter grids expand into pure, independently
+seeded :class:`TrialTask` units (:mod:`repro.sweep.spec`), execute on a
+chunked process pool or a bit-identical serial fallback
+(:mod:`repro.sweep.runner`), share expensive offline-optimal intermediates
+through a keyed memo cache (:mod:`repro.sweep.cache`), and come back as a
+columnar :class:`SweepResult` with wall-time / utilization / cache
+telemetry (:mod:`repro.sweep.telemetry`).  See ``docs/performance.md``.
+
+Quickstart::
+
+    from repro.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        name="my_experiment",
+        fn=my_trial,                    # module-level: fn(seed=..., **params)
+        grid={"small": {"p": 64}, "large": {"p": 1024}},
+        trials=100,
+        seed=0,
+    )
+    result = run_sweep(spec, jobs=4)    # == run_sweep(spec, jobs=1), faster
+    by_point = result.results_by_point()
+    print(result.telemetry())
+"""
+
+from repro.sweep.cache import (
+    CacheStats,
+    cache_stats,
+    cached_offline_report,
+    cached_offline_schedule,
+    clear_cache,
+)
+from repro.sweep.runner import TrialExecutionError, resolve_jobs, run_sweep
+from repro.sweep.spec import SweepSpec, TrialTask, grid_points
+from repro.sweep.telemetry import SweepResult, TrialRecord
+
+__all__ = [
+    "SweepSpec",
+    "TrialTask",
+    "grid_points",
+    "run_sweep",
+    "resolve_jobs",
+    "TrialExecutionError",
+    "SweepResult",
+    "TrialRecord",
+    "cached_offline_schedule",
+    "cached_offline_report",
+    "cache_stats",
+    "clear_cache",
+    "CacheStats",
+]

@@ -1,0 +1,130 @@
+"""Keyed memo cache for pure, expensive sweep intermediates.
+
+Sweep grids routinely share work: every trial of an Unbalanced-Send
+experiment compares against the *same* offline-optimal schedule, and grid
+points that differ only in penalty family, ``L``, or ``tau`` re-price the
+same schedule.  This module caches the two layers separately:
+
+* **schedules** — ``offline_optimal_schedule(rel, m)`` keyed by
+  ``(rel.fingerprint(), m)``: the O(n log n) construction is shared across
+  every pricing variant;
+* **reports** — ``evaluate_schedule`` output keyed additionally by
+  ``(L, penalty.cache_key(), tau)``: the priced
+  :class:`~repro.scheduling.analysis.ScheduleReport` itself.
+
+Everything cached is a pure function of its key, so cache hits are
+bit-identical to recomputation — the pool-vs-serial identity guarantee is
+unaffected by cache state.  Each process keeps its own cache (workers
+forked after a warm-up inherit the parent's entries for free); hit/miss
+counters are exported per trial so :class:`~repro.sweep.telemetry.SweepResult`
+can aggregate a sweep-wide hit rate even across pool workers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.core.costs import EXPONENTIAL, PenaltyFunction
+from repro.workloads.relations import HRelation
+
+__all__ = [
+    "cached_offline_schedule",
+    "cached_offline_report",
+    "cache_stats",
+    "clear_cache",
+    "CacheStats",
+]
+
+#: entries kept per layer before FIFO eviction (a sweep grid rarely needs
+#: more than a handful of distinct relations; this only bounds memory)
+MAX_ENTRIES = 256
+
+_schedules: "OrderedDict[Hashable, Any]" = OrderedDict()
+_reports: "OrderedDict[Hashable, Any]" = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Cumulative hit/miss counters of this process's cache."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def cache_stats() -> CacheStats:
+    """Snapshot the counters (cheap; called around every sweep trial)."""
+    return CacheStats(hits=_hits, misses=_misses, entries=len(_schedules) + len(_reports))
+
+
+def clear_cache() -> None:
+    """Drop all entries and zero the counters (tests, memory pressure)."""
+    global _hits, _misses
+    _schedules.clear()
+    _reports.clear()
+    _hits = _misses = 0
+
+
+def _get(store: "OrderedDict[Hashable, Any]", key: Hashable):
+    global _hits, _misses
+    if key in store:
+        _hits += 1
+        return True, store[key]
+    _misses += 1
+    return False, None
+
+
+def _put(store: "OrderedDict[Hashable, Any]", key: Hashable, value: Any) -> None:
+    store[key] = value
+    while len(store) > MAX_ENTRIES:
+        store.popitem(last=False)
+
+
+def cached_offline_schedule(rel: HRelation, m: int):
+    """``offline_optimal_schedule(rel, m)``, memoized on
+    ``(rel.fingerprint(), m)``."""
+    key = (rel.fingerprint(), int(m))
+    hit, value = _get(_schedules, key)
+    if hit:
+        return value
+    from repro.scheduling.offline import offline_optimal_schedule
+
+    value = offline_optimal_schedule(rel, m)
+    _put(_schedules, key, value)
+    return value
+
+
+def cached_offline_report(
+    rel: HRelation,
+    m: int,
+    *,
+    L: float = 0.0,
+    penalty: PenaltyFunction = EXPONENTIAL,
+    tau: float = 0.0,
+):
+    """The priced offline-optimal :class:`ScheduleReport`, memoized on
+    ``(rel.fingerprint(), m, L, penalty.cache_key(), tau)``.
+
+    Grid points that differ only in penalty family / ``L`` / ``tau`` share
+    the underlying schedule via :func:`cached_offline_schedule` and pay one
+    (vectorized, cheap) re-pricing each.
+    """
+    key = (rel.fingerprint(), int(m), float(L), penalty.cache_key(), float(tau))
+    hit, value = _get(_reports, key)
+    if hit:
+        return value
+    from repro.scheduling.analysis import evaluate_schedule
+
+    sched = cached_offline_schedule(rel, m)
+    value = evaluate_schedule(sched, m=m, L=L, penalty=penalty, tau=tau)
+    _put(_reports, key, value)
+    return value

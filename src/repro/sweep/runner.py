@@ -1,0 +1,189 @@
+"""Process-pool sweep execution with a bit-identical serial fallback.
+
+:func:`run_sweep` fans a :class:`~repro.sweep.spec.SweepSpec`'s trials
+across a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* **chunked dispatch** — tasks ship in contiguous chunks (default: ~4
+  chunks per worker) so per-task IPC cost amortizes over many cheap
+  trials;
+* **ordered reassembly** — chunks are submitted and collected in task
+  order, so ``results[i]`` always belongs to ``tasks()[i]`` regardless of
+  which worker finished first: pool output is *bit-identical* to the
+  serial path (trial functions are pure and carry their own derived seed);
+* **worker-side exception capture** — a failing trial is caught in the
+  worker and re-raised in the parent as :class:`TrialExecutionError`
+  naming the trial's label, parameters, and exact seed derivation (a
+  ``SeedSequence(entropy, spawn_key=...)`` expression that replays it in
+  isolation), with the worker traceback attached — never an opaque
+  ``BrokenProcessPool``;
+* **serial fallback** — ``jobs=1`` (the CI default) runs in-process with
+  no executor, same result object, same error surface.
+
+``jobs=0`` / ``jobs=None`` auto-sizes to the machine's usable CPU count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.sweep import cache
+from repro.sweep.spec import SweepSpec, TrialTask
+from repro.sweep.telemetry import SweepResult, TrialRecord
+from repro.util.rng import describe_seed
+
+__all__ = ["run_sweep", "resolve_jobs", "TrialExecutionError"]
+
+
+class TrialExecutionError(RuntimeError):
+    """A sweep trial raised; carries everything needed to replay it."""
+
+    def __init__(
+        self,
+        label: str,
+        params_desc: str,
+        seed_desc: str,
+        cause_repr: str,
+        worker_traceback: str = "",
+    ) -> None:
+        self.label = label
+        self.params_desc = params_desc
+        self.seed_desc = seed_desc
+        self.cause_repr = cause_repr
+        self.worker_traceback = worker_traceback
+        message = (
+            f"sweep trial {label} failed: {cause_repr}\n"
+            f"  params: {params_desc}\n"
+            f"  seed:   {seed_desc}"
+        )
+        if worker_traceback:
+            message += f"\n  worker traceback:\n{worker_traceback}"
+        super().__init__(message)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """``None``/``0`` → usable CPU count; negative is an error."""
+    if jobs is None or jobs == 0:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _describe_params(params: dict) -> str:
+    """Compact, log-safe parameter description (arrays and relations are
+    named by type/size instead of dumped)."""
+    parts = []
+    for k, v in params.items():
+        r = repr(v)
+        if len(r) > 60:
+            size = getattr(v, "n", None) or getattr(v, "size", None)
+            r = f"<{type(v).__name__}{f' n={size}' if size is not None else ''}>"
+        parts.append(f"{k}={r}")
+    return ", ".join(parts)
+
+
+def _execute(task: TrialTask) -> Tuple[Any, float, int, int, int]:
+    """Run one trial, timing it and snapshotting the memo-cache counters."""
+    before = cache.cache_stats()
+    t0 = time.perf_counter()
+    value = task.run()
+    wall = time.perf_counter() - t0
+    after = cache.cache_stats()
+    return value, wall, os.getpid(), after.hits - before.hits, after.misses - before.misses
+
+
+def _error_payload(task: TrialTask, exc: BaseException) -> Tuple[str, str, str, str, str]:
+    return (
+        task.label,
+        _describe_params(task.params),
+        describe_seed(task.seed),
+        repr(exc),
+        traceback.format_exc(),
+    )
+
+
+def _run_chunk(tasks: Sequence[TrialTask]) -> List[Tuple[str, Any]]:
+    """Worker entry point: execute a chunk, capturing failures as data so
+    they cross the process boundary with full context."""
+    out: List[Tuple[str, Any]] = []
+    for task in tasks:
+        try:
+            out.append(("ok", _execute(task)))
+        except Exception as exc:  # noqa: BLE001 - re-raised in the parent
+            out.append(("err", _error_payload(task, exc)))
+            break  # remaining tasks in the chunk would be discarded anyway
+    return out
+
+
+def _raise_trial_error(payload: Tuple[str, str, str, str, str], cause=None):
+    label, params_desc, seed_desc, cause_repr, tb = payload
+    err = TrialExecutionError(label, params_desc, seed_desc, cause_repr, "" if cause else tb)
+    raise err from cause
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: Optional[int] = 1,
+    chunksize: Optional[int] = None,
+) -> SweepResult:
+    """Execute every trial of ``spec`` and return a :class:`SweepResult`.
+
+    ``jobs=1`` runs serially in-process; ``jobs>1`` fans out over a
+    process pool; ``jobs in (0, None)`` auto-sizes to the CPU count.  The
+    ``results`` list is in task order in every mode, and — because trial
+    functions are pure and seeded per-task — identical in every mode.
+    """
+    jobs = resolve_jobs(jobs)
+    tasks = spec.tasks()
+    t0 = time.perf_counter()
+    results: List[Any] = []
+    records: List[TrialRecord] = []
+
+    def _append(task: TrialTask, payload) -> None:
+        value, wall, pid, hits, misses = payload
+        results.append(value)
+        records.append(
+            TrialRecord(
+                index=task.index,
+                point=task.point,
+                trial=task.trial,
+                wall_time=wall,
+                worker=pid,
+                cache_hits=hits,
+                cache_misses=misses,
+            )
+        )
+
+    if jobs == 1 or len(tasks) == 1:
+        for task in tasks:
+            try:
+                _append(task, _execute(task))
+            except Exception as exc:  # noqa: BLE001 - wrapped with context
+                _raise_trial_error(_error_payload(task, exc), cause=exc)
+    else:
+        if chunksize is None:
+            chunksize = max(1, -(-len(tasks) // (jobs * 4)))
+        chunks = [tasks[i : i + chunksize] for i in range(0, len(tasks), chunksize)]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+            for chunk, future in zip(chunks, futures):
+                for task, (status, payload) in zip(chunk, future.result()):
+                    if status == "err":
+                        _raise_trial_error(payload)
+                    _append(task, payload)
+
+    return SweepResult(
+        name=spec.name,
+        jobs=jobs,
+        elapsed=time.perf_counter() - t0,
+        results=results,
+        records=records,
+        point_keys=spec.point_keys,
+    )

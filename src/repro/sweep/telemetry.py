@@ -1,0 +1,164 @@
+"""Columnar sweep telemetry: per-trial wall time, worker attribution,
+cache effectiveness, and JSON export.
+
+:class:`SweepResult` is the runner's return type.  Trial outputs are kept
+in task order (``results[i]`` belongs to ``tasks()[i]``, pool or serial),
+so downstream aggregation is deterministic.  Telemetry columns are
+structure-of-arrays (NumPy), matching the repo's columnar idiom: summaries
+(utilization, hit rate, slowest trial) are single vector reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["TrialRecord", "SweepResult"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Telemetry of one executed trial (not its scientific output)."""
+
+    index: int
+    point: str
+    trial: int
+    wall_time: float  # seconds inside the trial fn
+    worker: int  # executing process id
+    cache_hits: int  # memo-cache hits during this trial
+    cache_misses: int
+
+
+@dataclass
+class SweepResult:
+    """Ordered trial outputs plus columnar execution telemetry."""
+
+    name: str
+    jobs: int
+    elapsed: float  # wall-clock of the whole sweep, seconds
+    results: List[Any]  # trial outputs, task order
+    records: List[TrialRecord]  # telemetry, task order
+    point_keys: List[str] = field(default_factory=list)
+
+    # -- columnar views -------------------------------------------------
+    @property
+    def wall_times(self) -> np.ndarray:
+        """Per-trial wall times, task order (float64 seconds)."""
+        return np.asarray([r.wall_time for r in self.records], dtype=np.float64)
+
+    @property
+    def workers(self) -> np.ndarray:
+        """Executing pid per trial, task order."""
+        return np.asarray([r.worker for r in self.records], dtype=np.int64)
+
+    # -- aggregates -----------------------------------------------------
+    @property
+    def trials(self) -> int:
+        return len(self.records)
+
+    @property
+    def busy_time(self) -> float:
+        """Total seconds spent inside trial functions (across workers)."""
+        return float(self.wall_times.sum()) if self.records else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """``busy_time / (jobs * elapsed)`` — 1.0 means every worker slot
+        computed the whole time; low values flag dispatch overhead or a
+        straggler-dominated grid."""
+        denom = self.jobs * self.elapsed
+        return self.busy_time / denom if denom > 0 else 0.0
+
+    @property
+    def n_workers(self) -> int:
+        """Distinct processes that executed at least one trial."""
+        return int(np.unique(self.workers).size) if self.records else 0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(r.cache_hits for r in self.records)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(r.cache_misses for r in self.records)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def results_by_point(self) -> Dict[str, List[Any]]:
+        """Trial outputs grouped by grid point, trial order within each."""
+        out: Dict[str, List[Any]] = {k: [] for k in self.point_keys}
+        for rec, res in zip(self.records, self.results):
+            out.setdefault(rec.point, []).append(res)
+        return out
+
+    # -- export ---------------------------------------------------------
+    def telemetry(self) -> Dict[str, Any]:
+        """The summary block (no per-trial outputs)."""
+        wt = self.wall_times
+        return {
+            "name": self.name,
+            "jobs": self.jobs,
+            "trials": self.trials,
+            "elapsed_s": self.elapsed,
+            "busy_s": self.busy_time,
+            "utilization": self.utilization,
+            "workers": self.n_workers,
+            "trial_wall_s": {
+                "mean": float(wt.mean()) if wt.size else 0.0,
+                "max": float(wt.max()) if wt.size else 0.0,
+            },
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hit_rate,
+            },
+        }
+
+    def to_dict(self, include_trials: bool = True) -> Dict[str, Any]:
+        """JSON-ready record: summary telemetry plus (optionally) the
+        per-trial columns and outputs."""
+        out = self.telemetry()
+        if include_trials:
+            out["trial_columns"] = {
+                "point": [r.point for r in self.records],
+                "trial": [r.trial for r in self.records],
+                "wall_s": [r.wall_time for r in self.records],
+                "worker": [r.worker for r in self.records],
+                "cache_hits": [r.cache_hits for r in self.records],
+                "cache_misses": [r.cache_misses for r in self.records],
+            }
+            out["results"] = self.results
+        return out
+
+    def to_json(self, path: str, include_trials: bool = True) -> None:
+        """Write :meth:`to_dict` to ``path``."""
+        import json
+
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(include_trials=include_trials), fh, indent=2, default=float)
+            fh.write("\n")
+
+
+def build_records(
+    indices: Sequence[int],
+    points: Sequence[str],
+    trials: Sequence[int],
+    wall_times: Sequence[float],
+    workers: Sequence[int],
+    hits: Sequence[int],
+    misses: Sequence[int],
+) -> List[TrialRecord]:
+    """Assemble :class:`TrialRecord` rows from parallel columns."""
+    return [
+        TrialRecord(
+            index=i, point=pt, trial=t, wall_time=w, worker=pid, cache_hits=h, cache_misses=ms
+        )
+        for i, pt, t, w, pid, h, ms in zip(
+            indices, points, trials, wall_times, workers, hits, misses
+        )
+    ]

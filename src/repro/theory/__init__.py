@@ -7,6 +7,7 @@ from repro.theory.sensitivity import (
     SensitivityOptimum,
     minimize_sensitivity_bound,
     closed_form_Y,
+    sensitivity_point,
 )
 from repro.theory.chernoff import (
     chernoff_upper_tail,
@@ -30,4 +31,5 @@ __all__ = [
     "SensitivityOptimum",
     "minimize_sensitivity_bound",
     "closed_form_Y",
+    "sensitivity_point",
 ]

@@ -20,7 +20,12 @@ from dataclasses import dataclass
 
 from repro.util.validation import check_positive
 
-__all__ = ["SensitivityOptimum", "minimize_sensitivity_bound", "closed_form_Y"]
+__all__ = [
+    "SensitivityOptimum",
+    "minimize_sensitivity_bound",
+    "closed_form_Y",
+    "sensitivity_point",
+]
 
 
 @dataclass
@@ -43,6 +48,30 @@ def closed_form_Y(p: int, g: float, L: float) -> float:
     if p < 2:
         return 0.0
     return L * math.log2(p) / math.log2(2.0 * L / g + 1.0)
+
+
+def sensitivity_point(p: int, g: float, L: float, y_grid: int = 4000, seed=None) -> dict:
+    """One ``(p, g, L)`` cell of the Theorem-4.1 verification grid: the
+    numeric optimum vs the closed form, as a JSON-ready dict.
+
+    The brute-force minimization is deterministic; ``seed`` is accepted
+    (and ignored) so the function satisfies the sweep-engine trial
+    contract and the grid can fan out across cores via
+    :func:`repro.sweep.run_sweep`.
+    """
+    opt = minimize_sensitivity_bound(p, g, L, y_grid=y_grid)
+    closed = closed_form_Y(p, g, L)
+    return {
+        "p": p,
+        "g": g,
+        "L": L,
+        "numeric_Y": opt.value,
+        "numeric_y": opt.y,
+        "numeric_n": opt.n,
+        "closed_form_Y": closed,
+        "closed_over_numeric": closed / opt.value if opt.value else 1.0,
+        "T_lower": opt.T_lower,
+    }
 
 
 def minimize_sensitivity_bound(

@@ -4,7 +4,11 @@ import json
 
 import pytest
 
-from repro.experiments import list_experiments, run_experiment
+from repro.experiments import (
+    UnknownExperimentError,
+    list_experiments,
+    run_experiment,
+)
 
 
 class TestRegistry:
@@ -15,8 +19,16 @@ class TestRegistry:
         assert names == sorted(names)
 
     def test_unknown_name(self):
-        with pytest.raises(KeyError, match="unknown experiment"):
+        with pytest.raises(UnknownExperimentError, match="unknown experiment"):
             run_experiment("bogus")
+
+    def test_unknown_name_is_a_value_error_with_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            run_experiment("bogus")
+        err = excinfo.value
+        assert err.name == "bogus"
+        assert err.choices == list_experiments()
+        assert "choose from" in str(err)
 
     def test_every_experiment_runs_and_serializes(self):
         small_kwargs = {
@@ -26,6 +38,9 @@ class TestRegistry:
             "leader_gap": dict(m=8),
             "self_scheduling": dict(p=128, m=16, trials=3),
             "stability_under_loss": dict(p=32, m=8, w=16, horizon=600),
+            "sensitivity_grid": dict(
+                p_values=(64, 256), g_values=(2.0,), L_values=(4.0,), y_grid=400
+            ),
         }
         for name in list_experiments():
             out = run_experiment(name, **small_kwargs[name])
@@ -73,3 +88,18 @@ class TestCLIExperiment:
         assert main(["experiment", "leader_gap", "--json", str(path)]) == 0
         data = json.loads(path.read_text())
         assert data["sweep"]
+
+    def test_unknown_name_exits_nonzero_with_choices(self, capsys):
+        from repro.harness import main
+
+        assert main(["experiment", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "leader_gap" in err  # the choices list is printed
+
+    def test_jobs_flag_accepted(self, capsys):
+        from repro.harness import main
+
+        assert main(["experiment", "leader_gap", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs = 2" in out

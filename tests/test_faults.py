@@ -462,3 +462,47 @@ class TestChaosCLI:
         ])
         assert code == 0
         assert "# seed = 42" in capsys.readouterr().out
+
+    def test_chaos_sweep_aggregates_trials(self, capsys, tmp_path):
+        from repro.harness import main
+
+        out = tmp_path / "chaos_sweep.json"
+        code = main([
+            "chaos", "uniform", "--p", "16", "--n", "300", "--m", "4",
+            "--seed", "3", "--drop-rate", "0.1",
+            "--trials", "3", "--jobs", "2", "--json", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "jobs = 2  trials = 3" in text
+        assert "exactly-once rate" in text
+        import json
+
+        record = json.loads(out.read_text())
+        assert record["summary"]["trials"] == 3
+        assert record["summary"]["failures"] == 0
+        assert len(record["trials"]) == 3
+        assert record["telemetry"]["jobs"] == 2
+
+    def test_chaos_sweep_accepts_route_verify(self):
+        # regression: the sweep path routes the pinned profile through
+        # build_relation, which must know the "route-verify" name
+        from repro.faults.chaos import build_relation
+
+        rel = build_relation("route-verify", 32, 400, 1.2, seed=0)
+        assert rel.n == 400
+
+    def test_chaos_sweep_deterministic_across_jobs(self):
+        from repro.faults.chaos import chaos_trial
+        from repro.sweep import SweepSpec, run_sweep
+
+        spec = SweepSpec(
+            name="chaos", fn=chaos_trial, grid={"uniform": {}}, trials=3, seed=7,
+            common=dict(
+                workload="uniform", p=16, n=300, m=4, L=1.0, alpha=1.2,
+                epsilon=0.2, drop_rate=0.1, duplicate_rate=0.0,
+                reorder_rate=0.0, corrupt_rate=0.0, stalls=(), crashes=(),
+                max_rounds=64, backoff_base=2, audit=False,
+            ),
+        )
+        assert run_sweep(spec, jobs=2).results == run_sweep(spec, jobs=1).results

@@ -1,0 +1,329 @@
+"""Tests for the parallel sweep engine: seed derivation, spec expansion,
+pool-vs-serial bit-identity, worker-crash surfacing, memo cache, telemetry."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import list_experiments, run_experiment
+from repro.scheduling import evaluate_schedule, offline_optimal_schedule
+from repro.sweep import (
+    SweepSpec,
+    TrialExecutionError,
+    cache_stats,
+    cached_offline_report,
+    cached_offline_schedule,
+    clear_cache,
+    grid_points,
+    resolve_jobs,
+    run_sweep,
+)
+from repro.util.rng import (
+    as_generator,
+    derive_generator,
+    derive_seed_sequence,
+    describe_seed,
+)
+from repro.workloads import uniform_random_relation
+
+
+# ---------------------------------------------------------------------------
+# module-level trial functions (pool workers pickle them by reference)
+
+def _double(x, seed):
+    return 2 * x
+
+
+def _draw(width, seed):
+    return float(as_generator(seed).uniform(0.0, width))
+
+
+def _record_seed(seed):
+    return describe_seed(seed)
+
+
+def _boom(x, seed):
+    if x == 3:
+        raise ValueError("injected trial failure")
+    return x
+
+
+class TestDeriveSeedSequence:
+    def test_stable(self):
+        a = derive_seed_sequence(7, "exp", "point", 2)
+        b = derive_seed_sequence(7, "exp", "point", 2)
+        assert a.entropy == b.entropy
+        assert tuple(a.spawn_key) == tuple(b.spawn_key)
+        assert np.array_equal(a.generate_state(4), b.generate_state(4))
+
+    def test_distinct_paths_distinct_streams(self):
+        paths = [("exp", "a", 0), ("exp", "a", 1), ("exp", "b", 0), ("other", "a", 0)]
+        states = [tuple(derive_seed_sequence(0, *p).generate_state(4)) for p in paths]
+        assert len(set(states)) == len(states)
+
+    def test_component_boundaries_do_not_collide(self):
+        # ("ab", "c") vs ("a", "bc") — each component hashes independently
+        a = derive_seed_sequence(0, "ab", "c")
+        b = derive_seed_sequence(0, "a", "bc")
+        assert tuple(a.spawn_key) != tuple(b.spawn_key)
+
+    def test_int_and_str_components_differ(self):
+        a = derive_seed_sequence(0, "exp", 5)
+        b = derive_seed_sequence(0, "exp", "5")
+        assert tuple(a.spawn_key) != tuple(b.spawn_key)
+
+    def test_nesting_extends_path(self):
+        base = derive_seed_sequence(0, "exp")
+        nested = derive_seed_sequence(base, "trial", 1)
+        flat = derive_seed_sequence(0, "exp", "trial", 1)
+        assert tuple(nested.spawn_key) == tuple(flat.spawn_key)
+
+    def test_generator_root_rejected(self):
+        with pytest.raises(TypeError, match="Generator"):
+            derive_seed_sequence(np.random.default_rng(0), "exp")
+
+    def test_float_component_rejected(self):
+        with pytest.raises(TypeError, match="int or str"):
+            derive_seed_sequence(0, 1.5)
+
+    def test_derive_generator_matches_sequence(self):
+        g = derive_generator(3, "exp", 0)
+        h = np.random.default_rng(derive_seed_sequence(3, "exp", 0))
+        assert g.integers(0, 1 << 30, 8).tolist() == h.integers(0, 1 << 30, 8).tolist()
+
+    def test_describe_seed_replays(self):
+        seq = derive_seed_sequence(11, "exp", "pt", 4)
+        replayed = eval(describe_seed(seq), {"SeedSequence": np.random.SeedSequence})
+        assert np.array_equal(seq.generate_state(4), replayed.generate_state(4))
+
+
+class TestSweepSpec:
+    def test_task_expansion_points_major(self):
+        spec = SweepSpec(
+            name="s", fn=_double, grid={"a": {"x": 1}, "b": {"x": 2}}, trials=3
+        )
+        tasks = spec.tasks()
+        assert [(t.point, t.trial) for t in tasks] == [
+            ("a", 0), ("a", 1), ("a", 2), ("b", 0), ("b", 1), ("b", 2)
+        ]
+        assert [t.index for t in tasks] == list(range(6))
+        assert tasks[0].label == "s[a:0]"
+
+    def test_sequence_grid_gets_derived_keys(self):
+        spec = SweepSpec(name="s", fn=_double, grid=[{"x": 1}, {"x": 2}])
+        assert spec.point_keys == ["x=1", "x=2"]
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec(name="s", fn=_double, grid=[{"x": 1}, {"x": 1}])
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            SweepSpec(name="s", fn=_double, grid=[])
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(ValueError, match="trials"):
+            SweepSpec(name="s", fn=_double, grid=[{"x": 1}], trials=0)
+
+    def test_task_seed_matches_expanded_tasks(self):
+        spec = SweepSpec(name="s", fn=_record_seed, grid={"a": {}}, trials=2, seed=9)
+        for task in spec.tasks():
+            assert describe_seed(task.seed) == describe_seed(
+                spec.task_seed(task.point, task.trial)
+            )
+
+    def test_common_params_merged_point_wins(self):
+        spec = SweepSpec(
+            name="s", fn=_double, grid={"a": {"x": 5}}, common={"x": 1}
+        )
+        assert spec.tasks()[0].params == {"x": 5}
+
+    def test_grid_points_product(self):
+        pts = grid_points(p=[64, 128], L=[1.0, 4.0])
+        assert len(pts) == 4
+        assert {"p": 64, "L": 4.0} in pts
+
+
+class TestRunSweep:
+    def test_serial_results_in_task_order(self):
+        spec = SweepSpec(name="s", fn=_double, grid=[{"x": i} for i in range(5)])
+        res = run_sweep(spec, jobs=1)
+        assert res.results == [0, 2, 4, 6, 8]
+        assert res.jobs == 1 and res.trials == 5
+
+    def test_pool_identical_to_serial(self):
+        spec = SweepSpec(
+            name="s", fn=_draw, grid={"w": {"width": 10.0}}, trials=16, seed=3
+        )
+        serial = run_sweep(spec, jobs=1)
+        pooled = run_sweep(spec, jobs=4)
+        assert pooled.results == serial.results
+        assert pooled.jobs == 4
+
+    def test_auto_jobs(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+        assert resolve_jobs(3) == 3
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(-1)
+
+    def test_single_task_short_circuits_pool(self):
+        spec = SweepSpec(name="s", fn=_double, grid=[{"x": 4}])
+        res = run_sweep(spec, jobs=8)
+        assert res.results == [8]
+        assert res.n_workers == 1
+
+    def test_results_by_point(self):
+        spec = SweepSpec(
+            name="s", fn=_double, grid={"a": {"x": 1}, "b": {"x": 2}}, trials=2
+        )
+        by_point = run_sweep(spec, jobs=1).results_by_point()
+        assert by_point == {"a": [2, 2], "b": [4, 4]}
+
+
+class TestWorkerCrash:
+    #: grid where point "x=3" raises inside the trial fn
+    GRID = [{"x": i} for i in range(6)]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_error_carries_seed_and_params(self, jobs):
+        spec = SweepSpec(name="crashy", fn=_boom, grid=self.GRID, seed=17)
+        with pytest.raises(TrialExecutionError) as excinfo:
+            run_sweep(spec, jobs=jobs, chunksize=2)
+        err = excinfo.value
+        msg = str(err)
+        # names the failing trial, its params, and the original exception
+        assert err.label == "crashy[x=3:0]"
+        assert "x=3" in err.params_desc
+        assert "injected trial failure" in msg
+        # the seed line is a replayable SeedSequence expression for that cell
+        expected = describe_seed(spec.task_seed("x=3", 0))
+        assert err.seed_desc == expected
+        assert expected in msg
+
+    def test_pool_error_includes_worker_traceback(self):
+        spec = SweepSpec(name="crashy", fn=_boom, grid=self.GRID)
+        with pytest.raises(TrialExecutionError) as excinfo:
+            run_sweep(spec, jobs=2, chunksize=2)
+        assert "_boom" in excinfo.value.worker_traceback
+
+    def test_large_params_are_clipped_in_message(self):
+        rel = uniform_random_relation(64, 500, seed=0)
+        spec = SweepSpec(name="crashy", fn=_boom, grid={"pt": {"x": 3, "rel": rel}})
+        with pytest.raises(TrialExecutionError) as excinfo:
+            run_sweep(spec, jobs=1)
+        assert "<HRelation n=500>" in excinfo.value.params_desc
+
+
+class TestMemoCache:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        clear_cache()
+        yield
+        clear_cache()
+
+    def test_schedule_hit_on_second_call(self):
+        rel = uniform_random_relation(64, 2000, seed=5)
+        a = cached_offline_schedule(rel, 8)
+        b = cached_offline_schedule(rel, 8)
+        assert b is a
+        stats = cache_stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+    def test_report_matches_direct_evaluation(self):
+        rel = uniform_random_relation(64, 2000, seed=5)
+        cached = cached_offline_report(rel, 8, L=2.0)
+        direct = evaluate_schedule(offline_optimal_schedule(rel, 8), m=8, L=2.0)
+        assert cached.to_dict() == direct.to_dict()
+
+    def test_pricing_variants_share_the_schedule(self):
+        from repro.core.costs import LINEAR
+
+        rel = uniform_random_relation(64, 2000, seed=5)
+        cached_offline_report(rel, 8, L=1.0)
+        before = cache_stats()
+        cached_offline_report(rel, 8, L=4.0)  # new report key, same schedule
+        cached_offline_report(rel, 8, L=1.0, penalty=LINEAR)
+        after = cache_stats()
+        # each variant re-prices (report miss) but hits the schedule layer
+        assert after.hits == before.hits + 2
+        assert after.entries == before.entries + 2  # only new reports stored
+
+    def test_distinct_relations_do_not_collide(self):
+        a = uniform_random_relation(64, 2000, seed=1)
+        b = uniform_random_relation(64, 2000, seed=2)
+        assert a.fingerprint() != b.fingerprint()
+        ra = cached_offline_report(a, 8)
+        rb = cached_offline_report(b, 8)
+        assert ra.completion_time != rb.completion_time or ra is not rb
+
+    def test_clear_resets_counters(self):
+        rel = uniform_random_relation(64, 1000, seed=3)
+        cached_offline_schedule(rel, 8)
+        clear_cache()
+        stats = cache_stats()
+        assert stats.hits == stats.misses == stats.entries == 0
+
+
+class TestTelemetry:
+    def _result(self, jobs=1):
+        spec = SweepSpec(
+            name="tel", fn=_draw, grid={"w": {"width": 1.0}}, trials=8, seed=0
+        )
+        return run_sweep(spec, jobs=jobs)
+
+    def test_columns_and_aggregates(self):
+        res = self._result()
+        assert res.wall_times.shape == (8,)
+        assert (res.wall_times >= 0).all()
+        assert res.busy_time == pytest.approx(float(res.wall_times.sum()))
+        assert 0.0 < res.utilization <= 1.0 + 1e-9
+        assert res.n_workers == 1
+        assert res.workers.dtype == np.int64
+
+    def test_telemetry_block_is_json_ready(self):
+        tel = self._result().telemetry()
+        json.dumps(tel)
+        assert tel["trials"] == 8
+        assert set(tel["cache"]) == {"hits", "misses", "hit_rate"}
+
+    def test_to_json_roundtrip(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        res = self._result()
+        res.to_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["results"] == res.results
+        assert data["trial_columns"]["point"] == ["w"] * 8
+        slim = res.to_dict(include_trials=False)
+        assert "results" not in slim and "trial_columns" not in slim
+
+
+#: tiny parameterizations so the full registry runs in seconds
+SMALL_KWARGS = {
+    "table1_measured": dict(p=64, m=8, L=4.0),
+    "unbalanced_send": dict(p=128, m=16, n=5000, trials=4),
+    "dynamic_stability": dict(p=64, m=8, w=64, horizon=2000),
+    "leader_gap": dict(m=8),
+    "self_scheduling": dict(p=128, m=16, trials=4),
+    "stability_under_loss": dict(p=32, m=8, w=16, horizon=600),
+    "sensitivity_grid": dict(
+        p_values=(64, 256), g_values=(2.0,), L_values=(4.0,), y_grid=400
+    ),
+}
+
+
+class TestPoolSerialIdentity:
+    """The headline invariant: for every registered experiment, a 4-job pool
+    run is bit-identical to the serial run at the same seed."""
+
+    @pytest.mark.parametrize("name", sorted(SMALL_KWARGS))
+    def test_jobs4_matches_jobs1(self, name):
+        kwargs = SMALL_KWARGS[name]
+        serial = run_experiment(name, seed=42, jobs=1, **kwargs)
+        pooled = run_experiment(name, seed=42, jobs=4, **kwargs)
+        assert pooled == serial
+
+    def test_every_experiment_is_covered(self):
+        assert sorted(SMALL_KWARGS) == list_experiments()
