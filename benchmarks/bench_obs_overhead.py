@@ -1,0 +1,133 @@
+"""Observability overhead guard: tracing disabled must stay free.
+
+The obs layer's contract (docs/observability.md) is that the hooks added
+to the engine barrier, the scheduler bridge, the transport and the sweep
+runner cost nothing measurable while no tracer/registry is installed —
+the shipped default.  This harness runs the same 40k-flit route-verify
+profile as ``bench_engine_throughput.py`` three ways:
+
+* **baseline** — nothing installed (the hooks' ``is not None`` fast path);
+* **traced** — a :class:`~repro.obs.Tracer` installed (reported for
+  context and pinned for *model-time* identity, never throughput-gated:
+  recording spans legitimately costs wall-clock);
+* **traced+metrics** — tracer and registry both installed (same rules).
+
+and asserts that the disabled path holds the routing throughput within 3%
+of the pinned acceptance floor from ``BENCH_engine.json``'s contract
+(``SEED_ROUTING_MSGS_PER_S × SPEEDUP_FLOOR``), and that **every** variant
+leaves the pinned model time bit-identical — observability may record
+costs, never move them.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+or under pytest-benchmark like every other file in this directory.
+"""
+
+import time
+
+from repro import BSPm, MachineParams
+from repro.obs import MetricsRegistry, Tracer, metrics_scope, tracing
+from repro.scheduling import unbalanced_send
+from repro.scheduling.execute import execute_schedule
+from repro.workloads import uniform_random_relation
+
+from _common import emit
+from bench_engine_throughput import (
+    ROUTING_MODEL_TIME,
+    SEED_ROUTING_MSGS_PER_S,
+    SPEEDUP_FLOOR,
+)
+
+# The disabled obs path may cost at most 3% of the engine-throughput
+# acceptance floor (the floor already absorbs machine noise; 3% is the
+# hooks' whole budget on top of it) — the ISSUE acceptance criterion.
+THROUGHPUT_FLOOR = SEED_ROUTING_MSGS_PER_S * SPEEDUP_FLOOR
+OVERHEAD_TOLERANCE = 0.03
+
+_REPEATS = 3  # best-of-N wall-clock to shed scheduler noise
+
+
+def _route_once(trace=False, metrics=False):
+    rel = uniform_random_relation(256, 40_000, seed=0)
+    sched = unbalanced_send(rel, 64, 0.2, seed=1)
+    machine = BSPm(MachineParams(p=256, m=64, L=1))
+    best = float("inf")
+    model_time = None
+    spans = 0
+    for _ in range(_REPEATS):
+        tracer = Tracer() if trace else None
+        registry = MetricsRegistry() if metrics else None
+        t0 = time.perf_counter()
+        if tracer is not None and registry is not None:
+            with tracing(tracer), metrics_scope(registry):
+                res = execute_schedule(machine, sched)
+        elif tracer is not None:
+            with tracing(tracer):
+                res = execute_schedule(machine, sched)
+        else:
+            res = execute_schedule(machine, sched)
+        best = min(best, time.perf_counter() - t0)
+        model_time = res.time
+        spans = len(tracer.spans) if tracer is not None else 0
+    return {
+        "messages": int(rel.n),
+        "seconds": best,
+        "msgs_per_s": rel.n / best,
+        "model_time": model_time,
+        "spans": spans,
+    }
+
+
+def run_all():
+    return {
+        "baseline": _route_once(),
+        "traced": _route_once(trace=True),
+        "traced+metrics": _route_once(trace=True, metrics=True),
+    }
+
+
+def _report(data):
+    emit(
+        "observability overhead (40k route-verify profile)",
+        ["variant", "messages", "seconds", "msgs/s", "model time", "spans"],
+        [
+            [name, d["messages"], d["seconds"], d["msgs_per_s"],
+             d["model_time"], d["spans"]]
+            for name, d in data.items()
+        ],
+    )
+
+
+def _check(data):
+    # Observability may never move a model time — enabled or not.
+    for variant, d in data.items():
+        assert d["model_time"] == ROUTING_MODEL_TIME, (
+            f"{variant}: model time {d['model_time']!r} != pinned "
+            f"{ROUTING_MODEL_TIME!r}"
+        )
+    floor = THROUGHPUT_FLOOR * (1.0 - OVERHEAD_TOLERANCE)
+    d = data["baseline"]
+    assert d["msgs_per_s"] >= floor, (
+        f"baseline: {d['msgs_per_s']:.0f} msg/s is below {floor:.0f} "
+        f"(the {THROUGHPUT_FLOOR:.0f} msg/s acceptance floor minus the "
+        f"{OVERHEAD_TOLERANCE:.0%} obs-hook budget)"
+    )
+    # sanity: a traced run actually recorded the expected span tree
+    assert data["traced"]["spans"] > 0
+
+
+def test_obs_overhead(benchmark):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    _report(data)
+    benchmark.extra_info.update(data)
+    _check(data)
+
+
+if __name__ == "__main__":
+    result = run_all()
+    _report(result)
+    _check(result)
+    ratio = result["traced"]["msgs_per_s"] / result["baseline"]["msgs_per_s"]
+    print(f"\ntraced/baseline throughput ratio: {ratio:.3f}")

@@ -79,6 +79,8 @@ from repro.core.events import (
     _column_take,
 )
 from repro.core.params import MachineParams
+from repro.obs.metrics import active_metrics as _active_metrics
+from repro.obs.tracer import active_tracer as _active_tracer
 
 __all__ = [
     "ModelViolation",
@@ -1196,13 +1198,61 @@ class Machine:
 
         records: List[SuperstepRecord] = []
         alive = [g is not None for g in gens]
-        index = 0
-        first = True
         injector = self.fault_injector
         auditor = None
         if audit:
             from repro.faults.audit import audit_record as auditor
+        # observability: one module-global read per run; spans/metrics only
+        # record already-priced costs, so model times stay bit-identical
+        tracer = _active_tracer()
+        mreg = _active_metrics()
+        observe = run_span = None
+        if tracer is not None or mreg is not None:
+            from repro.obs.instrument import make_superstep_observer
+
+            if tracer is not None:
+                run_span = tracer.begin(
+                    "run", cat="engine", track="machine",
+                    machine=type(self).__name__, p=p,
+                    m=self.params.m, L=self.params.L, g=self.params.g,
+                )
+                run_span.model_start = tracer.model_clock
+            observe = make_superstep_observer(tracer, mreg, self, p, run_span)
         deadline = None if max_time is None else _time.monotonic() + max_time
+        try:
+            self._run_loop(
+                procs, gens, results, records, alive, p,
+                max_supersteps, max_time, injector, auditor, deadline,
+                observe,
+            )
+        finally:
+            if run_span is not None:
+                tracer.end(
+                    run_span,
+                    model_dur=tracer.model_clock - run_span.model_start,
+                    supersteps=len(records),
+                )
+        return RunResult(params=self.params, records=records, results=results)
+
+    def _run_loop(
+        self,
+        procs,
+        gens,
+        results,
+        records,
+        alive,
+        p,
+        max_supersteps,
+        max_time,
+        injector,
+        auditor,
+        deadline,
+        observe,
+    ) -> None:
+        """The barrier loop of :meth:`run` (split out so the run-level trace
+        span can close on every exit path)."""
+        index = 0
+        first = True
         while True:
             if deadline is not None and _time.monotonic() > deadline:
                 raise RunAborted(
@@ -1227,6 +1277,10 @@ class Machine:
                     alive[pid] = False
             if not any_advanced and not first:
                 break
+            # observability phase stamps (wall clock only, never pricing):
+            # freeze = t0..t1, price = t1..t2, deliver (incl. fault
+            # injection + audit) = t2..end — skipped entirely when disabled
+            t0 = _time.perf_counter() if observe is not None else 0.0
             record = SuperstepRecord(
                 index=index,
                 work=[proc._work for proc in procs],
@@ -1236,11 +1290,13 @@ class Machine:
             )
             still_running = any(alive)
             if not record.is_empty or still_running or first:
+                t1 = _time.perf_counter() if observe is not None else 0.0
                 cost, breakdown, stats = self._price(record)
                 record.cost = cost
                 record.breakdown = breakdown
                 record.stats = stats
                 records.append(record)
+                t2 = _time.perf_counter() if observe is not None else 0.0
                 delivered = None
                 if injector is not None:
                     delivered, fault_stats = injector.apply(record.msg_batch, index, p)
@@ -1249,6 +1305,8 @@ class Machine:
                 self._deliver(record, procs, msg_batch=delivered)
                 if auditor is not None:
                     auditor(self, record, procs, delivered)
+                if observe is not None:
+                    observe(record, t0, t1, t2, _time.perf_counter())
             index += 1
             first = False
             for proc in procs:
@@ -1262,7 +1320,6 @@ class Machine:
                     superstep=index,
                     reason="max_supersteps",
                 )
-        return RunResult(params=self.params, records=records, results=results)
 
     def _deliver(
         self,

@@ -32,6 +32,7 @@ from typing import Dict, FrozenSet, Optional, Tuple
 import numpy as np
 
 from repro.core.events import MessageBatch, _column_take
+from repro.obs.metrics import active_metrics
 from repro.util.validation import check_nonnegative, check_prob
 
 __all__ = [
@@ -308,6 +309,14 @@ class FaultInjector:
         self.totals["duplicated"] += duplicated
         self.totals["corrupted"] += corrupted
         self.totals["reordered"] += reordered
+        metrics = active_metrics()
+        if metrics is not None:
+            metrics.counter("faults.injected").inc(n)
+            metrics.counter("faults.delivered").inc(delivered.n)
+            metrics.counter("faults.dropped").inc(dropped)
+            metrics.counter("faults.duplicated").inc(duplicated)
+            metrics.counter("faults.corrupted").inc(corrupted)
+            metrics.counter("faults.reordered").inc(reordered)
         return delivered, stats
 
     @staticmethod

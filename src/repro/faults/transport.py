@@ -37,6 +37,8 @@ import numpy as np
 
 from repro.core.engine import Machine, RunResult
 from repro.core.events import SuperstepRecord
+from repro.obs.metrics import active_metrics
+from repro.obs.tracer import active_tracer
 from repro.scheduling.naive import naive_schedule
 from repro.scheduling.schedule import expand_per_flit
 from repro.scheduling.static_send import unbalanced_send
@@ -221,11 +223,20 @@ def reliable_route(
     if n == 0:
         return result
     idle_cost = _idle_superstep_cost(machine, p)
+    tracer = active_tracer()
 
     for r in range(max_rounds):
         result.rounds = r + 1
         if r > 0:
             result.retried += int(pending.size)
+        round_span = (
+            tracer.begin(
+                f"round {r}", cat="transport", track="transport",
+                pending=int(pending.size), retry=r > 0,
+            )
+            if tracer is not None
+            else None
+        )
         # -- data superstep: pending flits, rescheduled against m ----------
         res = _run_flits(
             machine, p, flit_src[pending], flit_dest[pending], pending,
@@ -277,12 +288,36 @@ def reliable_route(
                     acked_mask[ids] = True
         pending = np.nonzero(~acked_mask)[0].astype(_I64)
         if not pending.size:
+            if round_span is not None:
+                tracer.end(round_span, unacked=0)
             break
         # -- exponential backoff before the retry round --------------------
         steps = backoff_base * (2**r)
         result.backoff_steps += steps
         result.time += steps * idle_cost
+        if round_span is not None:
+            # idle supersteps occupy model time too: advance the traced
+            # clock so the next round's runs start after the backoff
+            backoff_model = steps * idle_cost
+            tracer.add(
+                "backoff", cat="transport", track="transport",
+                parent=round_span, model_start=tracer.model_clock,
+                model_dur=backoff_model, args={"steps": steps},
+            )
+            tracer.model_clock += backoff_model
+            tracer.end(round_span, unacked=int(pending.size), backoff_steps=steps)
     result.delivered = int(delivered_mask.sum())
+    metrics = active_metrics()
+    if metrics is not None:
+        metrics.counter("transport.runs").inc()
+        metrics.counter("transport.rounds").inc(result.rounds)
+        metrics.counter("transport.retried").inc(result.retried)
+        metrics.counter("transport.dropped").inc(result.dropped)
+        metrics.counter("transport.duplicates").inc(result.duplicates)
+        metrics.counter("transport.corrupted").inc(result.corrupted)
+        metrics.counter("transport.backoff_steps").inc(result.backoff_steps)
+        if result.fault_free_time > 0:
+            metrics.gauge("transport.last_overhead").set(result.overhead)
     if pending.size:
         raise TransportError(
             f"{pending.size} of {n} flits still unacknowledged after "

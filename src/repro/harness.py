@@ -17,6 +17,10 @@ Gives downstream users the paper's experiments without writing code:
     Route a workload through the fault injector with the reliable
     transport and report delivered / lost / retried counts plus the
     resilience overhead against the fault-free run.
+``compare``
+    Diff two benchmark/telemetry JSON records (e.g. a fresh run against
+    the committed ``BENCH_engine.json``) and flag regressions beyond a
+    relative tolerance — exit 1 when any gated metric regressed.
 
 Every randomized subcommand accepts ``--seed``; a top-level
 ``python -m repro --seed N <command>`` sets the default for all of them,
@@ -25,11 +29,18 @@ can be reproduced from its transcript.  Sweep-capable subcommands
 (``experiment``, ``chaos --trials``) likewise accept ``--jobs`` — their
 own or the top-level one — to fan independent trials across a process
 pool (``repro.sweep``); outputs are bit-identical at any job count.
+
+``measure``, ``experiment``, ``chaos`` and ``profile`` additionally accept
+``--trace PATH`` (write a Chrome trace_event JSON — load it at
+https://ui.perfetto.dev — plus a run manifest next to it, and print the
+cost-attribution table) and ``--metrics PATH`` (dump the metrics
+registry as columnar JSON).  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Callable, Dict
 
@@ -61,6 +72,85 @@ def _effective_jobs(args: argparse.Namespace, default: int = 1) -> int:
     from repro.sweep import resolve_jobs
 
     return resolve_jobs(jobs)
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+#: namespace entries that are CLI plumbing, not run parameters
+_MANIFEST_SKIP = frozenset(
+    {"func", "command", "trace", "metrics", "json", "root_seed", "root_jobs"}
+)
+
+
+def _manifest_params(args: argparse.Namespace) -> dict:
+    return {
+        k: v for k, v in vars(args).items()
+        if k not in _MANIFEST_SKIP and not callable(v)
+    }
+
+
+@contextlib.contextmanager
+def _observe(args: argparse.Namespace):
+    """No-op unless the subcommand was given ``--trace``/``--metrics``.
+
+    Otherwise install a :class:`~repro.obs.Tracer` and/or
+    :class:`~repro.obs.MetricsRegistry` around the command and, on the way
+    out — even when the command failed, since a partial trace is exactly
+    the diagnostic you want then — write the Chrome trace, the metrics
+    dump, and a run manifest next to the first artifact, and print the
+    cost-attribution table.
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if not trace_path and not metrics_path:
+        yield
+        return
+    from repro import obs
+
+    tracer = obs.Tracer() if trace_path else None
+    registry = obs.MetricsRegistry() if metrics_path else None
+    with contextlib.ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(obs.tracing(tracer))
+        if registry is not None:
+            stack.enter_context(obs.metrics_scope(registry))
+        try:
+            yield
+        finally:
+            if tracer is not None:
+                obs.write_chrome_trace(tracer, trace_path)
+                print(f"wrote {trace_path} ({len(tracer.spans)} spans)")
+                if tracer.find(cat="superstep"):
+                    print(obs.cost_attribution_table(tracer))
+            if registry is not None:
+                obs.write_metrics_json(registry, metrics_path)
+                print(f"wrote {metrics_path}")
+            seed = _effective_seed(args) if hasattr(args, "seed") else None
+            jobs = _effective_jobs(args) if hasattr(args, "jobs") else None
+            manifest = obs.build_manifest(
+                command=args.command,
+                params=_manifest_params(args),
+                seed=seed,
+                jobs=jobs,
+                # every machine the CLI builds uses the default penalty family
+                penalty="exponential",
+                trace_path=trace_path,
+                metrics_path=metrics_path,
+            )
+            mpath = obs.manifest_path(trace_path or metrics_path)
+            obs.write_manifest(mpath, manifest)
+            print(f"wrote {mpath}")
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -475,6 +565,16 @@ def _chaos_sweep(args: argparse.Namespace, seed: int) -> int:
     return 1 if summary["failures"] else 0
 
 
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.obs import compare_files
+
+    comparison = compare_files(
+        args.baseline, args.candidate, tolerance=args.tolerance
+    )
+    print(comparison.render(all_rows=args.all))
+    return 1 if comparison.regressions else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (subcommands: table1, measure,
     schedule, dynamic)."""
@@ -511,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
     me.add_argument("--p", type=int, default=256)
     me.add_argument("--m", type=int, default=16)
     me.add_argument("--L", type=float, default=8.0)
+    _add_obs_args(me)
     me.set_defaults(func=_cmd_measure)
 
     sc = sub.add_parser("schedule", help="compare the Section 6 senders on a workload")
@@ -548,7 +649,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["route", "qsm-phases", "delivery", "schedule", "list"],
         help='workload to profile ("list" to enumerate)',
     )
-    pr.add_argument("--top", type=int, default=20, help="rows of the cumulative-time table")
+    pr.add_argument(
+        "--top", type=_positive_int, default=20,
+        help="rows of the cumulative-time table (must be positive)",
+    )
+    _add_obs_args(pr)
     pr.set_defaults(func=_cmd_profile)
 
     ex = sub.add_parser(
@@ -563,6 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = all cores; default serial)",
     )
     ex.add_argument("--json", default=None, help="write the record to this file")
+    _add_obs_args(ex)
     ex.set_defaults(func=_cmd_experiment)
 
     ch = sub.add_parser(
@@ -620,13 +726,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every superstep through the invariant auditor",
     )
     ch.add_argument("--json", default=None, help="write the report to this file")
+    _add_obs_args(ch)
     ch.set_defaults(func=_cmd_chaos)
 
+    cp = sub.add_parser(
+        "compare",
+        help="diff two benchmark/telemetry JSON records and flag regressions",
+    )
+    cp.add_argument(
+        "baseline", help="committed reference record (e.g. BENCH_engine.json)"
+    )
+    cp.add_argument("candidate", help="freshly produced record to vet")
+    cp.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="relative regression tolerance for gated metrics (default 0.05; "
+        "model-time keys are always exact)",
+    )
+    cp.add_argument(
+        "--all", action="store_true",
+        help="print every compared key, not only regressions and drift",
+    )
+    cp.set_defaults(func=_cmd_compare)
+
     return parser
+
+
+def _add_obs_args(sp: argparse.ArgumentParser) -> None:
+    """Attach the shared observability flags (see docs/observability.md)."""
+    sp.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON (load at https://ui.perfetto.dev) "
+        "plus a run manifest, and print the cost-attribution table",
+    )
+    sp.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the run's metrics registry as columnar JSON "
+        "(plus a run manifest)",
+    )
 
 
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    with _observe(args):
+        return args.func(args)

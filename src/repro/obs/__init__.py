@@ -1,0 +1,76 @@
+"""Unified observability: tracing, metrics, exporters, manifests, and the
+bench-regression comparator.
+
+The paper's argument is about *where time goes* — work vs. bandwidth vs.
+latency vs. contention under local (``g·h``) vs. global (``f_m(m_t)``)
+charging — and this package makes every layer of the reproduction answer
+that question for a concrete run:
+
+* :mod:`repro.obs.tracer` — hierarchical spans (``run > superstep >
+  {freeze, price, deliver}``, ``sweep > trial > run``, transport retry
+  rounds) carrying :class:`~repro.core.events.CostBreakdown` components
+  and fault/retry counters; **zero overhead unless installed** (the
+  default :func:`active_tracer` is ``None`` and instrumented code checks
+  once per run).
+* :mod:`repro.obs.metrics` — process-local counters / gauges /
+  fixed-bucket histograms, mergeable across sweep workers so ``jobs=N``
+  aggregates bit-identically to ``jobs=1``.
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
+  Perfetto; one track per processor on a model-time axis), columnar
+  metrics dumps, and the terminal cost-attribution table.
+* :mod:`repro.obs.manifest` — per-run provenance (params, seed
+  expression, git SHA, penalty family, cache hit rate, artifact paths).
+* :mod:`repro.obs.compare` — the ``python -m repro compare`` BENCH-file
+  regression comparator.
+
+CLI: ``--trace PATH`` / ``--metrics PATH`` on ``experiment``, ``chaos``
+and ``profile``.  See docs/observability.md.
+"""
+
+from repro.obs.compare import BenchComparison, compare_bench, compare_files
+from repro.obs.export import (
+    chrome_trace,
+    cost_attribution_table,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.manifest import build_manifest, manifest_path, write_manifest
+from repro.obs.metrics import (
+    MetricsRegistry,
+    active_metrics,
+    install_metrics,
+    metrics_scope,
+    uninstall_metrics,
+)
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    active_tracer,
+    install_tracer,
+    tracing,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "install_tracer",
+    "uninstall_tracer",
+    "tracing",
+    "MetricsRegistry",
+    "active_metrics",
+    "install_metrics",
+    "uninstall_metrics",
+    "metrics_scope",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "cost_attribution_table",
+    "build_manifest",
+    "manifest_path",
+    "write_manifest",
+    "BenchComparison",
+    "compare_bench",
+    "compare_files",
+]

@@ -1,0 +1,180 @@
+"""BENCH-file regression comparator: ``python -m repro compare A.json B.json``.
+
+The repo commits baseline records (``BENCH_engine.json``,
+``BENCH_sweep.json``) but until now had no way to diff a fresh run against
+them.  :func:`compare_bench` flattens both JSON records to dotted numeric
+leaves and classifies each shared key by *direction*:
+
+``exact``
+    Model-time keys (``model_time``, ``*_model_time``) — deterministic by
+    construction, so **any** drift beyond float noise is a regression.
+``higher``
+    Throughput-like keys (``per_s``, ``speedup``, ``utilization``,
+    ``hit_rate``, ``throughput``): candidate may not fall more than
+    ``tolerance`` below baseline.
+``lower``
+    Wall-clock-like keys (``elapsed``, ``seconds``, ``_s``, ``wall``,
+    ``overhead``): candidate may not rise more than ``tolerance`` above
+    baseline.
+``info``
+    Everything else (parameters, counts): drift is reported but never
+    gates.
+
+Keys missing from the candidate are regressions (a benchmark stopped
+reporting something); keys new in the candidate are informational.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.util.reporting import Table, format_float
+
+__all__ = ["ComparisonRow", "BenchComparison", "compare_bench", "compare_files"]
+
+#: relative float-noise floor for ``exact`` keys (JSON round-trips are
+#: lossless for binary64, so this only forgives representation quirks)
+EXACT_RTOL = 1e-9
+
+_HIGHER_TOKENS = ("per_s", "speedup", "utilization", "hit_rate", "throughput")
+_LOWER_TOKENS = ("elapsed", "seconds", "wall", "overhead")
+
+
+def _flatten(obj: Any, prefix: str = "", out: Dict[str, float] = None) -> Dict[str, float]:
+    if out is None:
+        out = {}
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            _flatten(v, f"{prefix}.{k}" if prefix else str(k), out)
+    elif isinstance(obj, (list, tuple)):
+        for i, v in enumerate(obj):
+            _flatten(v, f"{prefix}[{i}]", out)
+    elif isinstance(obj, bool):
+        out[prefix] = float(obj)
+    elif isinstance(obj, (int, float)):
+        out[prefix] = float(obj)
+    return out
+
+
+def classify(key: str) -> str:
+    """Direction class of a flattened key (see module docstring)."""
+    low = key.lower()
+    if "model_time" in low:
+        return "exact"
+    if any(tok in low for tok in _HIGHER_TOKENS):
+        return "higher"
+    # "_s" counts as a seconds suffix only on a path-segment boundary
+    # ("elapsed_s", "busy_s.mean"), never mid-word ("identical_to_serial")
+    if any(tok in low for tok in _LOWER_TOKENS) or low.endswith("_s") or "_s." in low:
+        return "lower"
+    return "info"
+
+
+@dataclass
+class ComparisonRow:
+    key: str
+    direction: str
+    base: float = float("nan")
+    cand: float = float("nan")
+    delta_rel: float = float("nan")
+    status: str = "ok"  # ok | regression | drift | missing | new
+
+
+@dataclass
+class BenchComparison:
+    baseline: str
+    candidate: str
+    tolerance: float
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[ComparisonRow]:
+        return [r for r in self.rows if r.status in ("regression", "missing")]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self, all_rows: bool = False) -> str:
+        """Terminal table: regressions and drift always, ``ok`` rows only
+        when ``all_rows``."""
+        shown = [r for r in self.rows if all_rows or r.status != "ok"]
+        table = Table(
+            ["key", "direction", "baseline", "candidate", "delta", "status"],
+            title=f"{self.baseline} vs {self.candidate} (tolerance {self.tolerance:g})",
+        )
+        for r in shown:
+            delta = "—" if r.delta_rel != r.delta_rel else f"{100.0 * r.delta_rel:+.2f}%"
+            table.add_row(
+                [r.key, r.direction, format_float(r.base), format_float(r.cand),
+                 delta, r.status]
+            )
+        checked = sum(1 for r in self.rows if r.direction != "info")
+        verdict = (
+            f"{len(self.regressions)} regression(s) across {checked} gated keys"
+            if not self.ok
+            else f"no regressions across {checked} gated keys"
+        )
+        if not shown:
+            return f"{verdict} ({len(self.rows)} keys compared, all within tolerance)"
+        return table.render() + "\n" + verdict
+
+
+def compare_bench(
+    base: Dict[str, Any],
+    cand: Dict[str, Any],
+    *,
+    tolerance: float = 0.05,
+    baseline_name: str = "baseline",
+    candidate_name: str = "candidate",
+) -> BenchComparison:
+    """Compare two BENCH-style dicts; see the module docstring for rules."""
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    flat_base = _flatten(base)
+    flat_cand = _flatten(cand)
+    comparison = BenchComparison(baseline_name, candidate_name, tolerance)
+    for key in sorted(set(flat_base) | set(flat_cand)):
+        direction = classify(key)
+        row = ComparisonRow(key=key, direction=direction)
+        comparison.rows.append(row)
+        if key not in flat_cand:
+            row.base = flat_base[key]
+            row.status = "missing" if direction != "info" else "drift"
+            continue
+        if key not in flat_base:
+            row.cand = flat_cand[key]
+            row.status = "new"
+            continue
+        b, c = flat_base[key], flat_cand[key]
+        row.base, row.cand = b, c
+        scale = max(abs(b), 1e-300)
+        row.delta_rel = (c - b) / scale
+        if direction == "exact":
+            row.status = "ok" if abs(row.delta_rel) <= EXACT_RTOL else "regression"
+        elif direction == "higher":
+            row.status = "regression" if row.delta_rel < -tolerance else "ok"
+        elif direction == "lower":
+            row.status = "regression" if row.delta_rel > tolerance else "ok"
+        else:
+            row.status = "ok" if abs(row.delta_rel) <= tolerance else "drift"
+    return comparison
+
+
+def compare_files(
+    baseline_path: str, candidate_path: str, *, tolerance: float = 0.05
+) -> BenchComparison:
+    """Load two BENCH JSON files and compare them."""
+    with open(baseline_path) as fh:
+        base = json.load(fh)
+    with open(candidate_path) as fh:
+        cand = json.load(fh)
+    return compare_bench(
+        base,
+        cand,
+        tolerance=tolerance,
+        baseline_name=baseline_path,
+        candidate_name=candidate_path,
+    )

@@ -1,0 +1,216 @@
+"""Trace and metrics exporters: Chrome ``trace_event`` JSON, columnar
+metrics dumps, and the terminal cost-attribution table.
+
+Chrome trace layout
+-------------------
+:func:`write_chrome_trace` emits the JSON Object Format understood by
+Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.  Spans map to
+``"X"`` complete events; the two clocks become two *processes*:
+
+* **pid 1 — model time**: spans with a model duration (``run``,
+  ``superstep N``, the per-processor straggler spans, transport rounds).
+  One model-time unit renders as one microsecond, so durations read
+  directly as model time.  Each span ``track`` ("machine", "proc 0", …)
+  is a thread, giving one Perfetto track per processor.
+* **pid 2 — wall clock**: simulator-side phases (freeze/price/deliver)
+  and sweep/trial spans, in real microseconds since the first span.
+
+Span ``args`` (CostBreakdown components, fault/retry counters) appear in
+the Perfetto detail pane when a slice is selected.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+from repro.util.reporting import Table, format_float
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "cost_attribution_table",
+]
+
+#: model-time units per exported microsecond (1:1 keeps durations legible)
+MODEL_UNITS_PER_US = 1.0
+
+_MODEL_PID = 1
+_WALL_PID = 2
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+def _track_tids(spans: Sequence[Span]) -> Dict[str, int]:
+    """Stable track → tid mapping: 'machine' first, 'proc N' numerically,
+    everything else in first-seen order."""
+    tracks = []
+    seen = set()
+    for s in spans:
+        if s.track not in seen:
+            seen.add(s.track)
+            tracks.append(s.track)
+
+    def key(track: str):
+        if track == "machine":
+            return (0, 0, track)
+        if track.startswith("proc "):
+            try:
+                return (1, int(track.split()[1]), track)
+            except ValueError:
+                pass
+        return (2, 0, track)
+
+    return {track: tid for tid, track in enumerate(sorted(tracks, key=key), start=1)}
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """The tracer's spans as a Chrome ``trace_event`` JSON object."""
+    spans = tracer.spans
+    tids = _track_tids(spans)
+    wall_base = min(
+        (s.wall_start for s in spans if s.wall_start is not None), default=0.0
+    )
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": _MODEL_PID, "name": "process_name",
+         "args": {"name": "model time (1 unit = 1us)"}},
+        {"ph": "M", "pid": _WALL_PID, "name": "process_name",
+         "args": {"name": "simulator wall clock"}},
+    ]
+    for pid in (_MODEL_PID, _WALL_PID):
+        for track, tid in tids.items():
+            events.append(
+                {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                 "args": {"name": track}}
+            )
+            events.append(
+                {"ph": "M", "pid": pid, "tid": tid, "name": "thread_sort_index",
+                 "args": {"sort_index": tid}}
+            )
+    for s in spans:
+        args = {k: _json_safe(v) for k, v in s.args.items()}
+        if s.model_dur is not None:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": _MODEL_PID,
+                    "tid": tids[s.track],
+                    "name": s.name,
+                    "cat": s.cat or "span",
+                    "ts": (s.model_start or 0.0) / MODEL_UNITS_PER_US,
+                    "dur": s.model_dur / MODEL_UNITS_PER_US,
+                    "args": args,
+                }
+            )
+        if s.wall_dur is not None:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": _WALL_PID,
+                    "tid": tids[s.track],
+                    "name": s.name,
+                    "cat": s.cat or "span",
+                    "ts": ((s.wall_start or wall_base) - wall_base) * 1e6,
+                    "dur": s.wall_dur * 1e6,
+                    "args": args,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Write :func:`chrome_trace` to ``path`` (open in Perfetto)."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh, indent=1)
+        fh.write("\n")
+
+
+def write_metrics_json(registry: MetricsRegistry, path: str) -> None:
+    """Write the registry's columnar dump to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(registry.to_dict(), fh, indent=2, default=float)
+        fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Terminal cost attribution
+# ---------------------------------------------------------------------------
+
+_COMPONENTS = ("work", "local_band", "global_band", "latency", "contention")
+
+
+def _rows_from_records(records) -> List[Dict[str, Any]]:
+    rows = []
+    for rec in records:
+        b = rec.breakdown
+        row: Dict[str, Any] = {"superstep": rec.index, "cost": rec.cost}
+        for c in _COMPONENTS:
+            row[c] = getattr(b, c, 0.0) if b is not None else 0.0
+        row["dominant"] = b.dominant() if b is not None else "?"
+        rows.append(row)
+    return rows
+
+
+def _rows_from_tracer(tracer: Tracer) -> List[Dict[str, Any]]:
+    rows = []
+    for s in tracer.find(cat="superstep"):
+        row: Dict[str, Any] = {
+            "superstep": int(s.name.split()[-1]) if s.name.split()[-1].isdigit() else s.index,
+            "cost": s.model_dur or 0.0,
+        }
+        for c in _COMPONENTS:
+            row[c] = float(s.args.get(c, 0.0))
+        row["dominant"] = s.args.get("dominant", "?")
+        rows.append(row)
+    return rows
+
+
+def cost_attribution_table(
+    source: Union[Tracer, Sequence, Any], top: Optional[int] = 10
+) -> str:
+    """Render "where did the model time go" for a run (or traced session).
+
+    ``source`` is a :class:`Tracer`, a :class:`~repro.core.engine.RunResult`
+    (anything with ``.records``) or a plain record sequence.  Output: the
+    ``top`` most expensive supersteps with their CostBreakdown components,
+    then the share of total time each dominant component accounts for.
+    """
+    if isinstance(source, Tracer):
+        rows = _rows_from_tracer(source)
+    else:
+        records = getattr(source, "records", source)
+        rows = _rows_from_records(records)
+    total = sum(r["cost"] for r in rows) or 1.0
+    ranked = sorted(rows, key=lambda r: (-r["cost"], r["superstep"]))
+    if top is not None:
+        ranked = ranked[:top]
+
+    table = Table(
+        ["superstep", "cost", "% of run"] + list(_COMPONENTS) + ["dominant"],
+        title=f"cost attribution — {len(rows)} supersteps, total model time "
+        f"{format_float(total if rows else 0.0)}",
+    )
+    for r in ranked:
+        table.add_row(
+            [r["superstep"], format_float(r["cost"]), f"{100.0 * r['cost'] / total:.1f}%"]
+            + [format_float(r[c]) for c in _COMPONENTS]
+            + [r["dominant"]]
+        )
+    by_dominant: Dict[str, float] = {}
+    for r in rows:
+        by_dominant[r["dominant"]] = by_dominant.get(r["dominant"], 0.0) + r["cost"]
+    summary = Table(["dominant component", "model time", "share"],
+                    title="dominant-component totals")
+    for name, t in sorted(by_dominant.items(), key=lambda kv: -kv[1]):
+        summary.add_row([name, format_float(t), f"{100.0 * t / total:.1f}%"])
+    return table.render() + "\n\n" + summary.render()

@@ -28,6 +28,7 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from repro.core.engine import Machine, RunResult
+from repro.obs.tracer import active_tracer
 from repro.scheduling.schedule import Schedule, expand_per_flit
 from repro.scheduling.static_send import unbalanced_send
 from repro.util.rng import SeedLike
@@ -82,12 +83,24 @@ def execute_schedule(
             f"machine has {machine.params.p} processors, relation needs {rel.p}"
         )
     plan = _flit_plan(sched)
-    res = machine.run(
-        _routing_program,
-        per_proc_args=plan,
-        nprocs=rel.p,
-        audit=audit,
-    )
+    tracer = active_tracer()
+    if tracer is not None:
+        # context span for the engine's own `run` span: which relation and
+        # schedule this routing superstep came from
+        with tracer.span(
+            "execute_schedule", cat="scheduling", track="machine",
+            p=rel.p, flits=rel.n,
+        ):
+            res = machine.run(
+                _routing_program, per_proc_args=plan, nprocs=rel.p, audit=audit,
+            )
+    else:
+        res = machine.run(
+            _routing_program,
+            per_proc_args=plan,
+            nprocs=rel.p,
+            audit=audit,
+        )
     try:
         chunks = [np.asarray(received, dtype=np.int64) for received in res.results
                   if len(received)]

@@ -35,9 +35,10 @@ from repro.sweep.cache import (
 )
 from repro.sweep.runner import TrialExecutionError, resolve_jobs, run_sweep
 from repro.sweep.spec import SweepSpec, TrialTask, grid_points
-from repro.sweep.telemetry import SweepResult, TrialRecord
+from repro.sweep.telemetry import TELEMETRY_SCHEMA_VERSION, SweepResult, TrialRecord
 
 __all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
     "SweepSpec",
     "TrialTask",
     "grid_points",

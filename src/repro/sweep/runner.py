@@ -30,6 +30,10 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.obs.metrics import active_metrics
+from repro.obs.tracer import active_tracer
 from repro.sweep import cache
 from repro.sweep.spec import SweepSpec, TrialTask
 from repro.sweep.telemetry import SweepResult, TrialRecord
@@ -89,14 +93,36 @@ def _describe_params(params: dict) -> str:
     return ", ".join(parts)
 
 
-def _execute(task: TrialTask) -> Tuple[Any, float, int, int, int]:
-    """Run one trial, timing it and snapshotting the memo-cache counters."""
+def _execute(task: TrialTask, collect_metrics: bool = False) -> Tuple[Any, float, int, int, int, Optional[dict]]:
+    """Run one trial, timing it and snapshotting the memo-cache counters.
+
+    With ``collect_metrics`` the trial runs against a *fresh scratch*
+    :class:`~repro.obs.metrics.MetricsRegistry` whose dump becomes the
+    sixth payload element; the sweep merges those dumps in task order in
+    every mode (serial and pool), so ``jobs=N`` aggregates are
+    **bit-identical** to ``jobs=1`` — same per-trial dumps, same merge
+    order, no dependence on float-summation association across workers.
+    """
     before = cache.cache_stats()
-    t0 = time.perf_counter()
-    value = task.run()
-    wall = time.perf_counter() - t0
+    if collect_metrics:
+        from repro.obs.metrics import MetricsRegistry, metrics_scope
+
+        scratch = MetricsRegistry()
+        t0 = time.perf_counter()
+        with metrics_scope(scratch):
+            value = task.run()
+        wall = time.perf_counter() - t0
+        delta: Optional[dict] = scratch.to_dict()
+    else:
+        t0 = time.perf_counter()
+        value = task.run()
+        wall = time.perf_counter() - t0
+        delta = None
     after = cache.cache_stats()
-    return value, wall, os.getpid(), after.hits - before.hits, after.misses - before.misses
+    return (
+        value, wall, os.getpid(),
+        after.hits - before.hits, after.misses - before.misses, delta,
+    )
 
 
 def _error_payload(task: TrialTask, exc: BaseException) -> Tuple[str, str, str, str, str]:
@@ -109,13 +135,21 @@ def _error_payload(task: TrialTask, exc: BaseException) -> Tuple[str, str, str, 
     )
 
 
-def _run_chunk(tasks: Sequence[TrialTask]) -> List[Tuple[str, Any]]:
+def _run_chunk(
+    tasks: Sequence[TrialTask], collect_metrics: bool = False
+) -> List[Tuple[str, Any]]:
     """Worker entry point: execute a chunk, capturing failures as data so
     they cross the process boundary with full context."""
+    # a fork-inherited tracer would record spans nobody can collect; the
+    # parent synthesizes trial spans from telemetry instead.  (Metrics DO
+    # cross the boundary — _execute ships each trial's scratch dump.)
+    from repro.obs.tracer import uninstall_tracer
+
+    uninstall_tracer()
     out: List[Tuple[str, Any]] = []
     for task in tasks:
         try:
-            out.append(("ok", _execute(task)))
+            out.append(("ok", _execute(task, collect_metrics)))
         except Exception as exc:  # noqa: BLE001 - re-raised in the parent
             out.append(("err", _error_payload(task, exc)))
             break  # remaining tasks in the chunk would be discarded anyway
@@ -145,9 +179,11 @@ def run_sweep(
     t0 = time.perf_counter()
     results: List[Any] = []
     records: List[TrialRecord] = []
+    tracer = active_tracer()
+    mreg = active_metrics()
 
     def _append(task: TrialTask, payload) -> None:
-        value, wall, pid, hits, misses = payload
+        value, wall, pid, hits, misses, delta = payload
         results.append(value)
         records.append(
             TrialRecord(
@@ -160,24 +196,51 @@ def run_sweep(
                 cache_misses=misses,
             )
         )
+        # per-trial dumps merge in task order in every mode, so gauges and
+        # float sums resolve identically at any job count
+        if delta is not None and mreg is not None:
+            mreg.merge(delta)
 
-    if jobs == 1 or len(tasks) == 1:
-        for task in tasks:
-            try:
-                _append(task, _execute(task))
-            except Exception as exc:  # noqa: BLE001 - wrapped with context
-                _raise_trial_error(_error_payload(task, exc), cause=exc)
-    else:
-        if chunksize is None:
-            chunksize = max(1, -(-len(tasks) // (jobs * 4)))
-        chunks = [tasks[i : i + chunksize] for i in range(0, len(tasks), chunksize)]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
-            for chunk, future in zip(chunks, futures):
-                for task, (status, payload) in zip(chunk, future.result()):
-                    if status == "err":
-                        _raise_trial_error(payload)
+    sweep_span = (
+        tracer.begin(
+            "sweep", cat="sweep", track="sweep",
+            sweep=spec.name, jobs=jobs, trials=len(tasks),
+        )
+        if tracer is not None
+        else None
+    )
+    try:
+        collect = mreg is not None
+        if jobs == 1 or len(tasks) == 1:
+            for task in tasks:
+                try:
+                    if tracer is not None:
+                        with tracer.span(
+                            f"trial {task.label}", cat="trial", track="sweep",
+                            point=task.point, trial=task.trial,
+                        ):
+                            payload = _execute(task, collect)
+                    else:
+                        payload = _execute(task, collect)
                     _append(task, payload)
+                except Exception as exc:  # noqa: BLE001 - wrapped with context
+                    _raise_trial_error(_error_payload(task, exc), cause=exc)
+        else:
+            if chunksize is None:
+                chunksize = max(1, -(-len(tasks) // (jobs * 4)))
+            chunks = [tasks[i : i + chunksize] for i in range(0, len(tasks), chunksize)]
+            with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+                futures = [pool.submit(_run_chunk, chunk, collect) for chunk in chunks]
+                for chunk, future in zip(chunks, futures):
+                    for task, (status, payload) in zip(chunk, future.result()):
+                        if status == "err":
+                            _raise_trial_error(payload)
+                        _append(task, payload)
+            if tracer is not None:
+                _synthesize_pool_trial_spans(tracer, sweep_span, tasks, records)
+    finally:
+        if sweep_span is not None:
+            tracer.end(sweep_span, completed=len(records))
 
     return SweepResult(
         name=spec.name,
@@ -186,4 +249,34 @@ def run_sweep(
         results=results,
         records=records,
         point_keys=spec.point_keys,
+        seed=_describe_root_seed(spec.seed),
     )
+
+
+def _describe_root_seed(seed) -> Any:
+    """The sweep's root seed as a JSON-friendly, replayable expression."""
+    if seed is None or isinstance(seed, int):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return describe_seed(seed)
+    return repr(seed)
+
+
+def _synthesize_pool_trial_spans(tracer, sweep_span, tasks, records) -> None:
+    """Pool mode runs trials in worker processes, out of reach of the
+    parent tracer — reconstruct approximate ``trial`` spans from the
+    telemetry instead: each worker's trials are laid back-to-back from the
+    sweep start on a ``worker <pid>`` track (per-trial wall durations are
+    exact; only the gaps between them are elided)."""
+    clocks: dict = {}
+    base = sweep_span.wall_start if sweep_span is not None else 0.0
+    for task, rec in zip(tasks, records):
+        offset = clocks.get(rec.worker, 0.0)
+        tracer.add(
+            f"trial {task.label}", cat="trial", track=f"worker {rec.worker}",
+            parent=sweep_span,
+            wall_start=base + offset, wall_dur=rec.wall_time,
+            args={"point": rec.point, "trial": rec.trial, "worker": rec.worker,
+                  "synthesized": True},
+        )
+        clocks[rec.worker] = offset + rec.wall_time

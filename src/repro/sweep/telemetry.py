@@ -15,7 +15,12 @@ from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
-__all__ = ["TrialRecord", "SweepResult"]
+__all__ = ["TrialRecord", "SweepResult", "TELEMETRY_SCHEMA_VERSION"]
+
+#: Telemetry/JSON schema: 1 = the original columnar export; 2 adds
+#: ``schema_version`` itself plus the sweep's root ``seed`` (satellite of
+#: the observability PR), making exported records self-describing.
+TELEMETRY_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -41,6 +46,9 @@ class SweepResult:
     results: List[Any]  # trial outputs, task order
     records: List[TrialRecord]  # telemetry, task order
     point_keys: List[str] = field(default_factory=list)
+    #: root seed of the sweep — an int, a replayable ``SeedSequence(...)``
+    #: expression string, or None when the spec was unseeded
+    seed: Any = None
 
     # -- columnar views -------------------------------------------------
     @property
@@ -101,7 +109,9 @@ class SweepResult:
         """The summary block (no per-trial outputs)."""
         wt = self.wall_times
         return {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
             "name": self.name,
+            "seed": self.seed,
             "jobs": self.jobs,
             "trials": self.trials,
             "elapsed_s": self.elapsed,

@@ -63,6 +63,13 @@ SUBMODULES = [
     "repro.theory.chernoff",
     "repro.theory.sensitivity",
     "repro.util",
+    "repro.obs",
+    "repro.obs.tracer",
+    "repro.obs.metrics",
+    "repro.obs.instrument",
+    "repro.obs.export",
+    "repro.obs.manifest",
+    "repro.obs.compare",
     "repro.harness",
 ]
 

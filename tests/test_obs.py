@@ -1,0 +1,510 @@
+"""Tests for the unified observability layer (``repro.obs``).
+
+The layer's contract has three legs, each pinned here:
+
+* **disabled = free and invisible** — with no tracer/registry installed
+  (the default), every instrumented layer produces bit-identical model
+  times to a build without the hooks;
+* **enabled = reconcilable** — traced span durations sum exactly to the
+  engine's cost accounting (superstep spans vs ``RunResult.time``, round
+  spans vs ``TransportResult.time``), and the exported Chrome trace is
+  valid ``trace_event`` JSON whose model-time events reproduce the run's
+  cost breakdown;
+* **mergeable** — metrics aggregated across sweep workers (``jobs=N``)
+  are bit-identical to the serial run (``jobs=1``).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import BSPm, MachineParams
+from repro.algorithms import broadcast
+from repro.faults import FaultPlan
+from repro.faults.chaos import chaos_trial
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    active_metrics,
+    active_tracer,
+    build_manifest,
+    chrome_trace,
+    compare_bench,
+    compare_files,
+    cost_attribution_table,
+    manifest_path,
+    metrics_scope,
+    tracing,
+    write_chrome_trace,
+)
+from repro.obs.compare import classify
+from repro.obs.metrics import Histogram
+from repro.scheduling import route_reliable, unbalanced_send
+from repro.scheduling.execute import execute_schedule
+from repro.sweep import TELEMETRY_SCHEMA_VERSION, SweepSpec, run_sweep
+from repro.workloads import uniform_random_relation
+
+
+def _machine(p=64, m=8, L=4.0, plan=None):
+    machine = BSPm(MachineParams(p=p, m=m, L=L))
+    if plan is not None:
+        machine.inject_faults(plan)
+    return machine
+
+
+def _routed_run(tracer=None):
+    """The small routing profile used throughout: deterministic model time."""
+    rel = uniform_random_relation(32, 2_000, seed=0)
+    sched = unbalanced_send(rel, 8, 0.2, seed=1)
+    machine = _machine(p=32, m=8, L=1.0)
+    if tracer is None:
+        return execute_schedule(machine, sched)
+    with tracing(tracer):
+        return execute_schedule(machine, sched)
+
+
+class TestTracerCore:
+    def test_begin_end_nesting(self):
+        tr = Tracer()
+        outer = tr.begin("outer", cat="a")
+        inner = tr.begin("inner", cat="b")
+        assert inner.parent == outer.index
+        tr.end(inner)
+        tr.end(outer, model_dur=5.0, extra=1)
+        assert outer.model_dur == 5.0 and outer.args["extra"] == 1
+        assert outer.wall_dur >= 0.0 and not tr._stack
+
+    def test_end_tolerates_open_children(self):
+        tr = Tracer()
+        outer = tr.begin("outer")
+        tr.begin("leaked-child")
+        tr.end(outer)  # must pop past the open child
+        assert not tr._stack
+
+    def test_add_parents_to_stack_top(self):
+        tr = Tracer()
+        with tr.span("parent"):
+            leaf = tr.add("leaf", model_start=0.0, model_dur=1.0)
+        assert leaf.parent == tr.spans[0].index
+        assert tr.children(tr.spans[0]) == [leaf]
+
+    def test_find_filters(self):
+        tr = Tracer()
+        tr.add("a", cat="x")
+        tr.add("b", cat="y")
+        tr.add("a", cat="y")
+        assert len(tr.find(cat="y")) == 2
+        assert len(tr.find(cat="y", name="a")) == 1
+
+    def test_tracing_scope_restores_previous(self):
+        assert active_tracer() is None
+        with tracing() as outer:
+            assert active_tracer() is outer
+            with tracing() as inner:
+                assert active_tracer() is inner
+            assert active_tracer() is outer
+        assert active_tracer() is None
+
+
+class TestDisabledIdentity:
+    def test_hooks_default_off(self):
+        assert active_tracer() is None
+        assert active_metrics() is None
+
+    def test_engine_model_time_bit_identical(self):
+        plain = _routed_run().time
+        traced_result = _routed_run(tracer=Tracer())
+        assert traced_result.time == plain
+
+    def test_broadcast_bit_identical(self):
+        plain = broadcast(_machine(), 1).time
+        with tracing():
+            traced = broadcast(_machine(), 1).time
+        assert traced == plain
+
+    def test_reliable_route_bit_identical(self):
+        def run():
+            rel = uniform_random_relation(32, 1_000, seed=3)
+            machine = _machine(p=32, m=8, L=1.0, plan=FaultPlan(seed=5, drop_rate=0.2))
+            return route_reliable(machine, rel, seed=4)
+
+        plain = run()
+        with tracing(), metrics_scope():
+            traced = run()
+        assert traced.time == plain.time
+        assert traced.rounds == plain.rounds
+        assert traced.retried == plain.retried
+
+
+class TestSpanReconciliation:
+    def test_superstep_spans_sum_to_run_time(self):
+        tr = Tracer()
+        res = _routed_run(tracer=tr)
+        supersteps = tr.find(cat="superstep")
+        assert len(supersteps) == len(res.records)
+        assert sum(s.model_dur for s in supersteps) == res.time
+
+    def test_run_span_covers_the_run(self):
+        tr = Tracer()
+        res = _routed_run(tracer=tr)
+        (run_span,) = tr.find(cat="engine", name="run")
+        assert run_span.model_dur == res.time
+        assert run_span.args["supersteps"] == len(res.records)
+        # every superstep span is a child of the run span
+        for s in tr.find(cat="superstep"):
+            assert s.parent == run_span.index
+
+    def test_superstep_args_carry_the_breakdown(self):
+        tr = Tracer()
+        res = _routed_run(tracer=tr)
+        for span, rec in zip(tr.find(cat="superstep"), res.records):
+            assert span.args["cost"] == rec.cost
+            b = rec.breakdown
+            for comp in ("work", "local_band", "global_band", "latency", "contention"):
+                assert span.args[comp] == getattr(b, comp)
+            assert span.args["dominant"] == b.dominant()
+
+    def test_engine_phases_are_walled(self):
+        tr = Tracer()
+        _routed_run(tracer=tr)
+        phases = tr.find(cat="phase")
+        assert {s.name for s in phases} == {"freeze", "price", "deliver"}
+        for s in phases:
+            assert s.model_dur is None and s.wall_dur >= 0.0
+
+    def test_proc_spans_record_stragglers(self):
+        tr = Tracer()
+        with tracing(tr):
+            broadcast(_machine(p=8, m=4, L=2.0), 1)
+        procs = tr.find(cat="proc")
+        assert procs, "expected per-processor spans for p <= PROC_TRACK_LIMIT"
+        assert all(s.track.startswith("proc ") for s in procs)
+
+    def test_execute_schedule_span_present(self):
+        tr = Tracer()
+        _routed_run(tracer=tr)
+        (bridge,) = tr.find(cat="scheduling", name="execute_schedule")
+        assert bridge.args["flits"] == 2_000
+
+    def test_sequential_runs_share_one_model_axis(self):
+        tr = Tracer()
+        with tracing(tr):
+            a = broadcast(_machine(), 1)
+            b = broadcast(_machine(), 1)
+        assert tr.model_clock == a.time + b.time
+        runs = tr.find(cat="engine", name="run")
+        assert runs[1].model_start == runs[0].model_start + runs[0].model_dur
+
+
+class TestTransportSpans:
+    @pytest.fixture(scope="class")
+    def traced_transport(self):
+        tr = Tracer()
+        reg = MetricsRegistry()
+        rel = uniform_random_relation(32, 1_000, seed=3)
+        machine = _machine(p=32, m=8, L=1.0, plan=FaultPlan(seed=5, drop_rate=0.2))
+        with tracing(tr), metrics_scope(reg):
+            result = route_reliable(machine, rel, seed=4)
+        return tr, reg, result
+
+    def test_round_spans_match_protocol(self, traced_transport):
+        tr, _, result = traced_transport
+        rounds = tr.find(cat="transport")
+        names = [s.name for s in rounds if s.name.startswith("round")]
+        assert len(names) == result.rounds
+        assert names[0] == "round 0" and not rounds[0].args["retry"]
+
+    def test_backoff_spans_occupy_model_time(self, traced_transport):
+        tr, _, result = traced_transport
+        backoffs = tr.find(cat="transport", name="backoff")
+        assert sum(s.args["steps"] for s in backoffs) == result.backoff_steps
+        # rounds + backoffs lay the whole protocol on one model axis
+        assert tr.model_clock == result.time
+
+    def test_transport_and_fault_counters(self, traced_transport):
+        _, reg, result = traced_transport
+        counters = reg.to_dict()["counters"]
+        assert counters["transport.runs"] == 1.0
+        assert counters["transport.rounds"] == result.rounds
+        assert counters["transport.retried"] == result.retried
+        assert counters["transport.dropped"] == result.dropped
+        assert counters["faults.injected"] > 0
+        assert counters["faults.dropped"] == result.dropped
+
+
+class TestChromeTraceExport:
+    """The ISSUE acceptance criterion: the exported file is valid Chrome
+    ``trace_event`` JSON and its per-superstep span durations sum to the
+    run's cost breakdown."""
+
+    def test_exported_file_reconciles_with_costs(self, tmp_path):
+        tr = Tracer()
+        res = _routed_run(tracer=tr)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tr, str(path))
+
+        doc = json.loads(path.read_text())  # must be valid JSON
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        for e in complete:
+            assert {"pid", "tid", "name", "ts", "dur", "cat", "args"} <= set(e)
+        # model-time pid: superstep durations reproduce the cost breakdown
+        supersteps = [e for e in complete if e["cat"] == "superstep" and e["pid"] == 1]
+        assert len(supersteps) == len(res.records)
+        assert sum(e["dur"] for e in supersteps) == res.time
+        total_breakdown = sum(rec.cost for rec in res.records)
+        assert sum(e["dur"] for e in supersteps) == total_breakdown
+
+    def test_tracks_become_threads(self, tmp_path):
+        tr = Tracer()
+        _routed_run(tracer=tr)
+        doc = chrome_trace(tr)
+        names = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] == 1
+        ]
+        assert "machine" in names
+        assert any(n.startswith("proc ") for n in names)
+
+    def test_cost_attribution_table_renders(self):
+        tr = Tracer()
+        res = _routed_run(tracer=tr)
+        text = cost_attribution_table(tr, top=3)
+        assert "cost attribution" in text and "dominant-component totals" in text
+        # the same table can be built straight from the RunResult
+        assert "dominant-component totals" in cost_attribution_table(res)
+
+
+class TestMetrics:
+    def test_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2.5)
+        reg.gauge("g").set(7)
+        h = reg.histogram("h", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        dump = reg.to_dict()
+        assert dump["counters"]["c"] == 3.5
+        assert dump["gauges"]["g"] == 7.0
+        assert dump["histograms"]["h"]["counts"] == [1, 1, 1]
+        assert dump["histograms"]["h"]["sum"] == 55.5
+
+    def test_histogram_bucket_edges(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        h.observe(1.0)  # on-edge lands in the <= 1.0 bucket
+        h.observe(10.0)
+        assert h.counts == [1, 1, 0]
+        assert h.mean == 5.5
+
+    def test_merge_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(1)
+        a.gauge("last").set(1)
+        a.histogram("h", bounds=(1.0,)).observe(0.5)
+        b.counter("n").inc(2)
+        b.gauge("last").set(2)
+        b.histogram("h", bounds=(1.0,)).observe(5.0)
+        a.merge(b.to_dict())
+        dump = a.to_dict()
+        assert dump["counters"]["n"] == 3.0
+        assert dump["gauges"]["last"] == 2.0  # last write wins
+        assert dump["histograms"]["h"]["counts"] == [1, 1]
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", bounds=(1.0, 3.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket bounds"):
+            a.merge(b.to_dict())
+
+    def test_metrics_scope_restores_previous(self):
+        assert active_metrics() is None
+        with metrics_scope() as reg:
+            assert active_metrics() is reg
+        assert active_metrics() is None
+
+
+def _chaos_spec(trials=4):
+    return SweepSpec(
+        name="chaos",
+        fn=chaos_trial,
+        grid={"uniform": {}},
+        trials=trials,
+        common=dict(
+            workload="uniform", p=16, n=300, m=8, L=1.0,
+            alpha=1.2, epsilon=0.15,
+            drop_rate=0.1, duplicate_rate=0.0, reorder_rate=0.0,
+            corrupt_rate=0.0, stalls=(), crashes=(),
+            max_rounds=32, backoff_base=1, audit=False,
+        ),
+        seed=7,
+    )
+
+
+class TestSweepObservability:
+    def test_metrics_identical_across_job_counts(self):
+        dumps = []
+        for jobs in (1, 2):
+            with metrics_scope() as reg:
+                run_sweep(_chaos_spec(), jobs=jobs)
+            dumps.append(reg.to_dict())
+        assert dumps[0] == dumps[1]  # bit-identical, not approximately
+
+    def test_serial_trial_spans(self):
+        tr = Tracer()
+        with tracing(tr):
+            run_sweep(_chaos_spec(), jobs=1)
+        (sweep_span,) = tr.find(cat="sweep")
+        trials = tr.find(cat="trial")
+        assert len(trials) == 4
+        assert sweep_span.args["completed"] == 4
+        for s in trials:
+            assert s.parent == sweep_span.index
+
+    def test_pool_trial_spans_are_synthesized(self):
+        tr = Tracer()
+        with tracing(tr):
+            result = run_sweep(_chaos_spec(), jobs=2)
+        trials = tr.find(cat="trial")
+        assert len(trials) == 4
+        assert all(s.args.get("synthesized") for s in trials)
+        assert {s.track for s in trials} == {
+            f"worker {w}" for w in np.unique(result.workers)
+        }
+
+    def test_telemetry_schema_and_seed(self):
+        result = run_sweep(_chaos_spec(trials=2), jobs=1)
+        tel = result.telemetry()
+        assert tel["schema_version"] == TELEMETRY_SCHEMA_VERSION == 2
+        assert tel["seed"] == 7
+        assert tel["jobs"] == 1
+
+    def test_telemetry_json_roundtrip(self, tmp_path):
+        result = run_sweep(_chaos_spec(trials=2), jobs=1)
+        path = tmp_path / "sweep.json"
+        result.to_json(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == 2 and doc["seed"] == 7
+        assert len(doc["trial_columns"]["wall_s"]) == 2
+
+
+class TestCompare:
+    def test_direction_classification(self):
+        assert classify("routing.model_time") == "exact"
+        assert classify("routing.msgs_per_s") == "higher"
+        assert classify("telemetry.elapsed_s") == "lower"
+        assert classify("trial_wall_s.mean") == "lower"
+        # "_s" mid-word must NOT read as a seconds suffix
+        assert classify("identical_to_serial") == "info"
+        assert classify("routing.messages") == "info"
+
+    def test_identical_records_pass(self):
+        base = {"routing": {"model_time": 750.5, "msgs_per_s": 2e6}}
+        cmp_ = compare_bench(base, json.loads(json.dumps(base)))
+        assert cmp_.ok and not cmp_.regressions
+
+    def test_throughput_regression_is_gated(self):
+        base = {"msgs_per_s": 100.0}
+        assert compare_bench(base, {"msgs_per_s": 96.0}).ok  # within 5%
+        bad = compare_bench(base, {"msgs_per_s": 90.0})
+        assert not bad.ok and bad.regressions[0].key == "msgs_per_s"
+
+    def test_wall_clock_regression_is_gated(self):
+        base = {"elapsed_s": 1.0}
+        assert compare_bench(base, {"elapsed_s": 1.04}).ok
+        assert not compare_bench(base, {"elapsed_s": 1.2}).ok
+
+    def test_model_time_is_exact(self):
+        base = {"model_time": 750.0}
+        assert compare_bench(base, {"model_time": 750.0}).ok
+        assert not compare_bench(base, {"model_time": 750.0001}).ok
+
+    def test_missing_gated_key_is_a_regression(self):
+        cmp_ = compare_bench({"msgs_per_s": 1.0}, {})
+        assert not cmp_.ok and cmp_.regressions[0].status == "missing"
+
+    def test_new_and_info_keys_never_gate(self):
+        cmp_ = compare_bench({"p": 64}, {"p": 128, "extra": 1.0})
+        assert cmp_.ok
+        statuses = {r.key: r.status for r in cmp_.rows}
+        assert statuses["p"] == "drift" and statuses["extra"] == "new"
+
+    def test_compare_files_and_render(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"msgs_per_s": 100.0}))
+        b.write_text(json.dumps({"msgs_per_s": 10.0}))
+        cmp_ = compare_files(str(a), str(b), tolerance=0.05)
+        assert not cmp_.ok
+        assert "regression" in cmp_.render()
+
+
+class TestManifest:
+    def test_build_manifest_fields(self):
+        manifest = build_manifest(
+            command="chaos",
+            params={"p": 64, "plan": FaultPlan()},
+            seed="SeedSequence(entropy=7)",
+            jobs=2,
+            penalty="exponential",
+            trace_path="t.json",
+        )
+        assert manifest["schema_version"] == 1
+        assert manifest["command"] == "chaos"
+        assert manifest["seed"] == "SeedSequence(entropy=7)"
+        assert manifest["penalty_family"] == "exponential"
+        assert set(manifest["cache"]) == {"hits", "misses", "hit_rate"}
+        assert manifest["params"]["p"] == 64
+        assert isinstance(manifest["params"]["plan"], str)  # repr-coerced
+        json.dumps(manifest)  # JSON-serializable end to end
+
+    def test_manifest_path_convention(self):
+        assert manifest_path("out/trace.json") == "out/trace.json.manifest.json"
+
+
+class TestCLI:
+    def test_profile_top_rejects_nonpositive(self, capsys):
+        from repro.harness import main
+
+        for bad in ("0", "-3"):
+            with pytest.raises(SystemExit) as exc:
+                main(["profile", "route", "--top", bad])
+            assert exc.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_chaos_writes_trace_metrics_and_manifest(self, tmp_path, capsys):
+        from repro.harness import main
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["chaos", "uniform", "--p", "16", "--n", "200", "--m", "8",
+             "--seed", "7", "--drop-rate", "0.1",
+             "--trace", str(trace), "--metrics", str(metrics)]
+        )
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        assert any(e.get("cat") == "superstep" for e in doc["traceEvents"])
+        assert any(e.get("cat") == "transport" for e in doc["traceEvents"])
+        mdoc = json.loads(metrics.read_text())
+        assert mdoc["counters"]["transport.runs"] == 1.0
+        manifest = json.loads((tmp_path / "trace.json.manifest.json").read_text())
+        assert manifest["command"] == "chaos" and manifest["seed"] == 7
+        assert "cost attribution" in capsys.readouterr().out
+        # the CLI scope must not leak an installed tracer into the process
+        assert active_tracer() is None and active_metrics() is None
+
+    def test_compare_cli_exit_codes(self, tmp_path, capsys):
+        from repro.harness import main
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"routing": {"msgs_per_s": 100.0}}))
+        b.write_text(json.dumps({"routing": {"msgs_per_s": 99.0}}))
+        assert main(["compare", str(a), str(b)]) == 0
+        b.write_text(json.dumps({"routing": {"msgs_per_s": 10.0}}))
+        assert main(["compare", str(a), str(b)]) == 1
+        assert "regression" in capsys.readouterr().out
