@@ -1,0 +1,200 @@
+"""End-to-end algorithm-layer benchmark: columnar ports vs scalar twins.
+
+The algorithm programs (sample sort, the QSM-on-BSP h-relation emulation,
+and the rest of the Table-1 suite) were ported from per-key scalar
+``ctx.send``/``ctx.read``/``ctx.write`` loops to the engine's batch APIs.
+The porting contract has two halves, both asserted here:
+
+* **bit-identical model times** — a port must not move ``RunResult.time``
+  relative to its frozen scalar twin in
+  :mod:`repro.algorithms.scalar_reference`;
+* **>= 5x end-to-end wall-clock speedup** at ``p = 64`` on the two
+  high-volume profiles (sample sort and the h-relation emulation).
+
+Run standalone to (re)generate the regression baseline::
+
+    PYTHONPATH=src python benchmarks/bench_algorithms_e2e.py
+
+which writes ``BENCH_algorithms.json`` (keys/s and requests/s for the
+vectorized and scalar paths, speedups, and the shared model times) to the
+repository root, or under pytest-benchmark like every other file in this
+directory.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro import BSPm, MachineParams
+from repro.algorithms import scalar_reference as sr
+from repro.algorithms.qsm_on_bsp import run_qsm_program_on_bsp
+from repro.algorithms.sample_sort import sample_sort
+
+from _common import emit
+
+P = 64
+M = 16
+SPEEDUP_FLOOR = 5.0
+
+# Best-of-N wall clocks on both sides: every run is deterministic (same
+# seeds, same model times), so the minimum is the least-noisy estimate of
+# the code's actual speed — single-shot timing put the h-relation ratio
+# anywhere between 4.5x and 6.4x on an otherwise idle box.
+REPS = int(os.environ.get("BENCH_ALGORITHMS_REPS", "2"))
+
+SORT_N = 120_000
+SORT_SEED = 7
+
+HREL_PHASES = 4
+HREL_H = 512  # shared-memory requests per processor per phase
+
+
+def _machine():
+    return BSPm(MachineParams(p=P, m=M, L=2))
+
+
+def _best_of(fn):
+    """Run ``fn`` ``REPS`` times; return (last result, fastest wall time)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, REPS)):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def _sample_sort_profile():
+    keys = np.random.default_rng(SORT_SEED).uniform(-1e6, 1e6, size=SORT_N)
+
+    (res_vec, out_vec), dt_vec = _best_of(
+        lambda: sample_sort(_machine(), keys, seed=SORT_SEED)
+    )
+    (res_sc, out_sc), dt_sc = _best_of(
+        lambda: sr.sample_sort_scalar(_machine(), keys, seed=SORT_SEED)
+    )
+
+    assert np.array_equal(out_vec, out_sc)
+    assert np.array_equal(out_vec, np.sort(keys))
+    return {
+        "keys": SORT_N,
+        "seconds": dt_vec,
+        "scalar_seconds": dt_sc,
+        "keys_per_s": SORT_N / dt_vec,
+        "scalar_keys_per_s": SORT_N / dt_sc,
+        "speedup_vs_scalar": dt_sc / dt_vec,
+        "model_time": res_vec.time,
+        "scalar_model_time": res_sc.time,
+    }
+
+
+def _hrel_qsm_program(ctx, phases, h, span):
+    """An h-relation through the emulated shared memory: every phase each
+    processor issues ``h`` requests in one batch call — write phases and
+    read phases alternate, addresses strided so the requests spread evenly
+    across owners."""
+    pid = ctx.pid
+    seen = 0
+    j = np.arange(h, dtype=np.int64)
+    for ph in range(phases):
+        base = pid * h + ph
+        if ph % 2 == 0:
+            ctx.write_many((base + j * 2) % span, (pid + j).astype(np.float64))
+            ctx.work(h)
+            yield
+        else:
+            handle = ctx.read_many((base + j * 3 + 1) % span)
+            ctx.work(h)
+            yield
+            vals = handle.values
+            seen += len(vals) - vals.count(None)
+    return seen
+
+
+def _hrelation_profile():
+    span = P * HREL_H
+    requests = P * HREL_H * HREL_PHASES
+    args = (HREL_PHASES, HREL_H, span)
+
+    res_vec, dt_vec = _best_of(
+        lambda: run_qsm_program_on_bsp(_machine(), _hrel_qsm_program, args=args)
+    )
+    res_sc, dt_sc = _best_of(
+        lambda: sr.run_qsm_on_bsp_scalar(_machine(), _hrel_qsm_program, args=args)
+    )
+
+    assert res_vec.results == res_sc.results
+    return {
+        "requests": requests,
+        "seconds": dt_vec,
+        "scalar_seconds": dt_sc,
+        "reqs_per_s": requests / dt_vec,
+        "scalar_reqs_per_s": requests / dt_sc,
+        "speedup_vs_scalar": dt_sc / dt_vec,
+        "model_time": res_vec.time,
+        "scalar_model_time": res_sc.time,
+    }
+
+
+def run_all():
+    return {
+        "sample_sort": _sample_sort_profile(),
+        "h_relation_emulation": _hrelation_profile(),
+    }
+
+
+def _report(data):
+    ss, hr = data["sample_sort"], data["h_relation_emulation"]
+    emit(
+        "algorithm layer end-to-end (columnar vs scalar twins, p=64)",
+        ["profile", "volume", "seconds", "scalar s", "speedup", "model time"],
+        [
+            ["sample sort (120k keys)", ss["keys"], ss["seconds"],
+             ss["scalar_seconds"], ss["speedup_vs_scalar"], ss["model_time"]],
+            ["h-relation emulation", hr["requests"], hr["seconds"],
+             hr["scalar_seconds"], hr["speedup_vs_scalar"], hr["model_time"]],
+        ],
+    )
+
+
+def _check(data):
+    for name, profile in data.items():
+        # The porting contract: batch APIs are pricing-invisible.
+        assert profile["model_time"] == profile["scalar_model_time"], (
+            f"{name}: vectorized model time {profile['model_time']} != "
+            f"scalar {profile['scalar_model_time']}"
+        )
+        speedup = profile["speedup_vs_scalar"]
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{name}: end-to-end speedup {speedup:.1f}x is below the "
+            f"{SPEEDUP_FLOOR}x floor"
+        )
+
+
+def write_baseline(path="BENCH_algorithms.json"):
+    data = run_all()
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    return data
+
+
+def test_algorithms_e2e(benchmark):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    _report(data)
+    benchmark.extra_info.update(data)
+    _check(data)
+
+
+if __name__ == "__main__":
+    out = os.environ.get("BENCH_ALGORITHMS_JSON", "BENCH_algorithms.json")
+    result = write_baseline(out)
+    _report(result)
+    _check(result)
+    print(
+        f"\nwrote {out}  (speedups vs scalar: "
+        f"sample sort {result['sample_sort']['speedup_vs_scalar']:.1f}x, "
+        f"h-relation {result['h_relation_emulation']['speedup_vs_scalar']:.1f}x)"
+    )

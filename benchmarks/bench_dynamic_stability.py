@@ -12,6 +12,7 @@ selects the pool width, results identical at any job count).
 """
 
 import os
+import time
 
 import pytest
 
@@ -28,7 +29,7 @@ from repro.sweep import SweepSpec, run_sweep
 
 from _common import emit
 
-P, M, L, W, T = 256, 16, 8.0, 128, 24_000
+P, M, L, W, T = 256, 16, 8.0, 128, 240_000
 JOBS = int(os.environ.get("BENCH_JOBS", "1"))
 
 
@@ -166,3 +167,30 @@ def test_immediate_strawman_vs_algorithm_b(benchmark):
     # the gap explodes with spike size (exponential vs linear)
     gaps = [r[1] / r[2] for r in rows if r[0] > M]
     assert gaps == sorted(gaps)
+
+
+def run_interval_horizon(horizon=100_000):
+    from repro.dynamic import ImmediateProtocol
+
+    _, global_ = MachineParams.matched_pair(p=P, m=M, L=1)
+    trace = UniformAdversary(P, W, alpha=M / 2, beta=M / 2).generate(horizon, seed=3)
+    t0 = time.perf_counter()
+    res = run_dynamic(ImmediateProtocol(global_), trace)
+    dt = time.perf_counter() - t0
+    return horizon, int(trace.t.size), dt, res.is_stable()
+
+
+def test_100k_interval_horizon(benchmark):
+    """The linearized ``run_dynamic`` must sustain a 100k-interval horizon
+    (``ImmediateProtocol`` opens one interval per step) in under 5 s — the
+    scale the Theorem-6.5/6.7 sweeps now run at."""
+    horizon, msgs, dt, stable = benchmark.pedantic(
+        run_interval_horizon, rounds=1, iterations=1
+    )
+    emit(
+        "E6.5d 100k-interval horizon (ImmediateProtocol, uniform alpha = m/2)",
+        ["intervals", "messages", "seconds", "stable"],
+        [[horizon, msgs, dt, stable]],
+    )
+    assert stable
+    assert dt < 5.0, f"100k-interval horizon took {dt:.1f}s (need < 5s)"

@@ -172,47 +172,52 @@ def _contraction_program(ctx, a: int, max_rounds: int, nodes: Dict[int, int], se
     spliced_at: Dict[int, List[Tuple[int, int, int]]] = {}  # round -> [(child, w_before)]
     splice_round_of: Dict[int, int] = {}
 
-    slot = 0
-
-    def stag() -> int:
-        nonlocal slot
-        s = slot
-        slot += 1
-        return s
+    # Each superstep's messages go out as one columnar batch; the k-th
+    # message keeps slot k (the <= m senders discipline above), so the
+    # slot column is just arange(count).
+    def send_batch(dests: List[int], payloads: List[tuple]) -> None:
+        if not dests:
+            return
+        ctx.send_many(
+            np.asarray(dests, dtype=np.int64),
+            payloads=payloads,
+            slots=np.arange(len(dests), dtype=np.int64),
+        )
+        ctx.work(len(dests))
 
     # ---- contraction ----
     for rnd in range(max_rounds):
-        slot = 0
         # One coin per live node per round, used consistently whether the
         # node acts as a head (splicer) or a tail (splicee) — inconsistent
         # coins would let a node be spliced out while absorbing its own
         # successor, orphaning part of the list.
         coins = {u: rng.random() < 0.5 for u in sorted(alive)}
-        for u in sorted(alive):
-            if succ[u] != NIL:
-                ctx.send(owner(succ[u]), ("c", u, succ[u], coins[u]), slot=stag())
-                ctx.work(1)
+        senders = [u for u in sorted(alive) if succ[u] != NIL]
+        send_batch(
+            [owner(succ[u]) for u in senders],
+            [("c", u, succ[u], coins[u]) for u in senders],
+        )
         yield
-        slot = 0
         grants = []
-        for msg in ctx.receive():
-            _tag, u, v, coin_u = msg.payload
+        for _tag, u, v, coin_u in ctx.receive().payloads:
             if v in alive:
                 # u=head (coin H), v=tail (coin T): v is spliced out by u.
                 if coin_u and not coins[v]:
                     grants.append((v, u))
+        send_batch(
+            [owner(u) for _v, u in grants],
+            [("s", v, u, succ[v], weight[v]) for v, u in grants],
+        )
         for v, u in grants:
-            ctx.send(owner(u), ("s", v, u, succ[v], weight[v]), slot=stag())
-            ctx.work(1)
             alive.discard(v)
             splice_round_of[v] = rnd
         yield
-        for msg in ctx.receive():
-            _tag, v, u, sv, wv = msg.payload
+        absorbed = ctx.receive().payloads
+        for _tag, v, u, sv, wv in absorbed:
             spliced_at.setdefault(rnd, []).append((u, v, weight[u]))
             weight[u] += wv
             succ[u] = sv
-            ctx.work(1)
+        ctx.work(len(absorbed))
 
     # ---- finalize survivors ----
     ranks: Dict[int, int] = {}
@@ -224,14 +229,17 @@ def _contraction_program(ctx, a: int, max_rounds: int, nodes: Dict[int, int], se
 
     # ---- expansion (reverse round order) ----
     for rnd in range(max_rounds - 1, -1, -1):
-        slot = 0
-        for (u, v, w_before) in spliced_at.get(rnd, ()):
-            if u in ranks:
-                ctx.send(owner(v), ("f", v, ranks[u] - w_before), slot=stag())
-                ctx.work(1)
+        final = [
+            (u, v, w_before)
+            for (u, v, w_before) in spliced_at.get(rnd, ())
+            if u in ranks
+        ]
+        send_batch(
+            [owner(v) for _u, v, _w in final],
+            [("f", v, ranks[u] - w_before) for u, v, w_before in final],
+        )
         yield
-        for msg in ctx.receive():
-            _tag, v, rank_v = msg.payload
+        for _tag, v, rank_v in ctx.receive().payloads:
             ranks[v] = rank_v
 
     return {"ranks": ranks, "unfinished": leftovers}

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence
 
+import numpy as np
+
 from repro.core.engine import Machine, RunResult
 
 __all__ = ["one_to_all", "one_to_all_bsp_program", "one_to_all_qsm_program"]
@@ -25,29 +27,29 @@ __all__ = ["one_to_all", "one_to_all_bsp_program", "one_to_all_qsm_program"]
 def one_to_all_bsp_program(ctx, payloads: Sequence[Any], root: int):
     """Root sends ``payloads[i]`` to processor ``i``, one injection per slot."""
     if ctx.pid == root:
-        k = 0
-        for dest in range(ctx.nprocs):
-            if dest == root:
-                continue
-            ctx.send(dest, payloads[dest], slot=k)
-            k += 1
+        dests = np.delete(np.arange(ctx.nprocs, dtype=np.int64), root)
+        ctx.send_many(
+            dests,
+            payloads=[payloads[int(d)] for d in dests],
+            slots=np.arange(dests.size, dtype=np.int64),
+        )
     yield
     if ctx.pid == root:
         return payloads[root]
     msgs = ctx.receive()
-    return msgs[0].payload if msgs else None
+    return msgs.payloads[0] if msgs else None
 
 
 def one_to_all_qsm_program(ctx, payloads: Sequence[Any], root: int):
     """Root writes ``payloads[i]`` to cell ``("o2a", i)``; everyone reads
     their own cell (exclusive reads, contention 1)."""
     if ctx.pid == root:
-        k = 0
-        for dest in range(ctx.nprocs):
-            if dest == root:
-                continue
-            ctx.write(("o2a", dest), payloads[dest], slot=k)
-            k += 1
+        dests = [d for d in range(ctx.nprocs) if d != root]
+        ctx.write_many(
+            [("o2a", d) for d in dests],
+            [payloads[d] for d in dests],
+            slots=np.arange(len(dests), dtype=np.int64),
+        )
     yield
     handle = None
     if ctx.pid != root:

@@ -22,6 +22,8 @@ from __future__ import annotations
 import operator
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.engine import Machine, RunResult
 from repro.models.bsp_m import BSPm
 from repro.models.qsm_m import QSMm
@@ -77,8 +79,8 @@ def reduce_tree_bsp_program(ctx, op: Op, b: int, value: Any):
             ctx.send(pid - pid % block, acc, slot=0)
         yield
         if pid % block == 0:
-            for msg in ctx.receive():
-                acc = op(acc, msg.payload)
+            for payload in ctx.receive().payloads:
+                acc = op(acc, payload)
                 ctx.work(1)
         stride = block
     return acc if pid == 0 else None
@@ -92,8 +94,8 @@ def reduce_funnel_bsp_program(ctx, op: Op, a: int, b: int, value: Any):
     yield
     acc = value
     if pid < a:
-        for msg in ctx.receive():
-            acc = op(acc, msg.payload)
+        for payload in ctx.receive().payloads:
+            acc = op(acc, payload)
             ctx.work(1)
     stride = 1
     for _ in range(_tree_rounds(a, b)):
@@ -102,8 +104,8 @@ def reduce_funnel_bsp_program(ctx, op: Op, a: int, b: int, value: Any):
             ctx.send(pid - pid % block, acc, slot=0)
         yield
         if pid < a and pid % block == 0:
-            for msg in ctx.receive():
-                acc = op(acc, msg.payload)
+            for payload in ctx.receive().payloads:
+                acc = op(acc, payload)
                 ctx.work(1)
         stride = block
     return acc if pid == 0 else None
@@ -115,7 +117,12 @@ def reduce_funnel_bsp_program(ctx, op: Op, a: int, b: int, value: Any):
 
 
 def reduce_tree_qsm_program(ctx, op: Op, b: int, value: Any):
-    """Reduction tree over shared memory: children publish, parent reads."""
+    """Reduction tree over shared memory: children publish, parent reads.
+
+    A parent pulls all ``b - 1`` children's cells with one ``read_many``
+    per round (``stagger_slots`` advances the same per-superstep counter as
+    ``b - 1`` scalar staggered reads, so the slot columns — and therefore
+    model times — are unchanged)."""
     pid, p = ctx.pid, ctx.nprocs
     acc = value
     ctx.work(1)
@@ -125,15 +132,20 @@ def reduce_tree_qsm_program(ctx, op: Op, b: int, value: Any):
         if pid % stride == 0 and pid % block != 0:
             ctx.write(("red", r, pid), acc, slot=ctx.stagger_slot())
         yield
-        handles = []
+        handle = None
         if pid % block == 0:
-            for child in range(pid + stride, min(pid + block, p), stride):
-                handles.append(ctx.read(("red", r, child), slot=ctx.stagger_slot()))
+            addrs = [
+                ("red", r, child)
+                for child in range(pid + stride, min(pid + block, p), stride)
+            ]
+            if addrs:
+                handle = ctx.read_many(addrs, slots=ctx.stagger_slots(len(addrs)))
         yield
-        for h in handles:
-            if h.value is not None:
-                acc = op(acc, h.value)
-                ctx.work(1)
+        if handle is not None:
+            for v in handle.values:
+                if v is not None:
+                    acc = op(acc, v)
+                    ctx.work(1)
         stride = block
     return acc if pid == 0 else None
 
@@ -149,31 +161,42 @@ def reduce_funnel_qsm_program(ctx, op: Op, a: int, b: int, value: Any):
     if pid >= a:
         ctx.write(("fun", pid), value, slot=pid // a - 1)
     yield
-    handles = []
+    handle = None
     if pid < a:
-        for k, member in enumerate(range(pid + a, p, a)):
-            handles.append(ctx.read(("fun", member), slot=k))
+        addrs = [("fun", member) for member in range(pid + a, p, a)]
+        if addrs:
+            handle = ctx.read_many(
+                addrs, slots=np.arange(len(addrs), dtype=np.int64)
+            )
     yield
     acc = value
-    for h in handles:
-        if h.value is not None:
-            acc = op(acc, h.value)
-            ctx.work(1)
+    if handle is not None:
+        for v in handle.values:
+            if v is not None:
+                acc = op(acc, v)
+                ctx.work(1)
     stride = 1
     for r in range(_tree_rounds(a, b)):
         block = stride * b
         if pid < a and pid % stride == 0 and pid % block != 0:
             ctx.write(("redm", r, pid), acc, slot=0)
         yield
-        handles = []
+        handle = None
         if pid < a and pid % block == 0:
-            for j, child in enumerate(range(pid + stride, min(pid + block, a), stride)):
-                handles.append(ctx.read(("redm", r, child), slot=j))
+            addrs = [
+                ("redm", r, child)
+                for child in range(pid + stride, min(pid + block, a), stride)
+            ]
+            if addrs:
+                handle = ctx.read_many(
+                    addrs, slots=np.arange(len(addrs), dtype=np.int64)
+                )
         yield
-        for h in handles:
-            if h.value is not None:
-                acc = op(acc, h.value)
-                ctx.work(1)
+        if handle is not None:
+            for v in handle.values:
+                if v is not None:
+                    acc = op(acc, v)
+                    ctx.work(1)
         stride = block
     return acc if pid == 0 else None
 

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.engine import Machine, Proc
 
 __all__ = ["Comm", "BSPComm", "QSMComm", "comm_for", "tree_parent", "tree_children"]
@@ -61,12 +63,18 @@ class BSPComm(Comm):
     phases = 1
 
     def exchange(self, ctx: Proc, out: Iterable[OutTriple], expect: Sequence[Key] = ()):
-        for dest, key, value in out:
-            ctx.send(dest, (key, value), slot=ctx.stagger_slot())
+        triples = list(out)
+        if triples:
+            ctx.send_many(
+                np.fromiter(
+                    (d for d, _k, _v in triples), dtype=np.int64, count=len(triples)
+                ),
+                payloads=[(k, v) for _d, k, v in triples],
+                slots=ctx.stagger_slots(len(triples)),
+            )
         yield
         received: Dict[Key, Any] = {}
-        for msg in ctx.receive():
-            key, value = msg.payload
+        for key, value in ctx.receive().payloads:
             received[key] = value
         return received
 
@@ -81,12 +89,24 @@ class QSMComm(Comm):
     phases = 2
 
     def exchange(self, ctx: Proc, out: Iterable[OutTriple], expect: Sequence[Key] = ()):
-        for _dest, key, value in out:
-            ctx.write(key, value, slot=ctx.stagger_slot())
+        triples = list(out)
+        if triples:
+            ctx.write_many(
+                [k for _d, k, _v in triples],
+                [v for _d, _k, v in triples],
+                slots=ctx.stagger_slots(len(triples)),
+            )
         yield
-        handles = [(key, ctx.read(key, slot=ctx.stagger_slot())) for key in expect]
+        expect = list(expect)
+        handle = (
+            ctx.read_many(expect, slots=ctx.stagger_slots(len(expect)))
+            if expect
+            else None
+        )
         yield
-        return {key: h.value for key, h in handles}
+        if handle is None:
+            return {}
+        return dict(zip(expect, handle.values))
 
 
 def comm_for(machine: Machine) -> Comm:

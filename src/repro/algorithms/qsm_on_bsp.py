@@ -25,11 +25,17 @@ a QSM machine and through this adapter on a BSP machine.
 
 from __future__ import annotations
 
+from itertools import repeat as _repeat
+from operator import itemgetter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.engine import Machine, ProgramError, RunResult
 
 __all__ = ["run_qsm_program_on_bsp", "SharedMemoryProxy"]
+
+_addr_value = itemgetter(0, 1)  # (addr, value, 0) triple -> cells dict item
 
 
 class _ProxyHandle:
@@ -52,19 +58,67 @@ class _ProxyHandle:
         return self._value
 
 
+class _ProxyHandleList:
+    """Batch-read result for the scalar proxy: a view over per-request
+    handles, exposing the same ``.values`` as the columnar batch handle."""
+
+    __slots__ = ("_handles",)
+
+    def __init__(self, handles: List[_ProxyHandle]) -> None:
+        self._handles = handles
+
+    def __len__(self) -> int:
+        return len(self._handles)
+
+    @property
+    def values(self) -> List[Any]:
+        return [h.value for h in self._handles]
+
+
+class _ProxyBatchHandle:
+    """Batch-read result for the columnar proxy: one object per
+    ``read_many`` call; values are installed as one slice in the resolve
+    superstep."""
+
+    __slots__ = ("addrs", "_values", "_set")
+
+    def __init__(self, addrs: Sequence[Any]) -> None:
+        self.addrs = addrs  # list or ndarray, kept as given
+        self._values: List[Any] = []
+        self._set = False
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    @property
+    def values(self) -> List[Any]:
+        if not self._set:
+            raise ProgramError(
+                "emulated batch read not yet resolved — values arrive after "
+                "the phase's yield"
+            )
+        return self._values
+
+
 class SharedMemoryProxy:
     """The ``ctx``-like object handed to the QSM program under emulation.
 
-    Supports the QSM subset: ``read``/``write``/``work``/``stagger_slot``
-    plus ``pid``/``nprocs``.  ``send``/``receive`` are unavailable (they
-    would bypass the emulation).
+    Supports the QSM subset: ``read``/``write``/``read_many``/``write_many``
+    /``work``/``stagger_slot`` plus ``pid``/``nprocs``.  ``send``/
+    ``receive`` are unavailable (they would bypass the emulation).
+
+    This base class expands batch calls into per-request handles (the
+    scalar twin in :mod:`repro.algorithms.scalar_reference` iterates
+    ``_reads`` directly); :class:`_BatchSharedMemoryProxy` — used by
+    :func:`run_qsm_program_on_bsp` — records one batch object per call
+    instead.  Request order, and therefore pricing, is identical.
     """
 
     def __init__(self, ctx) -> None:
         self._ctx = ctx
         self.pid = ctx.pid
         self.nprocs = ctx.nprocs
-        self._reads: List[_ProxyHandle] = []
+        self._reads: List[Any] = []
         self._writes: List[Tuple[Any, Any]] = []
         self._k = 0
 
@@ -76,6 +130,12 @@ class SharedMemoryProxy:
 
     def write(self, addr: Any, value: Any, slot: Optional[int] = None) -> None:
         self._writes.append((addr, value))
+
+    def read_many(self, addrs: Sequence[Any], *, slots=None) -> _ProxyHandleList:
+        return _ProxyHandleList([self.read(a) for a in addrs])
+
+    def write_many(self, addrs: Sequence[Any], values: Sequence[Any], *, slots=None) -> None:
+        self._writes.extend(zip(list(addrs), list(values)))
 
     def work(self, amount: float = 1.0) -> None:
         self._ctx.work(amount)
@@ -91,12 +151,60 @@ class SharedMemoryProxy:
         raise ProgramError("emulated QSM programs cannot receive directly")
 
 
+class _BatchSharedMemoryProxy(SharedMemoryProxy):
+    """Columnar proxy: ``read_many`` records one batch object (no
+    per-request handles); the emulation flattens batches when building the
+    request column and installs reply values as slices."""
+
+    def read_many(self, addrs: Sequence[Any], *, slots=None) -> _ProxyBatchHandle:
+        if not isinstance(addrs, (list, np.ndarray)):
+            addrs = list(addrs)
+        handle = _ProxyBatchHandle(addrs)
+        self._reads.append(handle)
+        return handle
+
+
 def _owner(addr: Any, p: int) -> int:
     return hash(addr) % p
 
 
+_HASH_MOD = (1 << 61) - 1  # CPython's hash modulus for int
+
+
+def _int_addr_column(addrs: Sequence[Any]) -> Optional[np.ndarray]:
+    """The address column as an int64 array, or None if it holds anything
+    other than non-negative ints below CPython's hash modulus (for which
+    ``hash(x) == x``, so ``% p`` reproduces ``_owner`` exactly)."""
+    if isinstance(addrs, np.ndarray):
+        if addrs.ndim != 1 or addrs.dtype.kind not in "iu":
+            return None
+        arr = addrs.astype(np.int64, copy=False)
+    elif len(addrs) and isinstance(addrs[0], (int, np.integer)):
+        try:
+            arr = np.asarray(addrs, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            return None
+    else:
+        return None
+    if bool((arr >= 0).all()) and bool((arr < _HASH_MOD).all()):
+        return arr
+    return None
+
+
+def _owner_column(addrs: Sequence[Any], p: int) -> np.ndarray:
+    """Vectorized ``_owner`` over an address column: one modulo on the
+    int fast path, per-address ``hash`` otherwise.  Both paths produce
+    identical owners, so the choice is pricing-invisible."""
+    arr = _int_addr_column(addrs)
+    if arr is not None:
+        return arr % p
+    return np.fromiter(
+        (_owner(a, p) for a in addrs), dtype=np.int64, count=len(addrs)
+    )
+
+
 def _emulation_program(ctx, qsm_program: Callable, extra_args: tuple, proc_extra: tuple = ()):
-    proxy = SharedMemoryProxy(ctx)
+    proxy = _BatchSharedMemoryProxy(ctx)
     gen = qsm_program(proxy, *extra_args, *proc_extra)
     if not hasattr(gen, "__next__"):
         return gen  # plain function: no shared memory used after all
@@ -114,37 +222,100 @@ def _emulation_program(ctx, qsm_program: Callable, extra_args: tuple, proc_extra
         reads, proxy._reads = proxy._reads, []
         writes, proxy._writes = proxy._writes, []
 
-        # --- superstep A: ship requests to owners ---
-        for i, handle in enumerate(reads):
-            ctx.send(
-                _owner(handle.addr, ctx.nprocs),
-                ("r", ctx.pid, i, handle.addr),
-                slot=ctx.stagger_slot(),
+        # Flatten scalar handles and read_many batches into one address
+        # column; spans remember where each handle's values live so the
+        # resolve step can install replies by slice.  The one-batch case
+        # (the columnar idiom) keeps the caller's column as-is.
+        spans: List[Tuple[Any, int, int]] = []  # (handle, start, count)
+        if len(reads) == 1 and type(reads[0]) is _ProxyBatchHandle:
+            read_addrs = reads[0].addrs
+            spans.append((reads[0], 0, len(read_addrs)))
+        else:
+            read_addrs = []
+            for h in reads:
+                if type(h) is _ProxyBatchHandle:
+                    spans.append((h, len(read_addrs), len(h.addrs)))
+                    read_addrs.extend(h.addrs)
+                else:
+                    spans.append((h, len(read_addrs), 1))
+                    read_addrs.append(h.addr)
+        n_reads = len(read_addrs)
+
+        # --- superstep A: ship requests to owners, reads before writes
+        # (the staggered-slot issue order).  The emulation serves its own
+        # requests, so the wire format is private: a read travels as an
+        # ``(index, addr)`` pair — one 2D int64 column when the addresses
+        # are ints, zero per-request work — and a write as an
+        # ``(addr, value, 0)`` triple; requesters come from the src column.
+        p = ctx.nprocs
+        if n_reads:
+            arr = _int_addr_column(read_addrs)
+            if arr is not None:
+                r_payloads: Any = np.column_stack(
+                    [np.arange(n_reads, dtype=np.int64), arr]
+                )
+                r_owners = arr % p
+            else:
+                r_payloads = [(i, a) for i, a in enumerate(read_addrs)]
+                r_owners = _owner_column(read_addrs, p)
+            ctx.send_many(
+                r_owners, payloads=r_payloads, slots=ctx.stagger_slots(n_reads)
             )
-        for addr, value in writes:
-            ctx.send(
-                _owner(addr, ctx.nprocs),
-                ("w", ctx.pid, addr, value),
-                slot=ctx.stagger_slot(),
+        if writes:
+            w_addrs, w_vals = zip(*writes)
+            ctx.send_many(
+                _owner_column(w_addrs, p),
+                payloads=list(zip(w_addrs, w_vals, _repeat(0))),
+                slots=ctx.stagger_slots(len(writes)),
             )
         yield
 
         # --- superstep B: owners serve reads (pre-write values), apply
-        # writes, and reply ---
-        msgs = ctx.receive()
-        read_reqs = [m.payload for m in msgs if m.payload[0] == "r"]
-        write_reqs = [m.payload for m in msgs if m.payload[0] == "w"]
-        for _tag, requester, idx, addr in read_reqs:
-            ctx.send(requester, ("v", idx, cells.get(addr)), slot=ctx.stagger_slot())
-        for _tag, _writer, addr, value in write_reqs:
-            cells[addr] = value  # Arbitrary: last in arrival order wins
+        # writes, and reply (one pass over the inbox; writes are deferred
+        # past the loop so every read sees the pre-phase cells) ---
+        inbox = ctx.receive()
+        pls = inbox.payloads
+        cells_get = cells.get
+        write_reqs: List[tuple] = []
+        if isinstance(pls, np.ndarray):
+            # pure int-addressed reads from every sender
+            reply_dests: Any = inbox.srcs
+            replies = list(
+                zip(pls[:, 0].tolist(), map(cells_get, pls[:, 1].tolist()))
+            )
+        else:
+            reply_dests = []
+            replies = []
+            for src, pl in zip(inbox.srcs.tolist(), pls):
+                if len(pl) == 2:  # read: (index, addr); row or tuple
+                    reply_dests.append(src)
+                    replies.append((pl[0], cells_get(pl[1])))
+                else:  # write: (addr, value, 0)
+                    write_reqs.append(pl)
+            reply_dests = np.asarray(reply_dests, dtype=np.int64)
+        if replies:
+            ctx.send_many(
+                reply_dests, payloads=replies, slots=ctx.stagger_slots(len(replies))
+            )
+        # Arbitrary concurrent-write rule: last in arrival order wins
+        # (dict.update preserves it).
+        cells.update(map(_addr_value, write_reqs))
         yield
 
         # --- resolve replies into handles ---
-        for msg in ctx.receive():
-            _tag, idx, value = msg.payload
-            reads[idx]._value = value
-            reads[idx]._set = True
+        reply_pls = ctx.receive().payloads
+        vals: List[Any] = [None] * n_reads
+        if reply_pls:
+            idxs, rvals = zip(*reply_pls)
+            scatter = np.empty(n_reads, dtype=object)
+            scatter[np.fromiter(idxs, np.int64, count=len(idxs))] = rvals
+            vals = scatter.tolist()
+        for h, start, count in spans:
+            if type(h) is _ProxyBatchHandle:
+                h._values = vals[start : start + count]
+            else:
+                h._value = vals[start]
+            h._set = True
 
         if finished:
             return result

@@ -124,22 +124,49 @@ def _columnsort_program(ctx, n: int, r: int, s: int, m_cap: int, per: int, chunk
     ``k*ceil(p/cap) + pid//cap``); the permutation steps have only
     ``s+1 <= cap`` senders, so the ``k``-th outgoing flit simply uses slot
     ``k``.
+
+    Every permutation travels as one ``send_many`` whose payload column is
+    a ``(count, 2)`` float array of ``(dest_row, key)`` pairs — the column
+    stays array-backed through delivery, and receivers scatter it into
+    their column with one fancy-indexed assignment.  Rows are exact in
+    float64 (``r << 2**53``).
     """
     pid, p = ctx.pid, ctx.nprocs
     groups = ceil_div(p, m_cap)
 
+    def send_pairs(dests: np.ndarray, dest_rows: np.ndarray, keys: np.ndarray,
+                   slots: np.ndarray) -> None:
+        if len(dests):
+            ctx.send_many(
+                dests,
+                payloads=np.column_stack(
+                    [np.asarray(dest_rows, dtype=np.float64),
+                     np.asarray(keys, dtype=np.float64)]
+                ),
+                slots=slots,
+            )
+
+    def fill(base: np.ndarray) -> np.ndarray:
+        pairs = ctx.receive().payloads
+        if len(pairs):
+            arr = np.asarray(pairs)
+            base[arr[:, 0].astype(np.int64)] = arr[:, 1]
+        return base
+
     # ---- distribute: global index -> column (index // r) ----
     offset = pid * per
-    for k, key in enumerate(chunk):
-        g = offset + k
-        ctx.send(g // r, (g % r, float(key)), slot=k * groups + pid // m_cap)
+    nc = len(chunk)
+    if nc:
+        g = offset + np.arange(nc, dtype=np.int64)
+        send_pairs(
+            g // r, g % r, np.asarray(chunk, dtype=np.float64),
+            np.arange(nc, dtype=np.int64) * groups + pid // m_cap,
+        )
     yield
 
     col = np.full(r, _POS)
     if pid < s:
-        for msg in ctx.receive():
-            row, key = msg.payload
-            col[row] = key
+        col = fill(col)
     elif pid == s:
         ctx.receive()
 
@@ -148,11 +175,10 @@ def _columnsort_program(ctx, n: int, r: int, s: int, m_cap: int, per: int, chunk
         col = np.sort(col)
         ctx.work(local_sort_work(r))
 
-    def permute(dest_cols: np.ndarray, dest_rows: np.ndarray):
-        for k in range(r):
-            ctx.send(int(dest_cols[k]), (int(dest_rows[k]), float(col[k])), slot=k)
-
     rows = np.arange(r)
+
+    def permute(dest_cols: np.ndarray, dest_rows: np.ndarray):
+        send_pairs(dest_cols, dest_rows, col, rows)
 
     # ---- step 1 + 2 ----
     if pid < s:
@@ -162,11 +188,7 @@ def _columnsort_program(ctx, n: int, r: int, s: int, m_cap: int, per: int, chunk
         permute(dc, dr)
     yield
     if pid < s:
-        newcol = np.full(r, _POS)
-        for msg in ctx.receive():
-            row, key = msg.payload
-            newcol[row] = key
-        col = newcol
+        col = fill(np.full(r, _POS))
 
     # ---- step 3 + 4 ----
     if pid < s:
@@ -176,11 +198,7 @@ def _columnsort_program(ctx, n: int, r: int, s: int, m_cap: int, per: int, chunk
         permute(dc, dr)
     yield
     if pid < s:
-        newcol = np.full(r, _POS)
-        for msg in ctx.receive():
-            row, key = msg.payload
-            newcol[row] = key
-        col = newcol
+        col = fill(np.full(r, _POS))
 
     # ---- step 5 + 6 (shift into s+1 columns) ----
     shift = r // 2
@@ -191,45 +209,41 @@ def _columnsort_program(ctx, n: int, r: int, s: int, m_cap: int, per: int, chunk
         permute(dc, dr)
     yield
     if pid <= s:
-        newcol = np.full(r, _POS if pid else _NEG)
+        base = np.full(r, _POS if pid else _NEG)
         if pid == 0:
-            newcol[shift:] = _POS  # only rows [0, shift) are -inf pads
-            newcol[:shift] = _NEG
-        for msg in ctx.receive():
-            row, key = msg.payload
-            newcol[row] = key
-        col = newcol
+            base[shift:] = _POS  # only rows [0, shift) are -inf pads
+            base[:shift] = _NEG
+        col = fill(base)
 
     # ---- step 7 + 8 (unshift) ----
     if pid <= s:
         sortcol()
         kidx = pid * r + rows - shift
         valid = (kidx >= 0) & (kidx < r * s)
-        for k in range(r):
-            if valid[k]:
-                ctx.send(int(kidx[k] // r), (int(kidx[k] % r), float(col[k])), slot=k)
+        vk = kidx[valid]
+        send_pairs(vk // r, vk % r, col[valid], rows[valid])
     yield
     sorted_col = None
     if pid < s:
-        newcol = np.full(r, _POS)
-        for msg in ctx.receive():
-            row, key = msg.payload
-            newcol[row] = key
-        sorted_col = newcol
+        sorted_col = fill(np.full(r, _POS))
 
     # ---- collect: route to final owners, n/p keys each ----
     per_proc = ceil_div(n, p)
     if pid < s:
-        for k in range(r):
-            g = pid * r + k  # global sorted position (column-major)
-            if g < n:
-                ctx.send(g // per_proc, (g % per_proc, float(sorted_col[k])), slot=k)
+        g = pid * r + rows  # global sorted positions (column-major)
+        sel = g < n
+        gs = g[sel]
+        send_pairs(gs // per_proc, gs % per_proc, sorted_col[sel], rows[sel])
     yield
-    mine = [None] * per_proc
-    for msg in ctx.receive():
-        idx, key = msg.payload
-        mine[idx] = key
-    return [x for x in mine if x is not None]
+    mine = np.full(per_proc, _POS)
+    got = np.zeros(per_proc, dtype=bool)
+    pairs = ctx.receive().payloads
+    if len(pairs):
+        arr = np.asarray(pairs)
+        idx = arr[:, 0].astype(np.int64)
+        mine[idx] = arr[:, 1]
+        got[idx] = True
+    return mine[got].tolist()
 
 
 def _columnsort_qsm_program(ctx, n: int, r: int, s: int, m_cap: int, per: int, chunk: List[float]):
@@ -241,32 +255,45 @@ def _columnsort_qsm_program(ctx, n: int, r: int, s: int, m_cap: int, per: int, c
     Slot discipline mirrors the BSP program: distribution is staggered
     ``p``-wide, permutation phases have at most ``s+1 <= cap`` requesters
     per slot index.
+
+    Each phase's requests go out as one ``read_many``/``write_many`` batch
+    (tuple addresses, so the address column is a list — the batching still
+    collapses the per-request engine overhead to one call per phase).
     """
     pid, p = ctx.pid, ctx.nprocs
     groups = ceil_div(p, m_cap)
 
     # ---- distribute ----
     offset = pid * per
-    for k, key in enumerate(chunk):
-        g = offset + k
-        ctx.write(("cs", 0, g // r, g % r), float(key), slot=k * groups + pid // m_cap)
+    nc = len(chunk)
+    if nc:
+        g = offset + np.arange(nc, dtype=np.int64)
+        ctx.write_many(
+            [("cs", 0, int(gg) // r, int(gg) % r) for gg in g],
+            np.asarray(chunk, dtype=np.float64),
+            slots=np.arange(nc, dtype=np.int64) * groups + pid // m_cap,
+        )
     yield
-
-    def read_column(step: int) -> "np.ndarray":
-        handles = [
-            ctx.read(("cs", step, pid, row), slot=row) for row in range(r)
-        ]
-        return handles
-
-    col = np.full(r, _POS)
-    handles = read_column(0) if pid < s else []
-    yield
-    if pid < s:
-        for row, h in enumerate(handles):
-            if h.value is not None:
-                col[row] = h.value
 
     rows = np.arange(r)
+
+    def read_column(step: int):
+        return ctx.read_many(
+            [("cs", step, pid, row) for row in range(r)], slots=rows
+        )
+
+    def fill(handle, base: np.ndarray) -> np.ndarray:
+        # unwritten cells read back None and keep the pad value
+        for row, v in enumerate(handle.values):
+            if v is not None:
+                base[row] = v
+        return base
+
+    col = np.full(r, _POS)
+    handle = read_column(0) if pid < s else None
+    yield
+    if pid < s:
+        col = fill(handle, col)
 
     def sortcol():
         nonlocal col
@@ -277,14 +304,14 @@ def _columnsort_qsm_program(ctx, n: int, r: int, s: int, m_cap: int, per: int, c
         # Slot = source row index: in the unshift step columns 0 and s have
         # complementary valid row ranges, so using the (uncompacted) row
         # keeps every slot at <= s concurrent writers.
-        for k in range(r):
-            if valid is not None and not valid[k]:
-                continue
-            ctx.write(
-                ("cs", step, int(dest_cols[k]), int(dest_rows[k])),
-                float(col[k]),
-                slot=k,
-            )
+        sel = rows if valid is None else rows[np.asarray(valid, dtype=bool)]
+        dc = np.asarray(dest_cols, dtype=np.int64)
+        dr = np.asarray(dest_rows, dtype=np.int64)
+        ctx.write_many(
+            [("cs", step, int(dc[k]), int(dr[k])) for k in sel],
+            col[sel],
+            slots=sel,
+        )
 
     # ---- step 1 + 2 (transpose) ----
     if pid < s:
@@ -292,13 +319,10 @@ def _columnsort_qsm_program(ctx, n: int, r: int, s: int, m_cap: int, per: int, c
         kidx = pid * r + rows
         write_perm(2, kidx % s, kidx // s)
     yield
-    handles = read_column(2) if pid < s else []
+    handle = read_column(2) if pid < s else None
     yield
     if pid < s:
-        col = np.full(r, _POS)
-        for row, h in enumerate(handles):
-            if h.value is not None:
-                col[row] = h.value
+        col = fill(handle, np.full(r, _POS))
 
     # ---- step 3 + 4 (untranspose) ----
     if pid < s:
@@ -306,13 +330,10 @@ def _columnsort_qsm_program(ctx, n: int, r: int, s: int, m_cap: int, per: int, c
         k2 = rows * s + pid
         write_perm(4, k2 // r, k2 % r)
     yield
-    handles = read_column(4) if pid < s else []
+    handle = read_column(4) if pid < s else None
     yield
     if pid < s:
-        col = np.full(r, _POS)
-        for row, h in enumerate(handles):
-            if h.value is not None:
-                col[row] = h.value
+        col = fill(handle, np.full(r, _POS))
 
     # ---- step 5 + 6 (shift into s+1 columns) ----
     shift = r // 2
@@ -321,16 +342,14 @@ def _columnsort_qsm_program(ctx, n: int, r: int, s: int, m_cap: int, per: int, c
         kidx = pid * r + rows + shift
         write_perm(6, kidx // r, kidx % r)
     yield
-    handles = read_column(6) if pid <= s else []
+    handle = read_column(6) if pid <= s else None
     yield
     if pid <= s:
-        col = np.full(r, _POS if pid else _NEG)
+        base = np.full(r, _POS if pid else _NEG)
         if pid == 0:
-            col[shift:] = _POS
-            col[:shift] = _NEG
-        for row, h in enumerate(handles):
-            if h.value is not None:
-                col[row] = h.value
+            base[shift:] = _POS
+            base[:shift] = _NEG
+        col = fill(handle, base)
 
     # ---- step 7 + 8 (unshift) ----
     if pid <= s:
@@ -339,32 +358,30 @@ def _columnsort_qsm_program(ctx, n: int, r: int, s: int, m_cap: int, per: int, c
         valid = (kidx >= 0) & (kidx < r * s)
         write_perm(8, np.where(valid, kidx // r, 0), np.where(valid, kidx % r, 0), valid)
     yield
-    handles = read_column(8) if pid < s else []
+    handle = read_column(8) if pid < s else None
     yield
     sorted_col = None
     if pid < s:
-        sorted_col = np.full(r, _POS)
-        for row, h in enumerate(handles):
-            if h.value is not None:
-                sorted_col[row] = h.value
+        sorted_col = fill(handle, np.full(r, _POS))
 
     # ---- collect ----
     per_proc = ceil_div(n, p)
     if pid < s:
-        slot = 0
-        for k in range(r):
-            g = pid * r + k
-            if g < n:
-                ctx.write(("out", g // per_proc, g % per_proc), float(sorted_col[k]), slot=slot)
-                slot += 1
+        g = pid * r + rows
+        gs = g[g < n]  # compacted: the k-th valid write uses slot k
+        ctx.write_many(
+            [("out", int(gg) // per_proc, int(gg) % per_proc) for gg in gs],
+            sorted_col[rows[g < n]],
+            slots=np.arange(gs.size, dtype=np.int64),
+        )
     yield
-    out_handles = [
-        ctx.read(("out", pid, j), slot=ctx.stagger_slot())
-        for j in range(per_proc)
-        if pid * per_proc + j < n
-    ]
+    mine_idx = [j for j in range(per_proc) if pid * per_proc + j < n]
+    out_handle = ctx.read_many(
+        [("out", pid, j) for j in mine_idx],
+        slots=ctx.stagger_slots(len(mine_idx)),
+    )
     yield
-    return [h.value for h in out_handles if h.value is not None]
+    return [v for v in out_handle.values if v is not None]
 
 
 def columnsort(

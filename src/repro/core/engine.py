@@ -359,24 +359,37 @@ class DenseSharedMemory(MutableMapping):
 
     # -- batch fast path -------------------------------------------------------
     def take(self, addrs: np.ndarray) -> np.ndarray:
-        """Vectorized ``get`` over an integer address array."""
-        if addrs.size and (addrs.min() < 0 or addrs.max() >= self.size):
-            out = np.empty(addrs.size, dtype=object)
-            for i, a in enumerate(addrs.tolist()):
-                out[i] = self.get(a)
-            return out
-        return self._cells[addrs]
+        """Vectorized ``get`` over an integer address array.
+
+        Out-of-range addresses are detected with one bounds mask; only those
+        (rare) entries walk the overflow dict — the in-range majority stays
+        a single fancy index either way.
+        """
+        in_r = (addrs >= 0) & (addrs < self.size)
+        if in_r.all():
+            return self._cells[addrs]
+        out = np.empty(addrs.size, dtype=object)
+        out[in_r] = self._cells[addrs[in_r]]
+        for i in np.nonzero(~in_r)[0].tolist():
+            out[i] = self._overflow.get(int(addrs[i]))
+        return out
 
     def put(self, addrs: np.ndarray, values: Any) -> None:
         """Vectorized ``__setitem__``; duplicate addresses resolve to the
-        last value in request order (the engine's Arbitrary rule)."""
-        if addrs.size and (addrs.min() < 0 or addrs.max() >= self.size):
-            for a, v in zip(addrs.tolist(), values):
-                self[a] = v
-            return
+        last value in request order (the engine's Arbitrary rule).
+
+        Same bounds-mask discipline as :meth:`take`: only out-of-range
+        entries spill to the overflow dict one by one.
+        """
         vals = np.empty(addrs.size, dtype=object)
         vals[:] = list(values) if not isinstance(values, np.ndarray) else values.tolist()
-        self._cells[addrs] = vals
+        in_r = (addrs >= 0) & (addrs < self.size)
+        if in_r.all():
+            self._cells[addrs] = vals
+            return
+        self._cells[addrs[in_r]] = vals[in_r]
+        for i in np.nonzero(~in_r)[0].tolist():
+            self._overflow[int(addrs[i])] = vals[i]
 
 
 def _as_index_array(values: Any, name: str) -> np.ndarray:
@@ -831,7 +844,7 @@ def _gather_msg_batch(procs: List[Proc]) -> MessageBatch:
     processor sends only a handful of messages.
     """
     chunks: List[MessageBatch] = []
-    src: List[int] = []
+    src_runs: List[Tuple[int, int]] = []  # (pid, count) — expanded by repeat
     dest: List[int] = []
     size: List[int] = []
     slot: List[int] = []
@@ -839,12 +852,16 @@ def _gather_msg_batch(procs: List[Proc]) -> MessageBatch:
     payload: List[Any] = []
 
     def flush() -> None:
-        nonlocal src, dest, size, slot, consec, payload
+        nonlocal src_runs, dest, size, slot, consec, payload
         if dest:
             pl: Column = None if all(x is None for x in payload) else payload
+            src = np.repeat(
+                np.asarray([pid for pid, _ in src_runs], dtype=_I64),
+                np.asarray([k for _, k in src_runs], dtype=_I64),
+            )
             chunks.append(
                 MessageBatch(
-                    np.asarray(src, dtype=_I64),
+                    src,
                     np.asarray(dest, dtype=_I64),
                     np.asarray(size, dtype=_I64),
                     np.asarray(slot, dtype=_I64),
@@ -852,7 +869,7 @@ def _gather_msg_batch(procs: List[Proc]) -> MessageBatch:
                     pl,
                 )
             )
-            src, dest, size, slot, consec, payload = [], [], [], [], [], []
+            src_runs, dest, size, slot, consec, payload = [], [], [], [], [], []
 
     for proc in procs:
         if proc._send_chunks:
@@ -860,7 +877,7 @@ def _gather_msg_batch(procs: List[Proc]) -> MessageBatch:
             chunks.extend(proc._send_chunks)
         k = len(proc._sc_dest)
         if k:
-            src.extend([proc.pid] * k)
+            src_runs.append((proc.pid, k))
             dest.extend(proc._sc_dest)
             size.extend(proc._sc_size)
             slot.extend(proc._sc_slot)
@@ -873,24 +890,28 @@ def _gather_msg_batch(procs: List[Proc]) -> MessageBatch:
 def _gather_read_batch(procs: List[Proc]) -> RequestBatch:
     """Freeze all processors' reads into one columnar batch (pid order)."""
     chunks: List[RequestBatch] = []
-    pid_l: List[int] = []
+    pid_runs: List[Tuple[int, int]] = []  # (pid, count) — expanded by repeat
     addr_l: List[Any] = []
     slot_l: List[int] = []
     handle_l: List[ReadHandle] = []
 
     def flush() -> None:
-        nonlocal pid_l, addr_l, slot_l, handle_l
+        nonlocal pid_runs, addr_l, slot_l, handle_l
         if addr_l:
+            pids = np.repeat(
+                np.asarray([pid for pid, _ in pid_runs], dtype=_I64),
+                np.asarray([k for _, k in pid_runs], dtype=_I64),
+            )
             chunks.append(
                 RequestBatch(
-                    np.asarray(pid_l, dtype=_I64),
+                    pids,
                     _int_addr_column(addr_l),
                     np.asarray(slot_l, dtype=_I64),
                     None,
                     [(h, i, i + 1) for i, h in enumerate(handle_l)],
                 )
             )
-            pid_l, addr_l, slot_l, handle_l = [], [], [], []
+            pid_runs, addr_l, slot_l, handle_l = [], [], [], []
 
     for proc in procs:
         if proc._read_chunks:
@@ -898,7 +919,7 @@ def _gather_read_batch(procs: List[Proc]) -> RequestBatch:
             chunks.extend(proc._read_chunks)
         k = len(proc._sc_raddr)
         if k:
-            pid_l.extend([proc.pid] * k)
+            pid_runs.append((proc.pid, k))
             addr_l.extend(proc._sc_raddr)
             slot_l.extend(proc._sc_rslot)
             handle_l.extend(proc._sc_rhandle)
@@ -909,24 +930,28 @@ def _gather_read_batch(procs: List[Proc]) -> RequestBatch:
 def _gather_write_batch(procs: List[Proc]) -> RequestBatch:
     """Freeze all processors' writes into one columnar batch (pid order)."""
     chunks: List[RequestBatch] = []
-    pid_l: List[int] = []
+    pid_runs: List[Tuple[int, int]] = []  # (pid, count) — expanded by repeat
     addr_l: List[Any] = []
     slot_l: List[int] = []
     value_l: List[Any] = []
 
     def flush() -> None:
-        nonlocal pid_l, addr_l, slot_l, value_l
+        nonlocal pid_runs, addr_l, slot_l, value_l
         if addr_l:
+            pids = np.repeat(
+                np.asarray([pid for pid, _ in pid_runs], dtype=_I64),
+                np.asarray([k for _, k in pid_runs], dtype=_I64),
+            )
             chunks.append(
                 RequestBatch(
-                    np.asarray(pid_l, dtype=_I64),
+                    pids,
                     _int_addr_column(addr_l),
                     np.asarray(slot_l, dtype=_I64),
                     value_l,
                     [],
                 )
             )
-            pid_l, addr_l, slot_l, value_l = [], [], [], []
+            pid_runs, addr_l, slot_l, value_l = [], [], [], []
 
     for proc in procs:
         if proc._write_chunks:
@@ -934,7 +959,7 @@ def _gather_write_batch(procs: List[Proc]) -> RequestBatch:
             chunks.extend(proc._write_chunks)
         k = len(proc._sc_waddr)
         if k:
-            pid_l.extend([proc.pid] * k)
+            pid_runs.append((proc.pid, k))
             addr_l.extend(proc._sc_waddr)
             slot_l.extend(proc._sc_wslot)
             value_l.extend(proc._sc_wvalue)

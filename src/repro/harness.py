@@ -338,12 +338,52 @@ def _profile_workloads() -> Dict[str, Callable[[], None]]:
         rel = uniform_random_relation(1024, 1_000_000, seed=2)
         evaluate_schedule(unbalanced_send(rel, 256, 0.2, seed=3), m=256)
 
+    def algorithms() -> None:
+        # the two high-volume bench_algorithms_e2e.py profiles, downsized
+        import numpy as np
+
+        from repro import BSPm
+        from repro.algorithms.qsm_on_bsp import run_qsm_program_on_bsp
+        from repro.algorithms.sample_sort import sample_sort
+
+        p, h, phases = 64, 512, 4
+        span = p * h
+
+        def hrel(ctx):
+            j = np.arange(h, dtype=np.int64)
+            for ph in range(phases):
+                base = ctx.pid * h + ph
+                if ph % 2 == 0:
+                    ctx.write_many((base + j * 2) % span, (ctx.pid + j).astype(np.float64))
+                else:
+                    ctx.read_many((base + j * 3 + 1) % span)
+                yield
+
+        keys = np.random.default_rng(7).uniform(-1e6, 1e6, size=60_000)
+        sample_sort(BSPm(MachineParams(p=p, m=16, L=2)), keys, seed=7)
+        run_qsm_program_on_bsp(BSPm(MachineParams(p=p, m=16, L=2)), hrel)
+
+    def dynamic() -> None:
+        from repro.dynamic import AlgorithmBProtocol, UniformAdversary, run_dynamic
+
+        _, global_ = MachineParams.matched_pair(p=256, m=16, L=8.0)
+        trace = UniformAdversary(256, 128, alpha=8.0, beta=8.0).generate(
+            100_000, seed=0
+        )
+        run_dynamic(AlgorithmBProtocol(global_, 128, alpha=8.0, seed=1), trace)
+
     return {
         "route": route,
         "qsm-phases": qsm_phases,
         "delivery": delivery,
         "schedule": schedule,
+        "algorithms": algorithms,
+        "dynamic": dynamic,
     }
+
+
+#: ``--workload`` spellings accepted for compatibility with the docs
+_WORKLOAD_ALIASES = {"routing": "route", "qsm": "qsm-phases"}
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -351,11 +391,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     import pstats
 
     workloads = _profile_workloads()
-    if args.workload == "list":
-        for name in workloads:
-            print(name)
+    name = args.workload_flag or args.workload
+    if name is None:
+        print(
+            "error: no workload selected (pass one positionally or via "
+            "--workload; \"list\" enumerates)",
+            file=sys.stderr,
+        )
+        return 2
+    name = _WORKLOAD_ALIASES.get(name, name)
+    if name == "list":
+        for wname in workloads:
+            print(wname)
         return 0
-    run = workloads[args.workload]
+    run = workloads[name]
     run()  # warm-up: imports and first-call caches stay out of the profile
     profiler = cProfile.Profile()
     profiler.enable()
@@ -646,8 +695,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pr.add_argument(
         "workload",
-        choices=["route", "qsm-phases", "delivery", "schedule", "list"],
+        nargs="?",
+        default=None,
+        choices=["route", "qsm-phases", "delivery", "schedule",
+                 "algorithms", "dynamic", "list"],
         help='workload to profile ("list" to enumerate)',
+    )
+    pr.add_argument(
+        "--workload",
+        dest="workload_flag",
+        default=None,
+        choices=["routing", "qsm", "algorithms", "dynamic"],
+        help="workload selector covering the vectorized hot paths "
+        "(routing = route, qsm = qsm-phases, algorithms = the "
+        "bench_algorithms_e2e profiles, dynamic = a 100k-interval "
+        "run_dynamic horizon); wins over the positional",
     )
     pr.add_argument(
         "--top", type=_positive_int, default=20,

@@ -117,7 +117,9 @@ class Schedule:
         bins = min(bins, counts.size)
         edges = np.linspace(0, counts.size, bins + 1).astype(int)
         lines = []
-        peak = counts.max()
+        # An all-zero histogram (possible for sparse/padded slot layouts)
+        # must not divide by zero — every bar just renders at minimum width.
+        peak = max(1, int(counts.max()))
         for b in range(bins):
             seg = counts[edges[b] : edges[b + 1]]
             if seg.size == 0:

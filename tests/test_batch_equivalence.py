@@ -152,6 +152,56 @@ def test_mixed_scalar_and_batch_preserves_order():
     assert rec.msg_batch.slot.tolist() == [0, 1, 2, 3]
 
 
+def _mixed_scalar_program(ctx, n):
+    """All-scalar twin of :func:`_mixed_interleaved_program`."""
+    dests, sizes = _pattern(ctx.pid, n)
+    for i in range(n):
+        ctx.send(int(dests[i]), ("x", ctx.pid, i), size=int(sizes[i]))
+    yield
+    first = _snapshot(ctx.receive())
+    for i in range(n):
+        ctx.send(int(dests[i]), ("y", ctx.pid, i), slot=3 * i)
+    yield
+    return first, _snapshot(ctx.receive())
+
+
+def _mixed_interleaved_program(ctx, n):
+    """Scalar sends interleaved with send_many: auto slots in superstep 1
+    (multi-flit, continuing across the boundary), explicit slots in 2."""
+    dests, sizes = _pattern(ctx.pid, n)
+    h = n // 2
+    for i in range(h):
+        ctx.send(int(dests[i]), ("x", ctx.pid, i), size=int(sizes[i]))
+    ctx.send_many(
+        dests[h:], payloads=[("x", ctx.pid, i) for i in range(h, n)], sizes=sizes[h:]
+    )
+    yield
+    first = _snapshot(ctx.receive())
+    ctx.send(int(dests[0]), ("y", ctx.pid, 0), slot=0)
+    ctx.send_many(
+        dests[1:],
+        payloads=[("y", ctx.pid, i) for i in range(1, n)],
+        slots=3 * np.arange(1, n, dtype=np.int64),
+    )
+    yield
+    return first, _snapshot(ctx.receive())
+
+
+@pytest.mark.parametrize("cls", MSG_MACHINES)
+def test_mixed_scalar_and_batch_pricing_equivalence(cls):
+    """Interleaving scalar sends around batch sends — with sizes, auto
+    slots, and explicit slots in the mix — prices identically to the
+    all-scalar issue sequence on every message-passing model."""
+    res_s = make(cls).run(_mixed_scalar_program, args=(12,))
+    res_m = make(cls).run(_mixed_interleaved_program, args=(12,))
+    assert res_s.time == res_m.time
+    assert [r.cost for r in res_s.records] == [r.cost for r in res_m.records]
+    assert [r.stats for r in res_s.records] == [r.stats for r in res_m.records]
+    assert res_s.total_messages == res_m.total_messages
+    assert res_s.total_flits == res_m.total_flits
+    assert res_s.results == res_m.results  # identical delivered inboxes
+
+
 # ----------------------------------------------------------------------
 # ModelViolation paths through the vectorized checks
 # ----------------------------------------------------------------------

@@ -125,3 +125,21 @@ def test_slot_counts_conserve_flits(p, n, seed):
     slots = rng.integers(0, 1000, size=rel.n)
     s = Schedule(rel=rel, flit_slots=slots)
     assert int(s.slot_counts().sum()) == rel.n
+
+
+class TestLoadProfile:
+    def test_load_profile_renders(self):
+        s = Schedule(rel=simple_rel(), flit_slots=np.array([0, 1, 0, 2]))
+        prof = s.load_profile(m=1)
+        assert "avg" in prof and "!" in prof  # slot 0 holds 2 > m=1 flits
+
+    def test_load_profile_all_zero_histogram(self, monkeypatch):
+        # slot_counts() of a real schedule always has a nonzero max, but a
+        # subclass / padded layout can legally report an all-zero histogram;
+        # load_profile must not divide by peak == 0 (regression).
+        s = Schedule(rel=simple_rel(), flit_slots=np.array([0, 1, 0, 2]))
+        monkeypatch.setattr(
+            s, "slot_counts", lambda: np.zeros(8, dtype=np.int64)
+        )
+        prof = s.load_profile()
+        assert "avg" in prof  # renders minimum-width bars, no ZeroDivisionError
