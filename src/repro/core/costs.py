@@ -34,12 +34,17 @@ that schedule evaluation over millions of slots stays in compiled code.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Union
+from typing import ClassVar, Optional, Union
 
 import numpy as np
 
+from repro.core.kernels import (
+    KIND_EXPONENTIAL,
+    KIND_LINEAR,
+    KIND_POLYNOMIAL,
+    penalty_charges,
+)
 from repro.util.validation import check_positive
 
 __all__ = [
@@ -75,6 +80,13 @@ class PenaltyFunction:
 
     name: str = "abstract"
 
+    #: Kernel id from :mod:`repro.core.kernels` for the built-in families
+    #: (``None`` routes custom subclasses through :meth:`overload`).  When
+    #: set, evaluation uses the fused — optionally Numba-JIT'd — kernel.
+    kernel_kind: ClassVar[Optional[int]] = None
+    #: Shape parameter forwarded to the kernel (polynomial degree).
+    kernel_param: float = 0.0
+
     def overload(self, rho: np.ndarray) -> np.ndarray:
         """Charge for overload ratios ``rho > 1`` (vectorized)."""
         raise NotImplementedError
@@ -85,6 +97,8 @@ class PenaltyFunction:
         counts_arr = np.asarray(counts, dtype=np.float64)
         if np.any(counts_arr < 0):
             raise ValueError("slot counts must be non-negative")
+        if self.kernel_kind is not None:
+            return penalty_charges(counts_arr, m, self.kernel_kind, self.kernel_param)
         out = np.zeros_like(counts_arr)
         in_band = (counts_arr >= 1) & (counts_arr <= m)
         out[in_band] = 1.0
@@ -114,6 +128,7 @@ class LinearPenalty(PenaltyFunction):
     sustained throughput ``m``."""
 
     name = "linear"
+    kernel_kind = KIND_LINEAR
 
     def overload(self, rho: np.ndarray) -> np.ndarray:
         return rho
@@ -125,6 +140,7 @@ class ExponentialPenalty(PenaltyFunction):
     which network performance deteriorates drastically."""
 
     name = "exponential"
+    kernel_kind = KIND_EXPONENTIAL
 
     def overload(self, rho: np.ndarray) -> np.ndarray:
         # Extreme overloads saturate to inf, which is the semantically
@@ -144,12 +160,17 @@ class PolynomialPenalty(PenaltyFunction):
 
     degree: float = 2.0
     name = "polynomial"
+    kernel_kind = KIND_POLYNOMIAL
 
     def __post_init__(self) -> None:
         if self.degree < 1.0:
             raise ValueError(
                 f"degree must be >= 1 so that f_m >= m_t/m, got {self.degree}"
             )
+
+    @property
+    def kernel_param(self) -> float:
+        return self.degree
 
     def overload(self, rho: np.ndarray) -> np.ndarray:
         return rho**self.degree

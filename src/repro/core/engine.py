@@ -50,6 +50,7 @@ literal ``c_m`` is also recorded in ``record.stats['c_m_paper']``.
 
 from __future__ import annotations
 
+import os as _os
 import time as _time
 from collections import Counter
 from dataclasses import dataclass
@@ -69,6 +70,7 @@ from typing import (
 
 import numpy as np
 
+from repro.core.arena import RequestArena, SendArena
 from repro.core.events import (
     Column,
     CostBreakdown,
@@ -78,6 +80,7 @@ from repro.core.events import (
     SuperstepRecord,
     _column_take,
 )
+from repro.core.kernels import stable_group_order
 from repro.core.params import MachineParams
 from repro.obs.metrics import active_metrics as _active_metrics
 from repro.obs.tracer import active_tracer as _active_tracer
@@ -93,9 +96,36 @@ __all__ = [
     "Proc",
     "Machine",
     "RunResult",
+    "fused_default",
+    "set_fused_default",
 ]
 
 _I64 = np.int64
+
+# ----------------------------------------------------------------------
+# Fused-path default: the arena-based freeze+price+deliver barrier is on
+# unless REPRO_FUSED=0 (or a caller passes fused=False to Machine.run).
+# Both paths are bit-identical (tests/test_fused_kernel.py); the toggle
+# exists for A/B benchmarking and as an escape hatch.
+# ----------------------------------------------------------------------
+_fused_default_flag = _os.environ.get("REPRO_FUSED", "").lower() not in (
+    "0",
+    "off",
+    "false",
+)
+
+
+def fused_default() -> bool:
+    """Whether :meth:`Machine.run` uses the fused arena path by default."""
+    return _fused_default_flag
+
+
+def set_fused_default(value: bool) -> bool:
+    """Set the process-wide fused default; returns the previous value."""
+    global _fused_default_flag
+    old = _fused_default_flag
+    _fused_default_flag = bool(value)
+    return old
 
 
 class ModelViolation(Exception):
@@ -407,7 +437,10 @@ class Proc:
     Operations accumulate into per-processor *chunks* — scalar calls append
     to plain Python lists, batch calls append whole arrays — and the engine
     concatenates everything into the superstep's columnar record at the
-    barrier, preserving issue order exactly.
+    barrier, preserving issue order exactly.  On the fused path the chunk
+    lists are bypassed: operations append straight into the machine's
+    preallocated arenas (:mod:`repro.core.arena`) and the barrier freeze is
+    a slice-copy.  Both paths produce value-identical records.
     """
 
     def __init__(self, pid: int, nprocs: int, machine: "Machine") -> None:
@@ -416,6 +449,10 @@ class Proc:
         self._machine = machine
         self.inbox: InboxView = _EMPTY_INBOX
         self._work = 0.0
+        # fused-path arena references (attached by Machine.run)
+        self._arena_send: Optional[SendArena] = None
+        self._arena_read: Optional[RequestArena] = None
+        self._arena_write: Optional[RequestArena] = None
         # scalar accumulation lists (dest, size, slot, consecutive, payload)
         self._sc_dest: List[int] = []
         self._sc_size: List[int] = []
@@ -598,6 +635,10 @@ class Proc:
             if slot < 0:
                 raise ValueError(f"slot must be >= 0, got {slot}")
             self._bump_slot(slot, size)
+        arena = self._arena_send
+        if arena is not None:
+            arena.append_scalar(self.pid, dest, size, slot, consecutive, payload)
+            return
         self._sc_dest.append(dest)
         self._sc_size.append(size)
         self._sc_slot.append(slot)
@@ -637,7 +678,7 @@ class Proc:
                 f"destination {bad} out of range for {self.nprocs} processors"
             )
         if sizes is None:
-            size = np.ones(n, dtype=_I64)
+            size = None  # all-unit; materialized only on the legacy path
             unit = True
         else:
             size = _as_index_array(sizes, "sizes")
@@ -660,9 +701,18 @@ class Proc:
                 raise ProgramError(f"slots has {slot.size} entries for {n} messages")
             if slot.min() < 0:
                 raise ValueError(f"slot must be >= 0, got {int(slot.min())}")
-            self._next_slot = max(self._next_slot, int((slot + size).max()))
+            if size is None:
+                self._next_slot = max(self._next_slot, int(slot.max()) + 1)
+            else:
+                self._next_slot = max(self._next_slot, int((slot + size).max()))
         if payloads is not None and len(payloads) != n:
             raise ProgramError(f"payloads has {len(payloads)} entries for {n} messages")
+        arena = self._arena_send
+        if arena is not None:
+            arena.append_batch(self.pid, dest, size, slot, bool(consecutive), payloads)
+            return
+        if size is None:
+            size = np.ones(n, dtype=_I64)
         self._flush_scalar_sends()
         self._send_chunks.append(
             MessageBatch(
@@ -691,6 +741,10 @@ class Proc:
         elif slot >= self._next_slot:
             self._next_slot = slot + 1
         handle = ReadHandle(addr)
+        arena = self._arena_read
+        if arena is not None:
+            arena.append_scalar_read(self.pid, addr, slot, handle)
+            return handle
         self._sc_raddr.append(addr)
         self._sc_rslot.append(slot)
         self._sc_rhandle.append(handle)
@@ -704,6 +758,10 @@ class Proc:
             self._next_slot = slot + 1
         elif slot >= self._next_slot:
             self._next_slot = slot + 1
+        arena = self._arena_write
+        if arena is not None:
+            arena.append_scalar_write(self.pid, addr, slot, value)
+            return
         self._sc_waddr.append(addr)
         self._sc_wslot.append(slot)
         self._sc_wvalue.append(value)
@@ -746,6 +804,10 @@ class Proc:
             handle._values = []
             return handle
         slot = self._request_slots_for(n, slots)
+        arena = self._arena_read
+        if arena is not None:
+            arena.append_batch_read(self.pid, addr, slot, handle)
+            return handle
         self._flush_scalar_reads()
         self._read_chunks.append(
             RequestBatch(
@@ -765,6 +827,10 @@ class Proc:
             raise ProgramError(f"values has {len(values)} entries for {n} writes")
         slot = self._request_slots_for(n, slots)
         value = values if isinstance(values, (list, np.ndarray)) else list(values)
+        arena = self._arena_write
+        if arena is not None:
+            arena.append_batch_write(self.pid, addr, slot, value)
+            return
         self._flush_scalar_writes()
         self._write_chunks.append(
             RequestBatch(np.full(n, self.pid, dtype=_I64), addr, slot, value, [])
@@ -1011,6 +1077,23 @@ class Machine:
         #: Optional :class:`~repro.faults.FaultInjector`; ``None`` (the
         #: default) keeps the engine on the zero-overhead fault-free path.
         self.fault_injector: Optional[Any] = None
+        # fused-path arenas: created on first fused run, reused across
+        # supersteps and runs (steady-state runs allocate no new capacity)
+        self._arenas: Optional[Tuple[SendArena, RequestArena, RequestArena]] = None
+        self._arenas_busy = False
+
+    def _acquire_arenas(self) -> Optional[Tuple[SendArena, RequestArena, RequestArena]]:
+        """Hand out the machine's arenas for one run, or ``None`` when a
+        run is already using them (nested runs fall back to the legacy
+        gather path rather than sharing buffers)."""
+        if self._arenas_busy:
+            return None
+        if self._arenas is None:
+            self._arenas = (SendArena(), RequestArena(), RequestArena())
+        self._arenas_busy = True
+        for arena in self._arenas:
+            arena.reset()
+        return self._arenas
 
     def inject_faults(self, plan: Any) -> Any:
         """Attach a fault injector built from ``plan`` (a
@@ -1157,6 +1240,7 @@ class Machine:
         max_supersteps: int = 1_000_000,
         max_time: Optional[float] = None,
         audit: bool = False,
+        fused: Optional[bool] = None,
     ) -> RunResult:
         """Execute ``program`` SPMD-style on all processors.
 
@@ -1187,6 +1271,12 @@ class Machine:
             engine-vs-evaluator cost reconciliation) via
             :mod:`repro.faults.audit`; violations raise
             :class:`~repro.faults.audit.AuditViolation`.
+        fused:
+            Use the fused arena barrier (operations append into
+            preallocated machine-owned arenas; the freeze is a slice-copy).
+            ``None`` (the default) defers to the process-wide default —
+            see :func:`fused_default` / ``REPRO_FUSED``.  Both paths are
+            bit-identical in model times, records and results.
 
         Returns
         -------
@@ -1210,53 +1300,70 @@ class Machine:
             )
 
         procs = [Proc(pid, p, self) for pid in range(p)]
-        gens: List[Optional[Generator]] = []
-        results: List[Any] = [None] * p
-        for pid, proc in enumerate(procs):
-            extra = tuple(per_proc_args[pid]) if per_proc_args is not None else ()
-            out = program(proc, *args, *extra)
-            if hasattr(out, "__next__"):
-                gens.append(out)
-            else:
-                gens.append(None)
-                results[pid] = out
-
+        use_fused = _fused_default_flag if fused is None else bool(fused)
+        arenas = self._acquire_arenas() if use_fused else None
         records: List[SuperstepRecord] = []
-        alive = [g is not None for g in gens]
-        injector = self.fault_injector
-        auditor = None
-        if audit:
-            from repro.faults.audit import audit_record as auditor
-        # observability: one module-global read per run; spans/metrics only
-        # record already-priced costs, so model times stay bit-identical
-        tracer = _active_tracer()
-        mreg = _active_metrics()
-        observe = run_span = None
-        if tracer is not None or mreg is not None:
-            from repro.obs.instrument import make_superstep_observer
-
-            if tracer is not None:
-                run_span = tracer.begin(
-                    "run", cat="engine", track="machine",
-                    machine=type(self).__name__, p=p,
-                    m=self.params.m, L=self.params.L, g=self.params.g,
-                )
-                run_span.model_start = tracer.model_clock
-            observe = make_superstep_observer(tracer, mreg, self, p, run_span)
-        deadline = None if max_time is None else _time.monotonic() + max_time
         try:
-            self._run_loop(
-                procs, gens, results, records, alive, p,
-                max_supersteps, max_time, injector, auditor, deadline,
-                observe,
-            )
-        finally:
-            if run_span is not None:
-                tracer.end(
-                    run_span,
-                    model_dur=tracer.model_clock - run_span.model_start,
-                    supersteps=len(records),
+            if arenas is not None:
+                # attach before program construction: plain-function
+                # programs execute (and send) inside the loop below
+                send_a, read_a, write_a = arenas
+                for proc in procs:
+                    proc._arena_send = send_a
+                    proc._arena_read = read_a
+                    proc._arena_write = write_a
+            gens: List[Optional[Generator]] = []
+            results: List[Any] = [None] * p
+            for pid, proc in enumerate(procs):
+                extra = tuple(per_proc_args[pid]) if per_proc_args is not None else ()
+                out = program(proc, *args, *extra)
+                if hasattr(out, "__next__"):
+                    gens.append(out)
+                else:
+                    gens.append(None)
+                    results[pid] = out
+
+            alive = [g is not None for g in gens]
+            injector = self.fault_injector
+            auditor = None
+            if audit:
+                from repro.faults.audit import audit_record as auditor
+            # observability: one module-global read per run; spans/metrics
+            # only record already-priced costs, so model times stay
+            # bit-identical
+            tracer = _active_tracer()
+            mreg = _active_metrics()
+            observe = run_span = None
+            if tracer is not None or mreg is not None:
+                from repro.obs.instrument import make_superstep_observer
+
+                if tracer is not None:
+                    run_span = tracer.begin(
+                        "run", cat="engine", track="machine",
+                        machine=type(self).__name__, p=p,
+                        m=self.params.m, L=self.params.L, g=self.params.g,
+                    )
+                    run_span.model_start = tracer.model_clock
+                observe = make_superstep_observer(
+                    tracer, mreg, self, p, run_span, fused=arenas is not None
                 )
+            deadline = None if max_time is None else _time.monotonic() + max_time
+            try:
+                self._run_loop(
+                    procs, gens, results, records, alive, p,
+                    max_supersteps, max_time, injector, auditor, deadline,
+                    observe, arenas,
+                )
+            finally:
+                if run_span is not None:
+                    tracer.end(
+                        run_span,
+                        model_dur=tracer.model_clock - run_span.model_start,
+                        supersteps=len(records),
+                    )
+        finally:
+            if arenas is not None:
+                self._arenas_busy = False
         return RunResult(params=self.params, records=records, results=results)
 
     def _run_loop(
@@ -1273,9 +1380,12 @@ class Machine:
         auditor,
         deadline,
         observe,
+        arenas=None,
     ) -> None:
         """The barrier loop of :meth:`run` (split out so the run-level trace
-        span can close on every exit path)."""
+        span can close on every exit path).  With ``arenas`` the superstep
+        record is frozen from the machine's arenas (fused path); otherwise
+        it is gathered from the processors' chunk lists."""
         index = 0
         first = True
         while True:
@@ -1306,13 +1416,26 @@ class Machine:
             # freeze = t0..t1, price = t1..t2, deliver (incl. fault
             # injection + audit) = t2..end — skipped entirely when disabled
             t0 = _time.perf_counter() if observe is not None else 0.0
-            record = SuperstepRecord(
-                index=index,
-                work=[proc._work for proc in procs],
-                msg_batch=_gather_msg_batch(procs),
-                read_batch=_gather_read_batch(procs),
-                write_batch=_gather_write_batch(procs),
-            )
+            if arenas is not None:
+                send_a, read_a, write_a = arenas
+                record = SuperstepRecord(
+                    index=index,
+                    work=[proc._work for proc in procs],
+                    msg_batch=send_a.freeze(),
+                    read_batch=read_a.freeze(with_values=False),
+                    write_batch=write_a.freeze(with_values=True),
+                )
+                send_a.reset()
+                read_a.reset()
+                write_a.reset()
+            else:
+                record = SuperstepRecord(
+                    index=index,
+                    work=[proc._work for proc in procs],
+                    msg_batch=_gather_msg_batch(procs),
+                    read_batch=_gather_read_batch(procs),
+                    write_batch=_gather_write_batch(procs),
+                )
             still_running = any(alive)
             if not record.is_empty or still_running or first:
                 t1 = _time.perf_counter() if observe is not None else 0.0
@@ -1356,11 +1479,13 @@ class Machine:
         apply writes (Arbitrary rule: the last write request in record order
         wins — a legitimate instance of the model's arbitrary resolution).
 
-        All three steps are columnar: delivery argsorts the destination
-        column once and hands each processor an :class:`InboxView` slice;
-        reads resolve against the memory in one pass (one fancy-indexing
-        operation on :class:`DenseSharedMemory`); writes apply in record
-        order.
+        All three steps are columnar: delivery groups the destination
+        column with one combined-key sort (the stable permutation of
+        ``np.argsort(dest, kind="stable")`` computed ~7× faster, see
+        :func:`repro.core.kernels.stable_group_order`) and hands each
+        processor an :class:`InboxView` slice; reads resolve against the
+        memory in one pass (one fancy-indexing operation on
+        :class:`DenseSharedMemory`); writes apply in record order.
 
         ``msg_batch`` overrides the record's sent batch with the batch as
         transformed by a fault injector (drops/duplicates/reorders); the
@@ -1371,14 +1496,15 @@ class Machine:
             proc.inbox = _EMPTY_INBOX
         batch = record.msg_batch if msg_batch is None else msg_batch
         if batch.n:
-            order = np.argsort(batch.dest, kind="stable")
-            sorted_dest = batch.dest[order]
-            uniq, starts = np.unique(sorted_dest, return_index=True)
-            ends = np.append(starts[1:], sorted_dest.size)
             nprocs = len(procs)
-            for d, s, e in zip(uniq.tolist(), starts.tolist(), ends.tolist()):
+            counts = np.bincount(batch.dest, minlength=nprocs)
+            order = stable_group_order(batch.dest, int(counts.size) - 1)
+            bounds = np.empty(counts.size + 1, dtype=_I64)
+            bounds[0] = 0
+            np.cumsum(counts, out=bounds[1:])
+            for d in np.nonzero(counts)[0].tolist():
                 if d < nprocs:
-                    procs[d].inbox = InboxView(batch, order[s:e])
+                    procs[d].inbox = InboxView(batch, order[bounds[d] : bounds[d + 1]])
         rb = record.read_batch
         mem = self.shared_memory
         if rb.n:

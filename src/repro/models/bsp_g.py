@@ -16,8 +16,9 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.core.engine import Machine
-from repro.core.events import CostBreakdown, SuperstepRecord
+from repro.core.events import SuperstepRecord
 from repro.core.params import MachineParams
+from repro.models.pricing import price_bsp_g
 
 __all__ = ["BSPg"]
 
@@ -38,8 +39,4 @@ class BSPg(Machine):
         w = max(record.work) if record.work else 0.0
         s_max, r_max = self._max_per_proc_sends_recvs(record, p)
         h = max(s_max, r_max)
-        g, L = self.params.g, self.params.L
-        breakdown = CostBreakdown(work=w, local_band=g * h, latency=L)
-        cost = breakdown.total()
-        stats = {"h": float(h), "w": w, "n": float(record.total_flits)}
-        return cost, breakdown, stats
+        return price_bsp_g(w, h, record.total_flits, self.params.g, self.params.L)

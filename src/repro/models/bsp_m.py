@@ -27,8 +27,9 @@ import numpy as np
 
 from repro.core.costs import EXPONENTIAL, PenaltyFunction
 from repro.core.engine import Machine
-from repro.core.events import CostBreakdown, SuperstepRecord
+from repro.core.events import SuperstepRecord
 from repro.core.params import MachineParams
+from repro.models.pricing import price_bsp_m
 
 __all__ = ["BSPm"]
 
@@ -63,32 +64,7 @@ class BSPm(Machine):
         w = max(record.work) if record.work else 0.0
         s_max, r_max = self._max_per_proc_sends_recvs(record, p)
         h = max(s_max, r_max)
-        flit_slots = self._flit_slots(record)
-        if flit_slots.size:
-            counts = np.bincount(flit_slots)
-            charges = self.penalty(counts, m)
-            comm = float(np.sum(np.maximum(charges, 1.0)))
-            c_m_paper = float(np.sum(charges))
-            span = float(counts.size)
-            overloaded = int(np.sum(counts > m))
-            max_slot_load = int(counts.max())
-        else:
-            comm = c_m_paper = span = 0.0
-            overloaded = 0
-            max_slot_load = 0
-        L = self.params.L
-        breakdown = CostBreakdown(
-            work=w, local_band=float(h), global_band=comm, latency=L
+        counts = np.bincount(self._flit_slots(record))
+        return price_bsp_m(
+            w, h, record.total_flits, counts, m, self.penalty, self.params.L
         )
-        cost = breakdown.total()
-        stats = {
-            "h": float(h),
-            "w": w,
-            "n": float(record.total_flits),
-            "c_m": comm,
-            "c_m_paper": c_m_paper,
-            "span": span,
-            "overloaded_slots": float(overloaded),
-            "max_slot_load": float(max_slot_load),
-        }
-        return cost, breakdown, stats

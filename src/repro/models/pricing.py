@@ -1,0 +1,113 @@
+"""Array-in/array-out pricing functions for the five cost models.
+
+Each model's :meth:`~repro.core.engine.Machine._price` is a thin adapter:
+it extracts the superstep's scalar/array summary (max work, per-processor
+``h``, the slot-injection histogram, QSM contention) from the
+:class:`~repro.core.events.SuperstepRecord` and delegates to the function
+here for that model.  The functions take plain floats and NumPy arrays and
+return ``(cost, CostBreakdown, stats)`` — no record, machine or engine
+types — so they can be called directly by the sweep engine, tested against
+hand-built histograms, and share the (optionally Numba-JIT'd) penalty
+kernels in :mod:`repro.core.kernels`.
+
+Bit-identity contract: every float reduction runs through ``np.sum`` (via
+:func:`repro.core.kernels.slot_charge_stats`), and the stats dicts preserve
+the historical key insertion order, so model times, breakdowns and stats
+are exactly those of the pre-refactor inline code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.events import CostBreakdown
+from repro.core.kernels import slot_charge_stats
+
+__all__ = [
+    "price_bsp_g",
+    "price_bsp_m",
+    "price_qsm_g",
+    "price_qsm_m",
+    "price_self_scheduling",
+]
+
+_PriceResult = Tuple[float, CostBreakdown, Dict[str, float]]
+
+
+def price_bsp_g(w: float, h: float, n: int, g: float, L: float) -> _PriceResult:
+    """BSP(g): ``T = max(w, g*h, L)`` (paper Section 2)."""
+    breakdown = CostBreakdown(work=w, local_band=g * h, latency=L)
+    stats = {"h": float(h), "w": w, "n": float(n)}
+    return breakdown.total(), breakdown, stats
+
+
+def price_bsp_m(
+    w: float, h: float, n: int, counts: np.ndarray, m: int, penalty, L: float
+) -> _PriceResult:
+    """BSP(m): ``T = max(w, h, c_m, L)`` with ``c_m`` priced from the
+    slot-injection histogram ``counts`` by ``penalty`` (paper Section 2)."""
+    comm, c_m_paper, span, overloaded, max_load = slot_charge_stats(
+        counts, m, penalty
+    )
+    breakdown = CostBreakdown(
+        work=w, local_band=float(h), global_band=comm, latency=L
+    )
+    stats = {
+        "h": float(h),
+        "w": w,
+        "n": float(n),
+        "c_m": comm,
+        "c_m_paper": c_m_paper,
+        "span": span,
+        "overloaded_slots": float(overloaded),
+        "max_slot_load": float(max_load),
+    }
+    return breakdown.total(), breakdown, stats
+
+
+def price_qsm_g(
+    w: float, h: float, kappa: float, n: int, g: float
+) -> _PriceResult:
+    """QSM(g): ``T = max(w, g*h, kappa)`` (paper Section 2)."""
+    breakdown = CostBreakdown(work=w, local_band=g * h, contention=float(kappa))
+    stats = {"h": float(h), "w": w, "kappa": float(kappa), "n": float(n)}
+    return breakdown.total(), breakdown, stats
+
+
+def price_qsm_m(
+    w: float, h: float, kappa: float, n: int, counts: np.ndarray, m: int, penalty
+) -> _PriceResult:
+    """QSM(m): ``T = max(w, h, kappa, c_m)`` with ``c_m`` priced from the
+    request-slot histogram ``counts`` (paper Section 2)."""
+    comm, c_m_paper, span, overloaded, _ = slot_charge_stats(counts, m, penalty)
+    breakdown = CostBreakdown(
+        work=w,
+        local_band=float(h),
+        global_band=comm,
+        contention=float(kappa),
+    )
+    stats = {
+        "h": float(h),
+        "w": w,
+        "kappa": float(kappa),
+        "c_m": comm,
+        "c_m_paper": c_m_paper,
+        "span": span,
+        "overloaded_slots": float(overloaded),
+        "n": float(n),
+    }
+    return breakdown.total(), breakdown, stats
+
+
+def price_self_scheduling(
+    w: float, h: float, n: int, m: int, L: float
+) -> _PriceResult:
+    """Self-scheduling BSP(m): ``T = max(w, h, n/m, L)`` — the simplified
+    metric whose executability Unbalanced-Send certifies (Theorem 6.2)."""
+    breakdown = CostBreakdown(
+        work=w, local_band=float(h), global_band=n / m, latency=L
+    )
+    stats = {"h": float(h), "w": w, "n": float(n)}
+    return breakdown.total(), breakdown, stats

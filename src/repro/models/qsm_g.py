@@ -25,8 +25,9 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.core.engine import Machine
-from repro.core.events import CostBreakdown, SuperstepRecord
+from repro.core.events import SuperstepRecord
 from repro.core.params import MachineParams
+from repro.models.pricing import price_qsm_g
 
 __all__ = ["QSMg"]
 
@@ -46,13 +47,6 @@ class QSMg(Machine):
         w = max(record.work) if record.work else 0.0
         h = self._qsm_h(record)
         kappa = self._qsm_contention(record)
-        g = self.params.g
-        breakdown = CostBreakdown(work=w, local_band=g * h, contention=float(kappa))
-        cost = breakdown.total()
-        stats = {
-            "h": float(h),
-            "w": w,
-            "kappa": float(kappa),
-            "n": float(record.n_reads + record.n_writes),
-        }
-        return cost, breakdown, stats
+        return price_qsm_g(
+            w, h, kappa, record.n_reads + record.n_writes, self.params.g
+        )

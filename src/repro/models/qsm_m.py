@@ -20,8 +20,9 @@ import numpy as np
 
 from repro.core.costs import EXPONENTIAL, PenaltyFunction
 from repro.core.engine import Machine
-from repro.core.events import CostBreakdown, SuperstepRecord
+from repro.core.events import SuperstepRecord
 from repro.core.params import MachineParams
+from repro.models.pricing import price_qsm_m
 
 __all__ = ["QSMm"]
 
@@ -46,32 +47,7 @@ class QSMm(Machine):
         w = max(record.work) if record.work else 0.0
         h = self._qsm_h(record)
         kappa = self._qsm_contention(record)
-        slots = self._request_slots(record)
-        if slots.size:
-            counts = np.bincount(slots)
-            charges = self.penalty(counts, m)
-            comm = float(np.sum(np.maximum(charges, 1.0)))
-            c_m_paper = float(np.sum(charges))
-            span = float(counts.size)
-            overloaded = int(np.sum(counts > m))
-        else:
-            comm = c_m_paper = span = 0.0
-            overloaded = 0
-        breakdown = CostBreakdown(
-            work=w,
-            local_band=float(h),
-            global_band=comm,
-            contention=float(kappa),
+        counts = np.bincount(self._request_slots(record))
+        return price_qsm_m(
+            w, h, kappa, record.n_reads + record.n_writes, counts, m, self.penalty
         )
-        cost = breakdown.total()
-        stats = {
-            "h": float(h),
-            "w": w,
-            "kappa": float(kappa),
-            "c_m": comm,
-            "c_m_paper": c_m_paper,
-            "span": span,
-            "overloaded_slots": float(overloaded),
-            "n": float(record.n_reads + record.n_writes),
-        }
-        return cost, breakdown, stats

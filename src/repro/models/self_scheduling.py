@@ -18,8 +18,9 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.core.engine import Machine
-from repro.core.events import CostBreakdown, SuperstepRecord
+from repro.core.events import SuperstepRecord
 from repro.core.params import MachineParams
+from repro.models.pricing import price_self_scheduling
 
 __all__ = ["SelfSchedulingBSPm"]
 
@@ -42,11 +43,6 @@ class SelfSchedulingBSPm(Machine):
         w = max(record.work) if record.work else 0.0
         s_max, r_max = self._max_per_proc_sends_recvs(record, p)
         h = max(s_max, r_max)
-        n = record.total_flits
-        L = self.params.L
-        breakdown = CostBreakdown(
-            work=w, local_band=float(h), global_band=n / m, latency=L
+        return price_self_scheduling(
+            w, h, record.total_flits, m, self.params.L
         )
-        cost = breakdown.total()
-        stats = {"h": float(h), "w": w, "n": float(n)}
-        return cost, breakdown, stats

@@ -27,7 +27,10 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.engine import Machine, RunResult
+from repro.core.engine import Machine, RunResult, fused_default
+from repro.core.events import MessageBatch, RequestBatch, SuperstepRecord
+from repro.core.kernels import stable_group_order
+from repro.obs.metrics import active_metrics
 from repro.obs.tracer import active_tracer
 from repro.scheduling.schedule import Schedule, expand_per_flit
 from repro.scheduling.static_send import unbalanced_send
@@ -48,7 +51,7 @@ def _flit_plan(sched: Schedule) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray
     flit_dest = np.asarray(expand_per_flit(rel.dest, rel.length), dtype=np.int64)
     flit_slot = np.asarray(sched.flit_slots, dtype=np.int64)
     flit_id = np.arange(rel.n, dtype=np.int64)
-    order = np.argsort(flit_src, kind="stable")
+    order = stable_group_order(flit_src, rel.p - 1)
     src_sorted = flit_src[order]
     bounds = np.searchsorted(src_sorted, np.arange(rel.p + 1, dtype=np.int64))
     plan = []
@@ -62,6 +65,59 @@ def _routing_program(ctx, slots, dests, flit_ids):
     ctx.send_many(dests, payloads=flit_ids, slots=slots)
     yield
     return ctx.receive().payloads
+
+
+def _execute_schedule_direct(machine: Machine, sched: Schedule) -> RunResult:
+    """Compiled-superstep execution of the one-barrier routing program.
+
+    The routing program is straight-line (every processor issues one
+    ``send_many`` computed from the schedule, independent of anything it
+    receives), so its single superstep record can be assembled directly
+    from the schedule's flit columns — one stable group-by-source sort —
+    without constructing processors, generators or arenas at all.  The
+    record, model time and per-processor results are bit-identical to the
+    trampoline execution (pinned by ``tests/test_fused_kernel.py``).
+    """
+    rel = sched.rel
+    p = rel.p
+    flit_src = np.asarray(sched.flit_src, dtype=np.int64)
+    flit_dest = np.asarray(expand_per_flit(rel.dest, rel.length), dtype=np.int64)
+    flit_slot = np.asarray(sched.flit_slots, dtype=np.int64)
+    order = stable_group_order(flit_src, p - 1)
+    dest = flit_dest[order]
+    payload = order  # flit ids are arange(n), so ids-sorted-by-src == order
+    batch = MessageBatch(
+        flit_src[order],
+        dest,
+        np.ones(rel.n, dtype=np.int64),
+        flit_slot[order],
+        np.ones(rel.n, dtype=bool),
+        payload,
+    )
+    record = SuperstepRecord(
+        index=0,
+        work=[0.0] * p,
+        msg_batch=batch,
+        read_batch=RequestBatch.empty(),
+        write_batch=RequestBatch.empty(),
+    )
+    cost, breakdown, stats = machine._price(record)
+    record.cost = cost
+    record.breakdown = breakdown
+    record.stats = stats
+    # delivery: group the sorted batch by destination; each processor's
+    # result is its inbox payload slice, [] when nothing arrived (exactly
+    # what ctx.receive().payloads returns on the trampoline path)
+    counts = np.bincount(dest, minlength=p)
+    bounds = np.empty(counts.size + 1, dtype=np.int64)
+    bounds[0] = 0
+    np.cumsum(counts, out=bounds[1:])
+    delivered = payload[stable_group_order(dest, p - 1)]
+    results: List = []
+    for pid in range(p):
+        s, e = int(bounds[pid]), int(bounds[pid + 1])
+        results.append(delivered[s:e] if e > s else [])
+    return RunResult(params=machine.params, records=[record], results=results)
 
 
 def execute_schedule(
@@ -82,8 +138,20 @@ def execute_schedule(
         raise ValueError(
             f"machine has {machine.params.p} processors, relation needs {rel.p}"
         )
-    plan = _flit_plan(sched)
     tracer = active_tracer()
+    if (
+        fused_default()
+        and not audit
+        and machine.fault_injector is None
+        and tracer is None
+        and active_metrics() is None
+    ):
+        # compiled-superstep fast path: the routing program is straight-
+        # line, so skip the trampoline entirely (see _execute_schedule_direct)
+        res = _execute_schedule_direct(machine, sched)
+        _verify_delivery(res, rel, machine)
+        return res
+    plan = _flit_plan(sched)
     if tracer is not None:
         # context span for the engine's own `run` span: which relation and
         # schedule this routing superstep came from
@@ -101,14 +169,27 @@ def execute_schedule(
             nprocs=rel.p,
             audit=audit,
         )
+    _verify_delivery(res, rel, machine)
+    return res
+
+
+def _verify_delivery(res: RunResult, rel: HRelation, machine: Machine) -> None:
+    """Every flit id 0..n-1 arrived exactly once — checked by histogram
+    (one ``bincount`` instead of the historical full sort)."""
     try:
         chunks = [np.asarray(received, dtype=np.int64) for received in res.results
                   if len(received)]
-        got = np.sort(np.concatenate(chunks)) if chunks else np.zeros(0, dtype=np.int64)
+        got = np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
     except (TypeError, ValueError, OverflowError):
         # un-coercible payloads (e.g. CorruptedPayload markers) = not delivered
         got = np.zeros(0, dtype=np.int64)
-    if got.size != rel.n or not np.array_equal(got, np.arange(rel.n, dtype=np.int64)):
+    ok = got.size == rel.n
+    if ok and rel.n:
+        if int(got.min()) < 0 or int(got.max()) >= rel.n:
+            ok = False
+        else:
+            ok = bool((np.bincount(got, minlength=rel.n) == 1).all())
+    if not ok:
         injector = getattr(machine, "fault_injector", None)
         if injector is not None and not injector.plan.is_null:
             raise ValueError(
@@ -119,7 +200,6 @@ def execute_schedule(
         raise ValueError(
             f"delivery mismatch: {got.size} of {rel.n} flits arrived"
         )
-    return res
 
 
 def delivery_counts(res: RunResult, p: int) -> np.ndarray:
