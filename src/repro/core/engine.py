@@ -143,10 +143,10 @@ class RunAborted(ProgramError):
     """A run was cut short by a watchdog, carrying everything computed so
     far instead of losing it.
 
-    Raised when a run exceeds ``max_supersteps`` or the wall-clock
-    ``max_time`` budget of :meth:`Machine.run`.  Subclasses
-    :class:`ProgramError` so existing ``except ProgramError`` handlers keep
-    working.
+    Raised when a run exceeds ``max_supersteps``, the relative wall-clock
+    ``max_time`` budget, or the absolute ``deadline`` of
+    :meth:`Machine.run`.  Subclasses :class:`ProgramError` so existing
+    ``except ProgramError`` handlers keep working.
 
     Attributes
     ----------
@@ -157,7 +157,8 @@ class RunAborted(ProgramError):
     superstep:
         Index of the superstep at which the run was aborted.
     reason:
-        Machine-readable cause: ``"max_supersteps"`` or ``"max_time"``.
+        Machine-readable cause: ``"max_supersteps"``, ``"max_time"`` or
+        ``"deadline"``.
     """
 
     def __init__(
@@ -167,6 +168,31 @@ class RunAborted(ProgramError):
         self.partial = partial
         self.superstep = superstep
         self.reason = reason
+
+
+def _resolve_deadline(max_time, deadline):
+    """Effective absolute monotonic deadline and which budget set it.
+
+    ``max_time`` is relative (seconds from now), ``deadline`` absolute
+    (a ``time.monotonic()`` timestamp); whichever expires first wins.
+    """
+    at = None
+    reason = "max_time"
+    if max_time is not None:
+        at = _time.monotonic() + max_time
+    if deadline is not None and (at is None or float(deadline) < at):
+        at = float(deadline)
+        reason = "deadline"
+    return at, reason
+
+
+def _deadline_message(reason, max_time, index):
+    if reason == "deadline":
+        return f"run exceeded its absolute deadline at superstep {index}"
+    return (
+        f"run exceeded the max_time={max_time:g}s wall-clock budget "
+        f"at superstep {index}"
+    )
 
 
 _UNRESOLVED = object()
@@ -1239,6 +1265,7 @@ class Machine:
         nprocs: Optional[int] = None,
         max_supersteps: int = 1_000_000,
         max_time: Optional[float] = None,
+        deadline: Optional[float] = None,
         audit: bool = False,
         fused: Optional[bool] = None,
     ) -> RunResult:
@@ -1265,6 +1292,13 @@ class Machine:
             Optional wall-clock budget in seconds.  A run that is still
             going when the budget expires raises :class:`RunAborted` with
             everything computed so far in ``exc.partial``.
+        deadline:
+            Optional *absolute* ``time.monotonic()`` timestamp (the serving
+            path's per-request deadline).  Combines with ``max_time`` —
+            whichever expires first wins, and ``RunAborted.reason`` names
+            it.  An already-expired deadline aborts before superstep 0:
+            the check runs before program construction, so not even a
+            plain-function program's body executes.
         audit:
             Debug mode: after every barrier, re-derive the superstep's
             price and check delivery invariants (flit conservation,
@@ -1297,6 +1331,19 @@ class Machine:
         if per_proc_args is not None and len(per_proc_args) != p:
             raise ValueError(
                 f"per_proc_args has {len(per_proc_args)} entries for {p} processors"
+            )
+
+        # resolve the wall-clock budget(s) up front: an already-expired
+        # deadline must abort before superstep 0 — and in particular before
+        # program construction below, because plain-function programs
+        # execute their whole body there, not in _run_loop
+        deadline_at, deadline_reason = _resolve_deadline(max_time, deadline)
+        if deadline_at is not None and _time.monotonic() > deadline_at:
+            raise RunAborted(
+                _deadline_message(deadline_reason, max_time, 0),
+                partial=RunResult(params=self.params, records=[], results=[None] * p),
+                superstep=0,
+                reason=deadline_reason,
             )
 
         procs = [Proc(pid, p, self) for pid in range(p)]
@@ -1347,12 +1394,11 @@ class Machine:
                 observe = make_superstep_observer(
                     tracer, mreg, self, p, run_span, fused=arenas is not None
                 )
-            deadline = None if max_time is None else _time.monotonic() + max_time
             try:
                 self._run_loop(
                     procs, gens, results, records, alive, p,
-                    max_supersteps, max_time, injector, auditor, deadline,
-                    observe, arenas,
+                    max_supersteps, max_time, injector, auditor, deadline_at,
+                    observe, arenas, deadline_reason,
                 )
             finally:
                 if run_span is not None:
@@ -1381,6 +1427,7 @@ class Machine:
         deadline,
         observe,
         arenas=None,
+        deadline_reason="max_time",
     ) -> None:
         """The barrier loop of :meth:`run` (split out so the run-level trace
         span can close on every exit path).  With ``arenas`` the superstep
@@ -1391,11 +1438,10 @@ class Machine:
         while True:
             if deadline is not None and _time.monotonic() > deadline:
                 raise RunAborted(
-                    f"run exceeded the max_time={max_time:g}s wall-clock budget "
-                    f"at superstep {index}",
+                    _deadline_message(deadline_reason, max_time, index),
                     partial=RunResult(params=self.params, records=records, results=results),
                     superstep=index,
-                    reason="max_time",
+                    reason=deadline_reason,
                 )
             halted = injector.halted(index) if injector is not None else None
             any_advanced = False

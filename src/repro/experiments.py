@@ -93,9 +93,18 @@ def _unbalanced_send_trial(rel, m: int, epsilon: float, seed) -> Dict[str, Any]:
     }
 
 
+def _sweep_errors(sweep) -> Dict[str, int]:
+    """The error-policy block experiments attach when trials were skipped."""
+    return {
+        "skipped": sweep.skipped,
+        "retried": sweep.retried,
+        "retries": sweep.retries,
+    }
+
+
 def unbalanced_send_vs_optimal(
     p: int = 1024, m: int = 128, n: int = 60_000, epsilon: float = 0.2,
-    trials: int = 25, seed: int = 0, jobs: int = 1,
+    trials: int = 25, seed: int = 0, jobs: int = 1, on_error: str = "raise",
 ) -> Dict[str, Any]:
     """Theorem 6.2: Unbalanced-Send ratio to the offline optimum across the
     benchmark's four workload shapes."""
@@ -128,19 +137,24 @@ def unbalanced_send_vs_optimal(
         common={"m": m, "epsilon": epsilon},
         seed=seed,
     )
-    sweep = run_sweep(spec, jobs=jobs)
+    sweep = run_sweep(spec, jobs=jobs, on_error=on_error)
     by_point = sweep.results_by_point()
     out: Dict[str, Any] = {"p": p, "m": m, "epsilon": epsilon, "workloads": {}}
     for name, rel in cases.items():
-        ratios = [t["ratio"] for t in by_point[name]]
-        overloads = sum(t["overloaded"] for t in by_point[name])
+        # skipped trials (on_error="skip"/"retry:N") come back as None;
+        # aggregate over the trials that completed
+        done = [t for t in by_point[name] if t is not None]
+        ratios = [t["ratio"] for t in done]
+        overloads = sum(t["overloaded"] for t in done)
         out["workloads"][name] = {
             "optimal": opts[name].completion_time,
-            "mean_ratio": float(np.mean(ratios)),
-            "max_ratio": float(np.max(ratios)),
-            "overload_rate": overloads / trials,
+            "mean_ratio": float(np.mean(ratios)) if ratios else float("nan"),
+            "max_ratio": float(np.max(ratios)) if ratios else float("nan"),
+            "overload_rate": overloads / len(done) if done else float("nan"),
             "bsp_g_ratio": bsp_g_routing_time(rel, g) / opts[name].completion_time,
         }
+    if sweep.skipped:
+        out["sweep_errors"] = _sweep_errors(sweep)
     return out
 
 
@@ -176,7 +190,7 @@ def _dynamic_stability_point(
 
 def dynamic_stability(
     p: int = 256, m: int = 16, L: float = 8.0, w: int = 128,
-    horizon: int = 20_000, seed: int = 0, jobs: int = 1,
+    horizon: int = 20_000, seed: int = 0, jobs: int = 1, on_error: str = "raise",
 ) -> Dict[str, Any]:
     """Theorems 6.5/6.7: the single-source flood sweep."""
     local, _ = MachineParams.matched_pair(p=p, m=m, L=L)
@@ -188,8 +202,12 @@ def dynamic_stability(
         common={"p": p, "m": m, "L": L, "w": w, "horizon": horizon},
         seed=seed,
     )
-    sweep = run_sweep(spec, jobs=jobs)
-    return {"p": p, "m": m, "g": local.g, "w": w, "sweep": sweep.results}
+    sweep = run_sweep(spec, jobs=jobs, on_error=on_error)
+    out = {"p": p, "m": m, "g": local.g, "w": w,
+           "sweep": [r for r in sweep.results if r is not None]}
+    if sweep.skipped:
+        out["sweep_errors"] = _sweep_errors(sweep)
+    return out
 
 
 def _stability_under_loss_point(
@@ -232,7 +250,7 @@ def _stability_under_loss_point(
 
 def stability_under_loss(
     p: int = 64, m: int = 8, L: float = 4.0, w: int = 32,
-    horizon: int = 4_000, seed: int = 0, jobs: int = 1,
+    horizon: int = 4_000, seed: int = 0, jobs: int = 1, on_error: str = "raise",
 ) -> Dict[str, Any]:
     """Theorems 6.5/6.7 under message loss: how far the reliable-transport
     retries push Algorithm B's stability frontier in.
@@ -255,8 +273,12 @@ def stability_under_loss(
         },
         seed=seed,
     )
-    sweep = run_sweep(spec, jobs=jobs)
-    return {"p": p, "m": m, "g": local.g, "w": w, "sweep": sweep.results}
+    sweep = run_sweep(spec, jobs=jobs, on_error=on_error)
+    out = {"p": p, "m": m, "g": local.g, "w": w,
+           "sweep": [r for r in sweep.results if r is not None]}
+    if sweep.skipped:
+        out["sweep_errors"] = _sweep_errors(sweep)
+    return out
 
 
 def _leader_gap_point(p: int, m: int, seed) -> Dict[str, Any]:
@@ -276,7 +298,9 @@ def _leader_gap_point(p: int, m: int, seed) -> Dict[str, Any]:
     }
 
 
-def leader_recognition_gap(m: int = 8, seed: int = 0, jobs: int = 1) -> Dict[str, Any]:
+def leader_recognition_gap(
+    m: int = 8, seed: int = 0, jobs: int = 1, on_error: str = "raise"
+) -> Dict[str, Any]:
     """Theorem 5.2: the ER-vs-CR Leader Recognition gap across p."""
     spec = SweepSpec(
         name="leader_gap",
@@ -285,8 +309,11 @@ def leader_recognition_gap(m: int = 8, seed: int = 0, jobs: int = 1) -> Dict[str
         common={"m": m},
         seed=seed,
     )
-    sweep = run_sweep(spec, jobs=jobs)
-    return {"m": m, "sweep": sweep.results}
+    sweep = run_sweep(spec, jobs=jobs, on_error=on_error)
+    out = {"m": m, "sweep": [r for r in sweep.results if r is not None]}
+    if sweep.skipped:
+        out["sweep_errors"] = _sweep_errors(sweep)
+    return out
 
 
 def _self_scheduling_trial(rel, m: int, epsilon: float, seed) -> float:
@@ -298,7 +325,7 @@ def _self_scheduling_trial(rel, m: int, epsilon: float, seed) -> float:
 
 def self_scheduling_transfer_experiment(
     p: int = 1024, m: int = 128, epsilon: float = 0.15, trials: int = 15,
-    seed: int = 0, jobs: int = 1,
+    seed: int = 0, jobs: int = 1, on_error: str = "raise",
 ) -> Dict[str, Any]:
     """Section 2: the self-scheduling metric realized within (1+eps)."""
     from repro.workloads import uniform_random_relation, zipf_h_relation
@@ -318,21 +345,23 @@ def self_scheduling_transfer_experiment(
         common={"m": m, "epsilon": epsilon},
         seed=seed,
     )
-    sweep = run_sweep(spec, jobs=jobs)
+    sweep = run_sweep(spec, jobs=jobs, on_error=on_error)
     by_point = sweep.results_by_point()
     out: Dict[str, Any] = {"p": p, "m": m, "epsilon": epsilon, "workloads": {}}
     for name in cases:
-        ratios = by_point[name]
+        ratios = [r for r in by_point[name] if r is not None]
         out["workloads"][name] = {
-            "mean_ratio": float(np.mean(ratios)),
-            "max_ratio": float(np.max(ratios)),
+            "mean_ratio": float(np.mean(ratios)) if ratios else float("nan"),
+            "max_ratio": float(np.max(ratios)) if ratios else float("nan"),
         }
+    if sweep.skipped:
+        out["sweep_errors"] = _sweep_errors(sweep)
     return out
 
 
 def sensitivity_grid(
     p_values=(256, 1024, 4096), g_values=(2.0, 8.0), L_values=(4.0, 16.0),
-    y_grid: int = 4000, seed: int = 0, jobs: int = 1,
+    y_grid: int = 4000, seed: int = 0, jobs: int = 1, on_error: str = "raise",
 ) -> Dict[str, Any]:
     """Theorem 4.1 sensitivity check fanned over a ``(p, g, L)`` grid: the
     numeric optimum of the constrained minimization vs the paper's closed
@@ -347,9 +376,13 @@ def sensitivity_grid(
         common={"y_grid": y_grid},
         seed=seed,
     )
-    sweep = run_sweep(spec, jobs=jobs)
-    worst = min(cell["closed_over_numeric"] for cell in sweep.results)
-    return {"y_grid": y_grid, "cells": sweep.results, "min_closed_over_numeric": worst}
+    sweep = run_sweep(spec, jobs=jobs, on_error=on_error)
+    cells = [c for c in sweep.results if c is not None]
+    worst = min(cell["closed_over_numeric"] for cell in cells) if cells else float("nan")
+    out = {"y_grid": y_grid, "cells": cells, "min_closed_over_numeric": worst}
+    if sweep.skipped:
+        out["sweep_errors"] = _sweep_errors(sweep)
+    return out
 
 
 #: name -> callable returning a JSON-ready dict

@@ -107,15 +107,25 @@ def chaos_trial(
 
 def summarize_chaos_sweep(reports: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     """Aggregate a chaos sweep's trial reports into the statistics the
-    single-run table prints, plus across-trial spread."""
+    single-run table prints, plus across-trial spread.
+
+    ``None`` entries (trials skipped under ``run_sweep(on_error=...)``)
+    are excluded from the statistics and counted in ``skipped``.
+    """
+    skipped = sum(1 for r in reports if r is None)
+    reports = [r for r in reports if r is not None]
 
     def col(key: str) -> np.ndarray:
         return np.asarray([r[key] for r in reports], dtype=np.float64)
+
+    if not reports:
+        return {"trials": 0, "skipped": skipped, "failures": 0}
 
     overhead = col("overhead")
     failures = sum(1 for r in reports if r["failed"])
     return {
         "trials": len(reports),
+        "skipped": skipped,
         "failures": failures,
         "exactly_once_rate": float(np.mean(col("exactly_once"))),
         "delivered_total": int(col("delivered").sum()),

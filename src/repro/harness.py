@@ -435,8 +435,29 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     seed = _effective_seed(args)
     jobs = _effective_jobs(args)
     print(f"# seed = {seed}  jobs = {jobs}")
+    kwargs = {"seed": seed, "jobs": jobs}
+    if args.on_error != "raise":
+        import inspect
+
+        from repro.experiments import EXPERIMENTS
+        from repro.sweep import parse_on_error
+
+        try:
+            parse_on_error(args.on_error)  # fail fast on a malformed policy
+        except ValueError as exc:
+            print(f"error: --on-error: {exc}", file=sys.stderr)
+            return 2
+        fn = EXPERIMENTS.get(args.name)
+        if fn is not None and "on_error" not in inspect.signature(fn).parameters:
+            print(
+                f"error: experiment {args.name!r} does not run a sweep; "
+                "--on-error does not apply",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["on_error"] = args.on_error
     try:
-        result = run_experiment(args.name, seed=seed, jobs=jobs)
+        result = run_experiment(args.name, **kwargs)
     except UnknownExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -447,6 +468,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"wrote {args.json}")
     else:
         print(text)
+    skipped = result.get("sweep_errors", {}).get("skipped", 0)
+    if skipped:
+        print(f"# {skipped} trial(s) skipped under --on-error {args.on_error}",
+              file=sys.stderr)
+        return 3
     return 0
 
 
@@ -593,10 +619,22 @@ def _chaos_sweep(args: argparse.Namespace, seed: int) -> int:
     )
     print(f"# chaos sweep {args.workload} (p={p}, n={n}, m={m}, L={L:g})")
     print(f"# seed = {seed}  jobs = {jobs}  trials = {args.trials}")
-    sweep = run_sweep(spec, jobs=jobs)
+    try:
+        sweep = run_sweep(spec, jobs=jobs, on_error=args.on_error)
+    except ValueError as exc:
+        if "on_error" not in str(exc):
+            raise
+        print(f"error: --on-error: {exc}", file=sys.stderr)
+        return 2
     summary = summarize_chaos_sweep(sweep.results)
+    if not summary["trials"]:
+        print(f"all {summary['skipped']} trial(s) skipped "
+              f"under --on-error {args.on_error}", file=sys.stderr)
+        return 3
     table = Table(["metric", "value"], title="reliable transport under chaos (sweep)")
     table.add_row(["trials", summary["trials"]])
+    if summary.get("skipped"):
+        table.add_row(["skipped trials", summary["skipped"]])
     table.add_row(["transport failures", summary["failures"]])
     table.add_row(["exactly-once rate", f"{summary['exactly_once_rate']:.3f}"])
     table.add_row(["delivered (total)", summary["delivered_total"]])
@@ -619,7 +657,9 @@ def _chaos_sweep(args: argparse.Namespace, seed: int) -> int:
         with open(args.json, "w") as fh:
             fh.write(json.dumps(record, indent=2, default=float) + "\n")
         print(f"wrote {args.json}")
-    return 1 if summary["failures"] else 0
+    if summary["failures"]:
+        return 1
+    return 3 if summary.get("skipped") else 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -630,6 +670,118 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     print(comparison.render(all_rows=args.all))
     return 1 if comparison.regressions else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache {stats,clear,path}`` — the memo cache and its
+    persistent disk store (see docs/serving.md)."""
+    import json
+
+    from repro.store import default_store_path, summarize_store, wipe_store
+    from repro.sweep import cache_stats, clear_cache
+
+    path = args.dir if args.dir else default_store_path()
+    if args.action == "path":
+        print(path)
+        return 0
+    if args.action == "clear":
+        removed = wipe_store(path)
+        clear_cache()
+        if args.json:
+            print(json.dumps({"path": path, "entries_removed": removed}))
+        else:
+            print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} from {path}")
+        return 0
+    # stats: the in-memory tier of THIS process plus the shared on-disk
+    # footprint.  summarize_store() only reads — it never opens the store,
+    # so a tag mismatch is reported, not acted on.
+    mem = cache_stats()
+    disk = summarize_store(path)
+    if args.json:
+        print(json.dumps({
+            "memory": {
+                "hits": mem.hits,
+                "misses": mem.misses,
+                "hit_rate": mem.hit_rate,
+                "entries": mem.entries,
+                "disk_hits": mem.disk_hits,
+            },
+            "disk": disk,
+        }, indent=2))
+        return 0
+    table = Table(["metric", "value"], title="memo cache")
+    table.add_row(["memory hits / misses", f"{mem.hits} / {mem.misses}"])
+    table.add_row(["memory entries", mem.entries])
+    table.add_row(["disk hits (this process)", mem.disk_hits])
+    table.add_row(["store path", disk["path"]])
+    table.add_row(["store exists", str(disk["exists"])])
+    table.add_row(["store entries", disk["entries"]])
+    table.add_row(["store bytes", disk["bytes"]])
+    tag = disk["tag"]
+    stale = tag is not None and tag != disk["current_tag"]
+    table.add_row(["store tag", f"{tag}{' (STALE: will invalidate on open)' if stale else ''}"])
+    print(table.render())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve`` — run the simulation daemon until SIGTERM/SIGINT
+    (graceful drain) or a ``POST /v1/drain``.  See docs/serving.md."""
+    import json as _json
+
+    from repro.serve import AdmissionConfig, ExecutorConfig, ReproServer
+    from repro.serve.chaos import plan_from_env
+    from repro.store import default_store_path
+    from repro.store.disk import DiskStore
+
+    chaos = plan_from_env()
+    store = None
+    if not args.no_store:
+        store_dir = args.store_dir or default_store_path()
+        store = DiskStore(
+            store_dir, io_fault=chaos.io_fault if chaos.disk_full_rate else None
+        )
+    try:
+        admission = AdmissionConfig(
+            budget_m=args.budget_m,
+            epsilon=args.epsilon,
+            max_queue=args.max_queue,
+            oversized_factor=args.oversized_factor,
+            max_batch=args.max_batch,
+            seed=_effective_seed(args),
+        )
+        executor = ExecutorConfig(
+            workers=args.workers,
+            max_attempts=args.max_attempts,
+            quarantine_after=args.quarantine_after,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        admission=admission,
+        executor=executor,
+        store=store,
+        chaos=chaos,
+    )
+    server.install_signal_handlers()
+    server.start()
+    host, port = server.address
+    print(f"repro serve listening on http://{host}:{port}", flush=True)
+    if store is not None:
+        print(f"persistent store: {store.root}", flush=True)
+    if not chaos.is_null:
+        print(f"chaos plan active: {chaos}", flush=True)
+    server.serve_until_drained()
+    snapshot = server.metrics.snapshot()
+    if args.metrics_dump:
+        with open(args.metrics_dump, "w") as fh:
+            fh.write(_json.dumps(snapshot, indent=2, default=float) + "\n")
+        print(f"wrote {args.metrics_dump}", flush=True)
+    print("drained; bye", flush=True)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -746,6 +898,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = all cores; default serial)",
     )
     ex.add_argument("--json", default=None, help="write the record to this file")
+    _add_on_error_arg(ex)
     _add_obs_args(ex)
     ex.set_defaults(func=_cmd_experiment)
 
@@ -804,8 +957,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every superstep through the invariant auditor",
     )
     ch.add_argument("--json", default=None, help="write the report to this file")
+    _add_on_error_arg(ch)
     _add_obs_args(ch)
     ch.set_defaults(func=_cmd_chaos)
+
+    ca = sub.add_parser(
+        "cache",
+        help="inspect or clear the memo cache and its persistent disk store",
+    )
+    ca.add_argument(
+        "action",
+        choices=["stats", "clear", "path"],
+        help="stats: counters + on-disk footprint; clear: wipe the disk "
+        "store (and this process's in-memory entries); path: print the "
+        "store directory",
+    )
+    ca.add_argument(
+        "--dir", default=None, metavar="PATH",
+        help="store directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/store)",
+    )
+    ca.add_argument("--json", action="store_true", help="emit JSON")
+    ca.set_defaults(func=_cmd_cache)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the simulation daemon (JSON over HTTP; graceful drain "
+        "on SIGTERM)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument(
+        "--port", type=int, default=8377,
+        help="listen port (0 = ephemeral; the chosen port is printed)",
+    )
+    sv.add_argument(
+        "--budget-m", type=int, default=4096,
+        help="admission bandwidth budget m, in flits per slot of the "
+        "Unbalanced-Send round schedule",
+    )
+    sv.add_argument(
+        "--epsilon", type=float, default=0.2,
+        help="window slack of the admission draw (W = (1+eps)·total/m)",
+    )
+    sv.add_argument(
+        "--max-queue", type=int, default=64,
+        help="pending-request bound; beyond it submissions shed with "
+        "E_QUEUE_FULL (HTTP 429)",
+    )
+    sv.add_argument(
+        "--oversized-factor", type=int, default=64,
+        help="shed requests costing more than FACTOR × budget-m flits "
+        "with E_OVERSIZED (HTTP 413)",
+    )
+    sv.add_argument(
+        "--max-batch", type=int, default=16,
+        help="requests scheduled per admission round",
+    )
+    sv.add_argument(
+        "--workers", type=int, default=4, help="executor worker threads"
+    )
+    sv.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="tries per submission before E_CRASHED",
+    )
+    sv.add_argument(
+        "--quarantine-after", type=int, default=3,
+        help="cumulative failures of one request fingerprint before it is "
+        "quarantined (E_QUARANTINED)",
+    )
+    sv.add_argument(
+        "--store-dir", default=None, metavar="PATH",
+        help="persistent response/memo store directory (default: "
+        "$REPRO_CACHE_DIR or ~/.cache/repro/store)",
+    )
+    sv.add_argument(
+        "--no-store", action="store_true",
+        help="serve without the persistent cache (every request recomputes)",
+    )
+    sv.add_argument(
+        "--metrics-dump", default=None, metavar="PATH",
+        help="on drain, write the serve.* metrics snapshot as JSON "
+        "(repro compare consumes it)",
+    )
+    sv.add_argument("--seed", type=int, default=None)
+    sv.set_defaults(func=_cmd_serve)
 
     cp = sub.add_parser(
         "compare",
@@ -829,6 +1064,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_on_error_arg(sp: argparse.ArgumentParser) -> None:
+    """Attach the sweep error policy (see repro.sweep.run_sweep)."""
+    sp.add_argument(
+        "--on-error",
+        default="raise",
+        metavar="POLICY",
+        help='failing-trial policy: "raise" (abort, the default), "skip" '
+        '(record + continue; exit code 3 when any trial was skipped), or '
+        '"retry:N" (N extra attempts, then skip)',
+    )
+
+
 def _add_obs_args(sp: argparse.ArgumentParser) -> None:
     """Attach the shared observability flags (see docs/observability.md)."""
     sp.add_argument(
@@ -847,5 +1094,11 @@ def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    # REPRO_PERSISTENT_CACHE=1 backs the memo cache with the shared disk
+    # store for this invocation (the serve daemon installs its own store
+    # explicitly and ignores the env var)
+    from repro.store import maybe_enable_from_env
+
+    maybe_enable_from_env()
     with _observe(args):
         return args.func(args)

@@ -27,7 +27,9 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.engine import Machine, RunResult, fused_default
+from time import monotonic as _monotonic
+
+from repro.core.engine import Machine, RunAborted, RunResult, fused_default
 from repro.core.events import MessageBatch, RequestBatch, SuperstepRecord
 from repro.core.kernels import stable_group_order
 from repro.obs.metrics import active_metrics
@@ -121,7 +123,11 @@ def _execute_schedule_direct(machine: Machine, sched: Schedule) -> RunResult:
 
 
 def execute_schedule(
-    machine: Machine, sched: Schedule, *, audit: bool = False
+    machine: Machine,
+    sched: Schedule,
+    *,
+    audit: bool = False,
+    deadline: Optional[float] = None,
 ) -> RunResult:
     """Run a schedule on ``machine`` as one superstep and verify delivery.
 
@@ -129,7 +135,11 @@ def execute_schedule(
     lost or duplicated (this would be an engine bug — the check is the
     library guarding its own invariants, not user error).  ``audit=True``
     additionally runs every barrier through the invariant auditor
-    (:mod:`repro.faults.audit`).
+    (:mod:`repro.faults.audit`).  ``deadline`` is an absolute
+    ``time.monotonic()`` timestamp (the serving path's per-request
+    deadline) forwarded to :meth:`Machine.run`; an expired deadline raises
+    :class:`~repro.core.engine.RunAborted` before superstep 0 on both the
+    trampoline and the compiled direct path.
     """
     if machine.uses_shared_memory:
         raise ValueError("schedules route point-to-point messages; use a BSP machine")
@@ -147,7 +157,18 @@ def execute_schedule(
         and active_metrics() is None
     ):
         # compiled-superstep fast path: the routing program is straight-
-        # line, so skip the trampoline entirely (see _execute_schedule_direct)
+        # line, so skip the trampoline entirely (see _execute_schedule_direct).
+        # The direct path has no superstep loop to check mid-run, so the
+        # deadline gate is the same abort-before-superstep-0 check the
+        # trampoline performs.
+        if deadline is not None and _monotonic() > deadline:
+            raise RunAborted(
+                "run exceeded its absolute deadline at superstep 0",
+                partial=RunResult(params=machine.params, records=[],
+                                  results=[None] * rel.p),
+                superstep=0,
+                reason="deadline",
+            )
         res = _execute_schedule_direct(machine, sched)
         _verify_delivery(res, rel, machine)
         return res
@@ -161,6 +182,7 @@ def execute_schedule(
         ):
             res = machine.run(
                 _routing_program, per_proc_args=plan, nprocs=rel.p, audit=audit,
+                deadline=deadline,
             )
     else:
         res = machine.run(
@@ -168,6 +190,7 @@ def execute_schedule(
             per_proc_args=plan,
             nprocs=rel.p,
             audit=audit,
+            deadline=deadline,
         )
     _verify_delivery(res, rel, machine)
     return res
@@ -217,6 +240,7 @@ def route(
     epsilon: float = 0.15,
     seed: SeedLike = None,
     scheduler: Optional[Callable[..., Schedule]] = None,
+    deadline: Optional[float] = None,
 ) -> Tuple[RunResult, Schedule]:
     """Route an h-relation on any message-passing machine.
 
@@ -224,7 +248,8 @@ def route(
     ``scheduler`` (default Unbalanced-Send, Theorem 6.2); on a
     locally-limited machine no scheduling is needed (Proposition 6.1) and
     everything is injected back-to-back.  Returns the engine result and
-    the schedule used.
+    the schedule used.  ``deadline`` (absolute ``time.monotonic()``) is
+    forwarded to :func:`execute_schedule`.
     """
     if machine.params.m is not None:
         sch = (scheduler or unbalanced_send)(
@@ -234,7 +259,7 @@ def route(
         from repro.scheduling.naive import naive_schedule
 
         sch = naive_schedule(rel)
-    return execute_schedule(machine, sch), sch
+    return execute_schedule(machine, sch, deadline=deadline), sch
 
 
 def route_reliable(

@@ -1,0 +1,54 @@
+"""Simulation-as-a-service: the ``python -m repro serve`` daemon.
+
+A long-lived front end over the batch library — JSON over HTTP, bounded
+queues with Unbalanced-Send admission control (the paper's §6 discipline
+applied to the server's own request traffic), a crash-safe persistent
+response cache (:mod:`repro.store`), per-request deadlines that
+propagate into the engine, seeded-chaos-tested retry/quarantine, and
+graceful drain with zero lost accepted requests.  See ``docs/serving.md``.
+"""
+
+from repro.serve.admission import AdmissionConfig, AdmissionController, Round
+from repro.serve.chaos import ChaosPlan, WorkerKilled, plan_from_env
+from repro.serve.client import ServeClient, ServeRequestError
+from repro.serve.daemon import ReproServer
+from repro.serve.executor import ExecutorConfig, RequestExecutor, run_scenario
+from repro.serve.protocol import (
+    ERROR_CODES,
+    KINDS,
+    PROTOCOL_VERSION,
+    Request,
+    ServeError,
+    canonical_params,
+    error_payload,
+    estimate_cost,
+    ok_payload,
+    request_fingerprint,
+)
+from repro.serve.telemetry import ServerMetrics
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "ChaosPlan",
+    "ERROR_CODES",
+    "ExecutorConfig",
+    "KINDS",
+    "PROTOCOL_VERSION",
+    "ReproServer",
+    "Request",
+    "RequestExecutor",
+    "Round",
+    "ServeClient",
+    "ServeError",
+    "ServeRequestError",
+    "ServerMetrics",
+    "WorkerKilled",
+    "canonical_params",
+    "error_payload",
+    "estimate_cost",
+    "ok_payload",
+    "plan_from_env",
+    "request_fingerprint",
+    "run_scenario",
+]

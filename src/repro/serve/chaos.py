@@ -1,0 +1,91 @@
+"""Deterministic chaos for the serve stack: seeded worker kills,
+disk-full on the persistent store, and slow-client stalls.
+
+The whole point is *replayable* failure: every chaos decision is a pure
+function of ``(plan seed, request fingerprint, attempt)`` — no wall
+clock, no global RNG — so a chaos test that kills attempt 1 of a request
+kills it on every run, and the retry path's recovery is assertable
+bit-for-bit.  This mirrors the engine's own :mod:`repro.faults` design
+(seeded FaultPlan, barrier-clock faults) one layer up.
+
+``WorkerKilled`` is raised *inside* the executor's handler, standing in
+for a worker process dying mid-trial; the executor's exponential-backoff
+retry and quarantine logic treats it like any other crash.  ``io_fault``
+plugs into :class:`repro.store.DiskStore` and raises ``ENOSPC`` on a
+seeded fraction of writes — a full disk degrades the store to a
+pass-through (writes are dropped, reads still hit), never an outage.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ChaosPlan", "WorkerKilled", "plan_from_env"]
+
+
+class WorkerKilled(RuntimeError):
+    """A simulated worker death, injected by a :class:`ChaosPlan`."""
+
+
+def _unit(seed: int, *path: object) -> float:
+    """Deterministic uniform [0, 1) from a seed and a hashable path."""
+    blob = ("\x1f".join(str(p) for p in (seed,) + path)).encode()
+    digest = hashlib.blake2b(blob, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Seeded failure plan for the daemon (all rates in [0, 1])."""
+
+    seed: int = 0
+    #: probability a given (request, attempt) execution is killed
+    kill_rate: float = 0.0
+    #: attempts that always die, regardless of rate (e.g. ``kill_first=1``
+    #: kills every request's first attempt — the retry-path determinism
+    #: fixture)
+    kill_first: int = 0
+    #: probability a store write fails with ENOSPC
+    disk_full_rate: float = 0.0
+
+    @property
+    def is_null(self) -> bool:
+        return not (self.kill_rate or self.kill_first or self.disk_full_rate)
+
+    def should_kill(self, fingerprint: str, attempt: int) -> bool:
+        """Kill this execution?  Pure in (seed, fingerprint, attempt)."""
+        if attempt <= self.kill_first:
+            return True
+        if self.kill_rate <= 0.0:
+            return False
+        return _unit(self.seed, "kill", fingerprint, attempt) < self.kill_rate
+
+    def kill_if_planned(self, fingerprint: str, attempt: int) -> None:
+        if self.should_kill(fingerprint, attempt):
+            raise WorkerKilled(
+                f"chaos plan killed attempt {attempt} of request {fingerprint}"
+            )
+
+    def io_fault(self, op: str, path: str) -> None:
+        """``DiskStore.io_fault`` hook: seeded ENOSPC on writes."""
+        if op != "put" or self.disk_full_rate <= 0.0:
+            return
+        if _unit(self.seed, "disk", path) < self.disk_full_rate:
+            raise OSError(errno.ENOSPC, f"chaos plan: no space left writing {path}")
+
+
+def plan_from_env(env: Optional[dict] = None) -> ChaosPlan:
+    """Build a plan from ``REPRO_SERVE_CHAOS_*`` variables (absent → null
+    plan); lets the CI smoke job turn chaos on without code."""
+    import os
+
+    e = os.environ if env is None else env
+    return ChaosPlan(
+        seed=int(e.get("REPRO_SERVE_CHAOS_SEED", "0")),
+        kill_rate=float(e.get("REPRO_SERVE_CHAOS_KILL_RATE", "0")),
+        kill_first=int(e.get("REPRO_SERVE_CHAOS_KILL_FIRST", "0")),
+        disk_full_rate=float(e.get("REPRO_SERVE_CHAOS_DISK_FULL_RATE", "0")),
+    )

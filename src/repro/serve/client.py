@@ -1,0 +1,104 @@
+"""Minimal stdlib client for the ``repro serve`` daemon.
+
+Structured rejections surface as :class:`ServeRequestError` carrying the
+server's error code and detail — client code branches on ``err.code``
+(``E_QUEUE_FULL`` → back off and retry, ``E_DEADLINE`` → give up,
+``E_QUARANTINED`` → fix the request) instead of parsing strings.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+__all__ = ["ServeClient", "ServeRequestError"]
+
+
+class ServeRequestError(Exception):
+    """A structured error answer from the daemon."""
+
+    def __init__(self, code: str, detail: str, http_status: int,
+                 extra: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(f"{code} (HTTP {http_status}): {detail}")
+        self.code = code
+        self.detail = detail
+        self.http_status = http_status
+        self.extra = extra or {}
+
+
+class ServeClient:
+    """Talk to one daemon; all calls are synchronous."""
+
+    def __init__(self, url: str, timeout: float = 120.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _call(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        data = None if body is None else json.dumps(body).encode()
+        req = urllib.request.Request(
+            f"{self.url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout or self.timeout) as resp:
+                payload = json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            # structured shed: the daemon answers errors with a JSON body
+            try:
+                payload = json.loads(exc.read().decode())
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                raise ServeRequestError(
+                    "E_INTERNAL", f"non-JSON error body (HTTP {exc.code})", exc.code
+                )
+            err = payload.get("error", {})
+            raise ServeRequestError(
+                err.get("code", "E_INTERNAL"),
+                err.get("detail", "unknown error"),
+                exc.code,
+                {k: v for k, v in err.items() if k not in ("code", "detail")},
+            )
+        return payload
+
+    # -- API -----------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        seed: int = 0,
+        deadline_s: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit and block for the answer (long-poll).
+
+        Returns the full ``ok`` payload (``result``, ``cached``,
+        ``attempts``, ``fingerprint``, ...); raises
+        :class:`ServeRequestError` on a structured rejection.
+        """
+        body: Dict[str, Any] = {"kind": kind, "params": params or {}, "seed": seed}
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        return self._call("POST", "/v1/submit", body, timeout=timeout)
+
+    def ping(self) -> Dict[str, Any]:
+        return self.submit("ping")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._call("GET", "/v1/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._call("GET", "/v1/metrics")["metrics"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call("GET", "/v1/stats")
+
+    def drain(self) -> Dict[str, Any]:
+        return self._call("POST", "/v1/drain")

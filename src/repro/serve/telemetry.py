@@ -1,0 +1,86 @@
+"""Server-side queueing telemetry, carried by the :mod:`repro.obs`
+metrics machinery so ``python -m repro compare`` can gate dumps.
+
+One :class:`ServerMetrics` instance lives for the daemon's lifetime.  It
+wraps a :class:`repro.obs.MetricsRegistry` (same schema, same exporter,
+same comparator) and namespaces everything under ``serve.``:
+
+counters
+    ``serve.requests.{submitted,ok,failed}``, the shed/reject family
+    ``serve.shed.{queue_full,oversized,deadline,quarantined,draining}``,
+    resilience counters ``serve.retry.{attempts,quarantined}`` and
+    ``serve.worker.crashes``, cache effectiveness
+    ``serve.cache.{hits,misses,disk_hits}``.
+gauges
+    ``serve.queue.depth``, ``serve.inflight``, ``serve.rounds``.
+histograms
+    ``serve.wait_s`` (admission → start of service), ``serve.service_s``
+    (inside the handler), ``serve.round.window`` and
+    ``serve.round.overloaded_slots`` (the Unbalanced-Send draw).
+
+``snapshot()`` is what ``GET /v1/metrics`` returns and what the CI smoke
+job uploads; it is a plain :meth:`MetricsRegistry.to_dict` dump, so the
+regression comparator consumes it unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ServerMetrics"]
+
+
+class ServerMetrics:
+    """Thread-safe façade over a registry (one lock; counters are cheap)."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self._lock = threading.Lock()
+
+    # counter/gauge/histogram helpers --------------------------------------
+    def inc(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self.registry.counter(f"serve.{name}").inc(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self.registry.gauge(f"serve.{name}").set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            self.registry.histogram(f"serve.{name}").observe(value)
+
+    # request lifecycle ----------------------------------------------------
+    def shed(self, code: str) -> None:
+        """Count a structured rejection under its error code."""
+        key = {
+            "E_QUEUE_FULL": "shed.queue_full",
+            "E_OVERSIZED": "shed.oversized",
+            "E_DEADLINE": "shed.deadline",
+            "E_QUARANTINED": "shed.quarantined",
+            "E_DRAINING": "shed.draining",
+            "E_CRASHED": "shed.crashed",
+            "E_BAD_REQUEST": "shed.bad_request",
+        }.get(code, "shed.other")
+        self.inc(key)
+
+    def round_scheduled(self, window: int, overloaded_slots: int, size: int) -> None:
+        self.inc("rounds.scheduled")
+        self.inc("rounds.requests", size)
+        self.observe("round.window", float(window))
+        self.observe("round.overloaded_slots", float(overloaded_slots))
+
+    def cache_delta(self, hits: int, misses: int, disk_hits: int) -> None:
+        if hits:
+            self.inc("cache.hits", hits)
+        if misses:
+            self.inc("cache.misses", misses)
+        if disk_hits:
+            self.inc("cache.disk_hits", disk_hits)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return self.registry.to_dict()

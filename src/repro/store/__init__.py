@@ -1,0 +1,40 @@
+"""Crash-safe persistent key/value store backing the sweep memo cache.
+
+``repro.store`` generalizes the per-process memo cache of
+:mod:`repro.sweep.cache` to a disk-backed LRU shared across processes and
+daemon restarts: atomic temp-file + rename writes, checksum-verified
+entries where corruption reads as a miss, and git-SHA-tagged invalidation
+via the :mod:`repro.obs` manifest machinery.  See ``docs/serving.md``.
+"""
+
+from repro.store.disk import (
+    STORE_SCHEMA_VERSION,
+    DiskStore,
+    DiskStoreStats,
+    default_store_path,
+    default_store_tag,
+    summarize_store,
+    wipe_store,
+)
+from repro.store.persistent import (
+    active_store,
+    configure_persistent_cache,
+    disable_persistent_cache,
+    maybe_enable_from_env,
+    persistent_cache_scope,
+)
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "DiskStore",
+    "DiskStoreStats",
+    "active_store",
+    "configure_persistent_cache",
+    "default_store_path",
+    "default_store_tag",
+    "disable_persistent_cache",
+    "maybe_enable_from_env",
+    "persistent_cache_scope",
+    "summarize_store",
+    "wipe_store",
+]

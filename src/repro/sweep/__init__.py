@@ -32,8 +32,15 @@ from repro.sweep.cache import (
     cached_offline_report,
     cached_offline_schedule,
     clear_cache,
+    persistent_store,
+    set_persistent_store,
 )
-from repro.sweep.runner import TrialExecutionError, resolve_jobs, run_sweep
+from repro.sweep.runner import (
+    TrialExecutionError,
+    parse_on_error,
+    resolve_jobs,
+    run_sweep,
+)
 from repro.sweep.spec import SweepSpec, TrialTask, grid_points
 from repro.sweep.telemetry import TELEMETRY_SCHEMA_VERSION, SweepResult, TrialRecord
 
@@ -44,6 +51,7 @@ __all__ = [
     "grid_points",
     "run_sweep",
     "resolve_jobs",
+    "parse_on_error",
     "TrialExecutionError",
     "SweepResult",
     "TrialRecord",
@@ -51,5 +59,7 @@ __all__ = [
     "cached_offline_report",
     "cache_stats",
     "clear_cache",
+    "persistent_store",
+    "set_persistent_store",
     "CacheStats",
 ]

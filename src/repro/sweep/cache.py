@@ -18,13 +18,22 @@ unaffected by cache state.  Each process keeps its own cache (workers
 forked after a warm-up inherit the parent's entries for free); hit/miss
 counters are exported per trial so :class:`~repro.sweep.telemetry.SweepResult`
 can aggregate a sweep-wide hit rate even across pool workers.
+
+An optional **persistent tier** (a :class:`repro.store.DiskStore` installed
+via :func:`set_persistent_store`, normally through
+``repro.store.persistent``) sits below the in-memory layers: a memory miss
+consults the disk store; a disk hit is promoted into memory and counted in
+``disk_hits``; every fresh computation is written through to disk.  Because
+cached values are pure functions of their keys *for a given tree* and the
+store invalidates on git-SHA change, the bit-identity guarantee extends
+across processes and daemon restarts.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any, Hashable, Optional
 
 from repro.core.costs import EXPONENTIAL, PenaltyFunction
 from repro.workloads.relations import HRelation
@@ -34,6 +43,8 @@ __all__ = [
     "cached_offline_report",
     "cache_stats",
     "clear_cache",
+    "set_persistent_store",
+    "persistent_store",
     "CacheStats",
 ]
 
@@ -45,15 +56,26 @@ _schedules: "OrderedDict[Hashable, Any]" = OrderedDict()
 _reports: "OrderedDict[Hashable, Any]" = OrderedDict()
 _hits = 0
 _misses = 0
+_disk_hits = 0
+
+#: the persistent tier, if any — duck-typed to ``repro.store.DiskStore``
+#: (``get(key) -> (hit, value)`` / ``put(key, value)``); disk keys are
+#: namespaced ``(layer,) + key`` so the two layers cannot collide
+_persistent: Optional[Any] = None
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Cumulative hit/miss counters of this process's cache."""
+    """Cumulative hit/miss counters of this process's cache.
+
+    ``hits`` counts every hit (memory or disk); ``disk_hits`` is the subset
+    answered by the persistent tier (0 when no store is installed).
+    """
 
     hits: int
     misses: int
     entries: int
+    disk_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -63,43 +85,77 @@ class CacheStats:
 
 def cache_stats() -> CacheStats:
     """Snapshot the counters (cheap; called around every sweep trial)."""
-    return CacheStats(hits=_hits, misses=_misses, entries=len(_schedules) + len(_reports))
+    return CacheStats(
+        hits=_hits,
+        misses=_misses,
+        entries=len(_schedules) + len(_reports),
+        disk_hits=_disk_hits,
+    )
 
 
 def clear_cache() -> None:
-    """Drop all entries and zero the counters (tests, memory pressure)."""
-    global _hits, _misses
+    """Drop all in-memory entries and zero the counters (tests, memory
+    pressure).  The persistent tier, if installed, is left untouched —
+    wipe it explicitly via ``DiskStore.clear()`` / ``repro cache clear``."""
+    global _hits, _misses, _disk_hits
     _schedules.clear()
     _reports.clear()
-    _hits = _misses = 0
+    _hits = _misses = _disk_hits = 0
 
 
-def _get(store: "OrderedDict[Hashable, Any]", key: Hashable):
-    global _hits, _misses
+def set_persistent_store(store: Optional[Any]) -> None:
+    """Install (or detach, with ``None``) the disk-backed tier."""
+    global _persistent
+    _persistent = store
+
+
+def persistent_store() -> Optional[Any]:
+    """The installed persistent tier, if any."""
+    return _persistent
+
+
+def _get(store: "OrderedDict[Hashable, Any]", layer: str, key: Hashable):
+    global _hits, _misses, _disk_hits
     if key in store:
         _hits += 1
         return True, store[key]
+    if _persistent is not None:
+        hit, value = _persistent.get((layer,) + tuple(key))
+        if hit:
+            _hits += 1
+            _disk_hits += 1
+            _put_memory(store, key, value)  # promote for the next lookup
+            return True, value
     _misses += 1
     return False, None
 
 
-def _put(store: "OrderedDict[Hashable, Any]", key: Hashable, value: Any) -> None:
+def _put_memory(store: "OrderedDict[Hashable, Any]", key: Hashable, value: Any) -> None:
     store[key] = value
     while len(store) > MAX_ENTRIES:
         store.popitem(last=False)
+
+
+def _put(
+    store: "OrderedDict[Hashable, Any]", layer: str, key: Hashable, value: Any
+) -> None:
+    _put_memory(store, key, value)
+    if _persistent is not None:
+        # write-through; a full/broken disk degrades silently to memory-only
+        _persistent.put((layer,) + tuple(key), value)
 
 
 def cached_offline_schedule(rel: HRelation, m: int):
     """``offline_optimal_schedule(rel, m)``, memoized on
     ``(rel.fingerprint(), m)``."""
     key = (rel.fingerprint(), int(m))
-    hit, value = _get(_schedules, key)
+    hit, value = _get(_schedules, "schedule", key)
     if hit:
         return value
     from repro.scheduling.offline import offline_optimal_schedule
 
     value = offline_optimal_schedule(rel, m)
-    _put(_schedules, key, value)
+    _put(_schedules, "schedule", key, value)
     return value
 
 
@@ -119,12 +175,12 @@ def cached_offline_report(
     (vectorized, cheap) re-pricing each.
     """
     key = (rel.fingerprint(), int(m), float(L), penalty.cache_key(), float(tau))
-    hit, value = _get(_reports, key)
+    hit, value = _get(_reports, "report", key)
     if hit:
         return value
     from repro.scheduling.analysis import evaluate_schedule
 
     sched = cached_offline_schedule(rel, m)
     value = evaluate_schedule(sched, m=m, L=L, penalty=penalty, tau=tau)
-    _put(_reports, key, value)
+    _put(_reports, "report", key, value)
     return value

@@ -17,7 +17,13 @@ across a :class:`concurrent.futures.ProcessPoolExecutor`:
   isolation), with the worker traceback attached — never an opaque
   ``BrokenProcessPool``;
 * **serial fallback** — ``jobs=1`` (the CI default) runs in-process with
-  no executor, same result object, same error surface.
+  no executor, same result object, same error surface;
+* **error policy** — ``on_error="raise"`` (the default, today's behavior)
+  aborts the sweep on the first failing trial; ``"skip"`` records the
+  failure in telemetry (``results[i] is None``, ``status="skipped"``) and
+  keeps going; ``"retry:N"`` re-attempts a failed trial up to ``N`` more
+  times before skipping it — one crashed trial no longer kills a
+  thousand-trial sweep.
 
 ``jobs=0`` / ``jobs=None`` auto-sizes to the machine's usable CPU count.
 """
@@ -28,6 +34,7 @@ import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -39,7 +46,7 @@ from repro.sweep.spec import SweepSpec, TrialTask
 from repro.sweep.telemetry import SweepResult, TrialRecord
 from repro.util.rng import describe_seed
 
-__all__ = ["run_sweep", "resolve_jobs", "TrialExecutionError"]
+__all__ = ["run_sweep", "resolve_jobs", "parse_on_error", "TrialExecutionError"]
 
 
 class TrialExecutionError(RuntimeError):
@@ -78,6 +85,29 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
     return jobs
+
+
+def parse_on_error(policy: str) -> Tuple[str, int]:
+    """Validate an error policy; returns ``(mode, retries)``.
+
+    ``"raise"`` → ``("raise", 0)``; ``"skip"`` → ``("skip", 0)``;
+    ``"retry:N"`` (N ≥ 1) → ``("retry", N)`` — N *additional* attempts
+    after the first failure, then the trial is skipped and recorded.
+    """
+    if policy == "raise":
+        return "raise", 0
+    if policy == "skip":
+        return "skip", 0
+    if isinstance(policy, str) and policy.startswith("retry:"):
+        try:
+            n = int(policy[len("retry:"):])
+        except ValueError:
+            n = 0
+        if n >= 1:
+            return "retry", n
+    raise ValueError(
+        f"on_error must be 'raise', 'skip' or 'retry:N' (N >= 1), got {policy!r}"
+    )
 
 
 def _describe_params(params: dict) -> str:
@@ -125,19 +155,47 @@ def _execute(task: TrialTask, collect_metrics: bool = False) -> Tuple[Any, float
     )
 
 
-def _error_payload(task: TrialTask, exc: BaseException) -> Tuple[str, str, str, str, str]:
+def _error_payload(
+    task: TrialTask, exc: BaseException
+) -> Tuple[str, str, str, str, str, int]:
     return (
         task.label,
         _describe_params(task.params),
         describe_seed(task.seed),
         repr(exc),
         traceback.format_exc(),
+        os.getpid(),
     )
 
 
+def _attempt(
+    task: TrialTask, collect_metrics: bool, mode: str, retries: int
+) -> Tuple[str, Any, int, Optional[BaseException]]:
+    """Execute one trial under the error policy.
+
+    Returns ``(status, payload, attempts, exc)``: ``("ok", exec_payload,
+    n, None)`` or ``("err", error_payload, n, exc)``.  Under ``"retry"``
+    the trial re-runs (same task, same derived seed — retries target
+    *environmental* failures; a deterministic raise fails every attempt)
+    up to ``retries`` more times before the error is returned.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return "ok", _execute(task, collect_metrics), attempts, None
+        except Exception as exc:  # noqa: BLE001 - captured as data
+            if mode == "retry" and attempts <= retries:
+                continue
+            return "err", _error_payload(task, exc), attempts, exc
+
+
 def _run_chunk(
-    tasks: Sequence[TrialTask], collect_metrics: bool = False
-) -> List[Tuple[str, Any]]:
+    tasks: Sequence[TrialTask],
+    collect_metrics: bool = False,
+    mode: str = "raise",
+    retries: int = 0,
+) -> List[Tuple[str, Any, int]]:
     """Worker entry point: execute a chunk, capturing failures as data so
     they cross the process boundary with full context."""
     # a fork-inherited tracer would record spans nobody can collect; the
@@ -146,18 +204,17 @@ def _run_chunk(
     from repro.obs.tracer import uninstall_tracer
 
     uninstall_tracer()
-    out: List[Tuple[str, Any]] = []
+    out: List[Tuple[str, Any, int]] = []
     for task in tasks:
-        try:
-            out.append(("ok", _execute(task, collect_metrics)))
-        except Exception as exc:  # noqa: BLE001 - re-raised in the parent
-            out.append(("err", _error_payload(task, exc)))
+        status, payload, attempts, _ = _attempt(task, collect_metrics, mode, retries)
+        out.append((status, payload, attempts))
+        if status == "err" and mode == "raise":
             break  # remaining tasks in the chunk would be discarded anyway
     return out
 
 
-def _raise_trial_error(payload: Tuple[str, str, str, str, str], cause=None):
-    label, params_desc, seed_desc, cause_repr, tb = payload
+def _raise_trial_error(payload: Sequence[Any], cause=None):
+    label, params_desc, seed_desc, cause_repr, tb = payload[:5]
     err = TrialExecutionError(label, params_desc, seed_desc, cause_repr, "" if cause else tb)
     raise err from cause
 
@@ -166,6 +223,7 @@ def run_sweep(
     spec: SweepSpec,
     jobs: Optional[int] = 1,
     chunksize: Optional[int] = None,
+    on_error: str = "raise",
 ) -> SweepResult:
     """Execute every trial of ``spec`` and return a :class:`SweepResult`.
 
@@ -173,8 +231,18 @@ def run_sweep(
     process pool; ``jobs in (0, None)`` auto-sizes to the CPU count.  The
     ``results`` list is in task order in every mode, and — because trial
     functions are pure and seeded per-task — identical in every mode.
+
+    ``on_error`` is ``"raise"`` (abort the sweep with
+    :class:`TrialExecutionError` on the first failure — today's behavior),
+    ``"skip"`` (record the failure, ``results[i] is None``, keep going), or
+    ``"retry:N"`` (re-attempt up to ``N`` more times, then skip).  Skips
+    and retries are visible in :meth:`SweepResult.telemetry`.  Under
+    ``"skip"``/``"retry"`` even a hard worker-process death
+    (``BrokenProcessPool``) only skips the affected chunks, never the
+    sweep.
     """
     jobs = resolve_jobs(jobs)
+    mode, retries = parse_on_error(on_error)
     tasks = spec.tasks()
     t0 = time.perf_counter()
     results: List[Any] = []
@@ -182,7 +250,7 @@ def run_sweep(
     tracer = active_tracer()
     mreg = active_metrics()
 
-    def _append(task: TrialTask, payload) -> None:
+    def _append(task: TrialTask, payload, attempts: int = 1) -> None:
         value, wall, pid, hits, misses, delta = payload
         results.append(value)
         records.append(
@@ -194,12 +262,32 @@ def run_sweep(
                 worker=pid,
                 cache_hits=hits,
                 cache_misses=misses,
+                attempts=attempts,
             )
         )
         # per-trial dumps merge in task order in every mode, so gauges and
         # float sums resolve identically at any job count
         if delta is not None and mreg is not None:
             mreg.merge(delta)
+
+    def _append_skipped(task: TrialTask, payload, attempts: int) -> None:
+        cause_repr = payload[3]
+        pid = payload[5] if len(payload) > 5 else -1
+        results.append(None)
+        records.append(
+            TrialRecord(
+                index=task.index,
+                point=task.point,
+                trial=task.trial,
+                wall_time=0.0,
+                worker=pid,
+                cache_hits=0,
+                cache_misses=0,
+                attempts=attempts,
+                status="skipped",
+                error=cause_repr,
+            )
+        )
 
     sweep_span = (
         tracer.begin(
@@ -213,29 +301,55 @@ def run_sweep(
         collect = mreg is not None
         if jobs == 1 or len(tasks) == 1:
             for task in tasks:
-                try:
-                    if tracer is not None:
-                        with tracer.span(
-                            f"trial {task.label}", cat="trial", track="sweep",
-                            point=task.point, trial=task.trial,
-                        ):
-                            payload = _execute(task, collect)
-                    else:
-                        payload = _execute(task, collect)
-                    _append(task, payload)
-                except Exception as exc:  # noqa: BLE001 - wrapped with context
-                    _raise_trial_error(_error_payload(task, exc), cause=exc)
+                if tracer is not None:
+                    with tracer.span(
+                        f"trial {task.label}", cat="trial", track="sweep",
+                        point=task.point, trial=task.trial,
+                    ):
+                        status, payload, attempts, exc = _attempt(
+                            task, collect, mode, retries
+                        )
+                else:
+                    status, payload, attempts, exc = _attempt(
+                        task, collect, mode, retries
+                    )
+                if status == "err":
+                    if mode == "raise":
+                        _raise_trial_error(payload, cause=exc)
+                    _append_skipped(task, payload, attempts)
+                else:
+                    _append(task, payload, attempts)
         else:
             if chunksize is None:
                 chunksize = max(1, -(-len(tasks) // (jobs * 4)))
             chunks = [tasks[i : i + chunksize] for i in range(0, len(tasks), chunksize)]
             with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-                futures = [pool.submit(_run_chunk, chunk, collect) for chunk in chunks]
+                futures = [
+                    pool.submit(_run_chunk, chunk, collect, mode, retries)
+                    for chunk in chunks
+                ]
                 for chunk, future in zip(chunks, futures):
-                    for task, (status, payload) in zip(chunk, future.result()):
+                    try:
+                        chunk_out = future.result()
+                    except BrokenProcessPool as exc:
+                        if mode == "raise":
+                            raise
+                        # the worker died hard mid-chunk: every trial of the
+                        # chunk is unaccounted for — skip them all and keep
+                        # collecting the other futures (already-submitted
+                        # chunks on the broken pool fail the same way)
+                        for task in chunk:
+                            _append_skipped(
+                                task, _error_payload(task, exc), 1
+                            )
+                        continue
+                    for task, (status, payload, attempts) in zip(chunk, chunk_out):
                         if status == "err":
-                            _raise_trial_error(payload)
-                        _append(task, payload)
+                            if mode == "raise":
+                                _raise_trial_error(payload)
+                            _append_skipped(task, payload, attempts)
+                        else:
+                            _append(task, payload, attempts)
             if tracer is not None:
                 _synthesize_pool_trial_spans(tracer, sweep_span, tasks, records)
     finally:

@@ -19,8 +19,10 @@ __all__ = ["TrialRecord", "SweepResult", "TELEMETRY_SCHEMA_VERSION"]
 
 #: Telemetry/JSON schema: 1 = the original columnar export; 2 adds
 #: ``schema_version`` itself plus the sweep's root ``seed`` (satellite of
-#: the observability PR), making exported records self-describing.
-TELEMETRY_SCHEMA_VERSION = 2
+#: the observability PR), making exported records self-describing; 3 adds
+#: the error-policy columns (``status``/``attempts``/``error`` per trial,
+#: the ``errors`` summary block) introduced with ``on_error=``.
+TELEMETRY_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -31,9 +33,12 @@ class TrialRecord:
     point: str
     trial: int
     wall_time: float  # seconds inside the trial fn
-    worker: int  # executing process id
+    worker: int  # executing process id (-1: died before reporting one)
     cache_hits: int  # memo-cache hits during this trial
     cache_misses: int
+    attempts: int = 1  # executions under on_error="retry:N" (1 = first try)
+    status: str = "ok"  # "ok" | "skipped" (failed under skip/retry policy)
+    error: str = ""  # repr of the final failure when skipped
 
 
 @dataclass
@@ -97,6 +102,22 @@ class SweepResult:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def skipped(self) -> int:
+        """Trials that failed under ``on_error="skip"``/``"retry:N"``
+        (their ``results`` entry is ``None``)."""
+        return sum(1 for r in self.records if r.status != "ok")
+
+    @property
+    def retried(self) -> int:
+        """Trials that needed more than one attempt (successful or not)."""
+        return sum(1 for r in self.records if r.attempts > 1)
+
+    @property
+    def retries(self) -> int:
+        """Total extra attempts across all trials."""
+        return sum(r.attempts - 1 for r in self.records)
+
     def results_by_point(self) -> Dict[str, List[Any]]:
         """Trial outputs grouped by grid point, trial order within each."""
         out: Dict[str, List[Any]] = {k: [] for k in self.point_keys}
@@ -127,6 +148,11 @@ class SweepResult:
                 "misses": self.cache_misses,
                 "hit_rate": self.cache_hit_rate,
             },
+            "errors": {
+                "skipped": self.skipped,
+                "retried": self.retried,
+                "retries": self.retries,
+            },
         }
 
     def to_dict(self, include_trials: bool = True) -> Dict[str, Any]:
@@ -141,6 +167,9 @@ class SweepResult:
                 "worker": [r.worker for r in self.records],
                 "cache_hits": [r.cache_hits for r in self.records],
                 "cache_misses": [r.cache_misses for r in self.records],
+                "status": [r.status for r in self.records],
+                "attempts": [r.attempts for r in self.records],
+                "error": [r.error for r in self.records],
             }
             out["results"] = self.results
         return out

@@ -222,6 +222,83 @@ class TestRunAborted:
         assert issubclass(RunAborted, ProgramError)
 
 
+class TestDeadline:
+    """Absolute ``deadline=`` on ``Machine.run`` — the serve daemon's
+    per-request deadline path."""
+
+    def test_expired_deadline_aborts_before_superstep_0(self):
+        """Regression: plain-function programs execute their bodies at
+        construction time, so an already-expired deadline must abort
+        *before* program construction — zero supersteps, zero user code."""
+        import time
+
+        ran = []
+
+        def prog(ctx):  # plain function: body runs eagerly when built
+            ran.append(ctx.pid)
+
+        mach = make_machine(p=2, m=2)
+        with pytest.raises(RunAborted) as excinfo:
+            mach.run(prog, deadline=time.monotonic() - 1.0)
+        err = excinfo.value
+        assert err.reason == "deadline"
+        assert err.superstep == 0
+        assert err.partial.records == []
+        assert ran == []  # no superstep body ever executed
+
+    def test_deadline_aborts_mid_run(self):
+        import time
+
+        def forever(ctx):
+            while True:
+                yield
+
+        mach = make_machine(p=2, m=2)
+        with pytest.raises(RunAborted) as excinfo:
+            mach.run(forever, deadline=time.monotonic() + 0.05)
+        assert excinfo.value.reason == "deadline"
+        assert excinfo.value.partial.records is not None
+
+    def test_earlier_constraint_names_the_reason(self):
+        import time
+
+        def forever(ctx):
+            while True:
+                yield
+
+        mach = make_machine(p=2, m=2)
+        # deadline far away, max_time close: the abort is a max_time abort
+        with pytest.raises(RunAborted) as excinfo:
+            mach.run(forever, max_time=0.05, deadline=time.monotonic() + 60)
+        assert excinfo.value.reason == "max_time"
+        # and the other way around
+        with pytest.raises(RunAborted) as excinfo:
+            mach.run(forever, max_time=60.0, deadline=time.monotonic() + 0.05)
+        assert excinfo.value.reason == "deadline"
+
+    def test_route_propagates_deadline(self):
+        import time
+
+        rel = uniform_random_relation(8, 400, seed=2)
+        mach = make_machine(p=8, m=4)
+        with pytest.raises(RunAborted) as excinfo:
+            route(mach, rel, seed=0, deadline=time.monotonic() - 1.0)
+        assert excinfo.value.reason == "deadline"
+
+    def test_no_deadline_is_bit_identical(self):
+        """Passing a generous deadline must not perturb the result."""
+        import time
+
+        rel = uniform_random_relation(8, 400, seed=2)
+        plain, _ = route(make_machine(p=8, m=4), rel, seed=0)
+        timed, _ = route(
+            make_machine(p=8, m=4), rel, seed=0,
+            deadline=time.monotonic() + 600,
+        )
+        assert plain.time == timed.time
+        assert len(plain.records) == len(timed.records)
+
+
 class TestAuditor:
     def test_clean_run_passes(self):
         mach = make_machine(p=8, m=4)

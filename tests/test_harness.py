@@ -54,3 +54,56 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "UNSTABLE" in out  # beta*g = 3 sinks the BSP(g)
         assert out.count("stable") >= 3
+
+
+class TestCacheCommand:
+    def test_path(self, capsys, tmp_path):
+        d = str(tmp_path / "store")
+        assert main(["cache", "path", "--dir", d]) == 0
+        assert capsys.readouterr().out.strip() == d
+
+    def test_stats_and_clear_round_trip(self, capsys, tmp_path):
+        import json
+
+        from repro.store.disk import DiskStore
+
+        d = str(tmp_path / "store")
+        DiskStore(d, tag="t").put(("k",), 1)
+        assert main(["cache", "stats", "--dir", d, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["disk"]["entries"] == 1
+        assert main(["cache", "clear", "--dir", d]) == 0
+        assert "removed 1 entry" in capsys.readouterr().out
+        assert main(["cache", "stats", "--dir", d, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["disk"]["entries"] == 0
+
+    def test_stats_table_marks_stale_tag(self, capsys, tmp_path):
+        from repro.store.disk import DiskStore
+
+        d = str(tmp_path / "store")
+        DiskStore(d, tag="v0+dead").put(("k",), 1)
+        assert main(["cache", "stats", "--dir", d]) == 0
+        assert "STALE" in capsys.readouterr().out
+
+
+class TestOnErrorFlag:
+    def test_invalid_policy_is_usage_error(self, capsys):
+        assert main(["experiment", "leader_gap", "--on-error", "bogus"]) == 2
+        assert "on-error" in capsys.readouterr().err
+
+    def test_non_sweep_experiment_rejects_flag(self, capsys):
+        assert (
+            main(["experiment", "table1_measured", "--on-error", "skip"]) == 2
+        )
+        assert "does not run a sweep" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.budget_m == 4096 and args.max_queue == 64
+        assert args.port == 8377 and args.workers == 4
+
+    def test_rejects_bad_budget(self, capsys):
+        assert main(["serve", "--budget-m", "0", "--no-store"]) == 2
+        assert "budget_m" in capsys.readouterr().err

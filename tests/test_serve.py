@@ -1,0 +1,273 @@
+"""End-to-end tests of the ``repro serve`` daemon: wire protocol,
+admission control, and the determinism contract (served ≡ direct library
+call — cold cache, warm cache, and after a seeded crash retry)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    AdmissionConfig,
+    AdmissionController,
+    ChaosPlan,
+    ExecutorConfig,
+    ReproServer,
+    Request,
+    ServeClient,
+    ServeError,
+    ServeRequestError,
+    estimate_cost,
+    request_fingerprint,
+)
+from repro.serve.executor import run_scenario
+from repro.store.disk import DiskStore
+
+SCENARIO = {"p": 16, "n": 1500, "m": 64, "L": 2.0, "workload": "zipf"}
+
+
+def make_server(tmp_path=None, **kw):
+    store = None
+    if tmp_path is not None:
+        store = DiskStore(str(tmp_path / "store"), tag="test")
+    kw.setdefault("executor", ExecutorConfig(workers=2, backoff_base=0.01))
+    server = ReproServer(port=0, store=store, **kw)
+    server.start()
+    return server, ServeClient(server.url, timeout=60)
+
+
+@pytest.fixture
+def served(tmp_path):
+    server, client = make_server(tmp_path)
+    yield server, client
+    server.drain(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# protocol units
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_fingerprint_is_order_independent(self):
+        a = request_fingerprint("scenario", {"p": 4, "n": 100}, 7)
+        b = request_fingerprint("scenario", {"n": 100, "p": 4}, 7)
+        assert a == b
+
+    def test_fingerprint_covers_seed_and_kind(self):
+        base = request_fingerprint("scenario", {"p": 4}, 7)
+        assert request_fingerprint("scenario", {"p": 4}, 8) != base
+        assert request_fingerprint("sweep", {"p": 4}, 7) != base
+
+    def test_estimate_cost_shapes(self):
+        assert estimate_cost("ping", {}) == 1
+        assert estimate_cost("scenario", {"n": 500}) == 500
+        assert estimate_cost("sweep", {"n": 100, "trials": 5}) == 500
+
+    def test_serve_error_rejects_unknown_code(self):
+        with pytest.raises(ValueError):
+            ServeError("E_MADE_UP", "nope")
+
+
+# ----------------------------------------------------------------------
+# admission units
+# ----------------------------------------------------------------------
+def _req(seq, cost, deadline=None):
+    return Request(
+        seq=seq, kind="scenario", params={}, seed=0,
+        fingerprint=f"f{seq}", cost=cost, deadline=deadline, submitted=0.0,
+    )
+
+
+class TestAdmission:
+    def test_oversized_shed(self):
+        ctl = AdmissionController(AdmissionConfig(budget_m=10, oversized_factor=2))
+        with pytest.raises(ServeError) as exc:
+            ctl.submit(_req(1, cost=21))
+        assert exc.value.code == "E_OVERSIZED"
+        assert ctl.submit(_req(2, cost=20)) == 1  # at the ceiling: admitted
+
+    def test_queue_full_shed(self):
+        ctl = AdmissionController(AdmissionConfig(max_queue=2))
+        ctl.submit(_req(1, 5))
+        ctl.submit(_req(2, 5))
+        with pytest.raises(ServeError) as exc:
+            ctl.submit(_req(3, 5))
+        assert exc.value.code == "E_QUEUE_FULL"
+
+    def test_draining_shed(self):
+        ctl = AdmissionController(AdmissionConfig())
+        ctl.start_drain()
+        with pytest.raises(ServeError) as exc:
+            ctl.submit(_req(1, 5))
+        assert exc.value.code == "E_DRAINING"
+
+    def test_round_draw_is_seeded(self):
+        def one_round(seed):
+            ctl = AdmissionController(AdmissionConfig(budget_m=8, seed=seed))
+            for i in range(6):
+                ctl.submit(_req(i, cost=10 + i))
+            rnd = ctl.next_round(timeout=1)
+            return rnd.window, [r.seq for _, r in rnd.order]
+
+        assert one_round(3) == one_round(3)  # same seed, same schedule
+
+    def test_window_and_oversized_rule(self):
+        ctl = AdmissionController(
+            AdmissionConfig(budget_m=10, epsilon=0.0, oversized_factor=100)
+        )
+        ctl.submit(_req(1, cost=95))  # bigger than the window -> slot 0
+        ctl.submit(_req(2, cost=5))
+        rnd = ctl.next_round(timeout=1)
+        assert rnd.window == 10  # ceil((95 + 5) / 10)
+        slot_of = {r.seq: s for s, r in rnd.order}
+        assert slot_of[1] == 0  # the paper's oversized-sender rule
+
+    def test_next_round_timeout_returns_none(self):
+        ctl = AdmissionController(AdmissionConfig())
+        assert ctl.next_round(timeout=0.01) is None
+
+
+# ----------------------------------------------------------------------
+# the determinism contract (acceptance criterion)
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_cold_warm_and_retry_match_direct_call(self, tmp_path):
+        """One daemon-served scenario must equal the direct library call
+        bit-for-bit: cold cache, warm cache, and recomputed after a seeded
+        worker crash on the first attempt."""
+        direct = run_scenario(SCENARIO, 42)
+
+        server, client = make_server(tmp_path)
+        try:
+            cold = client.submit("scenario", SCENARIO, seed=42)
+            warm = client.submit("scenario", SCENARIO, seed=42)
+        finally:
+            server.drain(timeout=30)
+        assert cold["cached"] is False and warm["cached"] is True
+        assert cold["result"] == direct
+        assert warm["result"] == direct
+
+        # a fresh daemon whose chaos plan kills every first attempt: the
+        # retry must recompute the identical answer (no cache: no store)
+        server2, client2 = make_server(None, chaos=ChaosPlan(kill_first=1))
+        try:
+            retried = client2.submit("scenario", SCENARIO, seed=42)
+        finally:
+            server2.drain(timeout=30)
+        assert retried["attempts"] == 2
+        assert retried["result"] == direct
+
+    def test_warm_cache_survives_daemon_restart(self, tmp_path):
+        server, client = make_server(tmp_path)
+        try:
+            cold = client.submit("scenario", SCENARIO, seed=9)
+        finally:
+            server.drain(timeout=30)
+        server2, client2 = make_server(tmp_path)
+        try:
+            warm = client2.submit("scenario", SCENARIO, seed=9)
+        finally:
+            server2.drain(timeout=30)
+        assert warm["cached"] is True
+        assert warm["result"] == cold["result"]
+
+    def test_experiment_kind_matches_library(self, served):
+        server, client = served
+        from repro.experiments import run_experiment
+
+        params = {"name": "unbalanced_send", "p": 16, "m": 8, "n": 800,
+                  "trials": 2}
+        got = client.submit("experiment", params, seed=5)
+        want = run_experiment(
+            "unbalanced_send", p=16, m=8, n=800, trials=2, seed=5
+        )
+        assert got["result"]["result"] == want
+
+
+# ----------------------------------------------------------------------
+# structured sheds over the wire
+# ----------------------------------------------------------------------
+class TestSheds:
+    def test_expired_deadline_is_504(self, served):
+        server, client = served
+        with pytest.raises(ServeRequestError) as exc:
+            client.submit("scenario", SCENARIO, seed=1, deadline_s=-0.5)
+        assert exc.value.code == "E_DEADLINE"
+        assert exc.value.http_status == 504
+
+    def test_oversized_is_413(self, served):
+        server, client = served
+        with pytest.raises(ServeRequestError) as exc:
+            client.submit("sweep", {"name": "unbalanced_send", "n": 10**9,
+                                    "trials": 1000})
+        assert exc.value.code == "E_OVERSIZED"
+        assert exc.value.http_status == 413
+
+    def test_bad_kind_and_bad_experiment_are_400(self, served):
+        server, client = served
+        with pytest.raises(ServeRequestError) as exc:
+            client.submit("frobnicate", {})
+        assert exc.value.code == "E_BAD_REQUEST"
+        with pytest.raises(ServeRequestError) as exc:
+            client.submit("experiment", {"name": "no_such_experiment"})
+        assert exc.value.code == "E_BAD_REQUEST"
+        assert "choices" in exc.value.extra
+
+    def test_unknown_path_is_400(self, served):
+        server, client = served
+        with pytest.raises(ServeRequestError) as exc:
+            client._call("GET", "/v1/nope")
+        assert exc.value.code == "E_BAD_REQUEST"
+
+
+# ----------------------------------------------------------------------
+# daemon surface
+# ----------------------------------------------------------------------
+class TestDaemon:
+    def test_ping_health_metrics_stats(self, served):
+        server, client = served
+        assert client.ping()["result"]["kind"] == "ping"
+        health = client.healthz()
+        assert health["status"] == "serving"
+        client.submit("scenario", SCENARIO, seed=2)
+        metrics = client.metrics()
+        assert metrics["counters"]["serve.requests.ok"] >= 2
+        stats = client.stats()
+        assert stats["admission"]["budget_m"] == 4096
+        assert stats["store"]["writes"] >= 1
+
+    def test_drain_endpoint_sheds_then_stops(self, tmp_path):
+        server, client = make_server(tmp_path)
+        client.drain()
+        deadline = time.monotonic() + 10
+        while not server._drained.is_set() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert server._drained.is_set()
+        with pytest.raises(Exception):  # listener is gone
+            client.healthz()
+
+    def test_concurrent_submissions_all_answered(self, served):
+        """Every accepted request gets exactly one answer even when many
+        clients race; sheds are structured, never hangs."""
+        server, client = served
+        outcomes = []
+        lock = threading.Lock()
+
+        def go(i):
+            try:
+                r = client.submit("scenario", dict(SCENARIO, p=8, n=400),
+                                  seed=100 + i)
+                with lock:
+                    outcomes.append(("ok", r["result"]["model_time"]))
+            except ServeRequestError as e:
+                with lock:
+                    outcomes.append((e.code, None))
+
+        threads = [threading.Thread(target=go, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert len(outcomes) == 8
+        assert all(code == "ok" for code, _ in outcomes)

@@ -16,6 +16,7 @@ from repro.sweep import (
     cached_offline_schedule,
     clear_cache,
     grid_points,
+    parse_on_error,
     resolve_jobs,
     run_sweep,
 )
@@ -46,6 +47,27 @@ def _record_seed(seed):
 def _boom(x, seed):
     if x == 3:
         raise ValueError("injected trial failure")
+    return x
+
+
+#: per-process attempt counter for the flaky trial fn (retries happen in
+#: the same process, so this is visible across attempts)
+_FLAKY_CALLS = {}
+
+
+def _flaky(x, seed):
+    n = _FLAKY_CALLS.get(x, 0) + 1
+    _FLAKY_CALLS[x] = n
+    if n == 1:
+        raise ValueError("flaky first attempt")
+    return x
+
+
+def _die(x, seed):
+    if x == 3:
+        import os
+
+        os._exit(13)  # hard worker death, no traceback, no cleanup
     return x
 
 
@@ -214,6 +236,75 @@ class TestWorkerCrash:
         with pytest.raises(TrialExecutionError) as excinfo:
             run_sweep(spec, jobs=1)
         assert "<HRelation n=500>" in excinfo.value.params_desc
+
+
+class TestOnErrorPolicy:
+    GRID = [{"x": i} for i in range(6)]
+
+    def test_parse_on_error(self):
+        assert parse_on_error("raise") == ("raise", 0)
+        assert parse_on_error("skip") == ("skip", 0)
+        assert parse_on_error("retry:3") == ("retry", 3)
+        for bad in ("retry", "retry:0", "retry:x", "ignore"):
+            with pytest.raises(ValueError):
+                parse_on_error(bad)
+
+    def test_raise_is_the_default(self):
+        spec = SweepSpec(name="crashy", fn=_boom, grid=self.GRID)
+        with pytest.raises(TrialExecutionError):
+            run_sweep(spec, jobs=1)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_skip_records_and_continues(self, jobs):
+        spec = SweepSpec(name="crashy", fn=_boom, grid=self.GRID)
+        res = run_sweep(spec, jobs=jobs, chunksize=2, on_error="skip")
+        assert res.results[3] is None  # the failed cell
+        assert [r for i, r in enumerate(res.results) if i != 3] == [0, 1, 2, 4, 5]
+        assert res.skipped == 1
+        skipped = [t for t in res.records if t.status == "skipped"]
+        assert len(skipped) == 1
+        assert "injected trial failure" in skipped[0].error
+
+    def test_retry_recovers_flaky_trials(self):
+        _FLAKY_CALLS.clear()
+        spec = SweepSpec(name="flaky", fn=_flaky, grid=self.GRID)
+        res = run_sweep(spec, jobs=1, on_error="retry:2")
+        assert res.results == [0, 1, 2, 3, 4, 5]  # every trial recovered
+        assert res.skipped == 0
+        assert res.retried == 6 and res.retries == 6  # one retry each
+
+    def test_retry_exhaustion_skips(self):
+        spec = SweepSpec(name="crashy", fn=_boom, grid=self.GRID)
+        res = run_sweep(spec, jobs=1, on_error="retry:2")
+        assert res.results[3] is None
+        assert res.skipped == 1
+        (rec,) = [t for t in res.records if t.status == "skipped"]
+        assert rec.attempts == 3  # 1 try + 2 retries
+
+    def test_telemetry_carries_error_columns(self):
+        spec = SweepSpec(name="crashy", fn=_boom, grid=self.GRID)
+        res = run_sweep(spec, jobs=1, on_error="skip")
+        tel = res.telemetry()
+        assert tel["errors"] == {"skipped": 1, "retried": 0, "retries": 0}
+        cols = res.to_dict()["trial_columns"]
+        assert cols["status"].count("skipped") == 1
+        assert any("injected trial failure" in e for e in cols["error"])
+
+    def test_hard_worker_death_skips_affected_chunks(self):
+        """A worker dying without a traceback (BrokenProcessPool) must not
+        kill the sweep under skip — affected chunks are recorded skipped."""
+        spec = SweepSpec(name="deadly", fn=_die, grid=self.GRID)
+        res = run_sweep(spec, jobs=2, chunksize=1, on_error="skip")
+        assert len(res.results) == 6
+        assert res.skipped >= 1  # at least the dead chunk
+        # surviving results are correct where present
+        for i, r in enumerate(res.results):
+            assert r is None or r == i
+
+    def test_invalid_policy_rejected_up_front(self):
+        spec = SweepSpec(name="s", fn=_double, grid=[{"x": 1}])
+        with pytest.raises(ValueError, match="on_error"):
+            run_sweep(spec, jobs=1, on_error="explode")
 
 
 class TestMemoCache:
