@@ -1,0 +1,85 @@
+"""Plot the scaling curve collected by ``run_cluster_scaling.sh``.
+
+Reads a ``scaling.jsonl`` (one JSON record per (backend, workers) point,
+as appended by ``run_scaling_step.py``) and draws speedup vs. workers
+per backend — a PNG when matplotlib is importable, an ASCII chart on
+stdout otherwise, so the harness works on bare CI boxes too::
+
+    python benchmarks/plot_scaling.py scaling.jsonl [scaling.png]
+
+Speedup is measured against the slowest single-worker point in the file
+(the serial reference when present).
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    points = [json.loads(line) for line in open(path) if line.strip()]
+    if not points:
+        raise SystemExit(f"{path} is empty — run run_cluster_scaling.sh first")
+    base = max(
+        (p for p in points if p["workers"] <= 1),
+        key=lambda p: p["elapsed_s"],
+        default=min(points, key=lambda p: p["workers"]),
+    )
+    curves = defaultdict(list)
+    for p in points:
+        curves[p["backend"]].append(
+            (p["workers"], base["elapsed_s"] / p["elapsed_s"])
+        )
+    return {b: sorted(c) for b, c in curves.items()}, base
+
+
+def plot_png(curves, out_path):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(6, 4))
+    top = 1
+    for backend, pts in sorted(curves.items()):
+        xs, ys = zip(*pts)
+        ax.plot(xs, ys, marker="o", label=backend)
+        top = max(top, max(xs))
+    ideal = range(1, top + 1)
+    ax.plot(ideal, ideal, linestyle="--", color="gray", label="ideal")
+    ax.set_xlabel("workers")
+    ax.set_ylabel("speedup vs serial")
+    ax.set_title("sweep scaling: unbalanced_send")
+    ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=120)
+    print(f"wrote {out_path}")
+
+
+def plot_ascii(curves, width=40):
+    peak = max(s for pts in curves.values() for _, s in pts)
+    for backend, pts in sorted(curves.items()):
+        print(f"\n{backend}:")
+        for workers, speedup in pts:
+            bar = "#" * max(1, round(width * speedup / peak))
+            print(f"  {workers:>3} workers |{bar:<{width}}| {speedup:.2f}x")
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "scaling.jsonl"
+    out_path = sys.argv[2] if len(sys.argv) > 2 else "scaling.png"
+    curves, base = load(path)
+    print(
+        f"reference: backend={base['backend']} workers={base['workers']} "
+        f"elapsed={base['elapsed_s']:.3f}s on {base['host']} ({base['cores']} cores)"
+    )
+    try:
+        plot_png(curves, out_path)
+    except ImportError:
+        plot_ascii(curves)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Cluster scaling orchestrator: sweep the same workload across worker
+# counts on every backend the box (or cluster) supports, then plot.
+#
+#   PYTHONPATH=src bash benchmarks/run_cluster_scaling.sh [out.jsonl]
+#
+# Environment:
+#   SCALING_JOBS    local worker ladder            (default "1 2 4 8")
+#   SCALING_RANKS   mpirun rank ladder             (default "2 3 5 9";
+#                   R ranks = R-1 workers + 1 coordinator)
+#   SCALING_TRIALS  per-workload trials            (default 25)
+#   MPIRUN          launcher command               (default "mpirun")
+#
+# Points land as JSON lines in OUT; every line carries a checksum of the
+# scientific output, so `sort -u` over the checksum column is the
+# cross-backend / cross-host bit-identity check.  plot_scaling.py turns
+# the file into a speedup curve (PNG with matplotlib, ASCII without).
+set -euo pipefail
+
+OUT="${1:-scaling.jsonl}"
+JOBS="${SCALING_JOBS:-1 2 4 8}"
+RANKS="${SCALING_RANKS:-2 3 5 9}"
+TRIALS="${SCALING_TRIALS:-25}"
+MPIRUN="${MPIRUN:-mpirun}"
+STEP="$(dirname "$0")/run_scaling_step.py"
+
+rm -f "$OUT"
+
+echo "== serial reference =="
+python "$STEP" --backend serial --jobs 1 --trials "$TRIALS" --out "$OUT"
+
+echo "== pool-steal ladder: $JOBS =="
+for j in $JOBS; do
+    python "$STEP" --backend pool-steal --jobs "$j" --trials "$TRIALS" --out "$OUT"
+done
+
+if python -c 'import mpi4py' 2>/dev/null && command -v "$MPIRUN" >/dev/null; then
+    echo "== mpi ladder: $RANKS ranks =="
+    for r in $RANKS; do
+        "$MPIRUN" -n "$r" python "$STEP" --backend mpi --trials "$TRIALS" --out "$OUT"
+    done
+else
+    echo "== mpi skipped (mpi4py or $MPIRUN not available) =="
+fi
+
+echo "== identity check =="
+SUMS="$(python -c "
+import json, sys
+print(len({json.loads(l)['checksum'] for l in open('$OUT')}))
+")"
+if [ "$SUMS" != "1" ]; then
+    echo "FAIL: $SUMS distinct output checksums in $OUT (expected 1)" >&2
+    exit 1
+fi
+echo "all points bit-identical"
+
+python "$(dirname "$0")/plot_scaling.py" "$OUT"

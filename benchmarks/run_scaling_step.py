@@ -1,0 +1,90 @@
+"""One point of the cluster scaling curve: run the scaling workload on
+one backend at one worker/rank count and append a JSON line.
+
+This is the unit ``run_cluster_scaling.sh`` loops over — separated out
+because the ``mpi`` backend's worker count is decided by the *launcher*
+(``mpirun -n R``), not by a function argument, so each rank count needs
+its own process tree::
+
+    # local backends
+    PYTHONPATH=src python benchmarks/run_scaling_step.py \
+        --backend pool-steal --jobs 4 --out scaling.jsonl
+
+    # mpi (R-1 worker ranks serve; rank 0 coordinates and appends)
+    PYTHONPATH=src mpirun -n 5 python benchmarks/run_scaling_step.py \
+        --backend mpi --out scaling.jsonl
+
+Under MPI only rank 0 gets a result (the others receive ``None`` from
+the experiment and exit 0 silently), so exactly one line is appended per
+invocation regardless of rank count.  Each line carries the backend,
+job/rank count, cores, hostname, elapsed wall-clock, and a checksum of
+the output dict so cross-host runs can still verify bit-identity.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import socket
+import time
+
+from repro.experiments import unbalanced_send_vs_optimal
+from repro.sweep import available_backends, resolve_jobs
+
+P, M, N, EPS = 1024, 128, 60_000, 0.2
+
+
+def _checksum(out: dict) -> str:
+    blob = json.dumps(out, sort_keys=True, default=float).encode()
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--backend", default="pool-steal",
+                    help="sweep backend (serial, pool-steal, mpi)")
+    ap.add_argument("--jobs", type=int, default=0,
+                    help="worker count for local backends (0 = all cores; "
+                    "ignored under mpi, where mpirun -n decides)")
+    ap.add_argument("--trials", type=int,
+                    default=int(os.environ.get("BENCH_SWEEP_TRIALS", "25")))
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--out", default="scaling.jsonl",
+                    help="JSONL file to append this point to")
+    args = ap.parse_args()
+
+    if args.backend not in available_backends():
+        ap.error(f"backend {args.backend!r} unavailable here; "
+                 f"available: {available_backends()}")
+
+    t0 = time.perf_counter()
+    out = unbalanced_send_vs_optimal(
+        p=P, m=M, n=N, epsilon=EPS, trials=args.trials, seed=args.seed,
+        jobs=args.jobs, backend=args.backend, include_telemetry=True,
+    )
+    if out is None:
+        return 0  # mpi worker rank: it served trials; rank 0 reports
+    elapsed = time.perf_counter() - t0
+    telemetry = out.pop("sweep_telemetry")
+    record = {
+        "backend": args.backend,
+        "jobs": args.jobs,
+        "workers": telemetry["backend"]["pool_workers"],
+        "trials": telemetry["trials"],
+        "seed": args.seed,
+        "cores": resolve_jobs(0),
+        "host": socket.gethostname(),
+        "elapsed_s": elapsed,
+        "trials_per_s": telemetry["trials"] / elapsed,
+        "utilization": telemetry["utilization"],
+        "steals": telemetry["backend"]["steals"],
+        "checksum": _checksum(out),
+    }
+    with open(args.out, "a") as fh:
+        fh.write(json.dumps(record, default=float) + "\n")
+    print(json.dumps(record, default=float))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,6 +74,27 @@ def _effective_jobs(args: argparse.Namespace, default: int = 1) -> int:
     return resolve_jobs(jobs)
 
 
+def _effective_backend(args: argparse.Namespace):
+    """Resolve a subcommand's sweep backend: its own ``--backend``, else
+    the top-level ``--backend``, else ``None`` (auto: serial for jobs=1,
+    work-stealing pool otherwise).  Unknown names and unavailable
+    backends are reported on stderr; callers treat ``False`` as "invalid,
+    exit 2"."""
+    backend = getattr(args, "backend", None)
+    if backend is None:
+        backend = getattr(args, "root_backend", None)
+    if backend is None or backend == "auto":
+        return None
+    from repro.sweep import BackendUnavailableError, get_backend
+
+    try:
+        get_backend(backend)  # fail fast: unknown or unavailable
+    except (ValueError, BackendUnavailableError) as exc:
+        print(f"error: --backend: {exc}", file=sys.stderr)
+        return False
+    return backend
+
+
 def _positive_int(text: str) -> int:
     """argparse type: a strictly positive integer."""
     try:
@@ -89,7 +110,8 @@ def _positive_int(text: str) -> int:
 
 #: namespace entries that are CLI plumbing, not run parameters
 _MANIFEST_SKIP = frozenset(
-    {"func", "command", "trace", "metrics", "json", "root_seed", "root_jobs"}
+    {"func", "command", "trace", "metrics", "json", "root_seed", "root_jobs",
+     "root_backend"}
 )
 
 
@@ -434,8 +456,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 0
     seed = _effective_seed(args)
     jobs = _effective_jobs(args)
-    print(f"# seed = {seed}  jobs = {jobs}")
+    backend = _effective_backend(args)
+    if backend is False:
+        return 2
+    print(f"# seed = {seed}  jobs = {jobs}"
+          + (f"  backend = {backend}" if backend else ""))
     kwargs = {"seed": seed, "jobs": jobs}
+    if backend is not None:
+        kwargs["backend"] = backend
     if args.on_error != "raise":
         import inspect
 
@@ -461,6 +489,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     except UnknownExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if result is None:
+        # mpi worker rank: it served the sweep; rank 0 prints the record
+        return 0
     text = json.dumps(result, indent=2, default=float)
     if args.json:
         with open(args.json, "w") as fh:
@@ -617,15 +648,21 @@ def _chaos_sweep(args: argparse.Namespace, seed: int) -> int:
         ),
         seed=seed,
     )
+    backend = _effective_backend(args)
+    if backend is False:
+        return 2
     print(f"# chaos sweep {args.workload} (p={p}, n={n}, m={m}, L={L:g})")
-    print(f"# seed = {seed}  jobs = {jobs}  trials = {args.trials}")
+    print(f"# seed = {seed}  jobs = {jobs}  trials = {args.trials}"
+          + (f"  backend = {backend}" if backend else ""))
     try:
-        sweep = run_sweep(spec, jobs=jobs, on_error=args.on_error)
+        sweep = run_sweep(spec, jobs=jobs, on_error=args.on_error, backend=backend)
     except ValueError as exc:
         if "on_error" not in str(exc):
             raise
         print(f"error: --on-error: {exc}", file=sys.stderr)
         return 2
+    if sweep is None:
+        return 0  # mpi worker rank: rank 0 prints the report
     summary = summarize_chaos_sweep(sweep.results)
     if not summary["trials"]:
         print(f"all {summary['skipped']} trial(s) skipped "
@@ -754,6 +791,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             max_attempts=args.max_attempts,
             quarantine_after=args.quarantine_after,
+            engine=args.engine,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -765,11 +803,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor=executor,
         store=store,
         chaos=chaos,
+        uds=args.uds,
     )
     server.install_signal_handlers()
     server.start()
-    host, port = server.address
-    print(f"repro serve listening on http://{host}:{port}", flush=True)
+    print(f"repro serve listening on {server.url} (engine={args.engine})",
+          flush=True)
     if store is not None:
         print(f"persistent store: {store.root}", flush=True)
     if not chaos.is_null:
@@ -807,6 +846,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="default worker-process count for sweep-capable subcommands "
         "(a subcommand's own --jobs wins; 0 = all cores; output is "
         "bit-identical at any job count)",
+    )
+    parser.add_argument(
+        "--backend",
+        dest="root_backend",
+        default=None,
+        metavar="NAME",
+        help="default sweep execution backend for sweep-capable subcommands "
+        "(a subcommand's own --backend wins): serial, pool-steal, or mpi "
+        "(needs the repro[mpi] extra and an mpirun launch); default auto — "
+        "serial for jobs=1, the work-stealing pool otherwise",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -897,6 +946,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the experiment's trial fan-out "
         "(0 = all cores; default serial)",
     )
+    _add_backend_arg(ex)
     ex.add_argument("--json", default=None, help="write the record to this file")
     _add_on_error_arg(ex)
     _add_obs_args(ex)
@@ -951,6 +1001,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes for --trials > 1 (0 = all cores)",
     )
+    _add_backend_arg(ch)
     ch.add_argument(
         "--audit",
         action="store_true",
@@ -1017,6 +1068,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=4, help="executor worker threads"
     )
     sv.add_argument(
+        "--engine", choices=("thread", "process"), default="thread",
+        help="compute engine: 'thread' runs handlers on the executor "
+        "threads (default); 'process' ships scenario/experiment/sweep "
+        "compute to a persistent process pool for real parallelism",
+    )
+    sv.add_argument(
+        "--uds", default=None, metavar="PATH",
+        help="listen on a Unix-domain socket at PATH instead of TCP "
+        "(host/port are ignored; clients use ServeClient(uds=PATH))",
+    )
+    sv.add_argument(
         "--max-attempts", type=int, default=3,
         help="tries per submission before E_CRASHED",
     )
@@ -1062,6 +1124,19 @@ def build_parser() -> argparse.ArgumentParser:
     cp.set_defaults(func=_cmd_compare)
 
     return parser
+
+
+def _add_backend_arg(sp: argparse.ArgumentParser) -> None:
+    """Attach the sweep backend selector (see repro.sweep.backends)."""
+    sp.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="sweep execution backend: serial, pool-steal, or mpi (needs "
+        "the repro[mpi] extra and an mpirun launch); default auto — serial "
+        "for jobs=1, the work-stealing pool otherwise.  Output is "
+        "bit-identical on every backend",
+    )
 
 
 def _add_on_error_arg(sp: argparse.ArgumentParser) -> None:

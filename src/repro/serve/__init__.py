@@ -12,6 +12,7 @@ from repro.serve.admission import AdmissionConfig, AdmissionController, Round
 from repro.serve.chaos import ChaosPlan, WorkerKilled, plan_from_env
 from repro.serve.client import ServeClient, ServeRequestError
 from repro.serve.daemon import ReproServer
+from repro.serve.engine import ENGINES, ProcessEngine, RemoteCrash
 from repro.serve.executor import ExecutorConfig, RequestExecutor, run_scenario
 from repro.serve.protocol import (
     ERROR_CODES,
@@ -31,10 +32,13 @@ __all__ = [
     "AdmissionConfig",
     "AdmissionController",
     "ChaosPlan",
+    "ENGINES",
     "ERROR_CODES",
     "ExecutorConfig",
     "KINDS",
     "PROTOCOL_VERSION",
+    "ProcessEngine",
+    "RemoteCrash",
     "ReproServer",
     "Request",
     "RequestExecutor",

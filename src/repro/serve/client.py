@@ -4,11 +4,17 @@ Structured rejections surface as :class:`ServeRequestError` carrying the
 server's error code and detail — client code branches on ``err.code``
 (``E_QUEUE_FULL`` → back off and retry, ``E_DEADLINE`` → give up,
 ``E_QUARANTINED`` → fix the request) instead of parsing strings.
+
+Transport is TCP by default (``ServeClient("http://host:port")``) or a
+Unix-domain socket (``ServeClient(uds="/path.sock")``) when the daemon
+was started with ``--uds`` — same protocol, same payloads, no open port.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
 import urllib.error
 import urllib.request
 from typing import Any, Dict, Optional
@@ -28,11 +34,39 @@ class ServeRequestError(Exception):
         self.extra = extra or {}
 
 
-class ServeClient:
-    """Talk to one daemon; all calls are synchronous."""
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` connection over an AF_UNIX socket path."""
 
-    def __init__(self, url: str, timeout: float = 120.0) -> None:
-        self.url = url.rstrip("/")
+    def __init__(self, path: str, timeout: Optional[float] = None) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._uds_path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._uds_path)
+        self.sock = sock
+
+
+class ServeClient:
+    """Talk to one daemon; all calls are synchronous.
+
+    Exactly one transport: pass ``url`` for TCP or ``uds`` for a
+    Unix-domain socket path.
+    """
+
+    def __init__(
+        self,
+        url: Optional[str] = None,
+        timeout: float = 120.0,
+        *,
+        uds: Optional[str] = None,
+    ) -> None:
+        if (url is None) == (uds is None):
+            raise ValueError("pass exactly one of url= or uds=")
+        self.url = None if url is None else url.rstrip("/")
+        self.uds = uds
         self.timeout = timeout
 
     # -- transport -----------------------------------------------------
@@ -40,6 +74,8 @@ class ServeClient:
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None,
         timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
+        if self.uds is not None:
+            return self._call_uds(method, path, body, timeout)
         data = None if body is None else json.dumps(body).encode()
         req = urllib.request.Request(
             f"{self.url}{path}",
@@ -66,6 +102,40 @@ class ServeClient:
                 {k: v for k, v in err.items() if k not in ("code", "detail")},
             )
         return payload
+
+    def _call_uds(
+        self, method: str, path: str, body: Optional[Dict[str, Any]],
+        timeout: Optional[float],
+    ) -> Dict[str, Any]:
+        data = None if body is None else json.dumps(body).encode()
+        conn = _UnixHTTPConnection(self.uds, timeout=timeout or self.timeout)
+        try:
+            conn.request(
+                method, path, body=data,
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            raw = resp.read()
+            try:
+                payload = json.loads(raw.decode())
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                raise ServeRequestError(
+                    "E_INTERNAL",
+                    f"non-JSON {'error ' if resp.status >= 400 else ''}body "
+                    f"(HTTP {resp.status})",
+                    resp.status,
+                )
+            if resp.status >= 400:
+                err = payload.get("error", {})
+                raise ServeRequestError(
+                    err.get("code", "E_INTERNAL"),
+                    err.get("detail", "unknown error"),
+                    resp.status,
+                    {k: v for k, v in err.items() if k not in ("code", "detail")},
+                )
+            return payload
+        finally:
+            conn.close()
 
     # -- API -----------------------------------------------------------
     def submit(

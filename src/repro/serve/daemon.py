@@ -30,6 +30,9 @@ writing responses, and only then shuts the listener down.
 from __future__ import annotations
 
 import json
+import os
+import socket
+import socketserver
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -60,6 +63,36 @@ MAX_BODY_BYTES = 1 << 20
 SUBMIT_WAIT_CAP_S = 600.0
 
 
+class _UnixThreadingHTTPServer(ThreadingHTTPServer):
+    """HTTP over a Unix-domain socket (``repro serve --uds /path.sock``).
+
+    ``HTTPServer.server_bind`` unpacks ``host, port = server_address[:2]``
+    — an AF_UNIX address is a single path string, so that base method is
+    bypassed in favor of the raw ``TCPServer`` bind plus fixed
+    name/port attributes (only used for the ``Server:`` header and
+    logging, neither meaningful on a socket file).
+    """
+
+    address_family = socket.AF_UNIX
+
+    def server_bind(self) -> None:
+        path = self.server_address
+        if isinstance(path, (str, os.PathLike)) and os.path.exists(path):
+            os.unlink(path)  # stale socket from a previous daemon
+        socketserver.TCPServer.server_bind(self)
+        self.server_name = "localhost"
+        self.server_port = 0
+
+    def server_close(self) -> None:
+        super().server_close()
+        path = self.server_address
+        if isinstance(path, (str, os.PathLike)):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
 class ReproServer:
     """Owns the HTTP listener and the serve stack; one per process."""
 
@@ -73,6 +106,7 @@ class ReproServer:
         store: Optional[DiskStore] = None,
         chaos: Optional[ChaosPlan] = None,
         request_timeout: float = 30.0,
+        uds: Optional[str] = None,
     ) -> None:
         self.metrics = ServerMetrics()
         self.admission = AdmissionController(admission or AdmissionConfig())
@@ -93,16 +127,26 @@ class ReproServer:
         self._started = False
 
         handler = _make_handler(self, request_timeout)
-        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.uds = uds
+        if uds is not None:
+            self.httpd: ThreadingHTTPServer = _UnixThreadingHTTPServer(
+                uds, handler
+            )
+        else:
+            self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
 
     # -- lifecycle -----------------------------------------------------
     @property
     def address(self) -> Tuple[str, int]:
+        if self.uds is not None:
+            return (self.uds, 0)
         return self.httpd.server_address[:2]
 
     @property
     def url(self) -> str:
+        if self.uds is not None:
+            return f"http+unix://{self.uds}"
         host, port = self.address
         return f"http://{host}:{port}"
 
@@ -283,6 +327,7 @@ class ReproServer:
                 "workers": ecfg.workers,
                 "max_attempts": ecfg.max_attempts,
                 "quarantine_after": ecfg.quarantine_after,
+                "engine": ecfg.engine,
             },
             "quarantined": self.executor.quarantined(),
         }

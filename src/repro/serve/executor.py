@@ -20,7 +20,12 @@ Layout:
   accumulated ``quarantine_after`` failures it is quarantined and all
   future submissions shed with ``E_QUARANTINED`` (poison-request
   containment).  :class:`repro.serve.chaos.ChaosPlan` injects the seeded
-  worker kills these paths are tested against.
+  worker kills these paths are tested against;
+* with ``ExecutorConfig(engine="process")`` the worker threads keep all
+  of the above bookkeeping but ship the pure compute to the persistent
+  process pool of :mod:`repro.serve.engine` — CPU-bound kinds then run
+  truly in parallel, and answers stay bit-identical to the in-thread
+  path (the handlers are pure in ``(params, seed)``).
 
 Determinism contract: handlers derive every RNG from the *request's*
 seed via :func:`repro.util.rng.derive_seed_sequence`, never from server
@@ -55,10 +60,17 @@ class ExecutorConfig:
     backoff_base: float = 0.05  # seconds; attempt k sleeps base * 2^(k-1)
     backoff_cap: float = 2.0  # ceiling on a single backoff sleep
     quarantine_after: int = 3  # cumulative failures before E_QUARANTINED
+    engine: str = "thread"  # compute engine: in-thread or process pool
 
     def __post_init__(self) -> None:
+        from repro.serve.engine import ENGINES
+
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.quarantine_after < 1:
@@ -213,6 +225,11 @@ class RequestExecutor:
         self.config = config or ExecutorConfig()
         self.store = store
         self.chaos = chaos or ChaosPlan()
+        self._engine = None
+        if self.config.engine == "process":
+            from repro.serve.engine import ProcessEngine
+
+            self._engine = ProcessEngine(self.config.workers)
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._in_flight = 0
@@ -244,6 +261,8 @@ class RequestExecutor:
             self._work_ready.notify_all()
             self._idle.notify_all()
         self.admission.start_drain()
+        if self._engine is not None:
+            self._engine.shutdown()
 
     def note_admitted(self) -> None:
         """Called by the server right after ``admission.submit`` succeeds.
@@ -448,9 +467,15 @@ class RequestExecutor:
         if req.kind == "ping":
             return {"kind": "ping", "seed": req.seed}
         if req.kind == "scenario":
+            if self._engine is not None:
+                return self._engine.call(
+                    req.kind, req.params, req.seed, req.deadline
+                )
             return run_scenario(req.params, req.seed, deadline=req.deadline)
         if req.kind in ("experiment", "sweep"):
             self._check_deadline(req)  # experiments can't abort mid-run
+            if self._engine is not None:
+                return self._engine.call(req.kind, req.params, req.seed, None)
             return _run_experiment_kind(req.kind, req.params, req.seed)
         raise ServeError(
             "E_BAD_REQUEST", f"unknown kind {req.kind!r}; choose one of {KINDS}"

@@ -4,10 +4,12 @@ seeding, schedule-result caching, and sweep telemetry.
 The layer between a single priced superstep and a paper-scale experiment:
 Monte Carlo trials and parameter grids expand into pure, independently
 seeded :class:`TrialTask` units (:mod:`repro.sweep.spec`), execute on a
-chunked process pool or a bit-identical serial fallback
-(:mod:`repro.sweep.runner`), share expensive offline-optimal intermediates
-through a keyed memo cache (:mod:`repro.sweep.cache`), and come back as a
-columnar :class:`SweepResult` with wall-time / utilization / cache
+pluggable backend (:mod:`repro.sweep.backends`) — a work-stealing
+persistent worker pool (``pool-steal``), a bit-identical in-process
+fallback (``serial``), or optional multi-host MPI ranks (``mpi``) —
+share expensive offline-optimal intermediates through a keyed memo cache
+(:mod:`repro.sweep.cache`), and come back as a columnar
+:class:`SweepResult` with wall-time / utilization / steal / cache
 telemetry (:mod:`repro.sweep.telemetry`).  See ``docs/performance.md``.
 
 Quickstart::
@@ -26,6 +28,15 @@ Quickstart::
     print(result.telemetry())
 """
 
+from repro.sweep.backends import (
+    BACKENDS,
+    BackendUnavailableError,
+    ExecutorBackend,
+    available_backends,
+    get_backend,
+    mpi_available,
+    resolve_backend,
+)
 from repro.sweep.cache import (
     CacheStats,
     cache_stats,
@@ -45,7 +56,14 @@ from repro.sweep.spec import SweepSpec, TrialTask, grid_points
 from repro.sweep.telemetry import TELEMETRY_SCHEMA_VERSION, SweepResult, TrialRecord
 
 __all__ = [
+    "BACKENDS",
+    "BackendUnavailableError",
+    "ExecutorBackend",
     "TELEMETRY_SCHEMA_VERSION",
+    "available_backends",
+    "get_backend",
+    "mpi_available",
+    "resolve_backend",
     "SweepSpec",
     "TrialTask",
     "grid_points",

@@ -1,0 +1,184 @@
+"""Executor-backend contract and the shared per-trial execution core.
+
+A backend is the piece of :func:`repro.sweep.run_sweep` that decides
+*where* trials execute — in-process, on a work-stealing process pool, or
+across MPI ranks — while the runner keeps everything that makes results
+deterministic: task expansion, per-trial seed derivation, task-order
+reassembly, and task-order metrics merging.  The contract:
+
+* ``run(tasks, ...)`` returns ``(outcomes, stats)`` where ``outcomes[i]``
+  is the :class:`TaskOutcome` of ``tasks[i]`` — **task order, always**,
+  no matter which worker finished first;
+* an outcome is ``("ok", exec_payload, attempts)`` or
+  ``("err", error_payload, attempts)``; under ``mode="raise"`` a backend
+  may stop early and leave trailing ``None`` entries (the runner raises
+  at the first ``"err"`` before ever reading them);
+* trial functions are pure and carry their own derived seed, so a
+  backend can execute them anywhere, in any order, and the assembled
+  result is bit-identical to the serial run;
+* ``stats`` is the backend's execution report (worker task counts,
+  steals, queue depths, worker deaths) — it feeds the telemetry
+  ``backend`` block and tracer span args, **never** the active
+  :class:`~repro.obs.metrics.MetricsRegistry`, whose dumps must stay
+  bit-identical across backends and job counts.
+
+The per-trial execution core (:func:`execute_task`, :func:`attempt_task`,
+:func:`error_payload_for`) lives here so every backend — and every
+worker process — runs trials through exactly the same code path:
+metrics-scratch capture, memo-cache counter deltas, and the
+retry-until-skip error policy.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.sweep.spec import TrialTask
+from repro.util.rng import describe_seed
+
+__all__ = [
+    "TaskOutcome",
+    "BackendStats",
+    "ExecutorBackend",
+    "BackendUnavailableError",
+    "execute_task",
+    "attempt_task",
+    "error_payload_for",
+    "describe_params",
+    "new_stats",
+]
+
+#: ("ok", exec_payload, attempts) | ("err", error_payload, attempts)
+TaskOutcome = Tuple[str, Any, int]
+
+#: the backend execution report consumed by SweepResult.telemetry()
+BackendStats = Dict[str, Any]
+
+
+class BackendUnavailableError(RuntimeError):
+    """A registered backend cannot run in this environment (e.g. the
+    ``mpi`` backend without ``mpi4py`` installed); the message says how
+    to enable it."""
+
+
+@runtime_checkable
+class ExecutorBackend(Protocol):
+    """What :func:`repro.sweep.run_sweep` needs from an execution engine."""
+
+    #: registry key, echoed in telemetry ("serial", "pool-steal", "mpi")
+    name: str
+
+    def run(
+        self,
+        tasks: Sequence[TrialTask],
+        *,
+        jobs: int,
+        collect_metrics: bool,
+        mode: str,
+        retries: int,
+        tracer: Any = None,
+    ) -> Optional[Tuple[List[Optional[TaskOutcome]], BackendStats]]:
+        """Execute every task and return ``(outcomes, stats)`` in task
+        order.  A distributed backend may return ``None`` on non-root
+        ranks (the rank served tasks and has no result to report)."""
+        ...
+
+
+def new_stats(name: str, workers: int) -> BackendStats:
+    """A fresh stats block with the keys every backend reports."""
+    return {
+        "name": name,
+        "workers": workers,
+        "tasks_per_worker": {},  # pid -> executed task count
+        "steals": 0,
+        "max_queue_depth": 0,
+        "worker_deaths": 0,
+    }
+
+
+def describe_params(params: dict) -> str:
+    """Compact, log-safe parameter description (arrays and relations are
+    named by type/size instead of dumped)."""
+    parts = []
+    for k, v in params.items():
+        r = repr(v)
+        if len(r) > 60:
+            size = getattr(v, "n", None) or getattr(v, "size", None)
+            r = f"<{type(v).__name__}{f' n={size}' if size is not None else ''}>"
+        parts.append(f"{k}={r}")
+    return ", ".join(parts)
+
+
+def execute_task(
+    task: TrialTask, collect_metrics: bool = False
+) -> Tuple[Any, float, int, int, int, Optional[dict]]:
+    """Run one trial, timing it and snapshotting the memo-cache counters.
+
+    With ``collect_metrics`` the trial runs against a *fresh scratch*
+    :class:`~repro.obs.metrics.MetricsRegistry` whose dump becomes the
+    sixth payload element; the runner merges those dumps in task order
+    on every backend, so ``jobs=N`` aggregates are **bit-identical** to
+    ``jobs=1`` — same per-trial dumps, same merge order, no dependence
+    on float-summation association across workers.
+    """
+    from repro.sweep import cache
+
+    before = cache.cache_stats()
+    if collect_metrics:
+        from repro.obs.metrics import MetricsRegistry, metrics_scope
+
+        scratch = MetricsRegistry()
+        t0 = time.perf_counter()
+        with metrics_scope(scratch):
+            value = task.run()
+        wall = time.perf_counter() - t0
+        delta: Optional[dict] = scratch.to_dict()
+    else:
+        t0 = time.perf_counter()
+        value = task.run()
+        wall = time.perf_counter() - t0
+        delta = None
+    after = cache.cache_stats()
+    return (
+        value, wall, os.getpid(),
+        after.hits - before.hits, after.misses - before.misses, delta,
+    )
+
+
+def error_payload_for(
+    task: TrialTask, exc: BaseException, with_traceback: bool = True
+) -> Tuple[str, str, str, str, str, int]:
+    """Everything the parent needs to raise or record a failed trial."""
+    return (
+        task.label,
+        describe_params(task.params),
+        describe_seed(task.seed),
+        repr(exc),
+        traceback.format_exc() if with_traceback else "",
+        os.getpid(),
+    )
+
+
+def attempt_task(
+    task: TrialTask, collect_metrics: bool, mode: str, retries: int
+) -> Tuple[str, Any, int, Optional[BaseException]]:
+    """Execute one trial under the error policy.
+
+    Returns ``(status, payload, attempts, exc)``: ``("ok", exec_payload,
+    n, None)`` or ``("err", error_payload, n, exc)``.  Under ``"retry"``
+    the trial re-runs (same task, same derived seed — retries target
+    *environmental* failures; a deterministic raise fails every attempt)
+    up to ``retries`` more times before the error is returned.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return "ok", execute_task(task, collect_metrics), attempts, None
+        except Exception as exc:  # noqa: BLE001 - captured as data
+            if mode == "retry" and attempts <= retries:
+                continue
+            return "err", error_payload_for(task, exc), attempts, exc

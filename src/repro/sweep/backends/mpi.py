@@ -1,0 +1,141 @@
+"""The optional ``mpi`` backend: sweep trials fanned across MPI ranks via
+:class:`mpi4py.futures.MPICommExecutor`.
+
+This is the multi-host path — ``pool-steal`` scales to one node's cores;
+``mpi`` scales to however many ranks ``mpirun``/``srun`` launched.  The
+usage contract mirrors ``mpi4py.futures``:
+
+* run under MPI: ``mpirun -n <ranks> python -m repro experiment ...
+  --backend mpi`` (or any script calling ``run_sweep(..., backend="mpi")``);
+* rank 0 is the coordinator: it submits every task and is the only rank
+  that gets a :class:`~repro.sweep.telemetry.SweepResult`;
+* every other rank serves tasks inside ``MPICommExecutor`` and receives
+  ``None`` from :func:`~repro.sweep.run_sweep` — callers must treat a
+  ``None`` sweep result as "worker rank, nothing to report" and exit
+  cleanly (the bundled experiments and the CLI already do);
+* ``mpi4py`` is an optional extra (``pip install repro[mpi]``); without
+  it the backend raises :class:`BackendUnavailableError` with that hint.
+
+Initialization follows the mpi4py embedding idiom: ``mpi4py.rc(
+initialize=False, finalize=False)`` *before* importing ``MPI``, then an
+explicit ``Init``/``Finalize`` guard — so importing this module (or
+repro itself) never hijacks MPI state from a host application.
+
+Determinism: identical to every other backend.  Tasks are submitted and
+collected in task order, each carries its own derived seed, and the
+worker-side execution path is the shared :func:`attempt_task` core — so
+an ``mpi`` sweep is bit-identical to the serial run.
+
+With one rank (``mpirun -n 1`` or plain ``python``) ``MPICommExecutor``
+degrades to running tasks on rank 0's own spawned helper, so the backend
+still works — it just cannot be faster than serial.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sweep.backends.base import (
+    BackendStats,
+    BackendUnavailableError,
+    TaskOutcome,
+    attempt_task,
+    new_stats,
+)
+from repro.sweep.spec import TrialTask
+
+__all__ = ["MpiBackend", "mpi_available"]
+
+_INSTALL_HINT = (
+    "the 'mpi' sweep backend needs mpi4py (pip install 'repro[mpi]') and an "
+    "MPI runtime; launch with e.g. 'mpirun -n 4 python -m repro ... --backend mpi'"
+)
+
+
+def mpi_available() -> bool:
+    """True when ``mpi4py`` is importable (the extra is installed)."""
+    try:
+        import mpi4py  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _load_mpi():
+    """Import mpi4py with the explicit-lifecycle idiom, initializing MPI
+    only if nothing else has."""
+    try:
+        import mpi4py
+
+        mpi4py.rc(initialize=False, finalize=False)
+        from mpi4py import MPI
+        from mpi4py.futures import MPICommExecutor
+    except ImportError as exc:
+        raise BackendUnavailableError(_INSTALL_HINT) from exc
+    if not MPI.Is_initialized():  # pragma: no cover - needs an MPI runtime
+        MPI.Init()
+    return MPI, MPICommExecutor
+
+
+def _mpi_task(
+    task: TrialTask, collect_metrics: bool, mode: str, retries: int
+) -> TaskOutcome:
+    """Worker-rank entry point: same execution core as every backend."""
+    from repro.obs.tracer import uninstall_tracer
+
+    uninstall_tracer()
+    status, payload, attempts, _ = attempt_task(task, collect_metrics, mode, retries)
+    return status, payload, attempts
+
+
+class MpiBackend:
+    """Fan tasks across MPI ranks; rank 0 coordinates and reports."""
+
+    name = "mpi"
+
+    def run(
+        self,
+        tasks: Sequence[TrialTask],
+        *,
+        jobs: int,
+        collect_metrics: bool,
+        mode: str,
+        retries: int,
+        tracer: Any = None,
+    ) -> Optional[Tuple[List[Optional[TaskOutcome]], BackendStats]]:
+        MPI, MPICommExecutor = _load_mpi()
+        comm = MPI.COMM_WORLD
+        n = len(tasks)
+        with MPICommExecutor(comm, root=0) as executor:
+            if executor is None:
+                # worker rank: it served tasks inside the context manager
+                # and has no result of its own to report
+                return None
+            # rank 0 coordinates; the other ranks execute (with a single
+            # rank, MPICommExecutor falls back to a local helper)
+            stats = new_stats(self.name, workers=max(1, comm.Get_size() - 1))
+            outcomes: List[Optional[TaskOutcome]] = [None] * n
+            counts: Dict[int, int] = {}
+            futures = [
+                executor.submit(_mpi_task, task, collect_metrics, mode, retries)
+                for task in tasks
+            ]
+            for i, fut in enumerate(futures):
+                status, payload, attempts = fut.result()
+                pid = payload[2] if status == "ok" else payload[5]
+                counts[pid] = counts.get(pid, 0) + 1
+                outcomes[i] = (status, payload, attempts)
+                if status == "err" and mode == "raise":
+                    for rest in futures[i + 1:]:
+                        rest.cancel()
+                    break  # the runner raises here; trailing outcomes stay None
+            stats["tasks_per_worker"] = {
+                int(pid): c for pid, c in sorted(counts.items())
+            }
+            if counts:
+                fair = -(-n // stats["workers"])
+                stats["steals"] = int(
+                    sum(max(0, c - fair) for c in counts.values())
+                )
+            return outcomes, stats
+        return None  # pragma: no cover - unreachable

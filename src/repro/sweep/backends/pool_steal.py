@@ -1,0 +1,281 @@
+"""The ``pool-steal`` backend: a persistent worker pool self-scheduling
+off a central task queue — work-stealing with a single shared deque.
+
+Why this replaces the fixed-chunk :class:`ProcessPoolExecutor` runner:
+
+* **per-task dispatch** — each worker is handed the *next* pending task
+  the moment it finishes its last one, so a straggler trial delays only
+  itself; under fixed chunks one slow trial serialized its whole chunk
+  (and the chunk sizing itself guessed at a cost distribution it
+  couldn't see);
+* **per-task failure accounting** — a hard worker death (the
+  ``BrokenProcessPool`` case) loses exactly the one dispatched in-flight
+  task: the parent records that task as failed, spawns a replacement
+  worker, and the central queue redistributes everything else;
+* **warm start** — workers are long-lived and initialized once with the
+  sweep's memo-cache snapshot (offline schedules + priced reports), so
+  every trial's optimum lookup is a cache hit exactly as in the serial
+  run: ``fork`` workers inherit the parent's warm cache for free, and
+  ``spawn`` workers get the snapshot shipped and installed explicitly;
+* **batched result drain** — the parent blocks for one result then
+  drains everything else already queued, so result IPC amortizes like
+  chunking did without chunking's scheduling downside.
+
+Dispatch protocol: each worker owns a private task queue holding **at
+most one** outstanding index; results come back on one shared queue.
+The parent re-arms a worker the instant its ``done`` arrives.  Keeping
+in-flight state parent-side is what makes death attribution *exact and
+race-free*: a dying worker flushes nothing (``os._exit`` skips the
+multiprocessing feeder thread), yet the parent always knows precisely
+which index it held.  One-deep dispatch costs a queue round-trip per
+task (~tens of µs) — noise against trial functions that run for
+milliseconds, and the price of never losing more than one task.
+
+Determinism: workers ship each trial's payload (value, wall time, cache
+deltas, metrics scratch dump) back tagged with its task index; the
+parent assembles ``outcomes`` in task order, so downstream results and
+metrics merges are bit-identical to the serial backend no matter how
+dispatch interleaved.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sweep.backends.base import (
+    BackendStats,
+    TaskOutcome,
+    attempt_task,
+    describe_params,
+    new_stats,
+)
+from repro.sweep.spec import TrialTask
+from repro.util.rng import describe_seed
+
+__all__ = ["PoolStealBackend", "WorkerDied"]
+
+#: parent poll interval while waiting for results — the cadence of
+#: worker-liveness checks; results themselves arrive event-driven
+_POLL_S = 0.05
+
+
+class WorkerDied(RuntimeError):
+    """A pool worker exited without reporting a result (hard death)."""
+
+
+def _worker_main(
+    widx: int,
+    tasks: Sequence[TrialTask],
+    myq,
+    outq,
+    collect_metrics: bool,
+    mode: str,
+    retries: int,
+    cache_snapshot: Optional[dict],
+) -> None:
+    """Long-lived worker: execute dispatched indices until the sentinel."""
+    # a fork-inherited tracer would record spans nobody can collect; the
+    # parent synthesizes trial spans from telemetry instead.  (Metrics DO
+    # cross the boundary — execute_task ships each trial's scratch dump.)
+    from repro.obs.tracer import uninstall_tracer
+    from repro.sweep import cache
+
+    uninstall_tracer()
+    if cache_snapshot is not None:
+        # spawn-started worker: install the parent's warm memo cache and
+        # reattach the persistent tier if the environment asks for one
+        # (fork-started workers inherit both and ship no snapshot)
+        cache.install_entries(cache_snapshot)
+        from repro.store.persistent import maybe_enable_from_env
+
+        maybe_enable_from_env()
+    pid = os.getpid()
+    while True:
+        idx = myq.get()
+        if idx is None:
+            outq.put(("bye", widx, pid))
+            return
+        status, payload, attempts, _ = attempt_task(
+            tasks[idx], collect_metrics, mode, retries
+        )
+        outq.put(("done", widx, idx, status, payload, attempts, pid))
+
+
+class PoolStealBackend:
+    """Persistent self-scheduling worker pool with exact death accounting."""
+
+    name = "pool-steal"
+
+    def run(
+        self,
+        tasks: Sequence[TrialTask],
+        *,
+        jobs: int,
+        collect_metrics: bool,
+        mode: str,
+        retries: int,
+        tracer: Any = None,
+    ) -> Tuple[List[Optional[TaskOutcome]], BackendStats]:
+        n = len(tasks)
+        workers = max(1, min(jobs, n))
+        stats = new_stats(self.name, workers=workers)
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            ctx = multiprocessing.get_context()
+        snapshot = None
+        if ctx.get_start_method() != "fork":  # pragma: no cover - non-Linux
+            from repro.sweep import cache
+
+            snapshot = cache.snapshot_entries()
+
+        outq = ctx.Queue()
+        pending = deque(range(n))
+        procs: Dict[int, Any] = {}
+        queues: Dict[int, Any] = {}
+        in_flight: Dict[int, int] = {}  # widx -> dispatched task index
+        retired: set = set()
+        next_widx = 0
+
+        outcomes: List[Optional[TaskOutcome]] = [None] * n
+        done = 0
+        counts: Dict[int, int] = {}  # pid -> executed tasks
+        raise_exc: Optional[BaseException] = None
+        stop = False  # raise-mode early abort: first err halts dispatch
+
+        def dispatch(widx: int) -> None:
+            """Arm a worker with the next pending index (or nothing)."""
+            if pending and widx not in in_flight:
+                idx = pending.popleft()
+                in_flight[widx] = idx
+                queues[widx].put(idx)
+                stats["max_queue_depth"] = max(
+                    stats["max_queue_depth"], len(pending)
+                )
+
+        def spawn() -> None:
+            nonlocal next_widx
+            widx = next_widx
+            next_widx += 1
+            queues[widx] = ctx.Queue()
+            p = ctx.Process(
+                target=_worker_main,
+                args=(widx, tasks, queues[widx], outq, collect_metrics, mode,
+                      retries, snapshot),
+                name=f"repro-sweep-worker-{widx}",
+            )
+            p.start()
+            procs[widx] = p
+            dispatch(widx)
+
+        def record_death(widx: int, p) -> None:
+            """Attribute a hard worker death to its one in-flight task."""
+            nonlocal done, raise_exc
+            retired.add(widx)
+            stats["worker_deaths"] += 1
+            idx = in_flight.pop(widx, None)
+            exc = WorkerDied(
+                f"sweep worker {p.name} (pid {p.pid}) died with exit code "
+                f"{p.exitcode} while executing a task"
+            )
+            if idx is not None and outcomes[idx] is None:
+                task = tasks[idx]
+                payload = (
+                    task.label,
+                    describe_params(task.params),
+                    describe_seed(task.seed),
+                    repr(exc),
+                    "",
+                    p.pid or -1,
+                )
+                outcomes[idx] = ("err", payload, 1)
+                done += 1
+            if mode == "raise" and raise_exc is None:
+                raise_exc = exc
+
+        def handle(msg) -> None:
+            nonlocal done, stop
+            kind = msg[0]
+            if kind == "done":
+                _, widx, idx, status, payload, attempts, pid = msg
+                in_flight.pop(widx, None)
+                counts[pid] = counts.get(pid, 0) + 1
+                if outcomes[idx] is None:
+                    outcomes[idx] = (status, payload, attempts)
+                    done += 1
+                if status == "err" and mode == "raise":
+                    stop = True  # the runner raises; stop handing out work
+                    return
+                # re-arm immediately: this is the work-stealing step — the
+                # fastest worker keeps pulling whatever is left
+                dispatch(widx)
+            elif kind == "bye":
+                _, widx, _pid = msg
+                retired.add(widx)
+
+        try:
+            for _ in range(workers):
+                spawn()
+            while done < n and raise_exc is None and not stop:
+                try:
+                    msg = outq.get(timeout=_POLL_S)
+                except queue_mod.Empty:
+                    msg = None
+                if msg is not None:
+                    handle(msg)
+                    # batched drain: everything already queued, in one go
+                    while True:
+                        try:
+                            handle(outq.get_nowait())
+                        except queue_mod.Empty:
+                            break
+                    continue
+                # no result this tick — reap any workers that died hard
+                dead = [
+                    (w, p) for w, p in procs.items()
+                    if w not in retired and not p.is_alive()
+                ]
+                for w, p in dead:
+                    record_death(w, p)
+                # replace lost capacity; the central queue redistributes
+                for _ in dead:
+                    if pending and raise_exc is None:
+                        spawn()
+        finally:
+            # retire the pool: sentinels for the cooperative path, then a
+            # hard stop for anything still wedged
+            for w, p in procs.items():
+                if p.is_alive():
+                    try:
+                        queues[w].put(None)
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
+            for p in procs.values():
+                if p.is_alive():
+                    p.join(timeout=1.0)
+            for p in procs.values():
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=1.0)
+            outq.close()
+            for q in queues.values():
+                q.close()
+
+        if raise_exc is not None:
+            # the in-flight task's identity is already recorded as an err
+            # outcome — the runner raises TrialExecutionError at it.  A
+            # death with no attributable task raises directly.
+            if not any(o is not None and o[0] == "err" for o in outcomes):
+                raise raise_exc
+        stats["tasks_per_worker"] = {int(pid): c for pid, c in sorted(counts.items())}
+        # a "steal" is a task a worker picked up beyond the static even
+        # split across the pool — exactly the work a fixed-chunk schedule
+        # would have left queued behind a straggler (or an idle sibling)
+        if counts:
+            fair = -(-n // workers)
+            stats["steals"] = int(sum(max(0, c - fair) for c in counts.values()))
+        return outcomes, stats

@@ -1,0 +1,63 @@
+"""The in-process backend: the bit-identity reference every other
+backend is gated against.
+
+Runs tasks one after another in the calling process, wrapping each in a
+live tracer span when tracing is active (pool backends can't — their
+trials execute out of the parent tracer's reach, so the runner
+synthesizes spans from telemetry instead).  Under ``mode="raise"`` it
+stops at the first failing trial, leaving trailing outcomes ``None``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.sweep.backends.base import (
+    BackendStats,
+    TaskOutcome,
+    attempt_task,
+    new_stats,
+)
+from repro.sweep.spec import TrialTask
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend:
+    """Execute every task in the current process, in task order."""
+
+    name = "serial"
+
+    def run(
+        self,
+        tasks: Sequence[TrialTask],
+        *,
+        jobs: int,
+        collect_metrics: bool,
+        mode: str,
+        retries: int,
+        tracer: Any = None,
+    ) -> Tuple[List[Optional[TaskOutcome]], BackendStats]:
+        outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+        stats = new_stats(self.name, workers=1)
+        executed = 0
+        for i, task in enumerate(tasks):
+            if tracer is not None:
+                with tracer.span(
+                    f"trial {task.label}", cat="trial", track="sweep",
+                    point=task.point, trial=task.trial,
+                ):
+                    status, payload, attempts, _ = attempt_task(
+                        task, collect_metrics, mode, retries
+                    )
+            else:
+                status, payload, attempts, _ = attempt_task(
+                    task, collect_metrics, mode, retries
+                )
+            outcomes[i] = (status, payload, attempts)
+            executed += 1
+            if status == "err" and mode == "raise":
+                break  # the runner raises at this outcome; the rest stay None
+        stats["tasks_per_worker"] = {os.getpid(): executed}
+        return outcomes, stats

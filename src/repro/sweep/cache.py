@@ -43,6 +43,8 @@ __all__ = [
     "cached_offline_report",
     "cache_stats",
     "clear_cache",
+    "snapshot_entries",
+    "install_entries",
     "set_persistent_store",
     "persistent_store",
     "CacheStats",
@@ -101,6 +103,28 @@ def clear_cache() -> None:
     _schedules.clear()
     _reports.clear()
     _hits = _misses = _disk_hits = 0
+
+
+def snapshot_entries() -> dict:
+    """A picklable snapshot of both in-memory layers, for warm-starting
+    sweep workers that cannot fork-inherit the parent's cache (spawn
+    start method, remote ranks).  Counters are *not* included — a warm
+    start changes where lookups are answered, never the hit accounting
+    semantics of the receiving process."""
+    return {
+        "schedules": list(_schedules.items()),
+        "reports": list(_reports.items()),
+    }
+
+
+def install_entries(snapshot: dict) -> None:
+    """Install a :func:`snapshot_entries` payload into this process's
+    cache (existing entries are kept; insertion order and the
+    ``MAX_ENTRIES`` bound are respected)."""
+    for key, value in snapshot.get("schedules", []):
+        _put_memory(_schedules, key, value)
+    for key, value in snapshot.get("reports", []):
+        _put_memory(_reports, key, value)
 
 
 def set_persistent_store(store: Optional[Any]) -> None:

@@ -1,47 +1,51 @@
-"""Process-pool sweep execution with a bit-identical serial fallback.
+"""Sweep execution over pluggable backends with a bit-identical contract.
 
-:func:`run_sweep` fans a :class:`~repro.sweep.spec.SweepSpec`'s trials
-across a :class:`concurrent.futures.ProcessPoolExecutor`:
+:func:`run_sweep` expands a :class:`~repro.sweep.spec.SweepSpec` into
+pure, independently seeded tasks and hands them to an
+:class:`~repro.sweep.backends.ExecutorBackend` — ``serial`` (in-process),
+``pool-steal`` (persistent work-stealing worker pool, the ``jobs>1``
+default), or ``mpi`` (optional multi-host ranks).  The runner keeps every
+determinism guarantee regardless of backend:
 
-* **chunked dispatch** — tasks ship in contiguous chunks (default: ~4
-  chunks per worker) so per-task IPC cost amortizes over many cheap
-  trials;
-* **ordered reassembly** — chunks are submitted and collected in task
-  order, so ``results[i]`` always belongs to ``tasks()[i]`` regardless of
-  which worker finished first: pool output is *bit-identical* to the
-  serial path (trial functions are pure and carry their own derived seed);
-* **worker-side exception capture** — a failing trial is caught in the
-  worker and re-raised in the parent as :class:`TrialExecutionError`
-  naming the trial's label, parameters, and exact seed derivation (a
+* **ordered reassembly** — backends return outcomes in task order, so
+  ``results[i]`` always belongs to ``tasks()[i]`` no matter which worker
+  finished first: every backend is *bit-identical* to the serial path
+  (trial functions are pure and carry their own derived seed);
+* **task-order metrics merge** — per-trial metric scratch dumps merge in
+  task order in every mode, so aggregated metrics are identical at any
+  job count;
+* **worker-side exception capture** — a failing trial is caught where it
+  ran and re-raised in the parent as :class:`TrialExecutionError` naming
+  the trial's label, parameters, and exact seed derivation (a
   ``SeedSequence(entropy, spawn_key=...)`` expression that replays it in
   isolation), with the worker traceback attached — never an opaque
-  ``BrokenProcessPool``;
-* **serial fallback** — ``jobs=1`` (the CI default) runs in-process with
-  no executor, same result object, same error surface;
-* **error policy** — ``on_error="raise"`` (the default, today's behavior)
-  aborts the sweep on the first failing trial; ``"skip"`` records the
-  failure in telemetry (``results[i] is None``, ``status="skipped"``) and
-  keeps going; ``"retry:N"`` re-attempts a failed trial up to ``N`` more
-  times before skipping it — one crashed trial no longer kills a
-  thousand-trial sweep.
+  pool-level error;
+* **error policy** — ``on_error="raise"`` (the default) aborts the sweep
+  on the first failing trial; ``"skip"`` records the failure in telemetry
+  (``results[i] is None``, ``status="skipped"``) and keeps going;
+  ``"retry:N"`` re-attempts a failed trial up to ``N`` more times before
+  skipping it.  Failure accounting is **per task**: under the pool
+  backend even a hard worker-process death skips exactly the one
+  in-flight trial — the pool respawns a worker and the shared queue
+  redistributes the rest.
 
 ``jobs=0`` / ``jobs=None`` auto-sizes to the machine's usable CPU count.
+``chunksize`` is accepted for backward compatibility and ignored: the
+work-stealing pool dispatches per task (chunking was a static guess at a
+cost distribution the queue now balances dynamically).
 """
 
 from __future__ import annotations
 
 import os
 import time
-import traceback
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional
 
 import numpy as np
 
 from repro.obs.metrics import active_metrics
 from repro.obs.tracer import active_tracer
-from repro.sweep import cache
+from repro.sweep.backends import resolve_backend
 from repro.sweep.spec import SweepSpec, TrialTask
 from repro.sweep.telemetry import SweepResult, TrialRecord
 from repro.util.rng import describe_seed
@@ -87,7 +91,7 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def parse_on_error(policy: str) -> Tuple[str, int]:
+def parse_on_error(policy: str):
     """Validate an error policy; returns ``(mode, retries)``.
 
     ``"raise"`` → ``("raise", 0)``; ``"skip"`` → ``("skip", 0)``;
@@ -110,112 +114,9 @@ def parse_on_error(policy: str) -> Tuple[str, int]:
     )
 
 
-def _describe_params(params: dict) -> str:
-    """Compact, log-safe parameter description (arrays and relations are
-    named by type/size instead of dumped)."""
-    parts = []
-    for k, v in params.items():
-        r = repr(v)
-        if len(r) > 60:
-            size = getattr(v, "n", None) or getattr(v, "size", None)
-            r = f"<{type(v).__name__}{f' n={size}' if size is not None else ''}>"
-        parts.append(f"{k}={r}")
-    return ", ".join(parts)
-
-
-def _execute(task: TrialTask, collect_metrics: bool = False) -> Tuple[Any, float, int, int, int, Optional[dict]]:
-    """Run one trial, timing it and snapshotting the memo-cache counters.
-
-    With ``collect_metrics`` the trial runs against a *fresh scratch*
-    :class:`~repro.obs.metrics.MetricsRegistry` whose dump becomes the
-    sixth payload element; the sweep merges those dumps in task order in
-    every mode (serial and pool), so ``jobs=N`` aggregates are
-    **bit-identical** to ``jobs=1`` — same per-trial dumps, same merge
-    order, no dependence on float-summation association across workers.
-    """
-    before = cache.cache_stats()
-    if collect_metrics:
-        from repro.obs.metrics import MetricsRegistry, metrics_scope
-
-        scratch = MetricsRegistry()
-        t0 = time.perf_counter()
-        with metrics_scope(scratch):
-            value = task.run()
-        wall = time.perf_counter() - t0
-        delta: Optional[dict] = scratch.to_dict()
-    else:
-        t0 = time.perf_counter()
-        value = task.run()
-        wall = time.perf_counter() - t0
-        delta = None
-    after = cache.cache_stats()
-    return (
-        value, wall, os.getpid(),
-        after.hits - before.hits, after.misses - before.misses, delta,
-    )
-
-
-def _error_payload(
-    task: TrialTask, exc: BaseException
-) -> Tuple[str, str, str, str, str, int]:
-    return (
-        task.label,
-        _describe_params(task.params),
-        describe_seed(task.seed),
-        repr(exc),
-        traceback.format_exc(),
-        os.getpid(),
-    )
-
-
-def _attempt(
-    task: TrialTask, collect_metrics: bool, mode: str, retries: int
-) -> Tuple[str, Any, int, Optional[BaseException]]:
-    """Execute one trial under the error policy.
-
-    Returns ``(status, payload, attempts, exc)``: ``("ok", exec_payload,
-    n, None)`` or ``("err", error_payload, n, exc)``.  Under ``"retry"``
-    the trial re-runs (same task, same derived seed — retries target
-    *environmental* failures; a deterministic raise fails every attempt)
-    up to ``retries`` more times before the error is returned.
-    """
-    attempts = 0
-    while True:
-        attempts += 1
-        try:
-            return "ok", _execute(task, collect_metrics), attempts, None
-        except Exception as exc:  # noqa: BLE001 - captured as data
-            if mode == "retry" and attempts <= retries:
-                continue
-            return "err", _error_payload(task, exc), attempts, exc
-
-
-def _run_chunk(
-    tasks: Sequence[TrialTask],
-    collect_metrics: bool = False,
-    mode: str = "raise",
-    retries: int = 0,
-) -> List[Tuple[str, Any, int]]:
-    """Worker entry point: execute a chunk, capturing failures as data so
-    they cross the process boundary with full context."""
-    # a fork-inherited tracer would record spans nobody can collect; the
-    # parent synthesizes trial spans from telemetry instead.  (Metrics DO
-    # cross the boundary — _execute ships each trial's scratch dump.)
-    from repro.obs.tracer import uninstall_tracer
-
-    uninstall_tracer()
-    out: List[Tuple[str, Any, int]] = []
-    for task in tasks:
-        status, payload, attempts, _ = _attempt(task, collect_metrics, mode, retries)
-        out.append((status, payload, attempts))
-        if status == "err" and mode == "raise":
-            break  # remaining tasks in the chunk would be discarded anyway
-    return out
-
-
-def _raise_trial_error(payload: Sequence[Any], cause=None):
+def _raise_trial_error(payload, cause=None):
     label, params_desc, seed_desc, cause_repr, tb = payload[:5]
-    err = TrialExecutionError(label, params_desc, seed_desc, cause_repr, "" if cause else tb)
+    err = TrialExecutionError(label, params_desc, seed_desc, cause_repr, tb)
     raise err from cause
 
 
@@ -224,26 +125,33 @@ def run_sweep(
     jobs: Optional[int] = 1,
     chunksize: Optional[int] = None,
     on_error: str = "raise",
-) -> SweepResult:
+    backend: Optional[str] = None,
+) -> Optional[SweepResult]:
     """Execute every trial of ``spec`` and return a :class:`SweepResult`.
 
-    ``jobs=1`` runs serially in-process; ``jobs>1`` fans out over a
-    process pool; ``jobs in (0, None)`` auto-sizes to the CPU count.  The
-    ``results`` list is in task order in every mode, and — because trial
-    functions are pure and seeded per-task — identical in every mode.
+    ``backend`` selects the execution engine by name (``"serial"``,
+    ``"pool-steal"``, ``"mpi"``); ``None``/``"auto"`` picks ``serial``
+    for ``jobs=1`` and the work-stealing pool otherwise.  The ``results``
+    list is in task order on every backend, and — because trial functions
+    are pure and seeded per-task — identical on every backend.
 
     ``on_error`` is ``"raise"`` (abort the sweep with
-    :class:`TrialExecutionError` on the first failure — today's behavior),
-    ``"skip"`` (record the failure, ``results[i] is None``, keep going), or
+    :class:`TrialExecutionError` on the first failure), ``"skip"``
+    (record the failure, ``results[i] is None``, keep going), or
     ``"retry:N"`` (re-attempt up to ``N`` more times, then skip).  Skips
-    and retries are visible in :meth:`SweepResult.telemetry`.  Under
-    ``"skip"``/``"retry"`` even a hard worker-process death
-    (``BrokenProcessPool``) only skips the affected chunks, never the
-    sweep.
+    and retries are visible in :meth:`SweepResult.telemetry`.  Failure
+    accounting is per task: under ``"skip"``/``"retry"`` a hard worker
+    death on the pool backend skips exactly the in-flight trial, never a
+    chunk, never the sweep.
+
+    Under the ``mpi`` backend, non-root ranks return ``None`` (they serve
+    tasks; rank 0 holds the result) — callers running under ``mpirun``
+    must treat ``None`` as "worker rank, exit cleanly".
     """
     jobs = resolve_jobs(jobs)
     mode, retries = parse_on_error(on_error)
     tasks = spec.tasks()
+    be = resolve_backend(backend, jobs, len(tasks))
     t0 = time.perf_counter()
     results: List[Any] = []
     records: List[TrialRecord] = []
@@ -265,8 +173,8 @@ def run_sweep(
                 attempts=attempts,
             )
         )
-        # per-trial dumps merge in task order in every mode, so gauges and
-        # float sums resolve identically at any job count
+        # per-trial dumps merge in task order on every backend, so gauges
+        # and float sums resolve identically at any job count
         if delta is not None and mreg is not None:
             mreg.merge(delta)
 
@@ -292,69 +200,49 @@ def run_sweep(
     sweep_span = (
         tracer.begin(
             "sweep", cat="sweep", track="sweep",
-            sweep=spec.name, jobs=jobs, trials=len(tasks),
+            sweep=spec.name, jobs=jobs, trials=len(tasks), backend=be.name,
         )
         if tracer is not None
         else None
     )
+    stats = {}
     try:
         collect = mreg is not None
-        if jobs == 1 or len(tasks) == 1:
-            for task in tasks:
-                if tracer is not None:
-                    with tracer.span(
-                        f"trial {task.label}", cat="trial", track="sweep",
-                        point=task.point, trial=task.trial,
-                    ):
-                        status, payload, attempts, exc = _attempt(
-                            task, collect, mode, retries
-                        )
-                else:
-                    status, payload, attempts, exc = _attempt(
-                        task, collect, mode, retries
-                    )
-                if status == "err":
-                    if mode == "raise":
-                        _raise_trial_error(payload, cause=exc)
-                    _append_skipped(task, payload, attempts)
-                else:
-                    _append(task, payload, attempts)
-        else:
-            if chunksize is None:
-                chunksize = max(1, -(-len(tasks) // (jobs * 4)))
-            chunks = [tasks[i : i + chunksize] for i in range(0, len(tasks), chunksize)]
-            with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-                futures = [
-                    pool.submit(_run_chunk, chunk, collect, mode, retries)
-                    for chunk in chunks
-                ]
-                for chunk, future in zip(chunks, futures):
-                    try:
-                        chunk_out = future.result()
-                    except BrokenProcessPool as exc:
-                        if mode == "raise":
-                            raise
-                        # the worker died hard mid-chunk: every trial of the
-                        # chunk is unaccounted for — skip them all and keep
-                        # collecting the other futures (already-submitted
-                        # chunks on the broken pool fail the same way)
-                        for task in chunk:
-                            _append_skipped(
-                                task, _error_payload(task, exc), 1
-                            )
-                        continue
-                    for task, (status, payload, attempts) in zip(chunk, chunk_out):
-                        if status == "err":
-                            if mode == "raise":
-                                _raise_trial_error(payload)
-                            _append_skipped(task, payload, attempts)
-                        else:
-                            _append(task, payload, attempts)
-            if tracer is not None:
-                _synthesize_pool_trial_spans(tracer, sweep_span, tasks, records)
+        ret = be.run(
+            tasks,
+            jobs=jobs,
+            collect_metrics=collect,
+            mode=mode,
+            retries=retries,
+            tracer=tracer,
+        )
+        if ret is None:
+            # mpi worker rank: it executed tasks for rank 0 and has no
+            # sweep result of its own
+            return None
+        outcomes, stats = ret
+        for task, outcome in zip(tasks, outcomes):
+            if outcome is None:
+                continue  # raise-mode early stop: never reached
+            status, payload, attempts = outcome
+            if status == "err":
+                if mode == "raise":
+                    _raise_trial_error(payload)
+                _append_skipped(task, payload, attempts)
+            else:
+                _append(task, payload, attempts)
+        if tracer is not None and be.name != "serial":
+            _synthesize_pool_trial_spans(tracer, sweep_span, tasks, records)
     finally:
         if sweep_span is not None:
-            tracer.end(sweep_span, completed=len(records))
+            tracer.end(
+                sweep_span,
+                completed=len(records),
+                backend=be.name,
+                steals=stats.get("steals", 0),
+                max_queue_depth=stats.get("max_queue_depth", 0),
+                worker_deaths=stats.get("worker_deaths", 0),
+            )
 
     return SweepResult(
         name=spec.name,
@@ -364,6 +252,8 @@ def run_sweep(
         records=records,
         point_keys=spec.point_keys,
         seed=_describe_root_seed(spec.seed),
+        backend=be.name,
+        backend_stats=stats,
     )
 
 
@@ -377,11 +267,11 @@ def _describe_root_seed(seed) -> Any:
 
 
 def _synthesize_pool_trial_spans(tracer, sweep_span, tasks, records) -> None:
-    """Pool mode runs trials in worker processes, out of reach of the
-    parent tracer — reconstruct approximate ``trial`` spans from the
-    telemetry instead: each worker's trials are laid back-to-back from the
-    sweep start on a ``worker <pid>`` track (per-trial wall durations are
-    exact; only the gaps between them are elided)."""
+    """Pool and mpi backends run trials in worker processes, out of reach
+    of the parent tracer — reconstruct approximate ``trial`` spans from
+    the telemetry instead: each worker's trials are laid back-to-back from
+    the sweep start on a ``worker <pid>`` track (per-trial wall durations
+    are exact; only the gaps between them are elided)."""
     clocks: dict = {}
     base = sweep_span.wall_start if sweep_span is not None else 0.0
     for task, rec in zip(tasks, records):

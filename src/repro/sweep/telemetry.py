@@ -21,8 +21,14 @@ __all__ = ["TrialRecord", "SweepResult", "TELEMETRY_SCHEMA_VERSION"]
 #: ``schema_version`` itself plus the sweep's root ``seed`` (satellite of
 #: the observability PR), making exported records self-describing; 3 adds
 #: the error-policy columns (``status``/``attempts``/``error`` per trial,
-#: the ``errors`` summary block) introduced with ``on_error=``.
-TELEMETRY_SCHEMA_VERSION = 3
+#: the ``errors`` summary block) introduced with ``on_error=``; 4 adds the
+#: ``backend`` execution block (pluggable executor backends: backend name,
+#: per-worker task counts and busy seconds, steals, peak queue depth,
+#: worker deaths) — and, with the work-stealing pool, failure accounting
+#: became per *task*: a hard worker death skips exactly the in-flight
+#: trial (``worker`` = the dead pid, or -1 when it died unattributed),
+#: never a whole chunk.
+TELEMETRY_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -54,6 +60,11 @@ class SweepResult:
     #: root seed of the sweep — an int, a replayable ``SeedSequence(...)``
     #: expression string, or None when the spec was unseeded
     seed: Any = None
+    #: name of the executor backend that ran the sweep
+    backend: str = "serial"
+    #: the backend's execution report (worker task counts, steals, queue
+    #: depth, worker deaths) — see ``repro.sweep.backends.new_stats``
+    backend_stats: Dict[str, Any] = field(default_factory=dict)
 
     # -- columnar views -------------------------------------------------
     @property
@@ -118,6 +129,15 @@ class SweepResult:
         """Total extra attempts across all trials."""
         return sum(r.attempts - 1 for r in self.records)
 
+    def busy_by_worker(self) -> Dict[int, float]:
+        """Seconds inside trial functions per executing pid — the
+        per-worker utilization picture a straggler or an idle worker
+        shows up in."""
+        out: Dict[int, float] = {}
+        for r in self.records:
+            out[r.worker] = out.get(r.worker, 0.0) + r.wall_time
+        return dict(sorted(out.items()))
+
     def results_by_point(self) -> Dict[str, List[Any]]:
         """Trial outputs grouped by grid point, trial order within each."""
         out: Dict[str, List[Any]] = {k: [] for k in self.point_keys}
@@ -152,6 +172,15 @@ class SweepResult:
                 "skipped": self.skipped,
                 "retried": self.retried,
                 "retries": self.retries,
+            },
+            "backend": {
+                "name": self.backend,
+                "pool_workers": self.backend_stats.get("workers", 1),
+                "tasks_per_worker": self.backend_stats.get("tasks_per_worker", {}),
+                "busy_s_per_worker": self.busy_by_worker(),
+                "steals": self.backend_stats.get("steals", 0),
+                "max_queue_depth": self.backend_stats.get("max_queue_depth", 0),
+                "worker_deaths": self.backend_stats.get("worker_deaths", 0),
             },
         }
 

@@ -1,0 +1,177 @@
+"""Tests for the pluggable sweep executor backends: the registry, the
+serial/pool-steal/mpi parity matrix, work-stealing behavior under a
+straggler, and warm-started memo caches."""
+
+import time
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.sweep import (
+    BACKENDS,
+    BackendUnavailableError,
+    ExecutorBackend,
+    SweepSpec,
+    available_backends,
+    cached_offline_report,
+    clear_cache,
+    get_backend,
+    mpi_available,
+    resolve_backend,
+    run_sweep,
+)
+from repro.workloads import uniform_random_relation
+
+from tests.test_sweep import SMALL_KWARGS
+
+
+# ---------------------------------------------------------------------------
+# module-level trial functions (pool workers pickle them by reference)
+
+def _straggle(x, seed):
+    if x == 0:
+        time.sleep(0.25)  # one slow trial; the pool must not wait on it
+    return x * x
+
+
+def _warm_lookup(m, seed):
+    rel = uniform_random_relation(8, 200, seed=123)  # fixed: every trial shares it
+    report = cached_offline_report(rel, m)
+    return float(report.completion_time)
+
+
+BACKEND_MATRIX = [
+    "serial",
+    "pool-steal",
+    pytest.param(
+        "mpi",
+        marks=pytest.mark.skipif(
+            not mpi_available(), reason="mpi4py not installed"
+        ),
+    ),
+]
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        assert sorted(BACKENDS) == ["mpi", "pool-steal", "serial"]
+
+    def test_available_backends_gate_mpi(self):
+        avail = available_backends()
+        assert "serial" in avail and "pool-steal" in avail
+        assert ("mpi" in avail) == mpi_available()
+
+    def test_instances_satisfy_protocol(self):
+        for name in available_backends():
+            assert isinstance(get_backend(name), ExecutorBackend)
+
+    def test_unknown_backend_lists_registry(self):
+        with pytest.raises(ValueError, match="pool-steal"):
+            get_backend("bogus")
+
+    @pytest.mark.skipif(mpi_available(), reason="mpi4py is installed here")
+    def test_mpi_without_mpi4py_is_unavailable(self):
+        with pytest.raises(BackendUnavailableError, match="repro\\[mpi\\]"):
+            get_backend("mpi")
+
+    def test_resolution_defaults(self):
+        # jobs=1 and tiny grids stay serial; real parallel work gets the pool
+        assert resolve_backend(None, jobs=1, n_tasks=10).name == "serial"
+        assert resolve_backend("auto", jobs=4, n_tasks=1).name == "serial"
+        assert resolve_backend(None, jobs=4, n_tasks=10).name == "pool-steal"
+        # an explicit choice is always honored
+        assert resolve_backend("serial", jobs=4, n_tasks=10).name == "serial"
+        assert resolve_backend("pool-steal", jobs=1, n_tasks=1).name == "pool-steal"
+
+
+class TestBackendParityMatrix:
+    """The headline contract: every backend, every registered experiment,
+    bit-identical to serial at the same seed."""
+
+    @pytest.mark.parametrize("name", sorted(SMALL_KWARGS))
+    @pytest.mark.parametrize("backend", BACKEND_MATRIX)
+    def test_backend_matches_serial(self, name, backend):
+        kwargs = SMALL_KWARGS[name]
+        serial = run_experiment(name, seed=42, jobs=1, **kwargs)
+        other = run_experiment(name, seed=42, jobs=2, backend=backend, **kwargs)
+        if other is None:
+            # mpi worker rank under mpirun: this rank served the sweep's
+            # tasks; rank 0 holds the result and makes the assertion
+            assert backend == "mpi"
+            return
+        assert other == serial
+
+
+class TestWorkStealing:
+    def test_straggler_delays_only_itself(self):
+        """With one slow trial, the other worker drains the rest of the
+        queue — visible as an uneven per-worker split — and results stay
+        in task order, identical to serial."""
+        spec = SweepSpec(
+            name="straggle", fn=_straggle,
+            grid=[{"x": x} for x in range(8)], seed=1,
+        )
+        serial = run_sweep(spec, jobs=1, backend="serial")
+        pooled = run_sweep(spec, jobs=2, backend="pool-steal")
+        assert pooled.results == serial.results == [x * x for x in range(8)]
+        counts = sorted(pooled.backend_stats["tasks_per_worker"].values())
+        assert sum(counts) == 8
+        # the worker stuck on x=0 cannot also have drained the queue
+        assert counts[0] < counts[-1]
+        assert pooled.backend_stats["steals"] >= 1
+        assert pooled.telemetry()["backend"]["steals"] >= 1
+
+    def test_elapsed_not_serialized_behind_straggler(self):
+        """The 0.25s straggler bounds the sweep: everything else overlaps
+        it instead of queueing behind it in the same chunk."""
+        spec = SweepSpec(
+            name="straggle", fn=_straggle,
+            grid=[{"x": x} for x in range(8)], seed=1,
+        )
+        pooled = run_sweep(spec, jobs=2, backend="pool-steal")
+        # generous bound: far below 2 * 0.25s, which a chunked schedule
+        # putting two stragglers in one chunk would exceed
+        assert pooled.elapsed < 2.0
+
+
+class TestWarmStart:
+    def test_pool_workers_inherit_warm_cache(self):
+        """After a warm-up, fork-started pool workers answer every memo
+        lookup from the inherited cache — the per-trial hit telemetry is
+        exactly the serial run's."""
+        clear_cache()
+        rel = uniform_random_relation(8, 200, seed=123)
+        cached_offline_report(rel, 16)  # warm the parent cache
+        spec = SweepSpec(
+            name="warm", fn=_warm_lookup, grid=[{"m": 16}], trials=6, seed=0
+        )
+        serial = run_sweep(spec, jobs=1, backend="serial")
+        pooled = run_sweep(spec, jobs=2, backend="pool-steal")
+        assert pooled.results == serial.results
+        s_cache = serial.telemetry()["cache"]
+        p_cache = pooled.telemetry()["cache"]
+        assert s_cache == p_cache
+        assert p_cache["hit_rate"] == 1.0
+        assert p_cache["misses"] == 0
+        # per-trial accounting matches too, not just the aggregate
+        assert [r.cache_hits for r in pooled.records] == [
+            r.cache_hits for r in serial.records
+        ]
+
+    def test_snapshot_roundtrip(self):
+        """The spawn-path warm start: snapshot + install reproduces the
+        hit behavior without fork inheritance."""
+        from repro.sweep import cache
+
+        clear_cache()
+        rel = uniform_random_relation(8, 200, seed=123)
+        cached_offline_report(rel, 16)
+        snap = cache.snapshot_entries()
+        assert snap["schedules"] and snap["reports"]
+        clear_cache()
+        cache.install_entries(snap)
+        before = cache.cache_stats()
+        cached_offline_report(rel, 16)
+        after = cache.cache_stats()
+        assert after.hits == before.hits + 1  # answered by the report layer
+        assert after.misses == before.misses

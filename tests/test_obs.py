@@ -391,7 +391,7 @@ class TestSweepObservability:
     def test_telemetry_schema_and_seed(self):
         result = run_sweep(_chaos_spec(trials=2), jobs=1)
         tel = result.telemetry()
-        assert tel["schema_version"] == TELEMETRY_SCHEMA_VERSION == 3
+        assert tel["schema_version"] == TELEMETRY_SCHEMA_VERSION == 4
         assert tel["seed"] == 7
         assert tel["jobs"] == 1
 
@@ -400,7 +400,7 @@ class TestSweepObservability:
         path = tmp_path / "sweep.json"
         result.to_json(str(path))
         doc = json.loads(path.read_text())
-        assert doc["schema_version"] == 3 and doc["seed"] == 7
+        assert doc["schema_version"] == 4 and doc["seed"] == 7
         assert len(doc["trial_columns"]["wall_s"]) == 2
 
 

@@ -271,3 +271,123 @@ class TestDaemon:
             t.join(timeout=60)
         assert len(outcomes) == 8
         assert all(code == "ok" for code, _ in outcomes)
+
+
+# ----------------------------------------------------------------------
+# process engine + UDS transport
+# ----------------------------------------------------------------------
+class TestProcessEngine:
+    def test_engine_validated(self):
+        with pytest.raises(ValueError, match="engine"):
+            ExecutorConfig(engine="fiber")
+
+    def test_process_served_scenario_is_bit_identical(self, tmp_path):
+        server, client = make_server(
+            tmp_path, executor=ExecutorConfig(workers=2, engine="process")
+        )
+        try:
+            got = client.submit("scenario", SCENARIO, seed=11)
+            want = run_scenario(SCENARIO, 11)
+            assert got["result"] == _json_roundtrip(want)
+            # warm-cache answer is the same object the cold run produced
+            again = client.submit("scenario", SCENARIO, seed=11)
+            assert again["cached"] is True
+            assert again["result"] == got["result"]
+        finally:
+            server.drain(timeout=30)
+
+    def test_process_engine_translates_structured_errors(self, tmp_path):
+        server, client = make_server(
+            tmp_path, executor=ExecutorConfig(workers=2, engine="process")
+        )
+        try:
+            with pytest.raises(ServeRequestError) as exc:
+                client.submit("experiment", {"name": "no_such_experiment"})
+            assert exc.value.code == "E_BAD_REQUEST"
+            assert "choices" in exc.value.extra
+        finally:
+            server.drain(timeout=30)
+
+    def test_process_engine_crash_quarantines(self, tmp_path):
+        """A handler that keeps crashing inside a pool worker walks the
+        same retry -> quarantine path as the thread engine."""
+        server, client = make_server(
+            tmp_path,
+            executor=ExecutorConfig(
+                workers=2, engine="process", backoff_base=0.01,
+                max_attempts=2, quarantine_after=2,
+            ),
+        )
+        try:
+            bad = {"p": 16, "n": 800, "m": 0}  # m=0 raises in MachineParams
+            with pytest.raises(ServeRequestError) as exc:
+                client.submit("scenario", bad, seed=0)
+            assert exc.value.code == "E_CRASHED"
+            with pytest.raises(ServeRequestError) as exc:
+                client.submit("scenario", bad, seed=0)
+            assert exc.value.code == "E_QUARANTINED"
+        finally:
+            server.drain(timeout=30)
+
+
+def _json_roundtrip(obj):
+    import json
+
+    return json.loads(json.dumps(obj))
+
+
+class TestUnixDomainSocket:
+    def _serve_uds(self, tmp_path, **kw):
+        sock = str(tmp_path / "repro.sock")
+        kw.setdefault("executor", ExecutorConfig(workers=2, backoff_base=0.01))
+        server = ReproServer(uds=sock, **kw)
+        server.start()
+        return server, ServeClient(uds=sock, timeout=60), sock
+
+    def test_round_trip_matches_tcp(self, tmp_path):
+        server, client, sock = self._serve_uds(tmp_path)
+        tcp_server, tcp_client = make_server()
+        try:
+            assert server.url == f"http+unix://{sock}"
+            assert client.healthz()["ok"] is True
+            got = client.submit("scenario", SCENARIO, seed=3)
+            want = tcp_client.submit("scenario", SCENARIO, seed=3)
+            assert got["result"] == want["result"]
+            assert got["fingerprint"] == want["fingerprint"]
+        finally:
+            server.drain(timeout=30)
+            tcp_server.drain(timeout=30)
+
+    def test_structured_errors_cross_the_socket(self, tmp_path):
+        server, client, _ = self._serve_uds(tmp_path)
+        try:
+            with pytest.raises(ServeRequestError) as exc:
+                client.submit("experiment", {"name": "nope"})
+            assert exc.value.code == "E_BAD_REQUEST"
+            assert exc.value.http_status == 400
+        finally:
+            server.drain(timeout=30)
+
+    def test_socket_file_removed_on_close(self, tmp_path):
+        import os
+
+        server, client, sock = self._serve_uds(tmp_path)
+        assert os.path.exists(sock)
+        server.drain(timeout=30)
+        assert not os.path.exists(sock)
+
+    def test_stale_socket_file_is_replaced(self, tmp_path):
+        sock = str(tmp_path / "repro.sock")
+        open(sock, "w").close()  # stale leftover from a crashed daemon
+        server = ReproServer(uds=sock)
+        server.start()
+        try:
+            assert ServeClient(uds=sock).healthz()["ok"] is True
+        finally:
+            server.drain(timeout=30)
+
+    def test_client_requires_exactly_one_transport(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ServeClient()
+        with pytest.raises(ValueError, match="exactly one"):
+            ServeClient("http://x", uds="/tmp/x.sock")

@@ -290,16 +290,21 @@ class TestOnErrorPolicy:
         assert cols["status"].count("skipped") == 1
         assert any("injected trial failure" in e for e in cols["error"])
 
-    def test_hard_worker_death_skips_affected_chunks(self):
-        """A worker dying without a traceback (BrokenProcessPool) must not
-        kill the sweep under skip — affected chunks are recorded skipped."""
+    def test_hard_worker_death_skips_exactly_one_task(self):
+        """A worker dying without a traceback (``os._exit``) must not kill
+        the sweep under skip — and with per-task dispatch it loses exactly
+        the one in-flight trial, never a chunk: every other result is
+        present and correct, and the death is visible in telemetry."""
         spec = SweepSpec(name="deadly", fn=_die, grid=self.GRID)
         res = run_sweep(spec, jobs=2, chunksize=1, on_error="skip")
-        assert len(res.results) == 6
-        assert res.skipped >= 1  # at least the dead chunk
-        # surviving results are correct where present
-        for i, r in enumerate(res.results):
-            assert r is None or r == i
+        assert res.results == [0, 1, 2, None, 4, 5]
+        assert res.skipped == 1
+        (rec,) = [t for t in res.records if t.status == "skipped"]
+        assert rec.point == "x=3"
+        assert "WorkerDied" in rec.error
+        assert res.backend == "pool-steal"
+        assert res.backend_stats["worker_deaths"] == 1
+        assert res.telemetry()["backend"]["worker_deaths"] == 1
 
     def test_invalid_policy_rejected_up_front(self):
         spec = SweepSpec(name="s", fn=_double, grid=[{"x": 1}])
