@@ -10,13 +10,17 @@ profile as ``bench_engine_throughput.py`` three ways:
 * **traced** — a :class:`~repro.obs.Tracer` installed (reported for
   context and pinned for *model-time* identity, never throughput-gated:
   recording spans legitimately costs wall-clock);
-* **traced+metrics** — tracer and registry both installed (same rules).
+* **traced+metrics** — tracer and registry both installed (same rules);
+* **ledgered** — a :class:`~repro.obs.LoadLedger` installed alone (same
+  rules: enabled legs are reported, only the disabled leg is gated).
 
 and asserts that the disabled path holds the routing throughput within 3%
 of the pinned acceptance floor from ``BENCH_engine.json``'s contract
 (``SEED_ROUTING_MSGS_PER_S × SPEEDUP_FLOOR``), and that **every** variant
 leaves the pinned model time bit-identical — observability may record
-costs, never move them.
+costs, never move them.  The ledgered leg additionally reconciles: the
+sum of its per-superstep charges must equal the pinned model time
+exactly (the ledger *is* the cost breakdown, re-read at the barrier).
 
 Run standalone::
 
@@ -28,7 +32,14 @@ or under pytest-benchmark like every other file in this directory.
 import time
 
 from repro import BSPm, MachineParams
-from repro.obs import MetricsRegistry, Tracer, metrics_scope, tracing
+from repro.obs import (
+    LoadLedger,
+    MetricsRegistry,
+    Tracer,
+    ledger_scope,
+    metrics_scope,
+    tracing,
+)
 from repro.scheduling import unbalanced_send
 from repro.scheduling.execute import execute_schedule
 from repro.workloads import uniform_random_relation
@@ -49,34 +60,40 @@ OVERHEAD_TOLERANCE = 0.03
 _REPEATS = 3  # best-of-N wall-clock to shed scheduler noise
 
 
-def _route_once(trace=False, metrics=False):
+def _route_once(trace=False, metrics=False, ledger=False):
+    import contextlib
+
     rel = uniform_random_relation(256, 40_000, seed=0)
     sched = unbalanced_send(rel, 64, 0.2, seed=1)
     machine = BSPm(MachineParams(p=256, m=64, L=1))
     best = float("inf")
     model_time = None
     spans = 0
+    ledger_charge = None
     for _ in range(_REPEATS):
         tracer = Tracer() if trace else None
         registry = MetricsRegistry() if metrics else None
+        book = LoadLedger() if ledger else None
         t0 = time.perf_counter()
-        if tracer is not None and registry is not None:
-            with tracing(tracer), metrics_scope(registry):
-                res = execute_schedule(machine, sched)
-        elif tracer is not None:
-            with tracing(tracer):
-                res = execute_schedule(machine, sched)
-        else:
+        with contextlib.ExitStack() as stack:
+            if tracer is not None:
+                stack.enter_context(tracing(tracer))
+            if registry is not None:
+                stack.enter_context(metrics_scope(registry))
+            if book is not None:
+                stack.enter_context(ledger_scope(book))
             res = execute_schedule(machine, sched)
         best = min(best, time.perf_counter() - t0)
         model_time = res.time
         spans = len(tracer.spans) if tracer is not None else 0
+        ledger_charge = book.total_charge() if book is not None else None
     return {
         "messages": int(rel.n),
         "seconds": best,
         "msgs_per_s": rel.n / best,
         "model_time": model_time,
         "spans": spans,
+        "ledger_charge": ledger_charge,
     }
 
 
@@ -85,6 +102,7 @@ def run_all():
         "baseline": _route_once(),
         "traced": _route_once(trace=True),
         "traced+metrics": _route_once(trace=True, metrics=True),
+        "ledgered": _route_once(ledger=True),
     }
 
 
@@ -116,6 +134,12 @@ def _check(data):
     )
     # sanity: a traced run actually recorded the expected span tree
     assert data["traced"]["spans"] > 0
+    # reconciliation: the ledger's summed charges ARE the model time
+    charge = data["ledgered"]["ledger_charge"]
+    assert charge == ROUTING_MODEL_TIME, (
+        f"ledgered: summed charges {charge!r} != pinned model time "
+        f"{ROUTING_MODEL_TIME!r}"
+    )
 
 
 def test_obs_overhead(benchmark):

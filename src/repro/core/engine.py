@@ -82,6 +82,7 @@ from repro.core.events import (
 )
 from repro.core.kernels import stable_group_order
 from repro.core.params import MachineParams
+from repro.obs.ledger import active_ledger as _active_ledger
 from repro.obs.metrics import active_metrics as _active_metrics
 from repro.obs.tracer import active_tracer as _active_tracer
 
@@ -885,6 +886,9 @@ class RunResult:
     params: MachineParams
     records: List[SuperstepRecord]
     results: List[Any]
+    #: per-superstep load rows recorded for this run when a
+    #: :class:`~repro.obs.ledger.LoadLedger` was installed (else ``None``)
+    ledger: Optional[Any] = None
 
     @cached_property
     def time(self) -> float:
@@ -1380,8 +1384,10 @@ class Machine:
             # bit-identical
             tracer = _active_tracer()
             mreg = _active_metrics()
+            ledger = _active_ledger()
             observe = run_span = None
-            if tracer is not None or mreg is not None:
+            ledger_start = 0
+            if tracer is not None or mreg is not None or ledger is not None:
                 from repro.obs.instrument import make_superstep_observer
 
                 if tracer is not None:
@@ -1391,8 +1397,11 @@ class Machine:
                         m=self.params.m, L=self.params.L, g=self.params.g,
                     )
                     run_span.model_start = tracer.model_clock
+                if ledger is not None:
+                    ledger_start = ledger.begin_run(type(self).__name__, self.params)
                 observe = make_superstep_observer(
-                    tracer, mreg, self, p, run_span, fused=arenas is not None
+                    tracer, mreg, self, p, run_span, fused=arenas is not None,
+                    ledger=ledger,
                 )
             try:
                 self._run_loop(
@@ -1410,7 +1419,10 @@ class Machine:
         finally:
             if arenas is not None:
                 self._arenas_busy = False
-        return RunResult(params=self.params, records=records, results=results)
+        return RunResult(
+            params=self.params, records=records, results=results,
+            ledger=ledger.view(ledger_start) if ledger is not None else None,
+        )
 
     def _run_loop(
         self,

@@ -20,7 +20,17 @@ Gives downstream users the paper's experiments without writing code:
 ``compare``
     Diff two benchmark/telemetry JSON records (e.g. a fresh run against
     the committed ``BENCH_engine.json``) and flag regressions beyond a
-    relative tolerance — exit 1 when any gated metric regressed.
+    relative tolerance — exit 1 when any gated metric regressed
+    (``--json`` emits the machine-readable comparison).
+``ledger``
+    Run a paper program with the per-superstep load ledger installed and
+    print which restriction — local (``m``) or global (``g``) — binds at
+    every barrier, plus the charge attribution (``--from FILE``
+    summarizes a previously written dump instead).
+``top``
+    Live terminal view of a running serve daemon (``--url``/``--uds``)
+    or a sweep telemetry file (``--telemetry``); ``--once`` prints a
+    single frame and exits.
 
 Every randomized subcommand accepts ``--seed``; a top-level
 ``python -m repro --seed N <command>`` sets the default for all of them,
@@ -33,8 +43,10 @@ pool (``repro.sweep``); outputs are bit-identical at any job count.
 ``measure``, ``experiment``, ``chaos`` and ``profile`` additionally accept
 ``--trace PATH`` (write a Chrome trace_event JSON — load it at
 https://ui.perfetto.dev — plus a run manifest next to it, and print the
-cost-attribution table) and ``--metrics PATH`` (dump the metrics
-registry as columnar JSON).  See ``docs/observability.md``.
+cost-attribution table), ``--metrics PATH`` (dump the metrics registry as
+columnar JSON) and ``--ledger PATH`` (record the per-superstep load
+ledger and dump it; combined with ``--trace`` the ledger also becomes a
+Perfetto counter track).  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -110,8 +122,8 @@ def _positive_int(text: str) -> int:
 
 #: namespace entries that are CLI plumbing, not run parameters
 _MANIFEST_SKIP = frozenset(
-    {"func", "command", "trace", "metrics", "json", "root_seed", "root_jobs",
-     "root_backend"}
+    {"func", "command", "trace", "metrics", "ledger", "json", "root_seed",
+     "root_jobs", "root_backend"}
 )
 
 
@@ -124,40 +136,56 @@ def _manifest_params(args: argparse.Namespace) -> dict:
 
 @contextlib.contextmanager
 def _observe(args: argparse.Namespace):
-    """No-op unless the subcommand was given ``--trace``/``--metrics``.
+    """No-op unless the subcommand was given ``--trace``/``--metrics``/
+    ``--ledger``.
 
-    Otherwise install a :class:`~repro.obs.Tracer` and/or
-    :class:`~repro.obs.MetricsRegistry` around the command and, on the way
+    Otherwise install a :class:`~repro.obs.Tracer`,
+    :class:`~repro.obs.MetricsRegistry` and/or
+    :class:`~repro.obs.LoadLedger` around the command and, on the way
     out — even when the command failed, since a partial trace is exactly
     the diagnostic you want then — write the Chrome trace, the metrics
-    dump, and a run manifest next to the first artifact, and print the
-    cost-attribution table.
+    dump, the ledger dump, and a run manifest next to the first artifact,
+    and print the cost-attribution and binding tables.
     """
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
-    if not trace_path and not metrics_path:
+    ledger_path = getattr(args, "ledger", None)
+    if not trace_path and not metrics_path and not ledger_path:
         yield
         return
     from repro import obs
 
     tracer = obs.Tracer() if trace_path else None
     registry = obs.MetricsRegistry() if metrics_path else None
+    ledger = obs.LoadLedger() if ledger_path else None
     with contextlib.ExitStack() as stack:
         if tracer is not None:
             stack.enter_context(obs.tracing(tracer))
         if registry is not None:
             stack.enter_context(obs.metrics_scope(registry))
+        if ledger is not None:
+            stack.enter_context(obs.ledger_scope(ledger))
         try:
             yield
         finally:
             if tracer is not None:
-                obs.write_chrome_trace(tracer, trace_path)
+                obs.write_chrome_trace(tracer, trace_path, ledger=ledger)
                 print(f"wrote {trace_path} ({len(tracer.spans)} spans)")
                 if tracer.find(cat="superstep"):
                     print(obs.cost_attribution_table(tracer))
             if registry is not None:
                 obs.write_metrics_json(registry, metrics_path)
                 print(f"wrote {metrics_path}")
+            if ledger is not None:
+                ledger.to_json(ledger_path)
+                print(f"wrote {ledger_path} ({len(ledger)} superstep rows)")
+                if len(ledger):
+                    counts = ledger.binding_counts()
+                    print(
+                        "binding: "
+                        + "  ".join(f"{k}={v}" for k, v in counts.items())
+                        + f"  total charge={ledger.total_charge():g}"
+                    )
             seed = _effective_seed(args) if hasattr(args, "seed") else None
             jobs = _effective_jobs(args) if hasattr(args, "jobs") else None
             manifest = obs.build_manifest(
@@ -169,8 +197,9 @@ def _observe(args: argparse.Namespace):
                 penalty="exponential",
                 trace_path=trace_path,
                 metrics_path=metrics_path,
+                extra={"ledger_path": ledger_path} if ledger_path else None,
             )
-            mpath = obs.manifest_path(trace_path or metrics_path)
+            mpath = obs.manifest_path(trace_path or metrics_path or ledger_path)
             obs.write_manifest(mpath, manifest)
             print(f"wrote {mpath}")
 
@@ -700,13 +729,117 @@ def _chaos_sweep(args: argparse.Namespace, seed: int) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    import json
+
     from repro.obs import compare_files
 
     comparison = compare_files(
         args.baseline, args.candidate, tolerance=args.tolerance
     )
-    print(comparison.render(all_rows=args.all))
+    if args.json is not None:
+        text = json.dumps(comparison.to_dict(), indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text)
+            print(f"wrote {args.json}")
+    else:
+        print(comparison.render(all_rows=args.all))
     return 1 if comparison.regressions else 0
+
+
+#: ``repro ledger`` model spellings → (class name, uses the global (m) or
+#: the local (g) half of the matched parameter pair)
+_LEDGER_MODELS = {
+    "bsp-m": ("BSPm", True),
+    "bsp-g": ("BSPg", False),
+    "qsm-m": ("QSMm", True),
+    "qsm-g": ("QSMg", False),
+}
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    """``repro ledger`` — run one paper program under the load ledger and
+    print which restriction binds at every superstep barrier."""
+    import json
+
+    import repro
+    from repro.obs import LoadLedger, ledger_scope, ledger_table
+
+    if args.from_file:
+        with open(args.from_file) as fh:
+            dump = json.load(fh)
+        print(ledger_table(dump, top=args.top))
+        summary = dump.get("summary") or {}
+        if summary:
+            counts = summary.get("binding", {})
+            print("binding: " + "  ".join(f"{k}={v}" for k, v in counts.items()))
+        return 0
+
+    if args.program is None:
+        print("error: pass a program to run, or --from FILE to summarize "
+              "an existing dump", file=sys.stderr)
+        return 2
+    seed = _effective_seed(args)
+    local, global_ = MachineParams.matched_pair(p=args.p, m=args.m, L=args.L)
+    cls_name, wants_global = _LEDGER_MODELS[args.model]
+    machine = getattr(repro, cls_name)(global_ if wants_global else local)
+
+    def run_program() -> None:
+        from repro.algorithms import broadcast, one_to_all, summation
+
+        if args.program == "one-to-all":
+            one_to_all(machine)
+        elif args.program == "broadcast":
+            broadcast(machine, 1)
+        elif args.program == "summation":
+            summation(machine, [1.0] * args.p)
+        else:  # route
+            from repro.scheduling import unbalanced_send
+            from repro.scheduling.execute import execute_schedule
+            from repro.workloads import uniform_random_relation
+
+            rel = uniform_random_relation(args.p, args.n, seed=seed)
+            sched = unbalanced_send(rel, args.m, args.epsilon, seed=seed)
+            execute_schedule(machine, sched)
+
+    ledger = LoadLedger()
+    with ledger_scope(ledger):
+        run_program()
+    print(
+        f"# {args.program} on {cls_name} "
+        f"(p={args.p}, m={args.m}, g={local.g:g}, L={args.L:g}, seed={seed})"
+    )
+    print(ledger_table(ledger, top=args.top))
+    counts = ledger.binding_counts()
+    by = ledger.charge_by_binding()
+    print(
+        "binding: "
+        + "  ".join(f"{k}={counts[k]} ({by[k]:g})" for k in counts)
+        + f"  total charge={ledger.total_charge():g}"
+    )
+    if args.json:
+        ledger.to_json(args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``repro top`` — live view of a daemon or a sweep telemetry file."""
+    from repro.obs.top import make_source, run_top
+
+    try:
+        source = make_source(
+            url=args.url, uds=args.uds, telemetry=args.telemetry
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return run_top(source, interval=args.interval, once=args.once)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -1121,7 +1254,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--all", action="store_true",
         help="print every compared key, not only regressions and drift",
     )
+    cp.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the machine-readable comparison instead of the table "
+        "(to PATH, or stdout when PATH is omitted); exit codes unchanged",
+    )
     cp.set_defaults(func=_cmd_compare)
+
+    lg = sub.add_parser(
+        "ledger",
+        help="run a paper program under the per-superstep load ledger and "
+        "print which restriction (local m / global g) binds at each barrier",
+    )
+    lg.add_argument(
+        "program",
+        nargs="?",
+        default=None,
+        choices=["one-to-all", "broadcast", "summation", "route"],
+        help="paper program to run (route honours --n/--epsilon); "
+        "optional when summarizing a dump via --from",
+    )
+    lg.add_argument(
+        "--model", choices=sorted(_LEDGER_MODELS), default="bsp-m",
+        help="machine model; -m variants take the globally-limited half of "
+        "the matched parameter pair, -g variants the locally-limited half",
+    )
+    lg.add_argument("--p", type=int, default=64)
+    lg.add_argument("--m", type=int, default=8)
+    lg.add_argument("--L", type=float, default=4.0)
+    lg.add_argument("--n", type=int, default=4096, help="route workload flits")
+    lg.add_argument("--epsilon", type=float, default=0.15)
+    lg.add_argument("--seed", type=int, default=None)
+    lg.add_argument(
+        "--top", type=_positive_int, default=None, metavar="N",
+        help="show only the N highest-charge supersteps",
+    )
+    lg.add_argument("--json", default=None, metavar="PATH",
+                    help="write the columnar ledger dump to PATH")
+    lg.add_argument(
+        "--from", dest="from_file", default=None, metavar="FILE",
+        help="summarize an existing ledger dump (written by --json or the "
+        "--ledger observability flag) instead of running a program",
+    )
+    lg.set_defaults(func=_cmd_ledger)
+
+    tp = sub.add_parser(
+        "top",
+        help="live terminal view of a serve daemon or sweep telemetry file",
+    )
+    tp.add_argument("--url", default=None, help="daemon base URL (TCP)")
+    tp.add_argument("--uds", default=None, metavar="PATH",
+                    help="daemon Unix-domain socket path")
+    tp.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="tail a sweep telemetry JSON instead of a daemon",
+    )
+    tp.add_argument("--interval", type=float, default=1.0,
+                    help="refresh interval in seconds")
+    tp.add_argument(
+        "--once", action="store_true",
+        help="print a single frame to stdout and exit (no curses)",
+    )
+    tp.set_defaults(func=_cmd_top)
 
     return parser
 
@@ -1162,6 +1356,12 @@ def _add_obs_args(sp: argparse.ArgumentParser) -> None:
         "--metrics", default=None, metavar="PATH",
         help="write the run's metrics registry as columnar JSON "
         "(plus a run manifest)",
+    )
+    sp.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="record the per-superstep load ledger (which restriction "
+        "binds at each barrier) and write its columnar JSON dump; with "
+        "--trace the ledger is also embedded as a Perfetto counter track",
     )
 
 

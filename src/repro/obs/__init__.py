@@ -18,13 +18,23 @@ that question for a concrete run:
 * :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
   Perfetto; one track per processor on a model-time axis), columnar
   metrics dumps, and the terminal cost-attribution table.
+* :mod:`repro.obs.ledger` — the per-superstep bandwidth **load ledger**:
+  which restriction (local ``g·h`` vs. global ``f_m(m_t)``) bound each
+  superstep's charge, recorded at the engine barrier under the same
+  zero-overhead contract as the tracer.
 * :mod:`repro.obs.manifest` — per-run provenance (params, seed
   expression, git SHA, penalty family, cache hit rate, artifact paths).
 * :mod:`repro.obs.compare` — the ``python -m repro compare`` BENCH-file
   regression comparator.
+* :mod:`repro.obs.prom` — Prometheus text exposition rendered from a
+  :class:`MetricsRegistry` dump (the serve daemon's
+  ``/v1/metrics?format=prom``).
+* :mod:`repro.obs.top` — the ``python -m repro top`` live terminal view
+  of a running serve daemon or a sweep telemetry file.
 
-CLI: ``--trace PATH`` / ``--metrics PATH`` on ``experiment``, ``chaos``
-and ``profile``.  See docs/observability.md.
+CLI: ``--trace PATH`` / ``--metrics PATH`` / ``--ledger PATH`` on
+``experiment``, ``chaos`` and ``profile``; ``python -m repro ledger`` /
+``python -m repro top``.  See docs/observability.md.
 """
 
 from repro.obs.compare import BenchComparison, compare_bench, compare_files
@@ -34,6 +44,16 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics_json,
 )
+from repro.obs.ledger import (
+    LedgerView,
+    LoadLedger,
+    active_ledger,
+    binding_of,
+    install_ledger,
+    ledger_scope,
+    ledger_table,
+    uninstall_ledger,
+)
 from repro.obs.manifest import build_manifest, manifest_path, write_manifest
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -42,6 +62,7 @@ from repro.obs.metrics import (
     metrics_scope,
     uninstall_metrics,
 )
+from repro.obs.prom import prometheus_exposition
 from repro.obs.tracer import (
     Span,
     Tracer,
@@ -63,10 +84,19 @@ __all__ = [
     "install_metrics",
     "uninstall_metrics",
     "metrics_scope",
+    "LoadLedger",
+    "LedgerView",
+    "active_ledger",
+    "install_ledger",
+    "uninstall_ledger",
+    "ledger_scope",
+    "ledger_table",
+    "binding_of",
     "chrome_trace",
     "write_chrome_trace",
     "write_metrics_json",
     "cost_attribution_table",
+    "prometheus_exposition",
     "build_manifest",
     "manifest_path",
     "write_manifest",

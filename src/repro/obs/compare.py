@@ -121,6 +121,33 @@ class BenchComparison:
             return f"{verdict} ({len(self.rows)} keys compared, all within tolerance)"
         return table.render() + "\n" + verdict
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable form (``repro compare --json``); NaNs become
+        ``None`` so the output is strict JSON."""
+
+        def _num(x: float):
+            return None if x != x else x
+
+        return {
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+            "gated_keys": sum(1 for r in self.rows if r.direction != "info"),
+            "regressions": len(self.regressions),
+            "rows": [
+                {
+                    "key": r.key,
+                    "direction": r.direction,
+                    "baseline": _num(r.base),
+                    "candidate": _num(r.cand),
+                    "delta_rel": _num(r.delta_rel),
+                    "status": r.status,
+                }
+                for r in self.rows
+            ],
+        }
+
 
 def compare_bench(
     base: Dict[str, Any],

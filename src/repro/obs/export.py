@@ -74,8 +74,47 @@ def _track_tids(spans: Sequence[Span]) -> Dict[str, int]:
     return {track: tid for tid, track in enumerate(sorted(tracks, key=key), start=1)}
 
 
-def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
-    """The tracer's spans as a Chrome ``trace_event`` JSON object."""
+def _ledger_counter_events(ledger, tid: int) -> List[Dict[str, Any]]:
+    """Perfetto counter tracks ("C" events) from a load ledger: the
+    per-superstep load and restriction-utilization series on the model
+    clock, stepping at each superstep boundary."""
+    cols = ledger.columns
+    events: List[Dict[str, Any]] = []
+    end = 0.0
+    for i in range(len(cols["step"])):
+        ts = float(cols["model_start"][i]) / MODEL_UNITS_PER_US
+        end = (cols["model_start"][i] + cols["charge"][i]) / MODEL_UNITS_PER_US
+        events.append(
+            {"ph": "C", "pid": _MODEL_PID, "tid": tid, "name": "ledger load",
+             "ts": ts,
+             "args": {"h": float(cols["h"][i]), "volume": float(cols["volume"][i])}}
+        )
+        events.append(
+            {"ph": "C", "pid": _MODEL_PID, "tid": tid, "name": "ledger utilization",
+             "ts": ts,
+             "args": {"util_local": float(cols["util_local"][i]),
+                      "util_global": float(cols["util_global"][i])}}
+        )
+    if events:
+        # close the step functions so the last superstep has a width
+        events.append({"ph": "C", "pid": _MODEL_PID, "tid": tid,
+                       "name": "ledger load", "ts": end,
+                       "args": {"h": 0.0, "volume": 0.0}})
+        events.append({"ph": "C", "pid": _MODEL_PID, "tid": tid,
+                       "name": "ledger utilization", "ts": end,
+                       "args": {"util_local": 0.0, "util_global": 0.0}})
+    return events
+
+
+def chrome_trace(tracer: Tracer, ledger=None) -> Dict[str, Any]:
+    """The tracer's spans as a Chrome ``trace_event`` JSON object.
+
+    With ``ledger`` (a :class:`~repro.obs.ledger.LoadLedger`), the dump
+    also carries Perfetto counter tracks — ``ledger load`` (max
+    per-processor load ``h`` and total volume) and ``ledger utilization``
+    (how close the local/global restriction came to binding) — aligned
+    with the superstep spans on the model-time axis.
+    """
     spans = tracer.spans
     tids = _track_tids(spans)
     wall_base = min(
@@ -125,13 +164,20 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
                     "args": args,
                 }
             )
+    if ledger is not None and len(ledger):
+        counter_tid = max(tids.values(), default=0) + 1
+        events.append(
+            {"ph": "M", "pid": _MODEL_PID, "tid": counter_tid,
+             "name": "thread_name", "args": {"name": "bandwidth ledger"}}
+        )
+        events.extend(_ledger_counter_events(ledger, counter_tid))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(tracer: Tracer, path: str) -> None:
+def write_chrome_trace(tracer: Tracer, path: str, ledger=None) -> None:
     """Write :func:`chrome_trace` to ``path`` (open in Perfetto)."""
     with open(path, "w") as fh:
-        json.dump(chrome_trace(tracer), fh, indent=1)
+        json.dump(chrome_trace(tracer, ledger=ledger), fh, indent=1)
         fh.write("\n")
 
 

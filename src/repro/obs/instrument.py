@@ -87,6 +87,7 @@ def make_superstep_observer(
     p: int,
     run_span: Optional[Span],
     fused: bool = False,
+    ledger=None,
 ) -> Callable:
     """Build the per-superstep callback the engine invokes at each barrier.
 
@@ -94,7 +95,9 @@ def make_superstep_observer(
     t_deliver, t_end)`` where the ``t_*`` values are ``perf_counter``
     stamps at each phase boundary (freeze = record assembly start).
     With ``fused=True`` the three phase spans collapse into one
-    ``fused_superstep`` span spanning the whole barrier.
+    ``fused_superstep`` span spanning the whole barrier.  ``ledger`` is
+    an optional :class:`~repro.obs.ledger.LoadLedger` recording one load
+    row per superstep from the already-priced record.
     """
     emit_procs = tracer is not None and p <= PROC_TRACK_LIMIT
 
@@ -143,6 +146,8 @@ def make_superstep_observer(
                         args={"work": w, "sent": s, "recv": r},
                     )
             tracer.model_clock = model_start + record.cost
+        if ledger is not None:
+            ledger.record(record, p)
         if metrics is not None:
             metrics.counter("engine.supersteps").inc()
             metrics.counter("engine.messages").inc(record.n_messages)

@@ -1,0 +1,89 @@
+"""Prometheus text exposition (format 0.0.4) from a metrics dump.
+
+The serve daemon's ``GET /v1/metrics?format=prom`` renders its
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot through
+:func:`prometheus_exposition` so a stock Prometheus/Grafana stack can
+scrape a running daemon with zero extra dependencies.  Mapping:
+
+* counters → ``TYPE counter`` with a ``_total`` name suffix;
+* gauges → ``TYPE gauge``;
+* histograms → ``TYPE histogram`` with *cumulative* ``le`` buckets (the
+  registry stores non-cumulative bucket counts), a ``+Inf`` bucket, and
+  the ``_sum`` / ``_count`` series Prometheus expects.
+
+Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): dots and other punctuation become
+underscores, so ``serve.requests.accepted`` scrapes as
+``serve_requests_accepted_total``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["PROM_CONTENT_TYPE", "prometheus_exposition"]
+
+#: Content-Type for the text exposition format.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    name = _NAME_RE.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _fmt(value: Union[int, float]) -> str:
+    f = float(value)
+    if f != f:  # NaN
+        return "NaN"
+    if f in (float("inf"), float("-inf")):
+        return "+Inf" if f > 0 else "-Inf"
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def prometheus_exposition(source: Union[MetricsRegistry, Dict[str, Any]]) -> str:
+    """Render a registry (or its :meth:`~repro.obs.metrics.MetricsRegistry.
+    to_dict` dump) as Prometheus text exposition, ending with a newline."""
+    dump = source.to_dict() if isinstance(source, MetricsRegistry) else source
+    lines: List[str] = []
+    for name in sorted(dump.get("counters", {})):
+        value = dump["counters"][name]
+        pname = _sanitize(name)
+        if not pname.endswith("_total"):
+            pname += "_total"
+        lines.append(f"# HELP {pname} Counter {name!r} from the repro metrics registry.")
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_fmt(value)}")
+    for name in sorted(dump.get("gauges", {})):
+        value = dump["gauges"][name]
+        pname = _sanitize(name)
+        lines.append(f"# HELP {pname} Gauge {name!r} from the repro metrics registry.")
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_fmt(value)}")
+    for name in sorted(dump.get("histograms", {})):
+        hist = dump["histograms"][name]
+        pname = _sanitize(name)
+        lines.append(
+            f"# HELP {pname} Histogram {name!r} from the repro metrics registry."
+        )
+        lines.append(f"# TYPE {pname} histogram")
+        cumulative = 0
+        bounds = list(hist.get("bounds", ()))
+        counts = list(hist.get("counts", ()))
+        for bound, count in zip(bounds, counts):
+            cumulative += int(count)
+            lines.append(f'{pname}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        total = int(hist.get("count", sum(int(c) for c in counts)))
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{pname}_sum {_fmt(hist.get('sum', 0.0))}")
+        lines.append(f"{pname}_count {total}")
+    return "\n".join(lines) + "\n"

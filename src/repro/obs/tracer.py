@@ -46,6 +46,8 @@ __all__ = [
     "install_tracer",
     "uninstall_tracer",
     "tracing",
+    "export_spans",
+    "splice_spans",
 ]
 
 
@@ -193,6 +195,63 @@ class Tracer:
 
     def __len__(self) -> int:
         return len(self.spans)
+
+
+# -- worker-span shipping (sweep backends, serve process engine) -----------
+
+def export_spans(tracer: Tracer) -> Dict[str, Any]:
+    """A picklable dump of a scratch tracer's spans for shipping from a
+    worker process back to the parent (:func:`splice_spans` re-attaches
+    them).  Spans become plain tuples; clocks stay worker-relative — the
+    parent re-bases both axes when splicing."""
+    return {
+        "spans": [
+            (s.parent, s.name, s.cat, s.track, s.wall_start, s.wall_dur,
+             s.model_start, s.model_dur, s.args)
+            for s in tracer.spans
+        ],
+        "model_clock": tracer.model_clock,
+    }
+
+
+def splice_spans(
+    tracer: Tracer,
+    dump: Dict[str, Any],
+    parent: Optional[Span] = None,
+    wall_offset: float = 0.0,
+    model_offset: Optional[float] = None,
+) -> List[Span]:
+    """Graft an :func:`export_spans` dump into ``tracer`` under ``parent``.
+
+    Worker-relative wall clocks are shifted by ``wall_offset`` (seconds on
+    the parent's ``perf_counter`` axis); model clocks are re-based to
+    ``model_offset`` (default: the parent tracer's current
+    ``model_clock``, which then advances by the dump's total model time so
+    successive trials lay out sequentially, exactly as a serial run
+    would).  Returns the new spans in dump order.
+    """
+    if model_offset is None:
+        model_offset = tracer.model_clock
+    base = len(tracer.spans)
+    parent_index = parent.index if parent is not None else None
+    out: List[Span] = []
+    for rel_parent, name, cat, track, ws, wd, ms, md, args in dump.get("spans", ()):
+        span = Span(
+            index=len(tracer.spans),
+            parent=base + rel_parent if rel_parent is not None else parent_index,
+            name=name,
+            cat=cat,
+            track=track,
+            wall_start=None if ws is None else ws + wall_offset,
+            wall_dur=wd,
+            model_start=None if ms is None else ms + model_offset,
+            model_dur=md,
+            args=dict(args) if args else {},
+        )
+        tracer.spans.append(span)
+        out.append(span)
+    tracer.model_clock = model_offset + float(dump.get("model_clock", 0.0))
+    return out
 
 
 # -- the process-global hook (None = tracing disabled, the default) -------

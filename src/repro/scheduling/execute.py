@@ -32,6 +32,7 @@ from time import monotonic as _monotonic
 from repro.core.engine import Machine, RunAborted, RunResult, fused_default
 from repro.core.events import MessageBatch, RequestBatch, SuperstepRecord
 from repro.core.kernels import stable_group_order
+from repro.obs.ledger import active_ledger
 from repro.obs.metrics import active_metrics
 from repro.obs.tracer import active_tracer
 from repro.scheduling.schedule import Schedule, expand_per_flit
@@ -155,6 +156,7 @@ def execute_schedule(
         and machine.fault_injector is None
         and tracer is None
         and active_metrics() is None
+        and active_ledger() is None
     ):
         # compiled-superstep fast path: the routing program is straight-
         # line, so skip the trampoline entirely (see _execute_schedule_direct).

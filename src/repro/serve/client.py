@@ -137,6 +137,51 @@ class ServeClient:
         finally:
             conn.close()
 
+    def _call_raw(
+        self, method: str, path: str, timeout: Optional[float] = None
+    ) -> "tuple[int, Dict[str, str], bytes]":
+        """Non-JSON transport: returns ``(status, headers, body bytes)``.
+        Structured error answers (JSON bodies on >=400) still raise
+        :class:`ServeRequestError`."""
+        if self.uds is not None:
+            conn = _UnixHTTPConnection(self.uds, timeout=timeout or self.timeout)
+            try:
+                conn.request(method, path)
+                resp = conn.getresponse()
+                raw = resp.read()
+                status = resp.status
+                headers = {k: v for k, v in resp.getheaders()}
+            finally:
+                conn.close()
+        else:
+            req = urllib.request.Request(f"{self.url}{path}", method=method)
+            try:
+                with urllib.request.urlopen(
+                    req, timeout=timeout or self.timeout
+                ) as resp:
+                    raw = resp.read()
+                    status = resp.status
+                    headers = dict(resp.headers.items())
+            except urllib.error.HTTPError as exc:
+                raw = exc.read()
+                status = exc.code
+                headers = dict(exc.headers.items()) if exc.headers else {}
+        if status >= 400:
+            try:
+                payload = json.loads(raw.decode())
+                err = payload.get("error", {})
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                raise ServeRequestError(
+                    "E_INTERNAL", f"non-JSON error body (HTTP {status})", status
+                )
+            raise ServeRequestError(
+                err.get("code", "E_INTERNAL"),
+                err.get("detail", "unknown error"),
+                status,
+                {k: v for k, v in err.items() if k not in ("code", "detail")},
+            )
+        return status, headers, raw
+
     # -- API -----------------------------------------------------------
     def submit(
         self,
@@ -166,6 +211,32 @@ class ServeClient:
 
     def metrics(self) -> Dict[str, Any]:
         return self._call("GET", "/v1/metrics")["metrics"]
+
+    def metrics_prom(self) -> str:
+        """The registry as Prometheus text exposition (``?format=prom``)."""
+        _status, _headers, raw = self._call_raw("GET", "/v1/metrics?format=prom")
+        return raw.decode()
+
+    def events(
+        self,
+        since: int = 0,
+        timeout: float = 10.0,
+        max_events: int = 1000,
+    ) -> "tuple[list[Dict[str, Any]], int]":
+        """Long-poll ``/v1/events``: block until events newer than
+        ``since`` exist (or the server timeout lapses).  Returns
+        ``(events, latest_seq)``; pass ``latest_seq`` back as the next
+        ``since`` cursor."""
+        path = f"/v1/events?since={int(since)}&timeout={timeout:g}&max={int(max_events)}"
+        # the HTTP read must outlive the server-side poll
+        _status, headers, raw = self._call_raw(
+            "GET", path, timeout=timeout + 10.0
+        )
+        events = [json.loads(line) for line in raw.decode().splitlines() if line]
+        latest = int(headers.get("X-Repro-Events-Seq", since))
+        if events:
+            latest = max(latest, max(e.get("seq", 0) for e in events))
+        return events, latest
 
     def stats(self) -> Dict[str, Any]:
         return self._call("GET", "/v1/stats")

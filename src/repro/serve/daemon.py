@@ -14,11 +14,25 @@ Endpoints (all JSON):
 ``GET /v1/metrics``
     The :class:`repro.serve.telemetry.ServerMetrics` snapshot (a
     ``repro.obs`` metrics dump; ``repro compare`` consumes it as-is).
+    ``?format=prom`` renders the same registry as Prometheus text
+    exposition (format 0.0.4) for a stock scraper; an unknown
+    ``?format=`` is a structured 406 ``E_NOT_ACCEPTABLE``.
+``GET /v1/events``
+    JSONL long-poll stream of admission-round events (window size,
+    overloaded slots, request count, queue depth, cache hits).
+    ``?since=<seq>`` resumes after a cursor, ``?timeout=<s>`` bounds the
+    poll, ``?max=<n>`` caps the batch; the latest sequence number rides
+    the ``X-Repro-Events-Seq`` header so an empty poll still advances
+    nothing and loses nothing.  ``python -m repro top`` rides this.
 ``GET /v1/stats``
     Store statistics, quarantine list, admission/executor config.
 ``POST /v1/drain``
     Programmatic equivalent of SIGTERM: stop admitting, finish queued
     work, then shut down.
+
+Every response carries an explicit ``Content-Length`` and a charset on
+its ``Content-Type`` (JSON replies are ``application/json;
+charset=utf-8``), on every path — including errors.
 
 Drain discipline (the zero-loss guarantee): ``drain()`` closes
 admission (new submissions shed with ``E_DRAINING``), waits for the
@@ -37,6 +51,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.serve.admission import AdmissionConfig, AdmissionController
 from repro.serve.chaos import ChaosPlan
@@ -61,6 +76,9 @@ MAX_BODY_BYTES = 1 << 20
 #: hard cap on how long a submit handler will wait for its completion
 #: event — a backstop against executor bugs, not a normal code path
 SUBMIT_WAIT_CAP_S = 600.0
+#: ceiling on a single /v1/events long-poll (clients re-poll with their
+#: cursor; an unbounded wait would pin handler threads through a drain)
+EVENTS_POLL_CAP_S = 55.0
 
 
 class _UnixThreadingHTTPServer(ThreadingHTTPServer):
@@ -174,6 +192,7 @@ class ReproServer:
         ``timeout``.  Safe to call more than once (SIGTERM + atexit).
         """
         self.admission.start_drain()
+        self.metrics.emit_event("drain")  # wakes /v1/events long-pollers
         clean = self.executor.wait_idle(timeout)
         # every completion event is set; wait for handlers to finish
         # writing their responses before tearing the listener down
@@ -351,13 +370,28 @@ def _make_handler(server: ReproServer, request_timeout: float):
             pass
 
         # -- helpers ---------------------------------------------------
-        def _reply(self, status: int, payload: Dict[str, Any]) -> None:
-            blob = json.dumps(payload).encode()
+        def _reply_bytes(
+            self,
+            status: int,
+            blob: bytes,
+            content_type: str,
+            extra_headers: Optional[Dict[str, str]] = None,
+        ) -> None:
+            """Every reply goes through here: explicit Content-Length and
+            a charset-qualified Content-Type on every path."""
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(blob)))
+            for key, value in (extra_headers or {}).items():
+                self.send_header(key, value)
             self.end_headers()
             self.wfile.write(blob)
+
+        def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+            self._reply_bytes(
+                status, json.dumps(payload).encode(),
+                "application/json; charset=utf-8",
+            )
 
         def _reply_error(self, err: ServeError) -> None:
             self._reply(err.http_status, error_payload(err))
@@ -376,25 +410,82 @@ def _make_handler(server: ReproServer, request_timeout: float):
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                 raise ServeError("E_BAD_REQUEST", f"body is not JSON: {exc}")
 
+        def _query(self) -> Tuple[str, Dict[str, str]]:
+            """Split the request target into (path, last-wins query dict)."""
+            parts = urlsplit(self.path)
+            query = {
+                k: v[-1] for k, v in parse_qs(parts.query, keep_blank_values=True).items()
+            }
+            return parts.path, query
+
+        def _check_format(self, query: Dict[str, str], *supported: str) -> str:
+            """Validate ``?format=`` against the endpoint's renderings
+            (the first entry is the default); unknown values raise the
+            structured 406."""
+            fmt = query.get("format", supported[0])
+            if fmt not in supported:
+                raise ServeError(
+                    "E_NOT_ACCEPTABLE",
+                    f"unknown format {fmt!r}",
+                    supported=list(supported),
+                )
+            return fmt
+
+        def _get_metrics(self, query: Dict[str, str]) -> None:
+            fmt = self._check_format(query, "json", "prom")
+            if fmt == "prom":
+                from repro.obs.prom import PROM_CONTENT_TYPE, prometheus_exposition
+
+                text = prometheus_exposition(server.metrics.snapshot())
+                self._reply_bytes(200, text.encode(), PROM_CONTENT_TYPE)
+            else:
+                self._reply(200, {"ok": True, "metrics": server.metrics.snapshot()})
+
+        def _get_events(self, query: Dict[str, str]) -> None:
+            self._check_format(query, "jsonl")
+            try:
+                since = int(query.get("since", 0))
+                timeout = min(float(query.get("timeout", 10.0)), EVENTS_POLL_CAP_S)
+                limit = max(1, int(query.get("max", 1000)))
+            except (TypeError, ValueError) as exc:
+                raise ServeError("E_BAD_REQUEST", f"bad events query: {exc}")
+            events, latest = server.metrics.wait_events(
+                since, timeout=timeout, limit=limit
+            )
+            blob = "".join(json.dumps(e) + "\n" for e in events).encode()
+            self._reply_bytes(
+                200, blob, "application/x-ndjson; charset=utf-8",
+                extra_headers={"X-Repro-Events-Seq": str(latest)},
+            )
+
         # -- routes ----------------------------------------------------
         def do_GET(self) -> None:
             try:
-                if self.path == "/v1/healthz":
-                    self._reply(200, server.healthz())
-                elif self.path == "/v1/metrics":
-                    self._reply(200, {"ok": True, "metrics": server.metrics.snapshot()})
-                elif self.path == "/v1/stats":
-                    self._reply(200, server.stats())
-                else:
-                    self._reply_error(
-                        ServeError("E_BAD_REQUEST", f"unknown path {self.path}")
-                    )
+                path, query = self._query()
+                try:
+                    if path == "/v1/healthz":
+                        self._check_format(query, "json")
+                        self._reply(200, server.healthz())
+                    elif path == "/v1/metrics":
+                        self._get_metrics(query)
+                    elif path == "/v1/events":
+                        self._get_events(query)
+                    elif path == "/v1/stats":
+                        self._check_format(query, "json")
+                        self._reply(200, server.stats())
+                    else:
+                        raise ServeError(
+                            "E_BAD_REQUEST", f"unknown path {self.path}"
+                        )
+                except ServeError as err:
+                    self._reply_error(err)
             except (BrokenPipeError, ConnectionResetError):  # client went away
                 pass
 
         def do_POST(self) -> None:
             try:
-                if self.path == "/v1/submit":
+                path, _query = self._query()
+                if path == "/v1/submit":
                     try:
                         body = self._read_body()
                     except ServeError as err:
@@ -402,7 +493,7 @@ def _make_handler(server: ReproServer, request_timeout: float):
                         return
                     status, payload = server.submit(body)
                     self._reply(status, payload)
-                elif self.path == "/v1/drain":
+                elif path == "/v1/drain":
                     self._reply(202, {"ok": True, "status": "draining"})
                     threading.Thread(
                         target=server.drain, name="repro-serve-drain", daemon=True

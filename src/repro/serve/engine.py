@@ -18,8 +18,13 @@ Error translation is the load-bearing part.  :class:`ServeError` does
 uses.  So the worker never lets an exception cross the process
 boundary raw: :func:`_engine_call` returns a tagged tuple —
 
-* ``("ok", payload)`` — the handler's dict, pickled back verbatim, so a
-  process-served answer is bit-identical to the in-thread call;
+* ``("ok", payload, spans)`` — the handler's dict, pickled back
+  verbatim, so a process-served answer is bit-identical to the in-thread
+  call; ``spans`` is the worker's scratch-tracer dump
+  (:func:`repro.obs.tracer.export_spans`) when the parent asked for it,
+  else ``None`` — the parent splices the *real* worker spans under a
+  ``serve <kind>`` span on its own tracer, replacing nothing with
+  synthesis;
 * ``("serve_error", code, detail, extra)`` — a structured rejection,
   re-raised parent-side as a real :class:`ServeError` (deadline aborts
   are folded into ``E_DEADLINE`` here, exactly as the thread path does);
@@ -68,12 +73,15 @@ class RemoteCrash(RuntimeError):
 def _engine_init() -> None:
     """Worker-process initializer (runs once per worker, at fork).
 
-    A fork-inherited tracer would record spans nobody collects; the
-    parent's metrics/telemetry stay parent-side.
+    A fork-inherited tracer/ledger would record rows nobody collects;
+    real capture is per call — ``collect_spans`` installs a scratch
+    tracer and ships its dump back with the result.
     """
+    from repro.obs.ledger import uninstall_ledger
     from repro.obs.tracer import uninstall_tracer
 
     uninstall_tracer()
+    uninstall_ledger()
 
 
 def _engine_call(
@@ -81,6 +89,7 @@ def _engine_call(
     params: Dict[str, Any],
     seed: int,
     deadline_remaining: Optional[float],
+    collect_spans: bool = False,
 ) -> Tuple[Any, ...]:
     """Worker-side entry point: run one handler, return a tagged tuple.
 
@@ -96,11 +105,21 @@ def _engine_call(
     if deadline_remaining is not None:
         deadline = time.monotonic() + deadline_remaining
     try:
-        if kind == "scenario":
+        spans = None
+        if collect_spans:
+            from repro.obs.tracer import Tracer, export_spans, tracing
+
+            with tracing(Tracer()) as scratch:
+                if kind == "scenario":
+                    payload = run_scenario(params, seed, deadline=deadline)
+                else:
+                    payload = _run_experiment_kind(kind, params, seed)
+            spans = export_spans(scratch)
+        elif kind == "scenario":
             payload = run_scenario(params, seed, deadline=deadline)
         else:
             payload = _run_experiment_kind(kind, params, seed)
-        return ("ok", payload)
+        return ("ok", payload, spans)
     except ServeError as err:
         return ("serve_error", err.code, err.detail, dict(err.extra))
     except RunAborted as exc:
@@ -130,6 +149,7 @@ class ProcessEngine:
         self.workers = max(1, int(workers))
         self._pool: Optional[ProcessPoolExecutor] = None
         self._lock = threading.Lock()
+        self._splice_lock = threading.Lock()  # Tracer is not thread-safe
 
     # -- pool lifecycle ------------------------------------------------
     def _get_pool(self) -> ProcessPoolExecutor:
@@ -176,6 +196,7 @@ class ProcessEngine:
         surface the in-thread handlers present, so the executor's retry
         loop needs no engine-specific branches.
         """
+        from repro.obs.tracer import active_tracer
         from repro.serve.protocol import ServeError
 
         remaining = None
@@ -183,10 +204,13 @@ class ProcessEngine:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise ServeError("E_DEADLINE", "deadline expired before dispatch")
+        tracer = active_tracer()
         pool = self._get_pool()
+        t0 = time.perf_counter()
         try:
             outcome = pool.submit(
-                _engine_call, kind, params, seed, remaining
+                _engine_call, kind, params, seed, remaining,
+                tracer is not None,
             ).result()
         except BrokenProcessPool as exc:
             # a worker died hard mid-request: rebuild capacity, surface
@@ -198,9 +222,32 @@ class ProcessEngine:
             ) from exc
         tag = outcome[0]
         if tag == "ok":
-            return outcome[1]
+            payload, spans = outcome[1], outcome[2] if len(outcome) > 2 else None
+            if spans is not None and tracer is not None:
+                self._splice(tracer, kind, spans, t0)
+            return payload
         if tag == "serve_error":
             _, code, detail, extra = outcome
             raise ServeError(code, detail, **extra)
         _, type_name, message, traceback_text = outcome
         raise RemoteCrash(type_name, message, traceback_text)
+
+    def _splice(self, tracer, kind: str, spans: Dict[str, Any], t0: float) -> None:
+        """Graft the worker's real spans under a ``serve <kind>`` span on
+        the parent tracer (serialized: several executor threads may call
+        into the engine at once and the tracer is not thread-safe)."""
+        from repro.obs.tracer import splice_spans
+
+        with self._splice_lock:
+            parent = tracer.add(
+                f"serve {kind}", cat="serve", track="serve",
+                wall_start=t0, wall_dur=time.perf_counter() - t0,
+            )
+            wall_min = min(
+                (s[4] for s in spans.get("spans", ()) if s[4] is not None),
+                default=None,
+            )
+            splice_spans(
+                tracer, spans, parent=parent,
+                wall_offset=(t0 - wall_min) if wall_min is not None else 0.0,
+            )

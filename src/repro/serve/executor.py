@@ -296,6 +296,11 @@ class RequestExecutor:
         with self._lock:
             return self._in_flight
 
+    def cache_hit_count(self) -> int:
+        """Served-from-cache count so far (rides the round event stream)."""
+        with self.metrics._lock:
+            return int(self.metrics.registry.counter("serve.cache.hits").value)
+
     def outstanding(self) -> int:
         with self._lock:
             return self._outstanding
@@ -327,8 +332,13 @@ class RequestExecutor:
             rnd = self.admission.next_round(timeout=0.1)
             if rnd is None:
                 continue
-            self.metrics.round_scheduled(rnd.window, rnd.overloaded_slots, len(rnd.order))
-            self.metrics.gauge("queue.depth", self.admission.depth())
+            depth = self.admission.depth()
+            self.metrics.round_scheduled(
+                rnd.window, rnd.overloaded_slots, len(rnd.order),
+                queue_depth=depth,
+                cache_hits=self.cache_hit_count(),
+            )
+            self.metrics.gauge("queue.depth", depth)
             with self._lock:
                 for _slot, req in rnd.order:  # already in service order
                     self._work.append(req)

@@ -59,9 +59,11 @@ KINDS = ("ping", "scenario", "experiment", "sweep")
 #: ``RunAborted``); E_QUARANTINED rejects content fingerprints that
 #: crashed too many times; E_DRAINING rejects new work during SIGTERM
 #: drain; E_CRASHED is a request that kept failing before quarantine
-#: kicked in.
+#: kicked in; E_NOT_ACCEPTABLE rejects an unknown ``?format=`` on a GET
+#: endpoint (the supported renderings are listed in the error payload).
 ERROR_CODES: Dict[str, int] = {
     "E_BAD_REQUEST": 400,
+    "E_NOT_ACCEPTABLE": 406,
     "E_OVERSIZED": 413,
     "E_QUARANTINED": 422,
     "E_QUEUE_FULL": 429,

@@ -25,8 +25,13 @@ reassembly, and task-order metrics merging.  The contract:
 The per-trial execution core (:func:`execute_task`, :func:`attempt_task`,
 :func:`error_payload_for`) lives here so every backend — and every
 worker process — runs trials through exactly the same code path:
-metrics-scratch capture, memo-cache counter deltas, and the
-retry-until-skip error policy.
+metrics/tracer/ledger scratch capture, memo-cache counter deltas, and the
+retry-until-skip error policy.  Observability capture is uniform across
+backends: a trial always runs against *scratch* instruments (masking
+whatever is installed in the executing process) and ships the dumps back
+in its payload; the runner splices spans and merges ledger/metric dumps
+in task order, so the assembled trace and ledgers are identical whether
+the trial ran in-process, on the pool, or on an MPI rank.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from __future__ import annotations
 import os
 import time
 import traceback
+from contextlib import ExitStack
 from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.sweep.spec import TrialTask
@@ -80,6 +86,8 @@ class ExecutorBackend(Protocol):
         mode: str,
         retries: int,
         tracer: Any = None,
+        collect_spans: bool = False,
+        collect_ledger: bool = False,
     ) -> Optional[Tuple[List[Optional[TaskOutcome]], BackendStats]]:
         """Execute every task and return ``(outcomes, stats)`` in task
         order.  A distributed backend may return ``None`` on non-root
@@ -113,38 +121,57 @@ def describe_params(params: dict) -> str:
 
 
 def execute_task(
-    task: TrialTask, collect_metrics: bool = False
-) -> Tuple[Any, float, int, int, int, Optional[dict]]:
+    task: TrialTask,
+    collect_metrics: bool = False,
+    collect_spans: bool = False,
+    collect_ledger: bool = False,
+) -> Tuple[Any, float, int, int, int, Optional[dict], Optional[dict], Optional[dict]]:
     """Run one trial, timing it and snapshotting the memo-cache counters.
 
-    With ``collect_metrics`` the trial runs against a *fresh scratch*
-    :class:`~repro.obs.metrics.MetricsRegistry` whose dump becomes the
-    sixth payload element; the runner merges those dumps in task order
-    on every backend, so ``jobs=N`` aggregates are **bit-identical** to
+    Each ``collect_*`` flag runs the trial against a *fresh scratch*
+    instrument — a :class:`~repro.obs.metrics.MetricsRegistry`, a
+    :class:`~repro.obs.tracer.Tracer`, a
+    :class:`~repro.obs.ledger.LoadLedger` — installed for the trial's
+    duration (masking whatever the executing process had active), whose
+    dump ships back as payload elements six through eight.  The runner
+    merges those dumps in task order on every backend, so ``jobs=N``
+    aggregates, span trees, and ledgers are **bit-identical** to
     ``jobs=1`` — same per-trial dumps, same merge order, no dependence
-    on float-summation association across workers.
+    on float-summation association or worker scheduling.
     """
     from repro.sweep import cache
 
     before = cache.cache_stats()
-    if collect_metrics:
-        from repro.obs.metrics import MetricsRegistry, metrics_scope
+    delta: Optional[dict] = None
+    spans: Optional[dict] = None
+    ledger_dump: Optional[dict] = None
+    with ExitStack() as stack:
+        if collect_metrics:
+            from repro.obs.metrics import MetricsRegistry, metrics_scope
 
-        scratch = MetricsRegistry()
-        t0 = time.perf_counter()
-        with metrics_scope(scratch):
-            value = task.run()
-        wall = time.perf_counter() - t0
-        delta: Optional[dict] = scratch.to_dict()
-    else:
+            scratch_m = stack.enter_context(metrics_scope(MetricsRegistry()))
+        if collect_spans:
+            from repro.obs.tracer import Tracer, export_spans, tracing
+
+            scratch_t = stack.enter_context(tracing(Tracer()))
+        if collect_ledger:
+            from repro.obs.ledger import LoadLedger, ledger_scope
+
+            scratch_l = stack.enter_context(ledger_scope(LoadLedger(per_proc=False)))
         t0 = time.perf_counter()
         value = task.run()
         wall = time.perf_counter() - t0
-        delta = None
+        if collect_metrics:
+            delta = scratch_m.to_dict()
+        if collect_spans:
+            spans = export_spans(scratch_t)
+        if collect_ledger:
+            ledger_dump = scratch_l.to_dict(per_proc=False)
     after = cache.cache_stats()
     return (
         value, wall, os.getpid(),
-        after.hits - before.hits, after.misses - before.misses, delta,
+        after.hits - before.hits, after.misses - before.misses,
+        delta, spans, ledger_dump,
     )
 
 
@@ -163,7 +190,12 @@ def error_payload_for(
 
 
 def attempt_task(
-    task: TrialTask, collect_metrics: bool, mode: str, retries: int
+    task: TrialTask,
+    collect_metrics: bool,
+    mode: str,
+    retries: int,
+    collect_spans: bool = False,
+    collect_ledger: bool = False,
 ) -> Tuple[str, Any, int, Optional[BaseException]]:
     """Execute one trial under the error policy.
 
@@ -177,7 +209,10 @@ def attempt_task(
     while True:
         attempts += 1
         try:
-            return "ok", execute_task(task, collect_metrics), attempts, None
+            payload = execute_task(
+                task, collect_metrics, collect_spans, collect_ledger
+            )
+            return "ok", payload, attempts, None
         except Exception as exc:  # noqa: BLE001 - captured as data
             if mode == "retry" and attempts <= retries:
                 continue

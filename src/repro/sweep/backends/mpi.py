@@ -78,13 +78,23 @@ def _load_mpi():
 
 
 def _mpi_task(
-    task: TrialTask, collect_metrics: bool, mode: str, retries: int
+    task: TrialTask,
+    collect_metrics: bool,
+    mode: str,
+    retries: int,
+    collect_spans: bool = False,
+    collect_ledger: bool = False,
 ) -> TaskOutcome:
     """Worker-rank entry point: same execution core as every backend."""
+    from repro.obs.ledger import uninstall_ledger
     from repro.obs.tracer import uninstall_tracer
 
     uninstall_tracer()
-    status, payload, attempts, _ = attempt_task(task, collect_metrics, mode, retries)
+    uninstall_ledger()
+    status, payload, attempts, _ = attempt_task(
+        task, collect_metrics, mode, retries,
+        collect_spans=collect_spans, collect_ledger=collect_ledger,
+    )
     return status, payload, attempts
 
 
@@ -102,6 +112,8 @@ class MpiBackend:
         mode: str,
         retries: int,
         tracer: Any = None,
+        collect_spans: bool = False,
+        collect_ledger: bool = False,
     ) -> Optional[Tuple[List[Optional[TaskOutcome]], BackendStats]]:
         MPI, MPICommExecutor = _load_mpi()
         comm = MPI.COMM_WORLD
@@ -117,7 +129,10 @@ class MpiBackend:
             outcomes: List[Optional[TaskOutcome]] = [None] * n
             counts: Dict[int, int] = {}
             futures = [
-                executor.submit(_mpi_task, task, collect_metrics, mode, retries)
+                executor.submit(
+                    _mpi_task, task, collect_metrics, mode, retries,
+                    collect_spans, collect_ledger,
+                )
                 for task in tasks
             ]
             for i, fut in enumerate(futures):

@@ -76,15 +76,20 @@ def _worker_main(
     mode: str,
     retries: int,
     cache_snapshot: Optional[dict],
+    collect_spans: bool = False,
+    collect_ledger: bool = False,
 ) -> None:
     """Long-lived worker: execute dispatched indices until the sentinel."""
-    # a fork-inherited tracer would record spans nobody can collect; the
-    # parent synthesizes trial spans from telemetry instead.  (Metrics DO
-    # cross the boundary — execute_task ships each trial's scratch dump.)
+    # a fork-inherited tracer/ledger would record rows nobody collects;
+    # real capture happens per trial — execute_task installs scratch
+    # instruments and ships their dumps back in the payload, exactly as
+    # the serial backend does.
+    from repro.obs.ledger import uninstall_ledger
     from repro.obs.tracer import uninstall_tracer
     from repro.sweep import cache
 
     uninstall_tracer()
+    uninstall_ledger()
     if cache_snapshot is not None:
         # spawn-started worker: install the parent's warm memo cache and
         # reattach the persistent tier if the environment asks for one
@@ -100,7 +105,8 @@ def _worker_main(
             outq.put(("bye", widx, pid))
             return
         status, payload, attempts, _ = attempt_task(
-            tasks[idx], collect_metrics, mode, retries
+            tasks[idx], collect_metrics, mode, retries,
+            collect_spans=collect_spans, collect_ledger=collect_ledger,
         )
         outq.put(("done", widx, idx, status, payload, attempts, pid))
 
@@ -119,6 +125,8 @@ class PoolStealBackend:
         mode: str,
         retries: int,
         tracer: Any = None,
+        collect_spans: bool = False,
+        collect_ledger: bool = False,
     ) -> Tuple[List[Optional[TaskOutcome]], BackendStats]:
         n = len(tasks)
         workers = max(1, min(jobs, n))
@@ -165,7 +173,7 @@ class PoolStealBackend:
             p = ctx.Process(
                 target=_worker_main,
                 args=(widx, tasks, queues[widx], outq, collect_metrics, mode,
-                      retries, snapshot),
+                      retries, snapshot, collect_spans, collect_ledger),
                 name=f"repro-sweep-worker-{widx}",
             )
             p.start()

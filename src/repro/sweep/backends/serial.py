@@ -1,11 +1,14 @@
 """The in-process backend: the bit-identity reference every other
 backend is gated against.
 
-Runs tasks one after another in the calling process, wrapping each in a
-live tracer span when tracing is active (pool backends can't — their
-trials execute out of the parent tracer's reach, so the runner
-synthesizes spans from telemetry instead).  Under ``mode="raise"`` it
-stops at the first failing trial, leaving trailing outcomes ``None``.
+Runs tasks one after another in the calling process.  Trial spans and
+load-ledger rows are captured by the shared per-trial core
+(:func:`~repro.sweep.backends.base.execute_task` installs scratch
+instruments and ships their dumps in the payload), exactly as on the
+pool and MPI backends — the runner splices them in task order, so the
+serial trace/ledger is the same artifact the parallel backends produce,
+by construction.  Under ``mode="raise"`` it stops at the first failing
+trial, leaving trailing outcomes ``None``.
 """
 
 from __future__ import annotations
@@ -38,23 +41,17 @@ class SerialBackend:
         mode: str,
         retries: int,
         tracer: Any = None,
+        collect_spans: bool = False,
+        collect_ledger: bool = False,
     ) -> Tuple[List[Optional[TaskOutcome]], BackendStats]:
         outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
         stats = new_stats(self.name, workers=1)
         executed = 0
         for i, task in enumerate(tasks):
-            if tracer is not None:
-                with tracer.span(
-                    f"trial {task.label}", cat="trial", track="sweep",
-                    point=task.point, trial=task.trial,
-                ):
-                    status, payload, attempts, _ = attempt_task(
-                        task, collect_metrics, mode, retries
-                    )
-            else:
-                status, payload, attempts, _ = attempt_task(
-                    task, collect_metrics, mode, retries
-                )
+            status, payload, attempts, _ = attempt_task(
+                task, collect_metrics, mode, retries,
+                collect_spans=collect_spans, collect_ledger=collect_ledger,
+            )
             outcomes[i] = (status, payload, attempts)
             executed += 1
             if status == "err" and mode == "raise":

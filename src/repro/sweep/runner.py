@@ -14,6 +14,14 @@ determinism guarantee regardless of backend:
 * **task-order metrics merge** — per-trial metric scratch dumps merge in
   task order in every mode, so aggregated metrics are identical at any
   job count;
+* **task-order span splice and ledger merge** — every backend (serial
+  included) runs each trial against scratch observability instruments
+  (:func:`~repro.sweep.backends.base.execute_task`) and ships the span
+  and load-ledger dumps in the payload; the runner builds the ``trial``
+  span and splices the worker's real spans under it, and merges ledger
+  rows into the active :class:`~repro.obs.ledger.LoadLedger`, in task
+  order — so traces and ledgers are bit-identical across backends and
+  job counts;
 * **worker-side exception capture** — a failing trial is caught where it
   ran and re-raised in the parent as :class:`TrialExecutionError` naming
   the trial's label, parameters, and exact seed derivation (a
@@ -43,8 +51,9 @@ from typing import Any, List, Optional
 
 import numpy as np
 
+from repro.obs.ledger import LoadLedger, active_ledger
 from repro.obs.metrics import active_metrics
-from repro.obs.tracer import active_tracer
+from repro.obs.tracer import active_tracer, splice_spans
 from repro.sweep.backends import resolve_backend
 from repro.sweep.spec import SweepSpec, TrialTask
 from repro.sweep.telemetry import SweepResult, TrialRecord
@@ -157,9 +166,15 @@ def run_sweep(
     records: List[TrialRecord] = []
     tracer = active_tracer()
     mreg = active_metrics()
+    ledger = active_ledger()
+    # the sweep's own accumulator: its summary() becomes the telemetry
+    # "ledger" block regardless of what the caller does with the active
+    # ledger afterwards
+    sweep_ledger = LoadLedger(per_proc=False) if ledger is not None else None
+    worker_clocks: dict = {}  # pid -> back-to-back wall offset per worker
 
     def _append(task: TrialTask, payload, attempts: int = 1) -> None:
-        value, wall, pid, hits, misses, delta = payload
+        value, wall, pid, hits, misses, delta, spans, ledger_dump = payload
         results.append(value)
         records.append(
             TrialRecord(
@@ -177,6 +192,43 @@ def run_sweep(
         # and float sums resolve identically at any job count
         if delta is not None and mreg is not None:
             mreg.merge(delta)
+        if spans is not None and tracer is not None:
+            _splice_trial(task, pid, wall, spans)
+        if ledger_dump is not None:
+            if ledger is not None:
+                ledger.merge_dump(ledger_dump)
+            if sweep_ledger is not None:
+                sweep_ledger.merge_dump(ledger_dump)
+
+    def _splice_trial(task: TrialTask, pid: int, wall: float, spans: dict) -> None:
+        """Build the ``trial`` span and graft the worker's real spans under
+        it.  Wall layout: each worker's trials lie back-to-back from the
+        sweep start on a ``worker <pid>`` track (per-trial durations are
+        exact; inter-trial gaps are elided).  Model layout: trials advance
+        the parent model clock sequentially in task order — exactly the
+        axis a single uninterrupted process would produce."""
+        base = sweep_span.wall_start if sweep_span is not None else 0.0
+        offset = worker_clocks.get(pid, 0.0)
+        worker_clocks[pid] = offset + wall
+        trial_span = tracer.add(
+            f"trial {task.label}", cat="trial", track=f"worker {pid}",
+            parent=sweep_span,
+            wall_start=base + offset, wall_dur=wall,
+            model_start=tracer.model_clock,
+            args={"point": task.point, "trial": task.trial, "worker": pid},
+        )
+        wall_min = min(
+            (s[4] for s in spans.get("spans", ()) if s[4] is not None),
+            default=None,
+        )
+        splice_spans(
+            tracer, spans, parent=trial_span,
+            wall_offset=(trial_span.wall_start - wall_min)
+            if wall_min is not None else 0.0,
+        )
+        model_total = float(spans.get("model_clock", 0.0))
+        if model_total:
+            trial_span.model_dur = model_total
 
     def _append_skipped(task: TrialTask, payload, attempts: int) -> None:
         cause_repr = payload[3]
@@ -207,14 +259,15 @@ def run_sweep(
     )
     stats = {}
     try:
-        collect = mreg is not None
         ret = be.run(
             tasks,
             jobs=jobs,
-            collect_metrics=collect,
+            collect_metrics=mreg is not None,
             mode=mode,
             retries=retries,
             tracer=tracer,
+            collect_spans=tracer is not None,
+            collect_ledger=ledger is not None,
         )
         if ret is None:
             # mpi worker rank: it executed tasks for rank 0 and has no
@@ -231,8 +284,6 @@ def run_sweep(
                 _append_skipped(task, payload, attempts)
             else:
                 _append(task, payload, attempts)
-        if tracer is not None and be.name != "serial":
-            _synthesize_pool_trial_spans(tracer, sweep_span, tasks, records)
     finally:
         if sweep_span is not None:
             tracer.end(
@@ -254,6 +305,7 @@ def run_sweep(
         seed=_describe_root_seed(spec.seed),
         backend=be.name,
         backend_stats=stats,
+        ledger=sweep_ledger.summary() if sweep_ledger is not None else None,
     )
 
 
@@ -264,23 +316,3 @@ def _describe_root_seed(seed) -> Any:
     if isinstance(seed, np.random.SeedSequence):
         return describe_seed(seed)
     return repr(seed)
-
-
-def _synthesize_pool_trial_spans(tracer, sweep_span, tasks, records) -> None:
-    """Pool and mpi backends run trials in worker processes, out of reach
-    of the parent tracer — reconstruct approximate ``trial`` spans from
-    the telemetry instead: each worker's trials are laid back-to-back from
-    the sweep start on a ``worker <pid>`` track (per-trial wall durations
-    are exact; only the gaps between them are elided)."""
-    clocks: dict = {}
-    base = sweep_span.wall_start if sweep_span is not None else 0.0
-    for task, rec in zip(tasks, records):
-        offset = clocks.get(rec.worker, 0.0)
-        tracer.add(
-            f"trial {task.label}", cat="trial", track=f"worker {rec.worker}",
-            parent=sweep_span,
-            wall_start=base + offset, wall_dur=rec.wall_time,
-            args={"point": rec.point, "trial": rec.trial, "worker": rec.worker,
-                  "synthesized": True},
-        )
-        clocks[rec.worker] = offset + rec.wall_time

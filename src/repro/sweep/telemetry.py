@@ -27,8 +27,12 @@ __all__ = ["TrialRecord", "SweepResult", "TELEMETRY_SCHEMA_VERSION"]
 #: worker deaths) — and, with the work-stealing pool, failure accounting
 #: became per *task*: a hard worker death skips exactly the in-flight
 #: trial (``worker`` = the dead pid, or -1 when it died unattributed),
-#: never a whole chunk.
-TELEMETRY_SCHEMA_VERSION = 4
+#: never a whole chunk; 5 adds the ``ledger`` block — the merged
+#: :class:`~repro.obs.ledger.LoadLedger` summary (total charge, charge by
+#: binding restriction, flit totals, mean utilizations) accumulated from
+#: per-trial worker dumps in task order, present when a ledger was active
+#: during the sweep and ``None`` otherwise.
+TELEMETRY_SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -65,6 +69,9 @@ class SweepResult:
     #: the backend's execution report (worker task counts, steals, queue
     #: depth, worker deaths) — see ``repro.sweep.backends.new_stats``
     backend_stats: Dict[str, Any] = field(default_factory=dict)
+    #: merged :meth:`~repro.obs.ledger.LoadLedger.summary` accumulated
+    #: from per-trial dumps in task order (``None``: no ledger was active)
+    ledger: Any = None
 
     # -- columnar views -------------------------------------------------
     @property
@@ -182,6 +189,7 @@ class SweepResult:
                 "max_queue_depth": self.backend_stats.get("max_queue_depth", 0),
                 "worker_deaths": self.backend_stats.get("worker_deaths", 0),
             },
+            "ledger": self.ledger,
         }
 
     def to_dict(self, include_trials: bool = True) -> Dict[str, Any]:

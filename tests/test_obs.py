@@ -10,8 +10,16 @@ The layer's contract has three legs, each pinned here:
   spans vs ``TransportResult.time``), and the exported Chrome trace is
   valid ``trace_event`` JSON whose model-time events reproduce the run's
   cost breakdown;
-* **mergeable** — metrics aggregated across sweep workers (``jobs=N``)
-  are bit-identical to the serial run (``jobs=1``).
+* **mergeable** — metrics, ledgers and span trees aggregated across sweep
+  workers (``jobs=N``) are bit-identical to the serial run (``jobs=1``).
+
+The load-ledger leg additionally pins the paper-level claim: the ledger's
+per-superstep ``binding`` column says which restriction — the local
+per-processor limit ``g·h`` or the global aggregate limit ``f(m)`` —
+priced each barrier, its summed charges reconcile exactly with the
+model's :class:`~repro.core.costs.CostBreakdown` on every model, and the
+verdict genuinely *disagrees* between locally-limited and
+globally-limited twin machines on workloads the paper separates.
 """
 
 import json
@@ -19,22 +27,28 @@ import json
 import numpy as np
 import pytest
 
-from repro import BSPm, MachineParams
-from repro.algorithms import broadcast
+from repro import BSPg, BSPm, MachineParams, QSMg, QSMm, SelfSchedulingBSPm
+from repro.algorithms import broadcast, one_to_all, summation
 from repro.faults import FaultPlan
 from repro.faults.chaos import chaos_trial
 from repro.obs import (
+    LoadLedger,
     MetricsRegistry,
     Tracer,
+    active_ledger,
     active_metrics,
     active_tracer,
+    binding_of,
     build_manifest,
     chrome_trace,
     compare_bench,
     compare_files,
     cost_attribution_table,
+    ledger_scope,
+    ledger_table,
     manifest_path,
     metrics_scope,
+    prometheus_exposition,
     tracing,
     write_chrome_trace,
 )
@@ -376,22 +390,69 @@ class TestSweepObservability:
         assert sweep_span.args["completed"] == 4
         for s in trials:
             assert s.parent == sweep_span.index
+        # the worker-side run/superstep spans are spliced under each trial
+        runs = tr.find(cat="engine", name="run")
+        assert runs and all(s.parent is not None for s in runs)
 
-    def test_pool_trial_spans_are_synthesized(self):
+    def test_pool_trial_spans_are_real(self):
+        # pool workers trace their trials for real and ship the spans
+        # back — nothing is synthesized, and the tree matches serial
         tr = Tracer()
         with tracing(tr):
             result = run_sweep(_chaos_spec(), jobs=2)
         trials = tr.find(cat="trial")
         assert len(trials) == 4
-        assert all(s.args.get("synthesized") for s in trials)
+        assert not any(s.args.get("synthesized") for s in trials)
         assert {s.track for s in trials} == {
             f"worker {w}" for w in np.unique(result.workers)
         }
+        # real worker-side spans arrived underneath every trial span
+        for trial in trials:
+            assert tr.children(trial), f"no spliced spans under {trial.name}"
+
+    @staticmethod
+    def _span_tree(tracer):
+        """Order-independent span skeleton: (name, cat, model_dur) plus
+        the same triple for the parent (wall times legitimately differ
+        between serial and pool runs; model facts may not)."""
+
+        def key(s):
+            parent = tracer.spans[s.parent] if s.parent is not None else None
+            return (
+                s.name, s.cat, s.model_dur,
+                None if parent is None else (parent.name, parent.cat),
+            )
+
+        return sorted(
+            key(s) for s in tracer.spans
+            if s.cat not in ("sweep",)  # the sweep span's wall args differ
+        )
+
+    def test_span_trees_identical_across_job_counts(self):
+        trees = []
+        for jobs in (1, 2):
+            tr = Tracer()
+            with tracing(tr):
+                run_sweep(_chaos_spec(), jobs=jobs)
+            trees.append(self._span_tree(tr))
+        assert trees[0] == trees[1]
+
+    def test_ledger_identical_across_job_counts(self):
+        dumps = []
+        ledgers = []
+        for jobs in (1, 2):
+            book = LoadLedger(per_proc=False)
+            with ledger_scope(book):
+                result = run_sweep(_chaos_spec(), jobs=jobs)
+            dumps.append(book.to_dict(per_proc=False))
+            ledgers.append(result.ledger)
+        assert dumps[0] == dumps[1]  # bit-identical, not approximately
+        assert ledgers[0] == ledgers[1] and ledgers[0] is not None
 
     def test_telemetry_schema_and_seed(self):
         result = run_sweep(_chaos_spec(trials=2), jobs=1)
         tel = result.telemetry()
-        assert tel["schema_version"] == TELEMETRY_SCHEMA_VERSION == 4
+        assert tel["schema_version"] == TELEMETRY_SCHEMA_VERSION == 5
         assert tel["seed"] == 7
         assert tel["jobs"] == 1
 
@@ -400,8 +461,267 @@ class TestSweepObservability:
         path = tmp_path / "sweep.json"
         result.to_json(str(path))
         doc = json.loads(path.read_text())
-        assert doc["schema_version"] == 4 and doc["seed"] == 7
+        assert doc["schema_version"] == 5 and doc["seed"] == 7
         assert len(doc["trial_columns"]["wall_s"]) == 2
+        # no ledger installed -> the v5 block is present but null
+        assert doc["ledger"] is None
+
+    def test_telemetry_carries_ledger_block(self):
+        book = LoadLedger(per_proc=False)
+        with ledger_scope(book):
+            result = run_sweep(_chaos_spec(trials=2), jobs=1)
+        tel = result.telemetry()
+        assert tel["ledger"]["supersteps"] == len(book)
+        assert tel["ledger"]["charge"] == book.total_charge()
+
+
+def _matched(p=64, m=8, L=4.0):
+    return MachineParams.matched_pair(p=p, m=m, L=L)
+
+
+def _five_models(p=64, m=8, L=4.0):
+    """Every priced machine model, on its half of the matched pair."""
+    local, global_ = _matched(p, m, L)
+    return {
+        "BSP(g)": BSPg(local),
+        "BSP(m)": BSPm(global_),
+        "QSM(g)": QSMg(local),
+        "QSM(m)": QSMm(global_),
+        "BSP(m) self-sched": SelfSchedulingBSPm(global_),
+    }
+
+
+def _table1_programs(p=64):
+    return {
+        "one-to-all": lambda mach: one_to_all(mach),
+        "broadcast": lambda mach: broadcast(mach, 1),
+        "summation": lambda mach: summation(mach, [1.0] * p)[0],
+    }
+
+
+class TestLoadLedger:
+    def test_hook_default_off(self):
+        assert active_ledger() is None
+
+    def test_ledger_scope_restores_previous(self):
+        with ledger_scope() as book:
+            assert active_ledger() is book
+        assert active_ledger() is None
+
+    def test_disabled_model_time_bit_identical(self):
+        plain = _routed_run().time
+        with ledger_scope():
+            booked = _routed_run().time
+        assert booked == plain
+
+    def test_charges_reconcile_on_every_model_and_program(self):
+        # the ISSUE acceptance criterion: sum of per-superstep charges ==
+        # the model's priced time, for all five models, on every Table-1
+        # program — the ledger IS the CostBreakdown, re-read at the barrier
+        for prog_name, run in _table1_programs().items():
+            for model_name, machine in _five_models().items():
+                book = LoadLedger()
+                with ledger_scope(book):
+                    res = run(machine)
+                assert book.total_charge() == res.time, (
+                    f"{prog_name} on {model_name}: ledger "
+                    f"{book.total_charge()!r} != model {res.time!r}"
+                )
+                # the charge is the max-of-components rule, row by row
+                cols = book.columns
+                for i in range(len(book)):
+                    assert cols["charge"][i] == max(
+                        cols["work"][i], cols["local_band"][i],
+                        cols["global_band"][i], cols["latency"][i],
+                        cols["contention"][i],
+                    )
+
+    def test_routing_charges_reconcile(self):
+        book = LoadLedger()
+        with ledger_scope(book):
+            res = _routed_run()
+        assert book.total_charge() == res.time
+        assert len(book) == len(res.records)
+
+    def test_binding_matches_breakdown_dominant(self):
+        book = LoadLedger()
+        with ledger_scope(book):
+            res = one_to_all(QSMm(_matched()[1]))
+        for i, rec in enumerate(res.records):
+            assert book.columns["binding"][i] == binding_of(rec.breakdown)
+
+    def test_binding_disagrees_between_twin_models(self):
+        # the paper's point: on a balanced h-relation the globally-limited
+        # twin saturates f(m) while the locally-limited twin prices the
+        # same barrier at g·h — the ledger must expose that disagreement
+        from repro.workloads import balanced_h_relation
+
+        local, global_ = _matched(p=32, m=4, L=1.0)
+        rel = balanced_h_relation(32, 8, seed=0)
+        sched = unbalanced_send(rel, 4, 0.2, seed=1)
+        verdicts = {}
+        for name, machine in (("local", BSPg(local)), ("global", BSPm(global_))):
+            book = LoadLedger()
+            with ledger_scope(book):
+                execute_schedule(machine, sched)
+            verdicts[name] = list(book.columns["binding"])
+        assert verdicts["local"] != verdicts["global"]
+        assert "global" in verdicts["global"]
+        assert all(v != "global" for v in verdicts["local"])
+
+    def test_run_result_exposes_a_view(self):
+        with ledger_scope() as book:
+            a = one_to_all(QSMm(_matched()[1]))
+            b = one_to_all(QSMm(_matched()[1]))
+        assert a.ledger is not None and b.ledger is not None
+        assert len(a.ledger) + len(b.ledger) == len(book)
+        assert a.ledger.total_charge() == a.time
+        assert b.ledger.total_charge() == b.time
+        # the second view starts where the first stopped
+        assert b.ledger.start == a.ledger.stop
+
+    def test_per_proc_detail_recorded_for_small_p(self):
+        book = LoadLedger()
+        with ledger_scope(book):
+            broadcast(_machine(p=16, m=4, L=1.0), 1)
+        sent = book.proc_columns["sent_by_proc"]
+        assert sent and all(row is not None for row in sent)
+        for i, row in enumerate(sent):
+            assert sum(row) == book.columns["sent"][i]
+
+    def test_dump_roundtrip_and_merge(self):
+        book = LoadLedger()
+        with ledger_scope(book):
+            one_to_all(QSMm(_matched()[1]))
+        dump = json.loads(json.dumps(book.to_dict(), default=float))
+        other = LoadLedger()
+        other.merge_dump(dump)
+        assert other.to_dict()["columns"] == book.to_dict()["columns"]
+        assert other.summary() == book.summary()
+
+    def test_ledger_table_renders(self):
+        book = LoadLedger()
+        with ledger_scope(book):
+            one_to_all(QSMm(_matched()[1]))
+        text = ledger_table(book)
+        assert "binding" in text and "which restriction bound" in text
+        # and straight from a JSON dump
+        assert "binding" in ledger_table(book.to_dict())
+
+    def test_chrome_trace_counter_track(self, tmp_path):
+        tr = Tracer()
+        book = LoadLedger()
+        with tracing(tr), ledger_scope(book):
+            _routed_run()
+        doc = chrome_trace(tr, ledger=book)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters, "expected ledger counter events"
+        names = {e["name"] for e in counters}
+        assert names == {"ledger load", "ledger utilization"}
+        loads = [e for e in counters if e["name"] == "ledger load"]
+        assert max(e["args"]["h"] for e in loads) == max(book.columns["h"])
+        thread_meta = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["args"]["name"] == "bandwidth ledger"
+        ]
+        assert len(thread_meta) == 1
+        # without a ledger the trace has no counter track
+        assert not [
+            e for e in chrome_trace(tr)["traceEvents"] if e["ph"] == "C"
+        ]
+
+
+class TestPrometheusExposition:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests.ok").inc(3)
+        reg.gauge("queue.depth").set(2)
+        h = reg.histogram("round.window", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        return reg
+
+    def test_shape_and_naming(self):
+        text = prometheus_exposition(self._registry())
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        assert "serve_requests_ok_total 3" in lines
+        assert "queue_depth 2" in lines
+        assert "# TYPE serve_requests_ok_total counter" in lines
+        assert "# TYPE round_window histogram" in lines
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = prometheus_exposition(self._registry())
+        assert 'round_window_bucket{le="1"} 1' in text
+        assert 'round_window_bucket{le="10"} 2' in text
+        assert 'round_window_bucket{le="+Inf"} 3' in text
+        assert "round_window_sum 55.5" in text
+        assert "round_window_count 3" in text
+
+    def test_accepts_a_dump_dict(self):
+        reg = self._registry()
+        assert prometheus_exposition(reg.to_dict()) == prometheus_exposition(reg)
+
+    def test_every_sample_line_parses(self):
+        for line in prometheus_exposition(self._registry()).splitlines():
+            if line and not line.startswith("#"):
+                _name, _, value = line.rpartition(" ")
+                float(value)
+
+
+class TestTopRendering:
+    def test_daemon_frame(self):
+        from repro.obs.top import render_frame
+
+        lines = render_frame({
+            "source": "daemon http://x:1", "status": "serving",
+            "queue_depth": 3, "in_flight": 1, "outstanding": 4,
+            "budget_m": 64,
+            "counters": {"serve.requests.ok": 7, "serve.shed.queue_full": 2},
+            "rounds": [{"seq": 1, "window": 32, "overloaded_slots": 0,
+                        "requests": 4, "queue_depth": 3, "cache_hits": 1}],
+        })
+        text = "\n".join(lines)
+        assert "serving" in text and "queue    3" in text
+        assert "vs m=64" in text and "ok 7" in text
+        assert "shed: queue_full=2" in text
+
+    def test_sweep_frame_with_ledger(self):
+        from repro.obs.top import render_frame
+
+        lines = render_frame({
+            "source": "file s.json", "status": "chaos",
+            "trials": 8, "jobs": 2, "elapsed_s": 0.5, "utilization": 0.9,
+            "counters": {"cache.hits": 1},
+            "workers": {"10": 0.2, "11": 0.3}, "steals": 1,
+            "ledger": {"supersteps": 6, "charge": 100.0, "max_h": 9.0,
+                       "charge_by_binding": {"local": 75.0, "global": 25.0},
+                       "util_local_mean": 0.8, "util_global_mean": 0.5},
+        })
+        text = "\n".join(lines)
+        assert "utilization 0.90" in text
+        assert "steals=1" in text and "ledger: 6 supersteps" in text
+        assert "75.0%" in text and "25.0%" in text
+
+    def test_error_frame(self):
+        from repro.obs.top import render_frame
+
+        lines = render_frame({"source": "daemon x", "status": "unreachable",
+                              "error": "ConnectionRefusedError: nope"})
+        assert any("ConnectionRefusedError" in line for line in lines)
+
+    def test_file_source_reads_telemetry(self, tmp_path):
+        from repro.obs.top import FileSource
+
+        result = run_sweep(_chaos_spec(trials=2), jobs=1)
+        path = tmp_path / "tel.json"
+        result.to_json(str(path))
+        frame = FileSource(str(path)).frame()
+        assert frame["status"] == "chaos"
+        assert frame["trials"] == 2
+        lines_missing = FileSource(str(tmp_path / "nope.json")).frame()
+        assert lines_missing["status"] == "unreadable"
 
 
 class TestCompare:
@@ -521,3 +841,61 @@ class TestCLI:
         b.write_text(json.dumps({"routing": {"msgs_per_s": 10.0}}))
         assert main(["compare", str(a), str(b)]) == 1
         assert "regression" in capsys.readouterr().out
+
+    def test_compare_json_output(self, tmp_path, capsys):
+        from repro.harness import main
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"routing": {"msgs_per_s": 100.0}}))
+        b.write_text(json.dumps({"routing": {"msgs_per_s": 10.0}}))
+        # exit codes unchanged; stdout is strict JSON
+        assert main(["compare", str(a), str(b), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False and doc["regressions"] == 1
+        assert doc["rows"][0]["status"] == "regression"
+        out_path = tmp_path / "cmp.json"
+        assert main(["compare", str(a), str(b), "--json", str(out_path)]) == 1
+        assert json.loads(out_path.read_text())["ok"] is False
+
+    def test_ledger_cli_runs_and_roundtrips(self, tmp_path, capsys):
+        from repro.harness import main
+
+        dump = tmp_path / "led.json"
+        code = main(["ledger", "one-to-all", "--model", "qsm-m",
+                     "--p", "64", "--m", "8", "--json", str(dump)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "binding" in out and "total charge" in out
+        doc = json.loads(dump.read_text())
+        assert doc["summary"]["supersteps"] == len(doc["columns"]["charge"])
+        # --from re-renders the archived dump without running anything
+        assert main(["ledger", "--from", str(dump)]) == 0
+        assert "which restriction bound" in capsys.readouterr().out
+        # no program and no --from is an error
+        assert main(["ledger"]) == 2
+
+    def test_ledger_observability_flag(self, tmp_path, capsys):
+        from repro.harness import main
+
+        led = tmp_path / "led.json"
+        code = main(["measure", "--p", "16", "--m", "4", "--ledger", str(led)])
+        assert code == 0
+        doc = json.loads(led.read_text())
+        assert doc["columns"]["charge"]
+        manifest = json.loads((tmp_path / "led.json.manifest.json").read_text())
+        assert manifest["ledger_path"] == str(led)
+        assert active_ledger() is None  # scope did not leak
+        assert "binding:" in capsys.readouterr().out
+
+    def test_top_once_renders_telemetry_file(self, tmp_path, capsys):
+        from repro.harness import main
+
+        result = run_sweep(_chaos_spec(trials=2), jobs=1)
+        path = tmp_path / "tel.json"
+        result.to_json(str(path))
+        assert main(["top", "--telemetry", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out and "trials 2" in out
+        # exactly one source is required
+        assert main(["top", "--once"]) == 2

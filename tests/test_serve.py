@@ -274,6 +274,99 @@ class TestDaemon:
 
 
 # ----------------------------------------------------------------------
+# streaming telemetry: Prometheus exposition, event long-poll, repro top
+# ----------------------------------------------------------------------
+class TestStreamingTelemetry:
+    def test_prometheus_exposition(self, served):
+        server, client = served
+        client.ping()
+        status, headers, raw = client._call_raw("GET", "/v1/metrics?format=prom")
+        assert status == 200
+        assert headers["Content-Type"] == "text/plain; version=0.0.4; charset=utf-8"
+        assert int(headers["Content-Length"]) == len(raw)
+        text = raw.decode()
+        assert any(
+            line.startswith("serve_requests_ok_total ")
+            for line in text.splitlines()
+        )
+        assert "# TYPE serve_requests_ok_total counter" in text
+        assert client.metrics_prom() == text  # the client helper agrees
+
+    def test_json_replies_carry_charset_and_length(self, served):
+        server, client = served
+        for path in ("/v1/healthz", "/v1/metrics", "/v1/stats"):
+            status, headers, raw = client._call_raw("GET", path)
+            assert status == 200, path
+            assert headers["Content-Type"] == "application/json; charset=utf-8"
+            assert int(headers["Content-Length"]) == len(raw)
+
+    def test_unknown_format_is_structured_406(self, served):
+        server, client = served
+        with pytest.raises(ServeRequestError) as exc:
+            client._call_raw("GET", "/v1/metrics?format=xml")
+        assert exc.value.code == "E_NOT_ACCEPTABLE"
+        assert exc.value.http_status == 406
+        assert exc.value.extra["supported"] == ["json", "prom"]
+
+    def test_events_long_poll_sees_admission_rounds(self, served):
+        server, client = served
+        # subscribe first, then submit: the poll must wake on the round
+        got = {}
+
+        def poll():
+            got["events"], got["seq"] = client.events(since=0, timeout=30.0)
+
+        t = threading.Thread(target=poll)
+        t.start()
+        client.submit("scenario", dict(SCENARIO, p=8, n=400), seed=5)
+        t.join(timeout=60)
+        assert not t.is_alive()
+        rounds = [e for e in got["events"] if e["kind"] == "round"]
+        assert rounds, got
+        assert {"seq", "t", "window", "requests", "queue_depth"} <= set(rounds[0])
+        assert got["seq"] >= rounds[-1]["seq"]
+        # cursor semantics: nothing new -> empty batch, cursor preserved
+        events, seq = client.events(since=got["seq"], timeout=0.2)
+        assert events == [] and seq == got["seq"]
+
+    def test_event_ring_is_bounded(self):
+        from repro.serve.telemetry import EVENT_RING_SIZE, ServerMetrics
+
+        metrics = ServerMetrics()
+        for i in range(EVENT_RING_SIZE + 10):
+            metrics.emit_event("round", window=i)
+        events, latest = metrics.wait_events(0, timeout=0.0)
+        assert len(events) == EVENT_RING_SIZE
+        assert latest == EVENT_RING_SIZE + 10
+        # the oldest events fell off the ring
+        assert events[0]["seq"] == 11
+
+    def test_top_against_live_chaos_daemon(self, tmp_path):
+        """The acceptance criterion: ``repro top`` attaches to a chaos-plan
+        daemon, renders, and perturbs nothing — the served results stay
+        bit-identical to the direct library call."""
+        from repro.obs.top import DaemonSource, render_frame
+
+        server, client = make_server(
+            tmp_path, chaos=ChaosPlan(seed=3, kill_first=1)
+        )
+        try:
+            source = DaemonSource(ServeClient(server.url, timeout=60))
+            frame0 = source.frame()
+            assert frame0["status"] == "serving"
+            got = client.submit("scenario", SCENARIO, seed=21)
+            frame = source.frame()
+            text = "\n".join(render_frame(frame))
+            assert "repro top" in text and "serving" in text
+            assert frame["counters"]["serve.requests.ok"] >= 1
+            # top is read-only: the daemon's answer matches the library
+            want = run_scenario(SCENARIO, 21)
+            assert got["result"] == _json_roundtrip(want)
+        finally:
+            server.drain(timeout=30)
+
+
+# ----------------------------------------------------------------------
 # process engine + UDS transport
 # ----------------------------------------------------------------------
 class TestProcessEngine:
@@ -307,6 +400,33 @@ class TestProcessEngine:
             assert "choices" in exc.value.extra
         finally:
             server.drain(timeout=30)
+
+    def test_process_engine_ships_real_worker_spans(self, tmp_path):
+        """With a tracer installed in the daemon process, a process-engine
+        request splices the worker's *real* superstep spans under a
+        ``serve <kind>`` span — model durations included."""
+        from repro.obs import Tracer, tracing
+
+        server, client = make_server(
+            tmp_path, executor=ExecutorConfig(workers=2, engine="process")
+        )
+        tracer = Tracer()
+        try:
+            with tracing(tracer):
+                got = client.submit("scenario", SCENARIO, seed=31)
+        finally:
+            server.drain(timeout=30)
+        (serve_span,) = tracer.find(cat="serve")
+        assert serve_span.name == "serve scenario"
+        supersteps = tracer.find(cat="superstep")
+        assert supersteps, "worker superstep spans did not arrive"
+        assert sum(s.model_dur for s in supersteps) == got["result"]["model_time"]
+        # the worker's top-level spans hang off the serve span
+        roots = [
+            s for s in tracer.spans
+            if s.parent == serve_span.index and s is not serve_span
+        ]
+        assert roots
 
     def test_process_engine_crash_quarantines(self, tmp_path):
         """A handler that keeps crashing inside a pool worker walks the
