@@ -13,6 +13,13 @@ be bit-identical across engine rewrites:
   freeze path).
 * **delivery** — a balanced total exchange (p·(p−1) messages through one
   ``_deliver``-dominated superstep).
+* **batched-replay** — the routing program compiled once and re-priced
+  across a B=64 grid of ``(m, L)`` machines, sequentially
+  (``compiled.replay`` per machine) vs. in one
+  :func:`repro.core.batched.replay_batch` pass.  Per-trial results must be
+  bit-identical (asserted unconditionally); the amortized-throughput floor
+  (``BENCH_BATCHED_FLOOR``, default 5x) is gated only when batched pricing
+  actually engaged.
 
 The routing profile is additionally measured with the fused path disabled
 (``fused_vs_legacy`` ratio), and the qsm profile asserts the
@@ -25,7 +32,9 @@ Run standalone to (re)generate the regression baseline::
 
 which writes ``BENCH_engine.json`` (messages/s per profile plus the pinned
 model times) to the repository root, or under pytest-benchmark like every
-other file in this directory.
+other file in this directory.  ``BENCH_ENGINE_PROFILES=batched-replay``
+(comma-separated names) restricts a run to a subset of profiles — the CI
+gating job uses it to re-run only the batched leg.
 """
 
 import json
@@ -52,6 +61,11 @@ SPEEDUP_FLOOR = 15.0
 # Pinned model times: the optimization contract is that *no* model time
 # moves.  These are deterministic (fixed seeds), so equality is exact.
 ROUTING_MODEL_TIME = 750.2839547352119
+
+# Amortized per-trial throughput floor for the batched-replay profile:
+# replay_batch at B=64 must beat sequential replay by at least this factor
+# (only gated when batched pricing actually engaged — identity always is).
+BATCHED_SPEEDUP_FLOOR = float(os.environ.get("BENCH_BATCHED_FLOOR", "5.0"))
 
 
 def _routing_profile():
@@ -135,52 +149,134 @@ def _delivery_profile(p=192):
     }
 
 
-def run_all():
+def _batched_profile():
+    from repro.core.batched import replay_batch, supports_batched_replay
+    from repro.scheduling.execute import compile_schedule
+
+    rel = uniform_random_relation(256, 40_000, seed=0)
+    sched = unbalanced_send(rel, 64, 0.2, seed=1)
+    compiled = compile_schedule(sched)
+    ms = (16, 24, 32, 48, 64, 96, 128, 192)
+    Ls = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+    def grid():
+        return [BSPm(MachineParams(p=256, m=m, L=L)) for m in ms for L in Ls]
+
+    seq_machines = grid()
+    t0 = time.perf_counter()
+    seq = [compiled.replay(mach) for mach in seq_machines]
+    dt_seq = time.perf_counter() - t0
+    bat_machines = grid()
+    engaged = supports_batched_replay(bat_machines[0])
+    t0 = time.perf_counter()
+    bat = replay_batch(compiled, bat_machines)
+    dt_bat = time.perf_counter() - t0
+    # identity contract — asserted unconditionally, engaged or not
+    for mach, a, b in zip(seq_machines, seq, bat):
+        assert b.time == a.time, f"model time moved at m={mach.params.m} L={mach.params.L}"
+        assert len(b.records) == len(a.records)
+        for ra, rb in zip(a.records, b.records):
+            assert rb.stats == ra.stats
+            assert rb.cost == ra.cost
+        if mach.params.m == 64 and mach.params.L == 1.0:
+            assert b.time == ROUTING_MODEL_TIME  # the routing profile's cell
+    B = len(seq_machines)
     return {
-        "routing": _routing_profile(),
-        "qsm-phases": _qsm_profile(),
-        "delivery": _delivery_profile(),
+        "trials": B,
+        "engaged": engaged,
+        "seq_seconds": dt_seq,
+        "batched_seconds": dt_bat,
+        "trials_per_s": B / dt_bat,
+        "amortized_trial_ms": 1e3 * dt_bat / B,
+        "batched_speedup": dt_seq / dt_bat,
     }
 
 
+_PROFILES = {
+    "routing": _routing_profile,
+    "qsm-phases": _qsm_profile,
+    "delivery": _delivery_profile,
+    "batched-replay": _batched_profile,
+}
+
+
+def run_all():
+    names = os.environ.get("BENCH_ENGINE_PROFILES", "")
+    selected = [s.strip() for s in names.split(",") if s.strip()] or list(_PROFILES)
+    unknown = sorted(set(selected) - set(_PROFILES))
+    if unknown:
+        raise SystemExit(
+            f"unknown BENCH_ENGINE_PROFILES {unknown}; choose from {sorted(_PROFILES)}"
+        )
+    return {name: _PROFILES[name]() for name in selected}
+
+
 def _report(data):
+    rows = []
+    if "routing" in data:
+        rows.append(["routing (40k route-verify)", data["routing"]["messages"],
+                     data["routing"]["seconds"], data["routing"]["msgs_per_s"],
+                     data["routing"]["model_time"]])
+        rows.append(["routing (legacy trampoline)", data["routing"]["messages"],
+                     "-", data["routing"]["legacy_msgs_per_s"],
+                     data["routing"]["model_time"]])
+    if "qsm-phases" in data:
+        rows.append(["qsm phases (dense mem)", data["qsm-phases"]["requests"],
+                     data["qsm-phases"]["seconds"], data["qsm-phases"]["reqs_per_s"],
+                     data["qsm-phases"]["model_time"]])
+    if "delivery" in data:
+        rows.append(["delivery (total exchange)", data["delivery"]["messages"],
+                     data["delivery"]["seconds"], data["delivery"]["msgs_per_s"],
+                     data["delivery"]["model_time"]])
+    if "batched-replay" in data:
+        b = data["batched-replay"]
+        rows.append([f"batched replay (B={b['trials']})", b["trials"],
+                     b["batched_seconds"], b["trials_per_s"], "-"])
     emit(
         "engine throughput (fused superstep path)",
         ["profile", "volume", "seconds", "throughput/s", "model time"],
-        [
-            ["routing (40k route-verify)", data["routing"]["messages"],
-             data["routing"]["seconds"], data["routing"]["msgs_per_s"],
-             data["routing"]["model_time"]],
-            ["routing (legacy trampoline)", data["routing"]["messages"],
-             "-", data["routing"]["legacy_msgs_per_s"],
-             data["routing"]["model_time"]],
-            ["qsm phases (dense mem)", data["qsm-phases"]["requests"],
-             data["qsm-phases"]["seconds"], data["qsm-phases"]["reqs_per_s"],
-             data["qsm-phases"]["model_time"]],
-            ["delivery (total exchange)", data["delivery"]["messages"],
-             data["delivery"]["seconds"], data["delivery"]["msgs_per_s"],
-             data["delivery"]["model_time"]],
-        ],
+        rows,
     )
-    print(f"fused vs legacy (routing): {data['routing']['fused_vs_legacy']:.2f}x")
+    if "routing" in data:
+        print(f"fused vs legacy (routing): {data['routing']['fused_vs_legacy']:.2f}x")
+    if "batched-replay" in data:
+        b = data["batched-replay"]
+        print(
+            f"batched vs sequential replay (B={b['trials']}): "
+            f"{b['batched_speedup']:.1f}x "
+            f"({b['amortized_trial_ms']:.3f} ms/trial amortized, "
+            f"engaged={b['engaged']})"
+        )
 
 
 def _check(data):
-    # Optimizations must never move a model time.
-    assert data["routing"]["model_time"] == ROUTING_MODEL_TIME
-    # Acceptance floor: >= 5x the seed engine's routing throughput.
-    speedup = data["routing"]["msgs_per_s"] / SEED_ROUTING_MSGS_PER_S
-    assert speedup >= SPEEDUP_FLOOR, (
-        f"routing throughput regressed: {data['routing']['msgs_per_s']:.0f} msg/s "
-        f"is only {speedup:.1f}x the seed baseline (need >= {SPEEDUP_FLOOR}x)"
-    )
+    if "routing" in data:
+        # Optimizations must never move a model time.
+        assert data["routing"]["model_time"] == ROUTING_MODEL_TIME
+        # Acceptance floor: >= 5x the seed engine's routing throughput.
+        speedup = data["routing"]["msgs_per_s"] / SEED_ROUTING_MSGS_PER_S
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"routing throughput regressed: {data['routing']['msgs_per_s']:.0f} msg/s "
+            f"is only {speedup:.1f}x the seed baseline (need >= {SPEEDUP_FLOOR}x)"
+        )
+    if "batched-replay" in data:
+        b = data["batched-replay"]
+        # the identity contract was asserted while profiling; the speedup
+        # floor applies only when batched pricing actually engaged
+        if b["engaged"]:
+            assert b["batched_speedup"] >= BATCHED_SPEEDUP_FLOOR, (
+                f"batched replay at B={b['trials']} is only "
+                f"{b['batched_speedup']:.1f}x sequential "
+                f"(need >= {BATCHED_SPEEDUP_FLOOR}x)"
+            )
 
 
 def write_baseline(path="BENCH_engine.json"):
     data = run_all()
-    data["routing"]["speedup_vs_seed"] = (
-        data["routing"]["msgs_per_s"] / SEED_ROUTING_MSGS_PER_S
-    )
+    if "routing" in data:
+        data["routing"]["speedup_vs_seed"] = (
+            data["routing"]["msgs_per_s"] / SEED_ROUTING_MSGS_PER_S
+        )
     with open(path, "w") as fh:
         json.dump(data, fh, indent=2)
         fh.write("\n")
@@ -199,5 +295,7 @@ if __name__ == "__main__":
     result = write_baseline(out)
     _report(result)
     _check(result)
-    print(f"\nwrote {out}  "
-          f"(routing speedup vs seed: {result['routing']['speedup_vs_seed']:.1f}x)")
+    tail = ""
+    if "routing" in result:
+        tail = f"  (routing speedup vs seed: {result['routing']['speedup_vs_seed']:.1f}x)"
+    print(f"\nwrote {out}{tail}")

@@ -34,9 +34,17 @@ knobs (the CI smoke uses all of them):
     on a box with mpi4py — see ``run_cluster_scaling.sh`` for the
     multi-rank harness);
 ``BENCH_SWEEP_FLOOR``
-    speedup floor asserted at 4 jobs, default 2.5.
+    speedup floor asserted at 4 jobs, default 2.5;
+``BENCH_SWEEP_BATCHED_FLOOR``
+    sweep-level speedup floor of the batched block, default 3.0.
 
 Identity is asserted everywhere; the floor only where ``cores >= jobs``.
+
+The run also times the **batched** block: ``pricing_ablation`` (one
+compiled routing program re-priced over a 64-cell ``(m, L)`` grid) with
+``batch=False`` vs ``batch=True`` on the serial backend.  Cell outputs
+must be identical (always asserted); the batched floor is gated only when
+fingerprint grouping actually engaged.
 """
 
 import json
@@ -62,6 +70,10 @@ BACKENDS = [
 #: acceptance floor at 4 jobs (asserted only where >= 4 cores exist)
 SPEEDUP_FLOOR_4 = float(os.environ.get("BENCH_SWEEP_FLOOR", "2.5"))
 
+#: sweep-level floor of batch=True over batch=False on pricing_ablation
+#: (asserted only when fingerprint grouping engaged; identity always is)
+BATCHED_SPEEDUP_FLOOR = float(os.environ.get("BENCH_SWEEP_BATCHED_FLOOR", "3.0"))
+
 
 def _run(backend: str, jobs: int):
     t0 = time.perf_counter()
@@ -72,6 +84,33 @@ def _run(backend: str, jobs: int):
     elapsed = time.perf_counter() - t0
     telemetry = out.pop("sweep_telemetry")  # timing data, excluded from identity
     return out, telemetry, elapsed
+
+
+def _run_batched():
+    """pricing_ablation with batching off vs on: the whole-sweep view of
+    batched replay (setup + grouping + dispatch included, unlike the
+    engine bench's pure replay loop)."""
+    from repro.experiments import pricing_ablation
+
+    t0 = time.perf_counter()
+    off = pricing_ablation(seed=SEED, jobs=1, batch=False)
+    dt_off = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    on = pricing_ablation(seed=SEED, jobs=1, batch=True)
+    dt_on = time.perf_counter() - t0
+    stats = on.pop("batch")
+    off.pop("batch")
+    return {
+        "trials": len(on["cells"]),
+        "elapsed_off_s": dt_off,
+        "elapsed_on_s": dt_on,
+        "batched_speedup": dt_off / dt_on,
+        "identical": on == off,
+        "engaged": bool(stats.get("enabled")),
+        "amortization": stats.get("amortization"),
+        "groups": stats.get("groups"),
+        "batched_trials": stats.get("batched_trials"),
+    }
 
 
 def run_all():
@@ -113,6 +152,7 @@ def run_all():
             }
         data["backends"][backend] = {"jobs": jobs_block}
     data["serial_elapsed_s"] = serial_s
+    data["batched"] = _run_batched()
     return data
 
 
@@ -134,6 +174,14 @@ def _report(data):
          "steals", "identical", "floor asserted"],
         rows,
     )
+    b = data.get("batched")
+    if b:
+        print(
+            f"batched sweep (pricing_ablation, {b['trials']} trials): "
+            f"{b['batched_speedup']:.2f}x over per-trial dispatch "
+            f"(amortization {b['amortization']:.1f}, identical={b['identical']}, "
+            f"engaged={b['engaged']})"
+        )
 
 
 def _check(data):
@@ -155,6 +203,17 @@ def _check(data):
             assert speedup >= SPEEDUP_FLOOR_4, (
                 f"backend={backend} 4-job speedup {speedup:.2f}x below the "
                 f"{SPEEDUP_FLOOR_4}x floor on a {cores}-core machine"
+            )
+    b = data.get("batched")
+    if b:
+        assert b["identical"], (
+            "batched sweep output diverged from per-trial dispatch — "
+            "batch_run broke the bit-identity contract"
+        )
+        if b["engaged"]:
+            assert b["batched_speedup"] >= BATCHED_SPEEDUP_FLOOR, (
+                f"batched sweep speedup {b['batched_speedup']:.2f}x below "
+                f"the {BATCHED_SPEEDUP_FLOOR}x floor"
             )
 
 

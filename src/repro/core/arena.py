@@ -42,6 +42,7 @@ from repro.core.events import (
     _column_take,
     _concat_columns,
 )
+from repro.core.kernels import stable_group_order
 
 __all__ = ["SendArena", "RequestArena"]
 
@@ -219,7 +220,9 @@ class SendArena(_ColumnArena):
             payload,
         )
         if self._out_of_order:
-            order = np.argsort(batch.src, kind="stable")
+            # same permutation as np.argsort(kind="stable"), via the ~7×
+            # faster combined-key sort (pids are small non-negative ints)
+            order = stable_group_order(batch.src, int(batch.src.max()))
             batch = batch.take(order)
         return batch
 
@@ -372,7 +375,7 @@ class RequestArena(_ColumnArena):
         program appended out of pid order (rare; see module docstring).
         Each handle span belongs to one processor's contiguous appends, so
         spans stay contiguous under the stable sort and only shift."""
-        order = np.argsort(batch.pid, kind="stable")
+        order = stable_group_order(batch.pid, int(batch.pid.max()))
         inv = np.empty(order.size, dtype=_I64)
         inv[order] = np.arange(order.size, dtype=_I64)
         addr = batch.addr

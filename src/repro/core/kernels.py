@@ -41,7 +41,9 @@ __all__ = [
     "KIND_EXPONENTIAL",
     "KIND_POLYNOMIAL",
     "penalty_charges",
+    "penalty_charges_batched",
     "slot_charge_stats",
+    "slot_charge_stats_batched",
     "stable_group_order",
     "group_bounds",
 ]
@@ -157,6 +159,81 @@ def slot_charge_stats(
     c_m_paper = float(np.sum(charges))
     span = float(counts.size)
     overloaded = int(np.sum(counts > m))
+    max_load = int(counts.max())
+    return comm, c_m_paper, span, overloaded, max_load
+
+
+def penalty_charges_batched(
+    counts: np.ndarray, m_col, kind: int, param: float = 0.0
+) -> np.ndarray:
+    """``(B, S)`` matrix of per-slot charges over one shared histogram.
+
+    Row ``b`` is bit-identical to ``penalty_charges(counts, m_col[b], kind,
+    param)`` *by construction*: rows with equal ``m`` are evaluated once
+    through the active 1-D kernel (JIT or NumPy fallback — whichever this
+    process selected) and broadcast back, so the batch axis adds no new
+    floating-point path that could drift from the sequential one.  A sweep
+    grid typically has far fewer distinct ``m`` values than trials, so this
+    is also the cheaper evaluation order.
+    """
+    m_arr = np.asarray(m_col, dtype=np.float64)
+    counts_arr = np.asarray(counts)
+    out = np.empty((m_arr.size, counts_arr.size), dtype=np.float64)
+    uniq, inverse = np.unique(m_arr, return_inverse=True)
+    for u in range(uniq.size):
+        out[inverse == u] = penalty_charges(counts_arr, uniq[u], kind, param)
+    return out
+
+
+def slot_charge_stats_batched(counts: np.ndarray, m_col, penalties):
+    """Batched :func:`slot_charge_stats` over one shared slot histogram.
+
+    ``counts`` is the histogram of a single recorded superstep; ``m_col``
+    and ``penalties`` give the per-trial aggregate-bandwidth limit and
+    penalty function for each of the ``B`` trials.  Returns ``(comm,
+    c_m_paper, span, overloaded, max_load)`` where ``comm``/``c_m_paper``/
+    ``overloaded`` are length-``B`` arrays and ``span``/``max_load`` are
+    scalars shared by every trial.
+
+    Bit-identity contract: row ``b`` equals ``slot_charge_stats(counts,
+    m_col[b], penalties[b])`` exactly — each distinct ``(penalty family,
+    m)`` charge vector comes from the same kernel call the sequential path
+    makes, and the per-trial reductions are the same ``np.sum`` applied
+    along ``axis=1`` of the stacked charge matrix (axis reductions over a
+    C-contiguous row use the same pairwise summation order as the 1-D
+    call).
+    """
+    B = len(penalties)
+    if counts.size == 0:
+        zeros = np.zeros(B, dtype=np.float64)
+        return zeros, zeros.copy(), 0.0, np.zeros(B, dtype=_I64), 0
+    charges = np.empty((B, counts.size), dtype=np.float64)
+    cache: dict = {}
+    for b in range(B):
+        pen = penalties[b]
+        m = m_col[b]
+        kind: Optional[int] = getattr(pen, "kernel_kind", None)
+        if kind is not None:
+            key = (kind, float(getattr(pen, "kernel_param", 0.0)), float(m))
+        else:
+            key = (id(pen), float(m))
+        row = cache.get(key)
+        if row is None:
+            if kind is not None:
+                row = penalty_charges(
+                    counts, m, kind, getattr(pen, "kernel_param", 0.0)
+                )
+            else:
+                row = np.asarray(pen(counts, m), dtype=np.float64)
+            cache[key] = row
+        charges[b] = row
+    comm = np.sum(np.maximum(charges, 1.0), axis=1)
+    c_m_paper = np.sum(charges, axis=1)
+    span = float(counts.size)
+    m_arr = np.asarray(m_col)
+    overloaded = np.sum(
+        np.asarray(counts)[None, :] > m_arr[:, None], axis=1, dtype=_I64
+    )
     max_load = int(counts.max())
     return comm, c_m_paper, span, overloaded, max_load
 

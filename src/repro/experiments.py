@@ -412,6 +412,126 @@ def sensitivity_grid(
     return out
 
 
+_ABLATION_MODELS = ("bsp_g", "bsp_m", "self_scheduling")
+
+
+def _ablation_machine(compiled, model: str, g: float, m: int, L: float):
+    """A fresh machine for one pricing-ablation cell (message-passing
+    models only — the recorded schedule routes point-to-point flits)."""
+    from repro.models.bsp_g import BSPg
+    from repro.models.bsp_m import BSPm
+    from repro.models.self_scheduling import SelfSchedulingBSPm
+
+    params = MachineParams(p=compiled.p, g=g, m=m, L=L)
+    if model == "bsp_g":
+        return BSPg(params)
+    if model == "bsp_m":
+        return BSPm(params)
+    if model == "self_scheduling":
+        return SelfSchedulingBSPm(params)
+    raise ValueError(
+        f"unknown ablation model {model!r}; choose from {_ABLATION_MODELS}"
+    )
+
+
+def _replay_summary(res) -> Dict[str, Any]:
+    """JSON-ready cell output of one replay."""
+    rec = res.records[0]
+    return {
+        "model_time": float(res.time),
+        "supersteps": len(res.records),
+        "c_m": rec.stats.get("c_m"),
+    }
+
+
+def _pricing_ablation_trial(
+    compiled, model: str, g: float, m: int, L: float, seed
+) -> Dict[str, Any]:
+    """One pricing-ablation cell: replay the recorded schedule under one
+    ``(g, m, L)`` parameter point (deterministic — ``seed`` unused)."""
+    return _replay_summary(compiled.replay(_ablation_machine(compiled, model, g, m, L)))
+
+
+def _pricing_ablation_batch(params_list, seeds) -> List[Dict[str, Any]]:
+    """Fused pricing-ablation pass: one :func:`repro.core.batched.replay_batch`
+    call prices the shared structure under every cell of the group."""
+    from repro.core.batched import replay_batch
+
+    compiled = params_list[0]["compiled"]
+    machines = [
+        _ablation_machine(pp["compiled"], pp["model"], pp["g"], pp["m"], pp["L"])
+        for pp in params_list
+    ]
+    return [_replay_summary(res) for res in replay_batch(compiled, machines)]
+
+
+def _pricing_ablation_fingerprint(params) -> Any:
+    """Cells sharing one compiled schedule and one model class fuse."""
+    return (id(params["compiled"]), params["model"])
+
+
+_pricing_ablation_trial.batch_run = _pricing_ablation_batch
+_pricing_ablation_trial.batch_fingerprint = _pricing_ablation_fingerprint
+
+
+def pricing_ablation(
+    p: int = 256, n: int = 40_000, schedule_m: int = 64, epsilon: float = 0.2,
+    model: str = "bsp_m", g_values=(2.0,),
+    m_values=(16, 24, 32, 48, 64, 96, 128, 192),
+    L_values=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+    seed: int = 0, jobs: int = 1, on_error: str = "raise", backend: str = None,
+    batch: bool = None, include_telemetry: bool = False,
+) -> Dict[str, Any]:
+    """Table-1-style pricing ablation of one recorded routing schedule.
+
+    Routes a uniform h-relation once with Unbalanced-Send, compiles the
+    routing superstep (:func:`repro.scheduling.execute.compile_schedule`),
+    and re-prices the *identical* structure across a ``(g, m, L)`` grid —
+    the paper's local-vs-global comparison at fixed communication pattern.
+    The trial function advertises ``batch_run``/``batch_fingerprint``, so
+    :func:`repro.sweep.run_sweep` fuses the whole grid into
+    :func:`repro.core.batched.replay_batch` passes by default; pass
+    ``batch=False`` for the sequential per-cell path (bit-identical, used
+    by ``benchmarks/bench_parallel_scaling.py`` to measure amortization).
+    """
+    from repro.scheduling.execute import compile_schedule
+    from repro.scheduling.static_send import unbalanced_send
+    from repro.workloads import uniform_random_relation
+
+    rel = uniform_random_relation(
+        p, n, seed=derive_seed_sequence(seed, "pricing_ablation", "workload")
+    )
+    sched = unbalanced_send(
+        rel, schedule_m, epsilon,
+        seed=derive_seed_sequence(seed, "pricing_ablation", "route"),
+    )
+    compiled = compile_schedule(sched)
+    spec = SweepSpec(
+        name="pricing_ablation",
+        fn=_pricing_ablation_trial,
+        grid=grid_points(g=list(g_values), m=list(m_values), L=list(L_values)),
+        common={"compiled": compiled, "model": model},
+        seed=seed,
+    )
+    sweep = run_sweep(spec, jobs=jobs, on_error=on_error, backend=backend, batch=batch)
+    if sweep is None:
+        return None  # mpi worker rank: rank 0 holds the result
+    cells = [
+        {"point": rec.point, **(val if val is not None else {"model_time": None})}
+        for rec, val in zip(sweep.records, sweep.results)
+    ]
+    out: Dict[str, Any] = {
+        "p": p, "n": int(rel.n), "schedule_m": schedule_m, "model": model,
+        "trials": sweep.trials, "cells": cells,
+        "batch": dict(sweep.batch_stats),
+    }
+    if sweep.skipped:
+        out["sweep_errors"] = _sweep_errors(sweep)
+    if include_telemetry:
+        out["sweep_telemetry"] = sweep.telemetry()
+    return out
+
+
 #: name -> callable returning a JSON-ready dict
 EXPERIMENTS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "table1_measured": table1_measured,
@@ -421,6 +541,7 @@ EXPERIMENTS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "leader_gap": leader_recognition_gap,
     "self_scheduling": self_scheduling_transfer_experiment,
     "sensitivity_grid": sensitivity_grid,
+    "pricing_ablation": pricing_ablation,
 }
 
 

@@ -423,6 +423,25 @@ def _profile_workloads() -> Dict[str, Callable[[], None]]:
         )
         run_dynamic(AlgorithmBProtocol(global_, 128, alpha=8.0, seed=1), trace)
 
+    def batch() -> None:
+        # the batched-replay hot path: one recorded routing program priced
+        # across a B=64 grid of (m, L) machines in a single pass
+        from repro import BSPm
+        from repro.core.batched import replay_batch
+        from repro.scheduling import unbalanced_send
+        from repro.scheduling.execute import compile_schedule
+        from repro.workloads import uniform_random_relation
+
+        rel = uniform_random_relation(256, 40_000, seed=0)
+        sched = unbalanced_send(rel, 64, 0.2, seed=1)
+        compiled = compile_schedule(sched)
+        machines = [
+            BSPm(MachineParams(p=256, m=m, L=L))
+            for m in (16, 24, 32, 48, 64, 96, 128, 192)
+            for L in (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+        ]
+        replay_batch(compiled, machines)
+
     return {
         "route": route,
         "qsm-phases": qsm_phases,
@@ -430,6 +449,7 @@ def _profile_workloads() -> Dict[str, Callable[[], None]]:
         "schedule": schedule,
         "algorithms": algorithms,
         "dynamic": dynamic,
+        "batch": batch,
     }
 
 
@@ -1040,18 +1060,19 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         choices=["route", "qsm-phases", "delivery", "schedule",
-                 "algorithms", "dynamic", "list"],
+                 "algorithms", "dynamic", "batch", "list"],
         help='workload to profile ("list" to enumerate)',
     )
     pr.add_argument(
         "--workload",
         dest="workload_flag",
         default=None,
-        choices=["routing", "qsm", "algorithms", "dynamic"],
+        choices=["routing", "qsm", "algorithms", "dynamic", "batch"],
         help="workload selector covering the vectorized hot paths "
         "(routing = route, qsm = qsm-phases, algorithms = the "
         "bench_algorithms_e2e profiles, dynamic = a 100k-interval "
-        "run_dynamic horizon); wins over the positional",
+        "run_dynamic horizon, batch = a B=64 batched replay of one "
+        "compiled routing program); wins over the positional",
     )
     pr.add_argument(
         "--top", type=_positive_int, default=20,

@@ -18,19 +18,24 @@ are exactly those of the pre-refactor inline code.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.events import CostBreakdown
-from repro.core.kernels import slot_charge_stats
+from repro.core.kernels import slot_charge_stats, slot_charge_stats_batched
 
 __all__ = [
     "price_bsp_g",
+    "price_bsp_g_batch",
     "price_bsp_m",
+    "price_bsp_m_batch",
     "price_qsm_g",
+    "price_qsm_g_batch",
     "price_qsm_m",
+    "price_qsm_m_batch",
     "price_self_scheduling",
+    "price_self_scheduling_batch",
 ]
 
 _PriceResult = Tuple[float, CostBreakdown, Dict[str, float]]
@@ -111,3 +116,108 @@ def price_self_scheduling(
     )
     stats = {"h": float(h), "w": w, "n": float(n)}
     return breakdown.total(), breakdown, stats
+
+
+# ----------------------------------------------------------------------
+# Batched variants — one superstep structure, B parameter points
+# ----------------------------------------------------------------------
+#
+# The batched replay engine (repro.core.batched) summarizes each recorded
+# superstep's structure once (w, h, histogram, kappa) and prices it under B
+# parameter points in one call.  These functions take the scalar structure
+# summary plus per-trial parameter columns and return the per-trial
+# (cost, breakdown, stats) triples.  Bit-identity contract: element b of
+# the returned list equals the scalar function applied to trial b's
+# parameters — the histogram charge matrix reduces per-trial through
+# slot_charge_stats_batched (same kernel calls, same np.sum order), and
+# the breakdowns/stats are built with the exact scalar-path arithmetic and
+# historical key insertion order.
+
+
+def price_bsp_g_batch(
+    w: float, h: float, n: int, g_col: Sequence[float], L_col: Sequence[float]
+) -> List[_PriceResult]:
+    """Batched :func:`price_bsp_g` over parameter columns ``(g, L)``."""
+    return [price_bsp_g(w, h, n, g, L) for g, L in zip(g_col, L_col)]
+
+
+def price_bsp_m_batch(
+    w: float,
+    h: float,
+    n: int,
+    counts: np.ndarray,
+    m_col: Sequence[int],
+    penalties: Sequence,
+    L_col: Sequence[float],
+) -> List[_PriceResult]:
+    """Batched :func:`price_bsp_m`: the histogram is priced for all trials
+    in one :func:`slot_charge_stats_batched` pass."""
+    comm, c_m_paper, span, overloaded, max_load = slot_charge_stats_batched(
+        counts, m_col, penalties
+    )
+    out: List[_PriceResult] = []
+    for b, L in enumerate(L_col):
+        breakdown = CostBreakdown(
+            work=w, local_band=float(h), global_band=float(comm[b]), latency=L
+        )
+        stats = {
+            "h": float(h),
+            "w": w,
+            "n": float(n),
+            "c_m": float(comm[b]),
+            "c_m_paper": float(c_m_paper[b]),
+            "span": span,
+            "overloaded_slots": float(overloaded[b]),
+            "max_slot_load": float(max_load),
+        }
+        out.append((breakdown.total(), breakdown, stats))
+    return out
+
+
+def price_qsm_g_batch(
+    w: float, h: float, kappa: float, n: int, g_col: Sequence[float]
+) -> List[_PriceResult]:
+    """Batched :func:`price_qsm_g` over a ``g`` column."""
+    return [price_qsm_g(w, h, kappa, n, g) for g in g_col]
+
+
+def price_qsm_m_batch(
+    w: float,
+    h: float,
+    kappa: float,
+    n: int,
+    counts: np.ndarray,
+    m_col: Sequence[int],
+    penalties: Sequence,
+) -> List[_PriceResult]:
+    """Batched :func:`price_qsm_m`: one histogram pass for all trials."""
+    comm, c_m_paper, span, overloaded, _ = slot_charge_stats_batched(
+        counts, m_col, penalties
+    )
+    out: List[_PriceResult] = []
+    for b in range(len(m_col)):
+        breakdown = CostBreakdown(
+            work=w,
+            local_band=float(h),
+            global_band=float(comm[b]),
+            contention=float(kappa),
+        )
+        stats = {
+            "h": float(h),
+            "w": w,
+            "kappa": float(kappa),
+            "c_m": float(comm[b]),
+            "c_m_paper": float(c_m_paper[b]),
+            "span": span,
+            "overloaded_slots": float(overloaded[b]),
+            "n": float(n),
+        }
+        out.append((breakdown.total(), breakdown, stats))
+    return out
+
+
+def price_self_scheduling_batch(
+    w: float, h: float, n: int, m_col: Sequence[int], L_col: Sequence[float]
+) -> List[_PriceResult]:
+    """Batched :func:`price_self_scheduling` over ``(m, L)`` columns."""
+    return [price_self_scheduling(w, h, n, m, L) for m, L in zip(m_col, L_col)]

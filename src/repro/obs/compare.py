@@ -38,7 +38,9 @@ __all__ = ["ComparisonRow", "BenchComparison", "compare_bench", "compare_files"]
 #: lossless for binary64, so this only forgives representation quirks)
 EXACT_RTOL = 1e-9
 
-_HIGHER_TOKENS = ("per_s", "speedup", "utilization", "hit_rate", "throughput")
+_HIGHER_TOKENS = (
+    "per_s", "speedup", "utilization", "hit_rate", "throughput", "amortization",
+)
 _LOWER_TOKENS = ("elapsed", "seconds", "wall", "overhead")
 
 

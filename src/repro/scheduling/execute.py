@@ -29,6 +29,8 @@ import numpy as np
 
 from time import monotonic as _monotonic
 
+from repro.core.batched import replay_batch
+from repro.core.compiled import CompiledProgram
 from repro.core.engine import Machine, RunAborted, RunResult, fused_default
 from repro.core.events import MessageBatch, RequestBatch, SuperstepRecord
 from repro.core.kernels import stable_group_order
@@ -40,7 +42,14 @@ from repro.scheduling.static_send import unbalanced_send
 from repro.util.rng import SeedLike
 from repro.workloads.relations import HRelation
 
-__all__ = ["route", "route_reliable", "execute_schedule", "delivery_counts"]
+__all__ = [
+    "route",
+    "route_reliable",
+    "execute_schedule",
+    "execute_schedule_batch",
+    "compile_schedule",
+    "delivery_counts",
+]
 
 
 def _flit_plan(sched: Schedule) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
@@ -70,16 +79,18 @@ def _routing_program(ctx, slots, dests, flit_ids):
     return ctx.receive().payloads
 
 
-def _execute_schedule_direct(machine: Machine, sched: Schedule) -> RunResult:
-    """Compiled-superstep execution of the one-barrier routing program.
+def _schedule_frame(sched: Schedule) -> Tuple[MessageBatch, List]:
+    """The one-barrier routing superstep's ``(frozen batch, per-processor
+    results)``, assembled directly from the schedule's flit columns.
 
-    The routing program is straight-line (every processor issues one
-    ``send_many`` computed from the schedule, independent of anything it
-    receives), so its single superstep record can be assembled directly
-    from the schedule's flit columns — one stable group-by-source sort —
-    without constructing processors, generators or arenas at all.  The
-    record, model time and per-processor results are bit-identical to the
-    trampoline execution (pinned by ``tests/test_fused_kernel.py``).
+    This is the parameter-independent *structure* of the routing program:
+    one stable group-by-source sort builds the batch, and the delivery
+    permutation (group the sorted batch by destination) yields each
+    processor's inbox payload slice, ``[]`` when nothing arrived — exactly
+    what ``ctx.receive().payloads`` returns on the trampoline path.
+    Computed once per schedule and shared by :func:`_execute_schedule_direct`
+    and :func:`compile_schedule`, so a batched replay pays for it once, not
+    once per trial.
     """
     rel = sched.rel
     p = rel.p
@@ -97,20 +108,6 @@ def _execute_schedule_direct(machine: Machine, sched: Schedule) -> RunResult:
         np.ones(rel.n, dtype=bool),
         payload,
     )
-    record = SuperstepRecord(
-        index=0,
-        work=[0.0] * p,
-        msg_batch=batch,
-        read_batch=RequestBatch.empty(),
-        write_batch=RequestBatch.empty(),
-    )
-    cost, breakdown, stats = machine._price(record)
-    record.cost = cost
-    record.breakdown = breakdown
-    record.stats = stats
-    # delivery: group the sorted batch by destination; each processor's
-    # result is its inbox payload slice, [] when nothing arrived (exactly
-    # what ctx.receive().payloads returns on the trampoline path)
     counts = np.bincount(dest, minlength=p)
     bounds = np.empty(counts.size + 1, dtype=np.int64)
     bounds[0] = 0
@@ -120,7 +117,88 @@ def _execute_schedule_direct(machine: Machine, sched: Schedule) -> RunResult:
     for pid in range(p):
         s, e = int(bounds[pid]), int(bounds[pid + 1])
         results.append(delivered[s:e] if e > s else [])
+    return batch, results
+
+
+def _execute_schedule_direct(machine: Machine, sched: Schedule) -> RunResult:
+    """Compiled-superstep execution of the one-barrier routing program.
+
+    The routing program is straight-line (every processor issues one
+    ``send_many`` computed from the schedule, independent of anything it
+    receives), so its single superstep record can be assembled directly
+    from the schedule's flit columns — one stable group-by-source sort —
+    without constructing processors, generators or arenas at all.  The
+    record, model time and per-processor results are bit-identical to the
+    trampoline execution (pinned by ``tests/test_fused_kernel.py``).
+    """
+    batch, results = _schedule_frame(sched)
+    record = SuperstepRecord(
+        index=0,
+        work=[0.0] * sched.rel.p,
+        msg_batch=batch,
+        read_batch=RequestBatch.empty(),
+        write_batch=RequestBatch.empty(),
+    )
+    cost, breakdown, stats = machine._price(record)
+    record.cost = cost
+    record.breakdown = breakdown
+    record.stats = stats
     return RunResult(params=machine.params, records=[record], results=results)
+
+
+def compile_schedule(sched: Schedule) -> CompiledProgram:
+    """Compile a schedule's routing program without executing it.
+
+    The returned :class:`~repro.core.compiled.CompiledProgram` holds the
+    same single-superstep frame and delivery results the direct fast path
+    of :func:`execute_schedule` assembles, so ``compile_schedule(sched)
+    .replay(machine)`` is bit-identical to the fused ``execute_schedule``
+    result on any message-passing machine — and
+    :func:`repro.core.batched.replay_batch` can price one compilation
+    under a whole parameter batch.
+    """
+    batch, results = _schedule_frame(sched)
+    frames = [
+        ([0.0] * sched.rel.p, batch, RequestBatch.empty(), RequestBatch.empty())
+    ]
+    return CompiledProgram(frames, results, sched.rel.p, False)
+
+
+def execute_schedule_batch(
+    machines: List[Machine],
+    sched: Schedule,
+    *,
+    compiled: Optional[CompiledProgram] = None,
+) -> List[RunResult]:
+    """Run one schedule on a batch of machines in a single fused pass.
+
+    Element ``b`` is bit-identical to ``execute_schedule(machines[b],
+    sched)``: the frame assembly and delivery permutation are computed
+    once (:func:`_schedule_frame`), pricing goes through
+    :func:`repro.core.batched.replay_batch`, and delivery is verified once
+    — the recorded results are shared, so one histogram check covers every
+    trial.  Pass ``compiled`` (from :func:`compile_schedule`) to reuse a
+    prior compilation across calls.  Machines with fault injectors are
+    refused, as on every compiled-replay path.
+    """
+    machines = list(machines)
+    rel = sched.rel
+    for machine in machines:
+        if machine.uses_shared_memory:
+            raise ValueError(
+                "schedules route point-to-point messages; use a BSP machine"
+            )
+        if machine.params.p < rel.p:
+            raise ValueError(
+                f"machine has {machine.params.p} processors, relation "
+                f"needs {rel.p}"
+            )
+    if compiled is None:
+        compiled = compile_schedule(sched)
+    out = replay_batch(compiled, machines)
+    if out:
+        _verify_delivery(out[0], rel, machines[0])
+    return out
 
 
 def execute_schedule(

@@ -21,6 +21,12 @@ Layout:
   future submissions shed with ``E_QUARANTINED`` (poison-request
   containment).  :class:`repro.serve.chaos.ChaosPlan` injects the seeded
   worker kills these paths are tested against;
+* a worker popping a deadline-free ``scenario`` also pops every queued
+  request that matches it in everything but ``L`` (same seed and
+  params otherwise, up to ``max_coalesce``) and answers the group from
+  one fused :func:`run_scenario_batch` pass — per-request caching,
+  chaos, retry, and quarantine bookkeeping are untouched, and each
+  member's payload is bit-identical to its solo ``run_scenario`` call;
 * with ``ExecutorConfig(engine="process")`` the worker threads keep all
   of the above bookkeeping but ship the pure compute to the persistent
   process pool of :mod:`repro.serve.engine` — CPU-bound kinds then run
@@ -48,7 +54,12 @@ from repro.serve.telemetry import ServerMetrics
 from repro.store.disk import DiskStore
 from repro.util.rng import derive_seed_sequence
 
-__all__ = ["ExecutorConfig", "RequestExecutor", "run_scenario"]
+__all__ = [
+    "ExecutorConfig",
+    "RequestExecutor",
+    "run_scenario",
+    "run_scenario_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -61,6 +72,8 @@ class ExecutorConfig:
     backoff_cap: float = 2.0  # ceiling on a single backoff sleep
     quarantine_after: int = 3  # cumulative failures before E_QUARANTINED
     engine: str = "thread"  # compute engine: in-thread or process pool
+    coalesce: bool = True  # fuse compatible queued scenarios into one pass
+    max_coalesce: int = 16  # requests fused into a single batch, at most
 
     def __post_init__(self) -> None:
         from repro.serve.engine import ENGINES
@@ -76,6 +89,10 @@ class ExecutorConfig:
         if self.quarantine_after < 1:
             raise ValueError(
                 f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+        if self.max_coalesce < 1:
+            raise ValueError(
+                f"max_coalesce must be >= 1, got {self.max_coalesce}"
             )
 
     def backoff(self, attempt: int) -> float:
@@ -158,6 +175,101 @@ def run_scenario(
         "supersteps": int(res.supersteps),
         "schedule": report.to_dict(),
     }
+
+
+def run_scenario_batch(
+    params_list: "list[Dict[str, Any]]", seed: int
+) -> "list[Dict[str, Any]]":
+    """Fused execution of scenario requests that differ only in ``L``.
+
+    The scenario handler factors cleanly: the workload relation, the
+    Unbalanced-Send schedule, and the recorded routing structure depend
+    on ``(workload, p, n, m, epsilon, alpha, seed)`` but *not* on ``L``
+    — latency only re-prices the recorded supersteps.  So a burst of
+    compatible requests costs one relation build, one schedule, one
+    compiled program, and one :func:`repro.core.batched.replay_batch`
+    pass.  Element ``j`` is bit-identical to
+    ``run_scenario(params_list[j], seed)``.
+    """
+    from repro.models.bsp_m import BSPm
+    from repro.core.params import MachineParams
+    from repro.scheduling import evaluate_schedule
+    from repro.scheduling.execute import execute_schedule_batch
+    from repro.scheduling.static_send import unbalanced_send
+
+    base = params_list[0]
+    p = int(base.get("p", 64))
+    n = int(base.get("n", 20_000))
+    m = int(base.get("m", 32))
+    epsilon = float(base.get("epsilon", 0.2))
+    alpha = float(base.get("alpha", 1.2))
+    workload = str(base.get("workload", "uniform"))
+
+    rel = _build_relation(
+        workload, p, n, alpha, derive_seed_sequence(seed, "scenario", workload)
+    )
+    sched = unbalanced_send(
+        rel, m, epsilon, seed=derive_seed_sequence(seed, "scenario", "route")
+    )
+    machines = [
+        BSPm(MachineParams(p=p, m=m, L=float(pp.get("L", 1.0))))
+        for pp in params_list
+    ]
+    runs = execute_schedule_batch(machines, sched)
+    out = []
+    for mach, res in zip(machines, runs):
+        report = evaluate_schedule(sched, m=m, L=mach.params.L)
+        out.append(
+            {
+                "kind": "scenario",
+                "workload": workload,
+                "p": p,
+                "n": int(rel.n),
+                "m": m,
+                "model_time": float(res.time),
+                "supersteps": int(res.supersteps),
+                "schedule": report.to_dict(),
+            }
+        )
+    return out
+
+
+def _coalesce_key(req: Request) -> Optional[Any]:
+    """Batch-compatibility key, or ``None`` when the request must run
+    alone.  Only deadline-free scenarios coalesce, and only with requests
+    sharing the same seed and every parameter except ``L`` — exactly the
+    precondition of :func:`run_scenario_batch`."""
+    if req.kind != "scenario" or req.deadline is not None:
+        return None
+    from repro.serve.protocol import canonical_params
+
+    rest = {k: v for k, v in req.params.items() if k != "L"}
+    return (req.seed, canonical_params(rest))
+
+
+class _ScenarioBatch:
+    """Lazily-computed fused result shared by one coalesced group.
+
+    The batch runs at most once, on the first member that actually needs
+    a compute (members answered from the response cache never trigger
+    it).  A member's retry reuses the already-computed value — the
+    handlers are pure in ``(params, seed)``, so recomputing could only
+    return the same payload.
+    """
+
+    def __init__(self, requests: "list[Request]") -> None:
+        self.requests = list(requests)
+        self._payloads: Optional[Dict[int, Dict[str, Any]]] = None
+
+    def payload_for(self, req: Request) -> Dict[str, Any]:
+        if self._payloads is None:
+            results = run_scenario_batch(
+                [r.params for r in self.requests], self.requests[0].seed
+            )
+            self._payloads = {
+                id(r): res for r, res in zip(self.requests, results)
+            }
+        return self._payloads[id(req)]
 
 
 def _run_experiment_kind(
@@ -352,22 +464,46 @@ class RequestExecutor:
                 if self._stop and not self._work:
                     return
                 req = self._work.pop(0)
-                self._in_flight += 1
+                group = [req]
+                if self._engine is None and self.config.coalesce and self._work:
+                    key = _coalesce_key(req)
+                    if key is not None:
+                        keep: "list[Request]" = []
+                        for other in self._work:
+                            if (
+                                len(group) < self.config.max_coalesce
+                                and _coalesce_key(other) == key
+                            ):
+                                group.append(other)
+                            else:
+                                keep.append(other)
+                        if len(group) > 1:
+                            self._work[:] = keep
+                self._in_flight += len(group)
                 self.metrics.gauge("inflight", self._in_flight)
             try:
-                self._serve_one(req)
+                if len(group) == 1:
+                    self._serve_one(req)
+                else:
+                    self.metrics.inc("batch.rounds")
+                    self.metrics.inc("batch.coalesced", len(group))
+                    ctx = _ScenarioBatch(group)
+                    for member in group:
+                        self._serve_one(member, batch=ctx)
             finally:
                 with self._lock:
-                    self._in_flight -= 1
+                    self._in_flight -= len(group)
                     self.metrics.gauge("inflight", self._in_flight)
                     self._idle.notify_all()
 
     # -- per-request execution -----------------------------------------
-    def _serve_one(self, req: Request) -> None:
+    def _serve_one(
+        self, req: Request, batch: Optional[_ScenarioBatch] = None
+    ) -> None:
         started = time.monotonic()
         self.metrics.observe("wait_s", started - req.submitted)
         try:
-            payload = self._execute(req, started)
+            payload = self._execute(req, started, batch)
             self._complete(req, payload, None)
             self.metrics.inc("requests.ok")
         except ServeError as err:
@@ -413,7 +549,12 @@ class RequestExecutor:
         if self.store is not None and req.kind != "ping":
             self.store.put(("response", req.fingerprint), payload)
 
-    def _execute(self, req: Request, started: float) -> Dict[str, Any]:
+    def _execute(
+        self,
+        req: Request,
+        started: float,
+        batch: Optional[_ScenarioBatch] = None,
+    ) -> Dict[str, Any]:
         self._check_deadline(req)
         self.check_quarantine(req.fingerprint)
         cached = self._cache_get(req)
@@ -430,7 +571,7 @@ class RequestExecutor:
             req.attempts = attempt
             try:
                 self.chaos.kill_if_planned(req.fingerprint, attempt)
-                payload = self._handle(req)
+                payload = self._handle(req, batch)
             except ServeError:
                 raise
             except RunAborted as exc:
@@ -473,7 +614,9 @@ class RequestExecutor:
             self._cache_put(req, payload)
             return {"cached": False, "attempts": attempt, "payload": payload}
 
-    def _handle(self, req: Request) -> Dict[str, Any]:
+    def _handle(
+        self, req: Request, batch: Optional[_ScenarioBatch] = None
+    ) -> Dict[str, Any]:
         if req.kind == "ping":
             return {"kind": "ping", "seed": req.seed}
         if req.kind == "scenario":
@@ -481,6 +624,8 @@ class RequestExecutor:
                 return self._engine.call(
                     req.kind, req.params, req.seed, req.deadline
                 )
+            if batch is not None:
+                return batch.payload_for(req)
             return run_scenario(req.params, req.seed, deadline=req.deadline)
         if req.kind in ("experiment", "sweep"):
             self._check_deadline(req)  # experiments can't abort mid-run

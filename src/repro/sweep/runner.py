@@ -55,7 +55,8 @@ from repro.obs.ledger import LoadLedger, active_ledger
 from repro.obs.metrics import active_metrics
 from repro.obs.tracer import active_tracer, splice_spans
 from repro.sweep.backends import resolve_backend
-from repro.sweep.spec import SweepSpec, TrialTask
+from repro.sweep.backends.base import attempt_task
+from repro.sweep.spec import BatchTask, SweepSpec, TrialTask, group_batch_tasks
 from repro.sweep.telemetry import SweepResult, TrialRecord
 from repro.util.rng import describe_seed
 
@@ -135,6 +136,7 @@ def run_sweep(
     chunksize: Optional[int] = None,
     on_error: str = "raise",
     backend: Optional[str] = None,
+    batch: Optional[bool] = None,
 ) -> Optional[SweepResult]:
     """Execute every trial of ``spec`` and return a :class:`SweepResult`.
 
@@ -156,17 +158,49 @@ def run_sweep(
     Under the ``mpi`` backend, non-root ranks return ``None`` (they serve
     tasks; rank 0 holds the result) — callers running under ``mpirun``
     must treat ``None`` as "worker rank, exit cleanly".
+
+    ``batch`` controls batched multi-trial execution: when the trial
+    function opts in (``fn.batch_run``/``fn.batch_fingerprint``, see
+    :class:`~repro.sweep.spec.BatchTask`), fingerprint-compatible trials
+    are fused into single dispatch units that one worker executes in one
+    vectorized pass — results stay bit-identical and in task order.
+    ``None`` (default) engages batching automatically whenever the trial
+    function supports it and no tracer/metrics/ledger is active (the
+    observability instruments are per-trial, so batching would blur their
+    attribution); ``False`` disables it.  A batch that fails is re-run
+    member-by-member so ``on_error`` accounting stays per trial.
     """
     jobs = resolve_jobs(jobs)
     mode, retries = parse_on_error(on_error)
     tasks = spec.tasks()
-    be = resolve_backend(backend, jobs, len(tasks))
     t0 = time.perf_counter()
-    results: List[Any] = []
-    records: List[TrialRecord] = []
+    results: List[Any] = [None] * len(tasks)
+    records: List[Optional[TrialRecord]] = [None] * len(tasks)
     tracer = active_tracer()
     mreg = active_metrics()
     ledger = active_ledger()
+    dispatch: List[Any] = list(tasks)
+    batch_stats = {
+        "enabled": False,
+        "groups": 0,
+        "batched_trials": 0,
+        "dispatched_units": len(tasks),
+        "max_group": 0,
+        "amortization": 1.0,
+        "fallbacks": 0,
+    }
+    if batch is not False and tracer is None and mreg is None and ledger is None:
+        dispatch, fused = group_batch_tasks(tasks)
+        if fused:
+            batch_stats.update(
+                enabled=True,
+                groups=len(fused),
+                batched_trials=sum(len(b.members) for b in fused),
+                dispatched_units=len(dispatch),
+                max_group=max(len(b.members) for b in fused),
+                amortization=len(tasks) / len(dispatch),
+            )
+    be = resolve_backend(backend, jobs, len(dispatch))
     # the sweep's own accumulator: its summary() becomes the telemetry
     # "ledger" block regardless of what the caller does with the active
     # ledger afterwards
@@ -175,8 +209,8 @@ def run_sweep(
 
     def _append(task: TrialTask, payload, attempts: int = 1) -> None:
         value, wall, pid, hits, misses, delta, spans, ledger_dump = payload
-        results.append(value)
-        records.append(
+        results[task.index] = value
+        records[task.index] = (
             TrialRecord(
                 index=task.index,
                 point=task.point,
@@ -233,8 +267,8 @@ def run_sweep(
     def _append_skipped(task: TrialTask, payload, attempts: int) -> None:
         cause_repr = payload[3]
         pid = payload[5] if len(payload) > 5 else -1
-        results.append(None)
-        records.append(
+        results[task.index] = None
+        records[task.index] = (
             TrialRecord(
                 index=task.index,
                 point=task.point,
@@ -257,10 +291,61 @@ def run_sweep(
         if tracer is not None
         else None
     )
+    def _expand_batch(unit: BatchTask, status, payload, attempts: int) -> None:
+        """Re-expand one batch outcome onto its member tasks.
+
+        A successful batch returns the per-member value list; its wall
+        time is split evenly (one fused pass has no per-member clock) and
+        its cache counters attach to the first member.  A failed batch is
+        re-run member-by-member in-process, so ``on_error`` semantics —
+        which trial raised, what gets skipped — stay exactly per trial.
+        """
+        members = unit.members
+        if status == "ok":
+            value, wall, pid, hits, misses, _, _, _ = payload
+            if not isinstance(value, list) or len(value) != len(members):
+                got = (
+                    f"list of {len(value)}"
+                    if isinstance(value, list)
+                    else type(value).__name__
+                )
+                raise TypeError(
+                    f"batch runner for {unit.label} returned {got}; expected "
+                    f"a list of {len(members)} per-trial values"
+                )
+            share = wall / len(members)
+            for j, (member, v) in enumerate(zip(members, value)):
+                _append(
+                    member,
+                    (
+                        v,
+                        share,
+                        pid,
+                        hits if j == 0 else 0,
+                        misses if j == 0 else 0,
+                        None,
+                        None,
+                        None,
+                    ),
+                    attempts,
+                )
+            return
+        batch_stats["fallbacks"] += 1
+        for member in members:
+            m_status, m_payload, m_attempts, _ = attempt_task(
+                member, mreg is not None, mode, retries
+            )
+            if m_status == "err":
+                if mode == "raise":
+                    _raise_trial_error(m_payload)
+                _append_skipped(member, m_payload, m_attempts)
+            else:
+                _append(member, m_payload, m_attempts)
+
     stats = {}
     try:
         ret = be.run(
-            tasks,
+            dispatch,
             jobs=jobs,
             collect_metrics=mreg is not None,
             mode=mode,
@@ -274,27 +359,35 @@ def run_sweep(
             # sweep result of its own
             return None
         outcomes, stats = ret
-        for task, outcome in zip(tasks, outcomes):
+        for unit, outcome in zip(dispatch, outcomes):
             if outcome is None:
                 continue  # raise-mode early stop: never reached
             status, payload, attempts = outcome
-            if status == "err":
+            if isinstance(unit, BatchTask):
+                _expand_batch(unit, status, payload, attempts)
+            elif status == "err":
                 if mode == "raise":
                     _raise_trial_error(payload)
-                _append_skipped(task, payload, attempts)
+                _append_skipped(unit, payload, attempts)
             else:
-                _append(task, payload, attempts)
+                _append(unit, payload, attempts)
     finally:
         if sweep_span is not None:
             tracer.end(
                 sweep_span,
-                completed=len(records),
+                completed=sum(1 for r in records if r is not None),
                 backend=be.name,
                 steals=stats.get("steals", 0),
                 max_queue_depth=stats.get("max_queue_depth", 0),
                 worker_deaths=stats.get("worker_deaths", 0),
             )
 
+    if any(r is None for r in records):
+        # raise-mode early stop on a non-serial backend: unreached tasks
+        # were never executed; keep only the executed prefix, task order
+        keep = [i for i, r in enumerate(records) if r is not None]
+        results = [results[i] for i in keep]
+        records = [records[i] for i in keep]
     return SweepResult(
         name=spec.name,
         jobs=jobs,
@@ -306,6 +399,7 @@ def run_sweep(
         backend=be.name,
         backend_stats=stats,
         ledger=sweep_ledger.summary() if sweep_ledger is not None else None,
+        batch_stats=batch_stats,
     )
 
 

@@ -31,8 +31,12 @@ __all__ = ["TrialRecord", "SweepResult", "TELEMETRY_SCHEMA_VERSION"]
 #: :class:`~repro.obs.ledger.LoadLedger` summary (total charge, charge by
 #: binding restriction, flit totals, mean utilizations) accumulated from
 #: per-trial worker dumps in task order, present when a ledger was active
-#: during the sweep and ``None`` otherwise.
-TELEMETRY_SCHEMA_VERSION = 5
+#: during the sweep and ``None`` otherwise; 6 adds the ``batch`` block
+#: (batched multi-trial execution: whether fingerprint grouping engaged,
+#: group count and sizes, dispatch units actually shipped to the backend,
+#: the trials-per-dispatch amortization ratio, and batches that fell back
+#: to per-trial execution after an error).
+TELEMETRY_SCHEMA_VERSION = 6
 
 
 @dataclass(frozen=True)
@@ -72,6 +76,10 @@ class SweepResult:
     #: merged :meth:`~repro.obs.ledger.LoadLedger.summary` accumulated
     #: from per-trial dumps in task order (``None``: no ledger was active)
     ledger: Any = None
+    #: batched-execution report from the runner's fingerprint grouping
+    #: (see :func:`repro.sweep.spec.group_batch_tasks`); always a dict,
+    #: ``{"enabled": False, ...}`` when batching did not engage
+    batch_stats: Dict[str, Any] = field(default_factory=dict)
 
     # -- columnar views -------------------------------------------------
     @property
@@ -190,6 +198,7 @@ class SweepResult:
                 "worker_deaths": self.backend_stats.get("worker_deaths", 0),
             },
             "ledger": self.ledger,
+            "batch": dict(self.batch_stats) if self.batch_stats else {"enabled": False},
         }
 
     def to_dict(self, include_trials: bool = True) -> Dict[str, Any]:

@@ -452,7 +452,7 @@ class TestSweepObservability:
     def test_telemetry_schema_and_seed(self):
         result = run_sweep(_chaos_spec(trials=2), jobs=1)
         tel = result.telemetry()
-        assert tel["schema_version"] == TELEMETRY_SCHEMA_VERSION == 5
+        assert tel["schema_version"] == TELEMETRY_SCHEMA_VERSION == 6
         assert tel["seed"] == 7
         assert tel["jobs"] == 1
 
@@ -461,7 +461,7 @@ class TestSweepObservability:
         path = tmp_path / "sweep.json"
         result.to_json(str(path))
         doc = json.loads(path.read_text())
-        assert doc["schema_version"] == 5 and doc["seed"] == 7
+        assert doc["schema_version"] == 6 and doc["seed"] == 7
         assert len(doc["trial_columns"]["wall_s"]) == 2
         # no ledger installed -> the v5 block is present but null
         assert doc["ledger"] is None

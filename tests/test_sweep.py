@@ -407,6 +407,9 @@ SMALL_KWARGS = {
     "sensitivity_grid": dict(
         p_values=(64, 256), g_values=(2.0,), L_values=(4.0,), y_grid=400
     ),
+    "pricing_ablation": dict(
+        p=32, n=2000, schedule_m=8, m_values=(4, 8), L_values=(1.0, 4.0)
+    ),
 }
 
 
